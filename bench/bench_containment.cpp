@@ -1,0 +1,122 @@
+// Microbenchmarks for the containment engine (§3.4.2, §7.4): per-check cost
+// of the three decision procedures (Proposition 3 same-template fast path,
+// Proposition 2 compiled cross-template conditions, Proposition 1 general
+// DNF engine) and the per-query cost of a replica as a function of the
+// number of stored filters (Figures 8/9's processing-overhead argument).
+
+#include <benchmark/benchmark.h>
+
+#include "containment/engine.h"
+#include "containment/filter_containment.h"
+#include "ldap/filter_parser.h"
+#include "replica/filter_replica.h"
+
+namespace {
+
+using namespace fbdr;
+using ldap::FilterPtr;
+using ldap::parse_filter;
+using ldap::Query;
+using ldap::Scope;
+
+std::shared_ptr<ldap::TemplateRegistry> registry() {
+  auto r = std::make_shared<ldap::TemplateRegistry>();
+  r->add("(serialnumber=_)");
+  r->add("(serialnumber=_*)");
+  r->add("(&(dept=_)(div=_))");
+  r->add("(&(div=_)(dept=*))");
+  return r;
+}
+
+void BM_SameTemplateContainment(benchmark::State& state) {
+  const FilterPtr inner = parse_filter("(serialnumber=0412*)");
+  const FilterPtr outer = parse_filter("(serialnumber=04*)");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(containment::same_template_contained(*inner, *outer));
+  }
+}
+BENCHMARK(BM_SameTemplateContainment);
+
+void BM_CompiledCrossTemplate(benchmark::State& state) {
+  containment::ContainmentEngine engine(ldap::Schema::default_instance(),
+                                        registry());
+  const FilterPtr inner = parse_filter("(serialnumber=041234)");
+  const FilterPtr outer = parse_filter("(serialnumber=04*)");
+  const auto inner_binding = engine.bind(*inner);
+  const auto outer_binding = engine.bind(*outer);
+  // Warm the compilation cache.
+  engine.filter_contained(*inner, inner_binding, *outer, outer_binding);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine.filter_contained(*inner, inner_binding, *outer, outer_binding));
+  }
+}
+BENCHMARK(BM_CompiledCrossTemplate);
+
+void BM_GeneralContainment(benchmark::State& state) {
+  const FilterPtr inner = parse_filter("(serialnumber=041234)");
+  const FilterPtr outer = parse_filter("(serialnumber=04*)");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(containment::filter_contained(*inner, *outer));
+  }
+}
+BENCHMARK(BM_GeneralContainment);
+
+void BM_GeneralContainmentComplexFilter(benchmark::State& state) {
+  const FilterPtr inner = parse_filter(
+      "(&(objectclass=inetOrgPerson)(|(dept=2406)(dept=2407))(age>=30))");
+  const FilterPtr outer = parse_filter(
+      "(&(objectclass=inetOrgPerson)(|(dept=240*)(dept=241*))(age>=18))");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(containment::filter_contained(*inner, *outer));
+  }
+}
+BENCHMARK(BM_GeneralContainmentComplexFilter);
+
+void BM_CompileTemplatePair(benchmark::State& state) {
+  const ldap::FilterTemplate inner = ldap::FilterTemplate::parse("(&(dept=_)(div=_))");
+  const ldap::FilterTemplate outer = ldap::FilterTemplate::parse("(&(div=_)(dept=*))");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(containment::CompiledContainment::compile(inner, outer));
+  }
+}
+BENCHMARK(BM_CompileTemplatePair);
+
+/// Replica decision cost vs number of stored filters — misses scan every
+/// stored filter, so the per-query cost is linear in the count (§7.4).
+void BM_ReplicaMissScan(benchmark::State& state) {
+  replica::FilterReplica replica(ldap::Schema::default_instance(), registry());
+  const auto filters = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < filters; ++i) {
+    const std::string prefix = std::to_string(1000 + i).substr(0, 4);
+    replica.add_query(Query::parse("", Scope::Subtree,
+                                   "(serialnumber=" + prefix + "*)"),
+                      100);
+  }
+  const Query miss = Query::parse("", Scope::Subtree, "(serialnumber=999999)");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(replica.handle(miss));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ReplicaMissScan)->Range(8, 512)->Complexity(benchmark::oN);
+
+void BM_ReplicaHit(benchmark::State& state) {
+  replica::FilterReplica replica(ldap::Schema::default_instance(), registry());
+  const auto filters = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < filters; ++i) {
+    const std::string prefix = std::to_string(1000 + i).substr(0, 4);
+    replica.add_query(Query::parse("", Scope::Subtree,
+                                   "(serialnumber=" + prefix + "*)"),
+                      100);
+  }
+  const Query hit = Query::parse("", Scope::Subtree, "(serialnumber=100042)");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(replica.handle(hit));
+  }
+}
+BENCHMARK(BM_ReplicaHit)->Range(8, 512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Figure 4: Hit ratio vs replica size — serial number query.
+//
+// Paper claim: "the filter based model provides a hit-ratio of 0.5 with a
+// replica size which is less than 10% of the total person entries". A
+// subtree replica cannot selectively replicate employee entries from a
+// country (flat namespace), so at equal size its hit ratio is far lower.
+//
+// Method: serialNumber-only workload; training trace selects the replicated
+// units (prefix-block filters by benefit/size for the filter model; whole
+// countries by benefit/size for the subtree model) under a sweep of entry
+// budgets; an evaluation trace measures hit ratio. The subtree model is
+// credited generously: a query counts as a hit when the target entry lives
+// in a replicated country (as if the client had scoped its base), even
+// though the real null-base requests of §3.1.1 would all miss.
+
+#include <algorithm>
+#include <map>
+
+#include "common.h"
+
+int main() {
+  using namespace fbdr;
+  using workload::GeneratedQuery;
+
+  const workload::EnterpriseDirectory dir = bench::default_directory();
+  const auto registry = bench::case_study_registry();
+  const auto estimator = core::master_size_estimator(dir.master);
+  const double persons = static_cast<double>(dir.person_entries());
+
+  workload::WorkloadConfig wconfig;
+  wconfig.p_serial = 1.0;
+  wconfig.p_mail = wconfig.p_dept = wconfig.p_location = 0.0;
+  wconfig.temporal_rereference = 0.0;
+  workload::WorkloadGenerator train_gen(dir, wconfig);
+  const auto train = train_gen.generate(30000);
+  wconfig.seed = 777;
+  workload::WorkloadGenerator eval_gen(dir, wconfig);
+  const auto eval = eval_gen.generate(30000);
+
+  // Country sizes + per-country training hits for the subtree model.
+  std::vector<std::size_t> country_size(dir.country_codes.size(), 0);
+  for (const auto& info : dir.employees) ++country_size[info.country];
+  std::vector<std::size_t> country_hits(dir.country_codes.size(), 0);
+  for (const GeneratedQuery& generated : train) {
+    if (generated.target_country != SIZE_MAX) {
+      ++country_hits[generated.target_country];
+    }
+  }
+
+  bench::print_banner(
+      "Figure 4: hit ratio vs replica size (serial number query)",
+      "x = stored entries / person entries; paper: filter reaches 0.5 below 0.10");
+
+  for (const double frac : {0.01, 0.02, 0.05, 0.10, 0.15, 0.20, 0.30, 0.50}) {
+    const auto budget = static_cast<std::size_t>(frac * persons);
+
+    // Filter-based: prefix-block filters chosen by benefit/size.
+    const bench::SelectedFilters selected = bench::select_filters(
+        train, bench::serial_generalizer(), estimator, budget);
+    const double filter_hit =
+        bench::filter_hit_ratio(eval, selected.queries, estimator, registry);
+    bench::print_row("filter",
+                     static_cast<double>(selected.estimated_entries) / persons,
+                     filter_hit);
+
+    // Subtree-based: whole countries by benefit/size (favorable crediting).
+    std::vector<std::size_t> order(dir.country_codes.size());
+    for (std::size_t c = 0; c < order.size(); ++c) order[c] = c;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const double ra = static_cast<double>(country_hits[a]) /
+                        static_cast<double>(std::max<std::size_t>(1, country_size[a]));
+      const double rb = static_cast<double>(country_hits[b]) /
+                        static_cast<double>(std::max<std::size_t>(1, country_size[b]));
+      return ra > rb;
+    });
+    std::vector<bool> replicated(dir.country_codes.size(), false);
+    std::size_t used = 0;
+    for (const std::size_t c : order) {
+      if (used + country_size[c] > budget) continue;
+      used += country_size[c];
+      replicated[c] = true;
+    }
+    std::size_t hits = 0;
+    for (const GeneratedQuery& generated : eval) {
+      if (generated.target_country != SIZE_MAX &&
+          replicated[generated.target_country]) {
+        ++hits;
+      }
+    }
+    bench::print_row("subtree", static_cast<double>(used) / persons,
+                     static_cast<double>(hits) / static_cast<double>(eval.size()));
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// §5 quantification: traffic and server-state costs of the ReSync design
+// choices under one shared update stream —
+//   poll + complete history   — minimal deltas of equation (2),
+//   poll + incomplete history — retain-based enumerations of equation (3),
+//   persist                   — per-change push notifications (minimal
+//                               traffic, but one open connection per filter:
+//                               "might not scale for large replicas").
+//
+// Reported per mode: entries shipped, DN-only PDUs (deletes + retains),
+// bytes, open connections held, peak pending-history events at the master.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common.h"
+#include "resync/replica_client.h"
+
+int main() {
+  using namespace fbdr;
+
+  struct Result {
+    const char* mode;
+    net::TrafficStats traffic;
+    std::size_t connections = 0;
+    std::size_t peak_history = 0;
+  };
+  std::vector<Result> results;
+
+  for (int which = 0; which < 3; ++which) {
+    workload::EnterpriseDirectory dir = bench::default_directory(8000);
+    resync::ReSyncMaster master(*dir.master);
+    resync::NotificationRouter router;
+    router.attach(master);
+    if (which == 1) master.set_incomplete_history(true);
+
+    // Eight replicated filters, as a replica holding several blocks would.
+    std::vector<std::unique_ptr<resync::ReSyncReplica>> replicas;
+    for (int block = 0; block < 8; ++block) {
+      const std::string prefix = "0" + std::to_string(block);
+      auto replica = std::make_unique<resync::ReSyncReplica>(
+          master, ldap::Query::parse("", ldap::Scope::Subtree,
+                                     "(serialnumber=" + prefix + "*)"));
+      replica->start(which == 2 ? resync::Mode::Persist : resync::Mode::Poll);
+      if (which == 2) router.subscribe(*replica);
+      replicas.push_back(std::move(replica));
+    }
+    master.reset_traffic();  // measure steady state, not the initial fill
+
+    Result result;
+    result.mode = which == 0   ? "poll+complete-history"
+                  : which == 1 ? "poll+retains(eq.3)"
+                               : "persist";
+    workload::UpdateGenerator updates(dir, {});
+    for (int round = 0; round < 20; ++round) {
+      updates.apply(100);
+      master.pump();
+      result.peak_history = std::max(result.peak_history, master.history_size());
+      if (which != 2) {
+        for (auto& replica : replicas) replica->poll();
+      }
+    }
+    result.traffic = master.traffic();
+    result.connections = master.open_connections();
+    results.push_back(result);
+  }
+
+  std::printf("# ReSync mode comparison: 2000 updates, 8 replicated filters\n");
+  std::printf("mode,entries,dn_pdus,bytes,open_connections,peak_history\n");
+  for (const Result& result : results) {
+    std::printf("%s,%llu,%llu,%llu,%zu,%zu\n", result.mode,
+                static_cast<unsigned long long>(result.traffic.entries),
+                static_cast<unsigned long long>(result.traffic.dns_only),
+                static_cast<unsigned long long>(result.traffic.bytes),
+                result.connections, result.peak_history);
+  }
+  return 0;
+}

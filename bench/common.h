@@ -1,0 +1,131 @@
+#pragma once
+
+// Helpers shared by the experiment drivers. Every bench prints CSV-style
+// rows "series,x,y" so EXPERIMENTS.md can quote them directly.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/replication_service.h"
+#include "ldap/query_template.h"
+#include "select/generalize.h"
+#include "select/selector.h"
+#include "workload/directory_gen.h"
+#include "workload/update_gen.h"
+#include "workload/workload_gen.h"
+
+namespace fbdr::bench {
+
+/// The query templates of the case-study workload (Table 1) plus their
+/// generalized forms (§6.1).
+inline std::shared_ptr<ldap::TemplateRegistry> case_study_registry() {
+  auto registry = std::make_shared<ldap::TemplateRegistry>();
+  registry->add("(serialnumber=_)");
+  registry->add("(serialnumber=_*)");
+  registry->add("(mail=_)");
+  registry->add("(mail=*_)");
+  registry->add("(&(dept=_)(div=_))");
+  registry->add("(&(div=_)(dept=*))");
+  registry->add("(location=_)");
+  registry->add("(location=*)");
+  return registry;
+}
+
+/// serialNumber prefix generalization at block granularity `prefix_len`
+/// (default 4: blocks of 100 serials in a 6-digit space).
+inline select::Generalizer serial_generalizer(std::size_t prefix_len = 4) {
+  select::Generalizer g;
+  g.add_rule("(serialnumber=_)", "(serialnumber=_*)",
+             select::prefix_transform(prefix_len));
+  return g;
+}
+
+/// Department hierarchy generalization: fix the division, wildcard the dept.
+inline select::Generalizer dept_generalizer() {
+  select::Generalizer g;
+  g.add_rule("(&(dept=_)(div=_))", "(&(div=_)(dept=*))", select::keep_slots({1}));
+  return g;
+}
+
+/// Mail domain generalization (ineffective by design: the local part is
+/// unorganized, §7.2c).
+inline select::Generalizer mail_generalizer(std::size_t prefix_len = 3) {
+  select::Generalizer g;
+  g.add_rule("(mail=_)", "(mail=_*)", select::prefix_transform(prefix_len));
+  return g;
+}
+
+/// The default experiment directory: 20k employees (a scaled-down image of
+/// the >500k-entry enterprise directory; see DESIGN.md).
+inline workload::EnterpriseDirectory default_directory(
+    std::size_t employees = 20000) {
+  workload::DirectoryConfig config;
+  config.employees = employees;
+  config.countries = 12;
+  config.geo_countries = 3;
+  config.geo_fraction = 0.3;
+  config.divisions = 40;
+  config.depts_per_division = 25;
+  config.locations = 45;
+  return workload::generate_directory(config);
+}
+
+inline void print_banner(const std::string& title, const std::string& note) {
+  std::printf("# %s\n", title.c_str());
+  if (!note.empty()) std::printf("# %s\n", note.c_str());
+  std::printf("series,x,y\n");
+}
+
+inline void print_row(const std::string& series, double x, double y) {
+  std::printf("%s,%.4f,%.4f\n", series.c_str(), x, y);
+}
+
+/// Trains a FilterSelector on `trace` and returns the selected filter set
+/// (one terminal revolution) together with its estimated entry footprint.
+struct SelectedFilters {
+  std::vector<ldap::Query> queries;
+  std::size_t estimated_entries = 0;
+};
+
+inline SelectedFilters select_filters(
+    const std::vector<workload::GeneratedQuery>& trace,
+    select::Generalizer generalizer,
+    const select::FilterSelector::SizeEstimator& estimator,
+    std::size_t budget_entries,
+    std::size_t budget_filters = SIZE_MAX) {
+  select::FilterSelector::Config config;
+  config.revolution_interval = trace.size() + 1;  // single terminal revolution
+  config.budget_entries = budget_entries;
+  config.budget_filters = budget_filters;
+  select::FilterSelector selector(config, std::move(generalizer), estimator);
+  for (const workload::GeneratedQuery& generated : trace) {
+    selector.observe(generated.query);
+  }
+  const auto revolution = selector.revolve();
+  SelectedFilters out;
+  out.queries = revolution.install;
+  out.estimated_entries = selector.stored_entry_budget_used();
+  return out;
+}
+
+/// Hit ratio of a FilterReplica holding `filters` (unmaterialized) over an
+/// evaluation trace.
+inline double filter_hit_ratio(
+    const std::vector<workload::GeneratedQuery>& eval,
+    const std::vector<ldap::Query>& filters,
+    const select::FilterSelector::SizeEstimator& estimator,
+    std::shared_ptr<ldap::TemplateRegistry> registry) {
+  replica::FilterReplica replica(ldap::Schema::default_instance(),
+                                 std::move(registry));
+  for (const ldap::Query& query : filters) {
+    replica.add_query(query, estimator(query));
+  }
+  for (const workload::GeneratedQuery& generated : eval) {
+    replica.handle(generated.query);
+  }
+  return replica.stats().hit_ratio();
+}
+
+}  // namespace fbdr::bench

@@ -1,0 +1,410 @@
+#include "containment/compiled.h"
+
+#include <map>
+
+#include "containment/value_range.h"
+#include "ldap/error.h"
+
+namespace fbdr::containment {
+
+using ldap::Filter;
+using ldap::FilterKind;
+using ldap::FilterTemplate;
+using ldap::Schema;
+using ldap::Syntax;
+
+namespace {
+
+/// Which filter a symbolic expansion belongs to.
+enum class Side { Inner, Outer };
+
+/// A symbolic range bound.
+struct SymBound {
+  SymValue value;
+  bool strict = false;
+};
+
+/// Symbolic constraints on one attribute within one conjunct.
+struct SymAttr {
+  std::vector<SymBound> lowers;
+  std::vector<SymBound> uppers;
+  bool present = false;
+  bool absent = false;
+
+  bool implies_present() const {
+    return present || !lowers.empty() || !uppers.empty();
+  }
+};
+
+using SymConjunct = std::map<std::string, SymAttr>;
+
+/// Signals a template outside the compilable fragment.
+struct NotCompilable {};
+
+SymValue slot_value(Side side, std::size_t index) {
+  SymValue v;
+  v.kind = side == Side::Inner ? SymValue::Kind::InnerSlot
+                               : SymValue::Kind::OuterSlot;
+  v.slot = index;
+  return v;
+}
+
+SymValue const_value(std::string text) {
+  SymValue v;
+  v.kind = SymValue::Kind::Const;
+  v.constant = std::move(text);
+  return v;
+}
+
+/// Resolves a template component: placeholder -> next slot, constant ->
+/// normalized literal.
+SymValue resolve_component(const std::string& component, const std::string& attr,
+                           Side side, std::size_t& next_slot,
+                           const Schema& schema) {
+  if (component == ldap::kPlaceholder) {
+    return slot_value(side, next_slot++);
+  }
+  return const_value(schema.normalize(attr, component));
+}
+
+void add_lower(SymConjunct& conjunct, const std::string& attr, SymValue v,
+               bool strict) {
+  conjunct[attr].lowers.push_back({std::move(v), strict});
+}
+
+void add_upper(SymConjunct& conjunct, const std::string& attr, SymValue v,
+               bool strict) {
+  conjunct[attr].uppers.push_back({std::move(v), strict});
+}
+
+SymConjunct merge(const SymConjunct& a, const SymConjunct& b) {
+  SymConjunct out = a;
+  for (const auto& [attr, cb] : b) {
+    SymAttr& ca = out[attr];
+    ca.lowers.insert(ca.lowers.end(), cb.lowers.begin(), cb.lowers.end());
+    ca.uppers.insert(ca.uppers.end(), cb.uppers.begin(), cb.uppers.end());
+    ca.present = ca.present || cb.present;
+    ca.absent = ca.absent || cb.absent;
+  }
+  return out;
+}
+
+/// Symbolic DNF of a template skeleton. `next_slot` tracks placeholder
+/// numbering in pre-order, matching FilterTemplate::match.
+std::vector<SymConjunct> sym_dnf(const Filter& node, bool negated, Side side,
+                                 std::size_t& next_slot, const Schema& schema) {
+  switch (node.kind()) {
+    case FilterKind::Not: {
+      return sym_dnf(*node.children().front(), !negated, side, next_slot, schema);
+    }
+    case FilterKind::And:
+    case FilterKind::Or: {
+      const bool conjunctive = (node.kind() == FilterKind::And) != negated;
+      std::vector<std::vector<SymConjunct>> parts;
+      parts.reserve(node.children().size());
+      for (const ldap::FilterPtr& child : node.children()) {
+        parts.push_back(sym_dnf(*child, negated, side, next_slot, schema));
+      }
+      if (conjunctive) {
+        std::vector<SymConjunct> result{SymConjunct{}};
+        for (const auto& part : parts) {
+          std::vector<SymConjunct> next;
+          next.reserve(result.size() * part.size());
+          for (const SymConjunct& a : result) {
+            for (const SymConjunct& b : part) {
+              next.push_back(merge(a, b));
+            }
+          }
+          result = std::move(next);
+        }
+        return result;
+      }
+      std::vector<SymConjunct> out;
+      for (auto& part : parts) {
+        out.insert(out.end(), std::make_move_iterator(part.begin()),
+                   std::make_move_iterator(part.end()));
+      }
+      return out;
+    }
+    case FilterKind::Present: {
+      SymConjunct c;
+      if (!negated) {
+        c[node.attribute()].present = true;
+      } else {
+        c[node.attribute()].absent = true;
+      }
+      return {std::move(c)};
+    }
+    case FilterKind::Equality: {
+      const std::string& attr = node.attribute();
+      const SymValue v =
+          resolve_component(node.value(), attr, side, next_slot, schema);
+      if (!negated) {
+        SymConjunct c;
+        add_lower(c, attr, v, false);
+        add_upper(c, attr, v, false);
+        return {std::move(c)};
+      }
+      std::vector<SymConjunct> out;
+      SymConjunct absent;
+      absent[attr].absent = true;
+      out.push_back(std::move(absent));
+      SymConjunct below;
+      add_upper(below, attr, v, true);  // x < v
+      out.push_back(std::move(below));
+      SymConjunct above;
+      add_lower(above, attr, v, true);  // x > v
+      out.push_back(std::move(above));
+      return out;
+    }
+    case FilterKind::GreaterEq:
+    case FilterKind::LessEq: {
+      const std::string& attr = node.attribute();
+      const SymValue v =
+          resolve_component(node.value(), attr, side, next_slot, schema);
+      const bool ge = node.kind() == FilterKind::GreaterEq;
+      if (!negated) {
+        SymConjunct c;
+        if (ge) {
+          add_lower(c, attr, v, false);  // x >= v
+        } else {
+          add_upper(c, attr, v, false);  // x <= v
+        }
+        return {std::move(c)};
+      }
+      std::vector<SymConjunct> out;
+      SymConjunct absent;
+      absent[attr].absent = true;
+      out.push_back(std::move(absent));
+      SymConjunct complement;
+      if (ge) {
+        add_upper(complement, attr, v, true);  // x < v
+      } else {
+        add_lower(complement, attr, v, true);  // x > v
+      }
+      out.push_back(std::move(complement));
+      return out;
+    }
+    case FilterKind::Substring: {
+      const std::string& attr = node.attribute();
+      const ldap::SubstringPattern& pattern = node.substrings();
+      // Compilable fragment: prefix-only patterns on string-ordered
+      // attributes, where prefix matching is exactly a half-open range.
+      if (!pattern.is_prefix_only() || schema.syntax_of(attr) == Syntax::Integer) {
+        throw NotCompilable{};
+      }
+      SymValue p =
+          resolve_component(pattern.initial, attr, side, next_slot, schema);
+      SymValue succ = p;
+      succ.prefix_succ = true;
+      if (!negated) {
+        SymConjunct c;
+        add_lower(c, attr, p, false);      // x >= p
+        add_upper(c, attr, succ, true);    // x < succ(p)
+        return {std::move(c)};
+      }
+      std::vector<SymConjunct> out;
+      SymConjunct absent;
+      absent[attr].absent = true;
+      out.push_back(std::move(absent));
+      SymConjunct below;
+      add_upper(below, attr, p, true);  // x < p
+      out.push_back(std::move(below));
+      SymConjunct above;
+      add_lower(above, attr, succ, false);  // x >= succ(p)
+      out.push_back(std::move(above));
+      return out;
+    }
+  }
+  throw NotCompilable{};
+}
+
+/// Resolved symbolic value: a concrete string or +infinity (from succ
+/// overflow).
+using Resolved = std::optional<std::string>;
+
+Resolved resolve(const SymValue& v, const std::vector<std::string>& inner,
+                 const std::vector<std::string>& outer, const std::string& attr,
+                 const Schema& schema) {
+  std::string base;
+  switch (v.kind) {
+    case SymValue::Kind::Const:
+      base = v.constant;  // normalized at compile time
+      break;
+    case SymValue::Kind::InnerSlot:
+      if (v.slot >= inner.size()) {
+        throw ldap::ProtocolError("compiled containment: inner slot out of range");
+      }
+      base = schema.normalize(attr, inner[v.slot]);
+      break;
+    case SymValue::Kind::OuterSlot:
+      if (v.slot >= outer.size()) {
+        throw ldap::ProtocolError("compiled containment: outer slot out of range");
+      }
+      base = schema.normalize(attr, outer[v.slot]);
+      break;
+  }
+  if (!v.prefix_succ) return base;
+  return prefix_upper_bound(base);  // nullopt == +infinity
+}
+
+/// Evaluates one atom: is the interval (lower, upper) empty?
+bool atom_holds(const Atom& atom, const std::vector<std::string>& inner,
+                const std::vector<std::string>& outer, const Schema& schema) {
+  const Resolved lower = resolve(atom.lower, inner, outer, atom.attr, schema);
+  const Resolved upper = resolve(atom.upper, inner, outer, atom.attr, schema);
+  if (!lower) return true;   // lower bound +inf: nothing fits above it
+  if (!upper) return false;  // upper bound +inf: never empty via this pair
+  const int cmp = schema.compare(atom.attr, *upper, *lower);
+  if (cmp < 0) return true;
+  if (cmp > 0) return false;
+  return atom.lower_strict || atom.upper_strict;
+}
+
+}  // namespace
+
+std::string SymValue::to_string() const {
+  std::string out;
+  switch (kind) {
+    case Kind::Const:
+      out = "'" + constant + "'";
+      break;
+    case Kind::InnerSlot:
+      out = "q" + std::to_string(slot);
+      break;
+    case Kind::OuterSlot:
+      out = "s" + std::to_string(slot);
+      break;
+  }
+  return prefix_succ ? "succ(" + out + ")" : out;
+}
+
+std::string Atom::to_string() const {
+  const char* op = (lower_strict || upper_strict) ? "<=" : "<";
+  return "(" + upper.to_string() + " " + op + " " + lower.to_string() + ")@" + attr;
+}
+
+std::optional<CompiledContainment> CompiledContainment::compile(
+    const FilterTemplate& inner, const FilterTemplate& outer,
+    const Schema& schema) {
+  CompiledContainment compiled;
+  std::vector<SymConjunct> dnf_inner;
+  std::vector<SymConjunct> dnf_not_outer;
+  try {
+    std::size_t inner_slot = 0;
+    dnf_inner = sym_dnf(*inner.skeleton(), /*negated=*/false, Side::Inner,
+                        inner_slot, schema);
+    std::size_t outer_slot = 0;
+    dnf_not_outer = sym_dnf(*outer.skeleton(), /*negated=*/true, Side::Outer,
+                            outer_slot, schema);
+  } catch (const NotCompilable&) {
+    return std::nullopt;
+  }
+
+  for (const SymConjunct& a : dnf_inner) {
+    for (const SymConjunct& b : dnf_not_outer) {
+      const SymConjunct conjunct = merge(a, b);
+      // Build the disjunction of conditions under which this conjunct is
+      // inconsistent.
+      bool statically_true = false;
+      std::vector<Atom> clause;
+      for (const auto& [attr, c] : conjunct) {
+        if (c.absent) {
+          if (c.implies_present()) {
+            statically_true = true;
+            break;
+          }
+          const ldap::AttributeType* type = schema.find(attr);
+          if (type && type->required) {
+            statically_true = true;
+            break;
+          }
+        }
+        for (const SymBound& lo : c.lowers) {
+          for (const SymBound& hi : c.uppers) {
+            Atom atom;
+            atom.attr = attr;
+            atom.lower = lo.value;
+            atom.lower_strict = lo.strict;
+            atom.upper = hi.value;
+            atom.upper_strict = hi.strict;
+            // Constant-fold atoms over two literals.
+            if (atom.lower.kind == SymValue::Kind::Const &&
+                atom.upper.kind == SymValue::Kind::Const) {
+              if (atom_holds(atom, {}, {}, schema)) {
+                statically_true = true;
+              }
+              continue;  // either satisfied the clause or is constant-false
+            }
+            // Fold atoms whose two sides are the same symbolic value: the
+            // interval [v, v] is empty iff a bound is strict.
+            if (atom.lower.kind == atom.upper.kind &&
+                atom.lower.slot == atom.upper.slot &&
+                atom.lower.constant == atom.upper.constant &&
+                atom.lower.prefix_succ == atom.upper.prefix_succ) {
+              if (atom.lower_strict || atom.upper_strict) {
+                statically_true = true;
+              }
+              continue;
+            }
+            clause.push_back(std::move(atom));
+          }
+          if (statically_true) break;
+        }
+        if (statically_true) break;
+      }
+      if (statically_true) continue;  // conjunct always inconsistent
+      if (clause.empty()) {
+        // No condition can make this conjunct inconsistent: containment can
+        // never hold.
+        compiled.trivially_false_ = true;
+        compiled.clauses_.clear();
+        return compiled;
+      }
+      compiled.clauses_.push_back(std::move(clause));
+    }
+  }
+  compiled.trivially_true_ = compiled.clauses_.empty();
+  return compiled;
+}
+
+bool CompiledContainment::evaluate(const std::vector<std::string>& inner_slots,
+                                   const std::vector<std::string>& outer_slots,
+                                   const Schema& schema) const {
+  if (trivially_false_) return false;
+  for (const std::vector<Atom>& clause : clauses_) {
+    bool satisfied = false;
+    for (const Atom& atom : clause) {
+      if (atom_holds(atom, inner_slots, outer_slots, schema)) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) return false;
+  }
+  return true;
+}
+
+std::size_t CompiledContainment::atom_count() const {
+  std::size_t count = 0;
+  for (const auto& clause : clauses_) count += clause.size();
+  return count;
+}
+
+std::string CompiledContainment::to_string() const {
+  if (trivially_false_) return "FALSE";
+  if (clauses_.empty()) return "TRUE";
+  std::string out;
+  for (const auto& clause : clauses_) {
+    if (!out.empty()) out += " & ";
+    std::string disj;
+    for (const Atom& atom : clause) {
+      if (!disj.empty()) disj += " | ";
+      disj += atom.to_string();
+    }
+    out += "[" + disj + "]";
+  }
+  return out;
+}
+
+}  // namespace fbdr::containment

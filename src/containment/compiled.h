@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ldap/query_template.h"
+#include "ldap/schema.h"
+
+namespace fbdr::containment {
+
+/// A symbolic assertion value appearing in a compiled containment condition:
+/// a constant from a template, or a placeholder slot of the inner (incoming)
+/// or outer (stored) filter. `prefix_succ` wraps the resolved value in
+/// prefix_upper_bound (used for prefix-substring ranges); resolution then may
+/// yield "+infinity" (nullopt).
+struct SymValue {
+  enum class Kind { Const, InnerSlot, OuterSlot };
+
+  Kind kind = Kind::Const;
+  std::size_t slot = 0;     // for slot kinds
+  std::string constant;     // for Kind::Const (already normalized)
+  bool prefix_succ = false;
+
+  std::string to_string() const;
+};
+
+/// One atom of the compiled CNF (paper Proposition 2: "each simple predicate
+/// of the form (a <= b) where a, b are assertion values"). The atom asserts
+/// that the interval bounded below by `lower` and above by `upper` is empty:
+///   empty  <=>  upper < lower,  or  upper == lower and either bound strict.
+struct Atom {
+  std::string attr;  // attribute whose ordering rule applies
+  SymValue lower;
+  bool lower_strict = false;
+  SymValue upper;
+  bool upper_strict = false;
+
+  std::string to_string() const;
+};
+
+/// A compiled containment condition for an ordered template pair
+/// (inner, outer): a CNF whose clauses each assert that one conjunct of
+/// inner AND NOT outer is inconsistent. Compile once per template pair,
+/// evaluate in O(#atoms) value comparisons per query (§3.4.2: "for all the
+/// remaining cross template comparisons, conditions for containment can be
+/// computed apriori").
+class CompiledContainment {
+ public:
+  /// Compiles the condition for `inner` contained-in `outer`. Returns nullopt
+  /// when the template pair is outside the compilable fragment (non-prefix
+  /// substring assertions); callers then fall back to the general engine.
+  static std::optional<CompiledContainment> compile(
+      const ldap::FilterTemplate& inner, const ldap::FilterTemplate& outer,
+      const ldap::Schema& schema = ldap::Schema::default_instance());
+
+  /// Evaluates the condition against concrete slot bindings (as produced by
+  /// FilterTemplate::match, schema-unnormalized — normalization happens
+  /// here).
+  bool evaluate(const std::vector<std::string>& inner_slots,
+                const std::vector<std::string>& outer_slots,
+                const ldap::Schema& schema = ldap::Schema::default_instance()) const;
+
+  /// True when the condition reduced to a constant at compile time.
+  bool trivially_true() const noexcept { return trivially_true_; }
+  bool trivially_false() const noexcept { return trivially_false_; }
+
+  std::size_t clause_count() const noexcept { return clauses_.size(); }
+  std::size_t atom_count() const;
+
+  /// Human-readable CNF for diagnostics.
+  std::string to_string() const;
+
+ private:
+  std::vector<std::vector<Atom>> clauses_;  // conjunction of disjunctions
+  bool trivially_true_ = false;
+  bool trivially_false_ = false;
+};
+
+}  // namespace fbdr::containment

@@ -1,0 +1,73 @@
+#include "containment/engine.h"
+
+namespace fbdr::containment {
+
+using ldap::BoundTemplate;
+using ldap::Filter;
+using ldap::Query;
+using ldap::TemplateRegistry;
+
+ContainmentEngine::ContainmentEngine(const ldap::Schema& schema,
+                                     std::shared_ptr<TemplateRegistry> registry)
+    : schema_(&schema), registry_(std::move(registry)) {
+  if (!registry_) registry_ = std::make_shared<TemplateRegistry>();
+}
+
+std::optional<BoundTemplate> ContainmentEngine::bind(const Filter& filter) const {
+  return registry_->match(filter, *schema_);
+}
+
+const CompiledContainment* ContainmentEngine::compiled_for(std::size_t inner_id,
+                                                           std::size_t outer_id) {
+  const auto key = std::make_pair(inner_id, outer_id);
+  auto it = compiled_cache_.find(key);
+  if (it == compiled_cache_.end()) {
+    ++stats_.compilations;
+    it = compiled_cache_
+             .emplace(key, CompiledContainment::compile(registry_->at(inner_id),
+                                                        registry_->at(outer_id),
+                                                        *schema_))
+             .first;
+  }
+  return it->second ? &*it->second : nullptr;
+}
+
+bool ContainmentEngine::filter_contained(
+    const Filter& inner, const std::optional<BoundTemplate>& inner_binding,
+    const Filter& outer, const std::optional<BoundTemplate>& outer_binding) {
+  ++stats_.checks;
+  if (inner_binding && outer_binding) {
+    if (inner_binding->template_id == outer_binding->template_id) {
+      ++stats_.same_template;
+      return same_template_contained(inner, outer, *schema_);
+    }
+    if (const CompiledContainment* condition = compiled_for(
+            inner_binding->template_id, outer_binding->template_id)) {
+      ++stats_.compiled;
+      if (condition->trivially_true() || condition->trivially_false()) {
+        ++stats_.compiled_trivial;
+      }
+      return condition->evaluate(inner_binding->slots, outer_binding->slots,
+                                 *schema_);
+    }
+  }
+  ++stats_.general;
+  return containment::filter_contained(inner, outer, *schema_);
+}
+
+bool ContainmentEngine::query_contained(
+    const Query& q, const std::optional<BoundTemplate>& q_binding,
+    const Query& stored, const std::optional<BoundTemplate>& stored_binding) {
+  return containment::query_contained(
+      q, stored, [&](const Filter& f, const Filter& fs) {
+        return filter_contained(f, q_binding, fs, stored_binding);
+      });
+}
+
+bool ContainmentEngine::query_contained(const Query& q, const Query& stored) {
+  const auto q_binding = q.filter ? bind(*q.filter) : std::nullopt;
+  const auto stored_binding = stored.filter ? bind(*stored.filter) : std::nullopt;
+  return query_contained(q, q_binding, stored, stored_binding);
+}
+
+}  // namespace fbdr::containment

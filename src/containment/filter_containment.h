@@ -1,0 +1,43 @@
+#pragma once
+
+#include <cstddef>
+
+#include "ldap/filter.h"
+#include "ldap/schema.h"
+
+namespace fbdr::containment {
+
+/// General LDAP filter containment (paper Proposition 1): `inner` is
+/// semantically contained in `outer` iff the expression inner AND NOT outer
+/// is inconsistent. The check expands both sides to DNF and proves every
+/// combined conjunct inconsistent.
+///
+/// The decision is *sound* under single-valued attribute semantics: a true
+/// return guarantees every entry matching `inner` matches `outer`. For
+/// fragments outside the provable class (exotic substring interactions,
+/// expansions over `max_conjuncts`), the function returns false — the safe
+/// answer for a replica, which then forwards the query to the master.
+bool filter_contained(const ldap::Filter& inner, const ldap::Filter& outer,
+                      const ldap::Schema& schema = ldap::Schema::default_instance(),
+                      std::size_t max_conjuncts = 4096);
+
+/// Same-template fast path (paper Proposition 3): for two positive filters of
+/// the same template, `inner` is contained in `outer` if each predicate of
+/// `inner` is contained in the corresponding predicate of `outer`. O(n)
+/// assertion-value comparisons. Precondition: both filters match one template
+/// (identical skeleton); the function walks the two trees in lockstep and
+/// returns false on any structural mismatch.
+bool same_template_contained(
+    const ldap::Filter& inner, const ldap::Filter& outer,
+    const ldap::Schema& schema = ldap::Schema::default_instance());
+
+/// Containment of one predicate in another over the same attribute, used by
+/// the Proposition 3 walk: (a=x) in (a=y) iff x=y; (a>=x) in (a>=y) iff x>=y;
+/// (a<=x) in (a<=y) iff x<=y; anything in (a=*); substring by sound pattern
+/// containment; plus the cross-kind cases derivable by range reasoning
+/// ((a=x) in (a>=y) iff x>=y, (a=x) in (a=p*) iff x matches, ...).
+bool predicate_contained(
+    const ldap::Filter& inner, const ldap::Filter& outer,
+    const ldap::Schema& schema = ldap::Schema::default_instance());
+
+}  // namespace fbdr::containment

@@ -1,0 +1,78 @@
+#include "containment/pattern.h"
+
+#include <string>
+#include <vector>
+
+namespace fbdr::containment {
+
+using ldap::SubstringPattern;
+
+SubstringPattern normalize_pattern(const SubstringPattern& pattern,
+                                   std::string_view attr,
+                                   const ldap::Schema& schema) {
+  SubstringPattern out;
+  out.initial = schema.normalize(attr, pattern.initial);
+  out.final = schema.normalize(attr, pattern.final);
+  out.any.reserve(pattern.any.size());
+  for (const std::string& part : pattern.any) {
+    out.any.push_back(schema.normalize(attr, part));
+  }
+  return out;
+}
+
+namespace {
+
+bool is_prefix(std::string_view prefix, std::string_view s) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool is_suffix(std::string_view suffix, std::string_view s) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+}  // namespace
+
+bool pattern_contained(const SubstringPattern& inner,
+                       const SubstringPattern& outer) {
+  // The outer prefix must already be forced by the inner prefix.
+  if (!outer.initial.empty() && !is_prefix(outer.initial, inner.initial)) {
+    return false;
+  }
+  if (!outer.final.empty() && !is_suffix(outer.final, inner.final)) {
+    return false;
+  }
+  if (outer.any.empty()) return true;
+
+  // Each outer `any` component must be forced by a distinct inner component,
+  // in order. The candidate inner components are, left to right: the part of
+  // `initial` after outer's prefix, the `any` parts, and the part of `final`
+  // before outer's suffix. Using the trimmed initial/final is required: the
+  // bytes consumed by outer's own prefix/suffix cannot also host an `any`
+  // component (they may overlap in the matched string otherwise).
+  std::vector<std::string_view> components;
+  std::string_view inner_initial = inner.initial;
+  inner_initial.remove_prefix(outer.initial.size());
+  if (!inner_initial.empty()) components.push_back(inner_initial);
+  for (const std::string& part : inner.any) components.push_back(part);
+  std::string_view inner_final = inner.final;
+  inner_final.remove_suffix(outer.final.size());
+  if (!inner_final.empty()) components.push_back(inner_final);
+
+  std::size_t next = 0;
+  for (const std::string& needle : outer.any) {
+    bool found = false;
+    while (next < components.size()) {
+      const std::string_view host = components[next];
+      ++next;
+      if (host.find(needle) != std::string_view::npos) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  return true;
+}
+
+}  // namespace fbdr::containment

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <string_view>
+
+#include "ldap/filter.h"
+#include "ldap/schema.h"
+
+namespace fbdr::containment {
+
+/// Normalizes every component of a substring pattern under the attribute's
+/// matching rule, so that later byte-level reasoning is correct for
+/// case-ignore attributes.
+ldap::SubstringPattern normalize_pattern(const ldap::SubstringPattern& pattern,
+                                         std::string_view attr,
+                                         const ldap::Schema& schema);
+
+/// Sound (but not complete) substring-pattern containment: returns true only
+/// when every string matching `inner` provably matches `outer`. Both patterns
+/// must be normalized. Rules:
+///   - outer.initial must be a prefix of inner.initial,
+///   - outer.final must be a suffix of inner.final,
+///   - outer's `any` components must embed, in order, into the remaining
+///     component sequence of inner (each as a substring of a distinct
+///     component, consuming components left to right).
+/// Incomparable pattern pairs yield false, which containment callers treat as
+/// "not contained" — the safe answer for a replica.
+bool pattern_contained(const ldap::SubstringPattern& inner,
+                       const ldap::SubstringPattern& outer);
+
+}  // namespace fbdr::containment

@@ -1,0 +1,44 @@
+#include "containment/query_containment.h"
+
+#include "containment/filter_containment.h"
+
+namespace fbdr::containment {
+
+using ldap::Query;
+using ldap::Scope;
+
+bool region_contained(const Query& q, const Query& qs) {
+  // Transcription of the paper's QC region logic (§4), with b = q.base,
+  // s = q.scope, bs = qs.base, ss = qs.scope.
+  if (qs.base == q.base) {
+    return qs.scope >= q.scope;
+  }
+  if (!qs.base.is_ancestor_of(q.base)) {
+    return false;
+  }
+  if (qs.scope == Scope::Subtree) {
+    return true;
+  }
+  // bs above b with ss != SUBTREE: only a SINGLE LEVEL search from the parent
+  // of b can still cover q, and then only when q is BASE-scoped.
+  return qs.scope > q.scope && qs.base.is_parent_of(q.base);
+}
+
+bool query_contained(
+    const Query& q, const Query& qs,
+    const std::function<bool(const ldap::Filter&, const ldap::Filter&)>&
+        filter_check) {
+  if (!region_contained(q, qs)) return false;
+  if (!q.attrs.subset_of(qs.attrs)) return false;
+  if (!q.filter || !qs.filter) return false;
+  return filter_check(*q.filter, *qs.filter);
+}
+
+bool query_contained(const Query& q, const Query& qs, const ldap::Schema& schema) {
+  return query_contained(q, qs,
+                         [&schema](const ldap::Filter& f, const ldap::Filter& fs) {
+                           return filter_contained(f, fs, schema);
+                         });
+}
+
+}  // namespace fbdr::containment

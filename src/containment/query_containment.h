@@ -1,0 +1,32 @@
+#pragma once
+
+#include <functional>
+
+#include "ldap/query.h"
+#include "ldap/schema.h"
+
+namespace fbdr::containment {
+
+/// Decides whether the (base, scope) region of `q` falls completely inside
+/// the region of `qs` — conditions the paper's QC algorithm checks before
+/// looking at attributes and filters:
+///   - same base: scope of qs must cover scope of q (ss >= s),
+///   - otherwise bs must be an ancestor of b, and either ss = SUBTREE, or
+///     ss = SINGLE LEVEL with s covered and bs the parent of b.
+bool region_contained(const ldap::Query& q, const ldap::Query& qs);
+
+/// Full semantic query containment (paper §4, algorithm QC): region
+/// containment, attribute-subset, then filter containment. The filter check
+/// is pluggable so callers can select Proposition 1 (general), Proposition 3
+/// (same template) or a compiled Proposition 2 condition.
+bool query_contained(
+    const ldap::Query& q, const ldap::Query& qs,
+    const std::function<bool(const ldap::Filter&, const ldap::Filter&)>&
+        filter_check);
+
+/// Convenience overload using the general containment engine.
+bool query_contained(
+    const ldap::Query& q, const ldap::Query& qs,
+    const ldap::Schema& schema = ldap::Schema::default_instance());
+
+}  // namespace fbdr::containment

@@ -1,0 +1,39 @@
+#include "containment/subtree.h"
+
+namespace fbdr::containment {
+
+std::string ReplicationContext::to_string() const {
+  std::string out = "suffix='" + suffix.to_string() + "'";
+  for (const ldap::Dn& r : referrals) {
+    out += " referral='" + r.to_string() + "'";
+  }
+  return out;
+}
+
+bool subtree_is_contained(const ldap::Dn& base,
+                          const std::vector<ReplicationContext>& contexts) {
+  // Direct transcription of the paper's algorithm. For each context Ci with
+  // suffix Si and referrals Rj: the base is contained when Si = b, or Si is
+  // an ancestor of b and no referral Rj is b or an ancestor of b.
+  for (const ReplicationContext& context : contexts) {
+    if (context.suffix == base) {
+      return true;
+    }
+    if (!is_suffix(context.suffix, base)) {
+      continue;
+    }
+    bool cut_off = false;
+    for (const ldap::Dn& referral : context.referrals) {
+      if (referral == base || is_suffix(referral, base)) {
+        cut_off = true;
+        break;
+      }
+    }
+    if (!cut_off) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace fbdr::containment

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ldap/dn.h"
+
+namespace fbdr::containment {
+
+/// A subtree replication context (paper §2.3): a naming-context suffix plus
+/// the DNs of its referral objects, which mark where subordinate naming
+/// contexts (held by other servers) begin.
+struct ReplicationContext {
+  ldap::Dn suffix;
+  std::vector<ldap::Dn> referrals;
+
+  std::string to_string() const;
+};
+
+/// Paper §3.4.1, algorithm isContained(b, C): whether a query with base `b`
+/// can be answered (fully or partially) by a subtree replica holding the
+/// replication contexts `contexts`. The base must lie inside some context and
+/// not under any of that context's referral cut-points.
+bool subtree_is_contained(const ldap::Dn& base,
+                          const std::vector<ReplicationContext>& contexts);
+
+}  // namespace fbdr::containment

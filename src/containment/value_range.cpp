@@ -1,0 +1,163 @@
+#include "containment/value_range.h"
+
+namespace fbdr::containment {
+
+namespace {
+
+/// Compares two lower bounds: returns <0 when `a` admits more values (is
+/// looser) than `b`, 0 when identical, >0 when tighter.
+int compare_lower(const Bound& a, const Bound& b, const ValueOrder& order) {
+  if (a.kind == Bound::Kind::NegInf || b.kind == Bound::Kind::NegInf) {
+    if (a.kind == b.kind) return 0;
+    return a.kind == Bound::Kind::NegInf ? -1 : 1;
+  }
+  if (a.kind == Bound::Kind::PosInf || b.kind == Bound::Kind::PosInf) {
+    if (a.kind == b.kind) return 0;
+    return a.kind == Bound::Kind::PosInf ? 1 : -1;
+  }
+  const int cmp = order.compare(a.value, b.value);
+  if (cmp != 0) return cmp;
+  // Same value: inclusive lower bound is looser than exclusive.
+  if (a.inclusive == b.inclusive) return 0;
+  return a.inclusive ? -1 : 1;
+}
+
+/// Compares two upper bounds: returns <0 when `a` is tighter (admits fewer
+/// values) than `b`.
+int compare_upper(const Bound& a, const Bound& b, const ValueOrder& order) {
+  if (a.kind == Bound::Kind::PosInf || b.kind == Bound::Kind::PosInf) {
+    if (a.kind == b.kind) return 0;
+    return a.kind == Bound::Kind::PosInf ? 1 : -1;
+  }
+  if (a.kind == Bound::Kind::NegInf || b.kind == Bound::Kind::NegInf) {
+    if (a.kind == b.kind) return 0;
+    return a.kind == Bound::Kind::NegInf ? -1 : 1;
+  }
+  const int cmp = order.compare(a.value, b.value);
+  if (cmp != 0) return cmp;
+  // Same value: exclusive upper bound is tighter than inclusive.
+  if (a.inclusive == b.inclusive) return 0;
+  return a.inclusive ? 1 : -1;
+}
+
+}  // namespace
+
+ValueRange ValueRange::point(std::string value) {
+  return {Bound::at(value, true), Bound::at(std::move(value), true)};
+}
+
+ValueRange ValueRange::at_least(std::string value) {
+  return {Bound::at(std::move(value), true), Bound::pos_inf()};
+}
+
+ValueRange ValueRange::at_most(std::string value) {
+  return {Bound::neg_inf(), Bound::at(std::move(value), true)};
+}
+
+ValueRange ValueRange::less_than(std::string value) {
+  return {Bound::neg_inf(), Bound::at(std::move(value), false)};
+}
+
+ValueRange ValueRange::greater_than(std::string value) {
+  return {Bound::at(std::move(value), false), Bound::pos_inf()};
+}
+
+ValueRange ValueRange::prefix(std::string_view p) {
+  if (auto upper = prefix_upper_bound(p)) {
+    return {Bound::at(std::string(p), true), Bound::at(std::move(*upper), false)};
+  }
+  return {Bound::at(std::string(p), true), Bound::pos_inf()};
+}
+
+bool ValueRange::empty(const ValueOrder& order) const {
+  if (lo_.kind == Bound::Kind::PosInf || hi_.kind == Bound::Kind::NegInf) return true;
+  if (lo_.kind != Bound::Kind::Value || hi_.kind != Bound::Kind::Value) return false;
+  const int cmp = order.compare(lo_.value, hi_.value);
+  if (cmp > 0) return true;
+  if (cmp < 0) return false;
+  return !(lo_.inclusive && hi_.inclusive);
+}
+
+ValueRange ValueRange::intersect(const ValueRange& other,
+                                 const ValueOrder& order) const {
+  const Bound& lo = compare_lower(lo_, other.lo_, order) >= 0 ? lo_ : other.lo_;
+  const Bound& hi = compare_upper(hi_, other.hi_, order) <= 0 ? hi_ : other.hi_;
+  return {lo, hi};
+}
+
+bool ValueRange::contains_value(std::string_view value,
+                                const ValueOrder& order) const {
+  if (lo_.kind == Bound::Kind::Value) {
+    const int cmp = order.compare(value, lo_.value);
+    if (cmp < 0 || (cmp == 0 && !lo_.inclusive)) return false;
+  } else if (lo_.kind == Bound::Kind::PosInf) {
+    return false;
+  }
+  if (hi_.kind == Bound::Kind::Value) {
+    const int cmp = order.compare(value, hi_.value);
+    if (cmp > 0 || (cmp == 0 && !hi_.inclusive)) return false;
+  } else if (hi_.kind == Bound::Kind::NegInf) {
+    return false;
+  }
+  return true;
+}
+
+bool ValueRange::contains_range(const ValueRange& other,
+                                const ValueOrder& order) const {
+  if (other.empty(order)) return true;
+  return compare_lower(lo_, other.lo_, order) <= 0 &&
+         compare_upper(hi_, other.hi_, order) >= 0;
+}
+
+std::optional<std::string> ValueRange::single_value(const ValueOrder& order) const {
+  if (lo_.kind != Bound::Kind::Value || hi_.kind != Bound::Kind::Value) {
+    return std::nullopt;
+  }
+  if (lo_.inclusive && hi_.inclusive && order.compare(lo_.value, hi_.value) == 0) {
+    return lo_.value;
+  }
+  return std::nullopt;
+}
+
+std::string ValueRange::to_string() const {
+  std::string out;
+  switch (lo_.kind) {
+    case Bound::Kind::NegInf:
+      out = "(-inf";
+      break;
+    case Bound::Kind::Value:
+      out = (lo_.inclusive ? "[" : "(") + lo_.value;
+      break;
+    case Bound::Kind::PosInf:
+      out = "(+inf";
+      break;
+  }
+  out += ", ";
+  switch (hi_.kind) {
+    case Bound::Kind::NegInf:
+      out += "-inf)";
+      break;
+    case Bound::Kind::Value:
+      out += hi_.value + (hi_.inclusive ? "]" : ")");
+      break;
+    case Bound::Kind::PosInf:
+      out += "+inf)";
+      break;
+  }
+  return out;
+}
+
+std::optional<std::string> prefix_upper_bound(std::string_view p) {
+  std::string upper(p);
+  while (!upper.empty()) {
+    auto& last = upper.back();
+    if (static_cast<unsigned char>(last) != 0xFF) {
+      last = static_cast<char>(static_cast<unsigned char>(last) + 1);
+      return upper;
+    }
+    upper.pop_back();
+  }
+  return std::nullopt;
+}
+
+}  // namespace fbdr::containment

@@ -1,0 +1,98 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "ldap/schema.h"
+
+namespace fbdr::containment {
+
+/// Comparator over assertion values of one attribute, as defined by the
+/// schema's ordering rule. Values handed to it must already be normalized.
+class ValueOrder {
+ public:
+  ValueOrder(const ldap::Schema& schema, std::string attr)
+      : schema_(&schema), attr_(std::move(attr)) {}
+
+  int compare(std::string_view a, std::string_view b) const {
+    return schema_->compare(attr_, a, b);
+  }
+  const std::string& attribute() const noexcept { return attr_; }
+  const ldap::Schema& schema() const noexcept { return *schema_; }
+
+ private:
+  const ldap::Schema* schema_;
+  std::string attr_;
+};
+
+/// One end of a range: -inf, a value (inclusive or exclusive), or +inf.
+struct Bound {
+  enum class Kind { NegInf, Value, PosInf };
+
+  Kind kind = Kind::NegInf;
+  std::string value;      // meaningful when kind == Value
+  bool inclusive = true;  // meaningful when kind == Value
+
+  static Bound neg_inf() { return {Kind::NegInf, {}, true}; }
+  static Bound pos_inf() { return {Kind::PosInf, {}, true}; }
+  static Bound at(std::string value, bool inclusive) {
+    return {Kind::Value, std::move(value), inclusive};
+  }
+};
+
+/// An interval over one attribute's value domain, as imposed by equality and
+/// range predicates (paper §4.1: "a possibly empty range for an attribute xj
+/// imposed by the predicates of Bi is (axj, bxj] or [axj, bxj)").
+///
+/// Values stored in bounds must be schema-normalized; all comparisons go
+/// through the attribute's ValueOrder.
+class ValueRange {
+ public:
+  /// The full domain (-inf, +inf).
+  ValueRange() = default;
+  ValueRange(Bound lo, Bound hi) : lo_(std::move(lo)), hi_(std::move(hi)) {}
+
+  static ValueRange all() { return {}; }
+  static ValueRange point(std::string value);            // [v, v]
+  static ValueRange at_least(std::string value);         // [v, +inf)
+  static ValueRange at_most(std::string value);          // (-inf, v]
+  static ValueRange less_than(std::string value);        // (-inf, v)
+  static ValueRange greater_than(std::string value);     // (v, +inf)
+
+  /// The range of strings having prefix `p` under lexicographic byte order:
+  /// [p, succ(p)) where succ increments the last non-0xFF byte. Returns the
+  /// half-open interval; when p is all 0xFF bytes the range is [p, +inf).
+  static ValueRange prefix(std::string_view p);
+
+  const Bound& lo() const noexcept { return lo_; }
+  const Bound& hi() const noexcept { return hi_; }
+
+  bool empty(const ValueOrder& order) const;
+
+  /// Intersection of two ranges (tightest bounds win).
+  ValueRange intersect(const ValueRange& other, const ValueOrder& order) const;
+
+  bool contains_value(std::string_view value, const ValueOrder& order) const;
+
+  /// True when every value in `other` lies in `*this`. An empty `other` is
+  /// contained in anything.
+  bool contains_range(const ValueRange& other, const ValueOrder& order) const;
+
+  /// When the range admits exactly one value ([v, v]), returns it.
+  std::optional<std::string> single_value(const ValueOrder& order) const;
+
+  /// Debug form like "[04, 05)".
+  std::string to_string() const;
+
+ private:
+  Bound lo_ = Bound::neg_inf();
+  Bound hi_ = Bound::pos_inf();
+};
+
+/// Smallest string strictly greater than every string with prefix `p` under
+/// byte-lexicographic order, or nullopt when no such string exists (p is all
+/// 0xFF). "04" -> "05", "a\xff" -> "b".
+std::optional<std::string> prefix_upper_bound(std::string_view p);
+
+}  // namespace fbdr::containment

@@ -1,0 +1,212 @@
+#include "core/replication_service.h"
+
+#include <map>
+
+#include "sync/content_tracker.h"
+
+namespace fbdr::core {
+
+using ldap::EntryPtr;
+using ldap::Query;
+
+select::FilterSelector::SizeEstimator master_size_estimator(
+    std::shared_ptr<server::DirectoryServer> master) {
+  auto cache = std::make_shared<std::map<std::string, std::size_t>>();
+  return [master = std::move(master), cache](const Query& query) -> std::size_t {
+    const std::string key = query.key();
+    const auto it = cache->find(key);
+    if (it != cache->end()) return it->second;
+    const std::size_t count = master->evaluate(query).size();
+    (*cache)[key] = count;
+    return count;
+  };
+}
+
+FilterReplicationService::FilterReplicationService(
+    std::shared_ptr<server::DirectoryServer> master, Config config,
+    std::shared_ptr<ldap::TemplateRegistry> registry,
+    std::optional<select::Generalizer> generalizer)
+    : master_(std::move(master)),
+      config_(config),
+      replica_(master_->schema(), std::move(registry)),
+      resync_(*master_) {
+  replica_.set_query_cache_window(config_.query_cache_window);
+  if (config_.selection) {
+    selector_.emplace(*config_.selection,
+                      generalizer ? std::move(*generalizer)
+                                  : select::Generalizer(master_->schema()),
+                      master_size_estimator(master_));
+  }
+}
+
+FilterReplicationService::InstalledFilter* FilterReplicationService::find_installed(
+    const std::string& key) {
+  for (InstalledFilter& installed : sessions_) {
+    if (installed.query.key() == key) return &installed;
+  }
+  return nullptr;
+}
+
+void FilterReplicationService::install(const Query& query) {
+  install(query, SyncPolicy{});
+}
+
+void FilterReplicationService::install(const Query& query, SyncPolicy policy) {
+  if (find_installed(query.key())) return;
+  InstalledFilter installed;
+  installed.query = query;
+  installed.policy = policy;
+  if (installed.policy.interval == 0) installed.policy.interval = 1;
+  installed.replica_id = replica_.add_query(query);
+  // Open a ReSync session; the initial response carries the whole content
+  // and is accounted as fetch/update traffic by the master.
+  const resync::ReSyncResponse response =
+      resync_.handle(query, {resync::Mode::Poll, ""});
+  installed.cookie = response.cookie;
+  std::vector<EntryPtr> entries;
+  entries.reserve(response.pdus.size());
+  for (const resync::EntryPdu& pdu : response.pdus) {
+    if (pdu.entry) entries.push_back(pdu.entry);
+  }
+  replica_.set_content(installed.replica_id, entries);
+  sessions_.push_back(std::move(installed));
+}
+
+void FilterReplicationService::uninstall(const Query& query) {
+  for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+    if (it->query.key() == query.key()) {
+      resync_.handle(it->query, {resync::Mode::SyncEnd, it->cookie});
+      replica_.remove_query(it->replica_id);
+      sessions_.erase(it);
+      return;
+    }
+  }
+}
+
+void FilterReplicationService::apply_revolution(
+    const select::FilterSelector::Revolution& revolution) {
+  for (const Query& query : revolution.dropped) {
+    uninstall(query);
+  }
+  for (const Query& query : revolution.fetched) {
+    install(query);
+  }
+}
+
+ServeOutcome FilterReplicationService::serve(const Query& query) {
+  ServeOutcome outcome;
+  const replica::Decision decision = replica_.handle(query);
+  outcome.hit = decision.hit;
+  outcome.from_cache =
+      decision.hit && decision.answered_by.rfind("cache:", 0) == 0;
+
+  if (!decision.hit) {
+    // Miss: the master answers; optionally cache the user query with its
+    // result for the temporal-locality window.
+    if (config_.query_cache_window > 0) {
+      replica_.cache_user_query(query, master_->evaluate(query));
+    }
+  }
+  if (selector_) {
+    if (const auto revolution = selector_->observe(query)) {
+      apply_revolution(*revolution);
+    }
+  }
+  return outcome;
+}
+
+void FilterReplicationService::sync() {
+  resync_.pump();
+  ++sync_round_;
+  for (InstalledFilter& installed : sessions_) {
+    // Consistency levels (§3.2): lower-priority filters poll every Nth sync.
+    if (sync_round_ % installed.policy.interval != 0) continue;
+    const resync::ReSyncResponse response =
+        resync_.handle(installed.query, {resync::Mode::Poll, installed.cookie});
+    if (response.pdus.empty()) continue;
+    // Rebuild this query's content from the delta: adds/mods upsert, deletes
+    // drop. set_content needs the full list, so fold into a map first.
+    std::map<std::string, EntryPtr> content;
+    for (const EntryPtr& entry : replica_.query_content(installed.replica_id)) {
+      content[entry->dn().norm_key()] = entry;
+    }
+    for (const resync::EntryPdu& pdu : response.pdus) {
+      switch (pdu.action) {
+        case resync::Action::Add:
+        case resync::Action::Modify:
+          content[pdu.dn.norm_key()] = pdu.entry;
+          break;
+        case resync::Action::Delete:
+          content.erase(pdu.dn.norm_key());
+          break;
+        case resync::Action::Retain:
+          break;
+      }
+    }
+    std::vector<EntryPtr> entries;
+    entries.reserve(content.size());
+    for (auto& [key, entry] : content) entries.push_back(std::move(entry));
+    replica_.set_content(installed.replica_id, entries);
+  }
+}
+
+std::uint64_t FilterReplicationService::revolutions() const {
+  return selector_ ? selector_->revolutions() : 0;
+}
+
+SubtreeReplicationService::SubtreeReplicationService(
+    std::shared_ptr<server::DirectoryServer> master, std::size_t entry_padding)
+    : master_(std::move(master)),
+      last_seq_(master_->journal().last_seq()),
+      entry_padding_(entry_padding) {}
+
+void SubtreeReplicationService::add_context(
+    containment::ReplicationContext context) {
+  replica_.add_context(std::move(context));
+}
+
+void SubtreeReplicationService::load() {
+  replica_.load_content(*master_);
+  last_seq_ = master_->journal().last_seq();
+}
+
+ServeOutcome SubtreeReplicationService::serve(const Query& query) {
+  ServeOutcome outcome;
+  outcome.hit = replica_.handle(query).hit;
+  return outcome;
+}
+
+void SubtreeReplicationService::sync() {
+  for (const server::ChangeRecord* record : master_->journal().since(last_seq_)) {
+    last_seq_ = record->seq;
+    // Every change inside a replicated subtree must be shipped: full entry
+    // for add/modify, DN for delete; a rename ships delete + add.
+    switch (record->type) {
+      case server::ChangeType::Add:
+      case server::ChangeType::Modify:
+        if (replica_.covers(record->dn) && record->after) {
+          traffic_.count_entry(record->after->approx_size_bytes(entry_padding_));
+        }
+        break;
+      case server::ChangeType::Delete:
+        if (replica_.covers(record->dn)) {
+          traffic_.count_dn(record->dn.to_string().size());
+        }
+        break;
+      case server::ChangeType::ModifyDn:
+        if (replica_.covers(record->dn)) {
+          traffic_.count_dn(record->dn.to_string().size());
+        }
+        if (replica_.covers(record->new_dn) && record->after) {
+          traffic_.count_entry(record->after->approx_size_bytes(entry_padding_));
+        }
+        break;
+    }
+  }
+  traffic_.count_round_trip();
+  // The shipped changes themselves keep the replica's copy current; the
+  // answerability decision depends only on the configured contexts, so no
+  // full rescan is needed here.
+}
+
+}  // namespace fbdr::core

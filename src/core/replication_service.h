@@ -1,0 +1,140 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/stats.h"
+#include "replica/filter_replica.h"
+#include "replica/subtree_replica.h"
+#include "resync/master.h"
+#include "select/evolution.h"
+#include "select/selector.h"
+#include "server/directory_server.h"
+
+namespace fbdr::core {
+
+/// Outcome of serving one client request at a replica site.
+struct ServeOutcome {
+  bool hit = false;
+  bool from_cache = false;  // answered by a cached user query
+};
+
+/// A size estimator backed by the master directory, memoized by query key.
+select::FilterSelector::SizeEstimator master_size_estimator(
+    std::shared_ptr<server::DirectoryServer> master);
+
+/// The deployed filter-based replication site (§3, §6, §7): a FilterReplica
+/// answering client queries locally, kept consistent with the master through
+/// ReSync sessions (one per replicated filter), optionally caching recent
+/// user queries and optionally adapting the replicated filter set with the
+/// periodic selection algorithm of §6.2.
+///
+/// Drive it with serve() per client query and sync() at the replica's update
+/// cadence; all synchronization and fetch traffic is accounted in traffic().
+class FilterReplicationService {
+ public:
+  struct Config {
+    /// Window of cached user queries (0 disables query caching).
+    std::size_t query_cache_window = 0;
+    /// Dynamic filter selection; nullopt = statically configured filters.
+    std::optional<select::FilterSelector::Config> selection;
+    /// Entry padding for byte-level traffic accounting (the case-study
+    /// entries are ~6 KB, §7.1).
+    std::size_t entry_padding = 0;
+  };
+
+  FilterReplicationService(
+      std::shared_ptr<server::DirectoryServer> master, Config config,
+      std::shared_ptr<ldap::TemplateRegistry> registry = nullptr,
+      std::optional<select::Generalizer> generalizer = std::nullopt);
+
+  /// Per-filter consistency level (§3.2: "a filter based replica allows the
+  /// flexibility of specifying different consistency levels for different
+  /// types of objects"). The filter's ReSync session is polled on every
+  /// `interval`-th sync() — 1 is the tightest level; rarely-changing object
+  /// classes (locations, departments) can use larger intervals.
+  struct SyncPolicy {
+    std::uint64_t interval = 1;
+  };
+
+  /// Statically installs one replicated filter (fetches its content; the
+  /// fetch is accounted as update traffic).
+  void install(const ldap::Query& query);
+  void install(const ldap::Query& query, SyncPolicy policy);
+
+  /// Removes a replicated filter.
+  void uninstall(const ldap::Query& query);
+
+  /// Serves one client query: a containment hit answers locally; a miss is
+  /// forwarded to the master (and optionally cached as a user query). The
+  /// selector observes every query and may trigger a revolution, whose
+  /// fetches are accounted as update traffic.
+  ServeOutcome serve(const ldap::Query& query);
+
+  /// Polls every ReSync session and applies the deltas to the replica.
+  void sync();
+
+  replica::FilterReplica& filter_replica() noexcept { return replica_; }
+  const replica::FilterReplica& filter_replica() const noexcept { return replica_; }
+  resync::ReSyncMaster& resync() noexcept { return resync_; }
+
+  /// Master->replica update traffic: ReSync deltas plus revolution fetches.
+  const net::TrafficStats& traffic() const noexcept { return resync_.traffic(); }
+
+  std::size_t installed_filters() const { return sessions_.size(); }
+  std::uint64_t revolutions() const;
+
+ private:
+  struct InstalledFilter {
+    ldap::Query query;
+    std::size_t replica_id = 0;
+    std::string cookie;
+    SyncPolicy policy;
+  };
+
+  void apply_revolution(const select::FilterSelector::Revolution& revolution);
+  InstalledFilter* find_installed(const std::string& key);
+
+  std::shared_ptr<server::DirectoryServer> master_;
+  Config config_;
+  replica::FilterReplica replica_;
+  resync::ReSyncMaster resync_;
+  std::vector<InstalledFilter> sessions_;
+  std::optional<select::FilterSelector> selector_;
+  std::uint64_t sync_round_ = 0;
+};
+
+/// The subtree-based counterpart used as the comparison baseline: a
+/// SubtreeReplica over configured replication contexts; every master change
+/// inside a context is shipped to the replica on sync().
+class SubtreeReplicationService {
+ public:
+  explicit SubtreeReplicationService(
+      std::shared_ptr<server::DirectoryServer> master,
+      std::size_t entry_padding = 0);
+
+  void add_context(containment::ReplicationContext context);
+
+  /// Loads the configured contexts from the master (initial fill is not
+  /// counted as update traffic, mirroring the filter service).
+  void load();
+
+  ServeOutcome serve(const ldap::Query& query);
+
+  /// Ships every journaled change inside the contexts since the last sync.
+  void sync();
+
+  replica::SubtreeReplica& subtree_replica() noexcept { return replica_; }
+  const net::TrafficStats& traffic() const noexcept { return traffic_; }
+
+ private:
+  std::shared_ptr<server::DirectoryServer> master_;
+  replica::SubtreeReplica replica_;
+  net::TrafficStats traffic_;
+  std::uint64_t last_seq_ = 0;
+  std::size_t entry_padding_ = 0;
+};
+
+}  // namespace fbdr::core

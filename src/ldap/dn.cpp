@@ -1,0 +1,165 @@
+#include "ldap/dn.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "ldap/error.h"
+#include "ldap/text.h"
+
+namespace fbdr::ldap {
+
+namespace {
+
+/// Splits a DN string into raw RDN strings (leaf-first), honouring backslash
+/// escapes of the separator characters.
+std::vector<std::string> split_components(std::string_view s) {
+  std::vector<std::string> parts;
+  std::string current;
+  bool escaped = false;
+  for (char c : s) {
+    if (escaped) {
+      current.push_back(c);
+      escaped = false;
+      continue;
+    }
+    if (c == '\\') {
+      escaped = true;
+      continue;
+    }
+    if (c == ',') {
+      parts.push_back(current);
+      current.clear();
+      continue;
+    }
+    current.push_back(c);
+  }
+  if (escaped) throw ParseError("DN ends with dangling escape: " + std::string(s));
+  parts.push_back(current);
+  return parts;
+}
+
+Rdn parse_rdn(std::string_view raw, std::string_view whole) {
+  const std::string_view trimmed = text::trim(raw);
+  const std::size_t eq = trimmed.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    throw ParseError("malformed RDN '" + std::string(raw) + "' in DN '" +
+                     std::string(whole) + "'");
+  }
+  const std::string_view type = text::trim(trimmed.substr(0, eq));
+  const std::string_view value = text::trim(trimmed.substr(eq + 1));
+  if (type.empty() || value.empty()) {
+    throw ParseError("empty type or value in RDN '" + std::string(raw) +
+                     "' of DN '" + std::string(whole) + "'");
+  }
+  return Rdn(type, value);
+}
+
+}  // namespace
+
+Rdn::Rdn(std::string_view type, std::string_view value)
+    : type_(text::lower(text::trim(type))),
+      value_(text::trim(value)),
+      norm_value_(text::lower(text::trim(value))) {
+  if (type_.empty()) throw ParseError("RDN with empty attribute type");
+  if (value_.empty()) throw ParseError("RDN with empty value");
+}
+
+namespace {
+
+/// Escapes the RDN separator characters so to_string round-trips through
+/// parse (RFC 2253 quoting subset).
+std::string escape_rdn_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == ',' || c == '+' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Rdn::to_string() const {
+  return type_ + "=" + escape_rdn_value(value_);
+}
+
+Dn Dn::parse(std::string_view raw) {
+  const std::string_view s = text::trim(raw);
+  if (s.empty()) return Dn{};
+  std::vector<Rdn> rdns;
+  const std::vector<std::string> parts = split_components(s);
+  rdns.reserve(parts.size());
+  // String form is leaf-first; store root-to-leaf.
+  for (auto it = parts.rbegin(); it != parts.rend(); ++it) {
+    rdns.push_back(parse_rdn(*it, s));
+  }
+  return from_rdns(std::move(rdns));
+}
+
+Dn Dn::from_rdns(std::vector<Rdn> root_to_leaf) {
+  Dn dn;
+  dn.rdns_ = std::move(root_to_leaf);
+  dn.rebuild_strings();
+  return dn;
+}
+
+const Rdn& Dn::leaf_rdn() const {
+  if (is_root()) throw OperationError(ResultCode::InvalidDnSyntax, "root DN has no RDN");
+  return rdns_.back();
+}
+
+Dn Dn::parent() const {
+  if (is_root()) {
+    throw OperationError(ResultCode::InvalidDnSyntax, "root DN has no parent");
+  }
+  std::vector<Rdn> rdns(rdns_.begin(), rdns_.end() - 1);
+  return from_rdns(std::move(rdns));
+}
+
+Dn Dn::child(Rdn rdn) const {
+  std::vector<Rdn> rdns = rdns_;
+  rdns.push_back(std::move(rdn));
+  return from_rdns(std::move(rdns));
+}
+
+bool Dn::is_ancestor_of(const Dn& other) const {
+  if (depth() >= other.depth()) return false;
+  return std::equal(rdns_.begin(), rdns_.end(), other.rdns_.begin());
+}
+
+bool Dn::is_ancestor_or_self(const Dn& other) const {
+  return *this == other || is_ancestor_of(other);
+}
+
+bool Dn::is_parent_of(const Dn& other) const {
+  return depth() + 1 == other.depth() && is_ancestor_of(other);
+}
+
+Dn Dn::rebase(const Dn& old_base, const Dn& new_base) const {
+  if (!old_base.is_ancestor_or_self(*this)) {
+    throw OperationError(ResultCode::NamingViolation,
+                         "rebase: '" + old_base.to_string() +
+                             "' is not an ancestor of '" + to_string() + "'");
+  }
+  std::vector<Rdn> rdns = new_base.rdns_;
+  rdns.insert(rdns.end(), rdns_.begin() + static_cast<std::ptrdiff_t>(old_base.depth()),
+              rdns_.end());
+  return from_rdns(std::move(rdns));
+}
+
+void Dn::rebuild_strings() {
+  text_.clear();
+  key_.clear();
+  // Leaf-first display/normalized form.
+  for (auto it = rdns_.rbegin(); it != rdns_.rend(); ++it) {
+    if (!text_.empty()) {
+      text_ += ',';
+      key_ += ',';
+    }
+    text_ += it->to_string();
+    key_ += it->type() + "=" + escape_rdn_value(it->norm_value());
+  }
+}
+
+}  // namespace fbdr::ldap

@@ -1,0 +1,118 @@
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fbdr::ldap {
+
+/// A relative distinguished name: one `type=value` naming component.
+/// Multi-valued RDNs are not needed by the paper's workloads and are not
+/// supported. The attribute type is stored lowercased; the value keeps its
+/// original spelling, with a lowercased copy used for matching.
+class Rdn {
+ public:
+  Rdn() = default;
+  Rdn(std::string_view type, std::string_view value);
+
+  const std::string& type() const noexcept { return type_; }
+  const std::string& value() const noexcept { return value_; }
+  const std::string& norm_value() const noexcept { return norm_value_; }
+
+  /// RFC 2253 string form, `type=value`.
+  std::string to_string() const;
+
+  friend bool operator==(const Rdn& a, const Rdn& b) {
+    return a.type_ == b.type_ && a.norm_value_ == b.norm_value_;
+  }
+  friend bool operator!=(const Rdn& a, const Rdn& b) { return !(a == b); }
+
+ private:
+  std::string type_;        // lowercased
+  std::string value_;       // original case
+  std::string norm_value_;  // lowercased
+};
+
+/// A distinguished name. The root of the DIT is the *null* DN (zero RDNs).
+///
+/// Internally RDNs are held in root-to-leaf order so that ancestor tests are
+/// vector-prefix tests; the LDAP string form is leaf-first
+/// (`cn=John Doe,ou=research,c=us,o=xyz`). DNs are immutable values.
+class Dn {
+ public:
+  /// Constructs the null DN (DIT root).
+  Dn() = default;
+
+  /// Parses an RFC 2253-style string (`cn=John,ou=research,o=xyz`). The empty
+  /// string parses to the null DN. Supports `\,` `\=` `\\` `\+` escapes.
+  /// Throws ParseError on malformed input.
+  static Dn parse(std::string_view text);
+
+  /// Builds a DN from RDNs given in root-to-leaf order.
+  static Dn from_rdns(std::vector<Rdn> root_to_leaf);
+
+  bool is_root() const noexcept { return rdns_.empty(); }
+  std::size_t depth() const noexcept { return rdns_.size(); }
+
+  /// RDN components in root-to-leaf order; index 0 is closest to the root.
+  const std::vector<Rdn>& rdns() const noexcept { return rdns_; }
+
+  /// The leaf (leftmost in string form) RDN. Precondition: !is_root().
+  const Rdn& leaf_rdn() const;
+
+  /// Parent DN. Precondition: !is_root().
+  Dn parent() const;
+
+  /// DN of a child entry named by `rdn` under this DN.
+  Dn child(Rdn rdn) const;
+
+  /// True when `this` names an entry on the path from the root to `other`,
+  /// excluding `other` itself (the paper's isSuffix(a, b): a is an ancestor
+  /// of b). The null DN is an ancestor of every non-null DN.
+  bool is_ancestor_of(const Dn& other) const;
+
+  /// is_ancestor_of or equal.
+  bool is_ancestor_or_self(const Dn& other) const;
+
+  /// True when `this` is the immediate parent of `other`.
+  bool is_parent_of(const Dn& other) const;
+
+  /// Replaces the ancestor prefix `old_base` with `new_base`; used by
+  /// modifyDN with a new superior. Precondition: old_base.is_ancestor_or_self
+  /// of this DN.
+  Dn rebase(const Dn& old_base, const Dn& new_base) const;
+
+  /// LDAP string form, leaf-first. The null DN prints as "".
+  const std::string& to_string() const noexcept { return text_; }
+
+  /// Canonical lowercase key for maps/sets.
+  const std::string& norm_key() const noexcept { return key_; }
+
+  friend bool operator==(const Dn& a, const Dn& b) { return a.key_ == b.key_; }
+  friend bool operator!=(const Dn& a, const Dn& b) { return !(a == b); }
+  friend bool operator<(const Dn& a, const Dn& b) { return a.key_ < b.key_; }
+
+ private:
+  void rebuild_strings();
+
+  std::vector<Rdn> rdns_;  // root-to-leaf
+  std::string text_;       // leaf-first display form
+  std::string key_;        // leaf-first normalized form
+};
+
+/// Paper §3.4.1 helper: isSuffix(a, b) is true when DN `a` is an ancestor of
+/// DN `b` (strictly above it in the tree).
+inline bool is_suffix(const Dn& a, const Dn& b) { return a.is_ancestor_of(b); }
+
+/// Paper §4 helper: isparent(a, b) is true when `a` is the parent of `b`.
+inline bool is_parent(const Dn& a, const Dn& b) { return a.is_parent_of(b); }
+
+struct DnHash {
+  std::size_t operator()(const Dn& dn) const noexcept {
+    return std::hash<std::string>{}(dn.norm_key());
+  }
+};
+
+}  // namespace fbdr::ldap

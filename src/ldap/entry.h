@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ldap/dn.h"
+#include "ldap/schema.h"
+
+namespace fbdr::ldap {
+
+/// A directory entry: a DN plus a set of attribute/value pairs. Attribute
+/// names are stored lowercased; values keep their original spelling (matching
+/// rules are applied at comparison time via the Schema).
+///
+/// Entries held by the DIT are immutable (`std::shared_ptr<const Entry>`);
+/// update operations build modified copies. This gives the change journal and
+/// sync back-ends cheap before/after snapshots.
+class Entry {
+ public:
+  Entry() = default;
+  explicit Entry(Dn dn) : dn_(std::move(dn)) {}
+
+  const Dn& dn() const noexcept { return dn_; }
+  void set_dn(Dn dn) { dn_ = std::move(dn); }
+
+  /// Adds one value to an attribute (duplicates under the matching rule are
+  /// collapsed).
+  void add_value(std::string_view attr, std::string_view value,
+                 const Schema& schema = Schema::default_instance());
+
+  /// Replaces all values of an attribute. An empty vector removes it.
+  void set_values(std::string_view attr, std::vector<std::string> values);
+
+  /// Removes one value; returns true when it was present.
+  bool remove_value(std::string_view attr, std::string_view value,
+                    const Schema& schema = Schema::default_instance());
+
+  /// Removes the whole attribute; returns true when it was present.
+  bool remove_attribute(std::string_view attr);
+
+  bool has_attribute(std::string_view attr) const;
+
+  /// True when the attribute holds `value` under its matching rule.
+  bool has_value(std::string_view attr, std::string_view value,
+                 const Schema& schema = Schema::default_instance()) const;
+
+  /// Values of an attribute; nullptr when absent.
+  const std::vector<std::string>* get(std::string_view attr) const;
+
+  /// First value of an attribute; empty string when absent.
+  std::string_view first(std::string_view attr) const;
+
+  /// Lowercased names of all attributes, in sorted order.
+  std::vector<std::string> attribute_names() const;
+
+  const std::map<std::string, std::vector<std::string>>& attributes() const noexcept {
+    return attrs_;
+  }
+
+  /// Values of the objectclass attribute (possibly empty).
+  const std::vector<std::string>& object_classes() const;
+
+  std::size_t attribute_count() const noexcept { return attrs_.size(); }
+
+  /// Approximate wire/storage size in bytes: DN plus names and values. Used
+  /// for replica size and traffic accounting; `padding` models attributes the
+  /// reproduction does not materialize (the case-study entries are ~6 KB).
+  std::size_t approx_size_bytes(std::size_t padding = 0) const;
+
+  friend bool operator==(const Entry& a, const Entry& b) {
+    return a.dn_ == b.dn_ && a.attrs_ == b.attrs_;
+  }
+  friend bool operator!=(const Entry& a, const Entry& b) { return !(a == b); }
+
+ private:
+  Dn dn_;
+  std::map<std::string, std::vector<std::string>> attrs_;  // key lowercased
+};
+
+using EntryPtr = std::shared_ptr<const Entry>;
+
+/// Convenience builder used heavily by tests and generators:
+/// make_entry("cn=John,o=xyz", {{"objectclass", "person"}, {"cn", "John"}}).
+EntryPtr make_entry(std::string_view dn,
+                    std::initializer_list<std::pair<std::string_view, std::string_view>>
+                        attr_values);
+
+}  // namespace fbdr::ldap

@@ -1,0 +1,37 @@
+#include "ldap/error.h"
+
+namespace fbdr::ldap {
+
+std::string to_string(ResultCode code) {
+  switch (code) {
+    case ResultCode::Success:
+      return "success";
+    case ResultCode::OperationsError:
+      return "operationsError";
+    case ResultCode::TimeLimitExceeded:
+      return "timeLimitExceeded";
+    case ResultCode::NoSuchAttribute:
+      return "noSuchAttribute";
+    case ResultCode::NoSuchObject:
+      return "noSuchObject";
+    case ResultCode::InvalidDnSyntax:
+      return "invalidDNSyntax";
+    case ResultCode::InsufficientAccessRights:
+      return "insufficientAccessRights";
+    case ResultCode::NamingViolation:
+      return "namingViolation";
+    case ResultCode::NotAllowedOnNonLeaf:
+      return "notAllowedOnNonLeaf";
+    case ResultCode::EntryAlreadyExists:
+      return "entryAlreadyExists";
+    case ResultCode::Referral:
+      return "referral";
+    case ResultCode::UnwillingToPerform:
+      return "unwillingToPerform";
+    case ResultCode::Other:
+      return "other";
+  }
+  return "unknown";
+}
+
+}  // namespace fbdr::ldap

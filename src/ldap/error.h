@@ -1,0 +1,53 @@
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace fbdr::ldap {
+
+/// LDAP result codes used by the simulated directory (subset of RFC 2251
+/// section 4.1.10 relevant to this reproduction).
+enum class ResultCode {
+  Success = 0,
+  OperationsError = 1,
+  TimeLimitExceeded = 3,
+  NoSuchAttribute = 16,
+  NoSuchObject = 32,
+  InvalidDnSyntax = 34,
+  InsufficientAccessRights = 50,
+  NamingViolation = 64,
+  NotAllowedOnNonLeaf = 66,
+  EntryAlreadyExists = 68,
+  Referral = 10,
+  UnwillingToPerform = 53,
+  Other = 80,
+};
+
+/// Human readable name of a result code (for diagnostics and LDIF dumps).
+std::string to_string(ResultCode code);
+
+/// Error thrown while parsing DNs, filters or LDIF text.
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Error thrown by directory operations; carries an LDAP result code.
+class OperationError : public std::runtime_error {
+ public:
+  OperationError(ResultCode code, const std::string& what)
+      : std::runtime_error(to_string(code) + ": " + what), code_(code) {}
+
+  ResultCode code() const noexcept { return code_; }
+
+ private:
+  ResultCode code_;
+};
+
+/// Error thrown by the replication / synchronization protocol layers.
+class ProtocolError : public std::runtime_error {
+ public:
+  explicit ProtocolError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace fbdr::ldap

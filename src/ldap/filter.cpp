@@ -1,0 +1,200 @@
+#include "ldap/filter.h"
+
+#include <utility>
+
+#include "ldap/error.h"
+#include "ldap/text.h"
+
+namespace fbdr::ldap {
+
+std::string to_string(FilterKind kind) {
+  switch (kind) {
+    case FilterKind::And:
+      return "and";
+    case FilterKind::Or:
+      return "or";
+    case FilterKind::Not:
+      return "not";
+    case FilterKind::Equality:
+      return "equality";
+    case FilterKind::GreaterEq:
+      return "greaterEq";
+    case FilterKind::LessEq:
+      return "lessEq";
+    case FilterKind::Present:
+      return "present";
+    case FilterKind::Substring:
+      return "substring";
+  }
+  return "unknown";
+}
+
+bool SubstringPattern::matches(std::string_view value) const {
+  std::size_t pos = 0;
+  if (!initial.empty()) {
+    if (value.size() < initial.size() || value.substr(0, initial.size()) != initial) {
+      return false;
+    }
+    pos = initial.size();
+  }
+  std::size_t tail_reserved = final.size();
+  for (const std::string& part : any) {
+    if (value.size() < tail_reserved) return false;
+    const std::size_t found = value.substr(0, value.size() - tail_reserved).find(part, pos);
+    if (found == std::string_view::npos) return false;
+    pos = found + part.size();
+  }
+  if (!final.empty()) {
+    if (value.size() < pos + final.size()) return false;
+    return value.substr(value.size() - final.size()) == final;
+  }
+  return true;
+}
+
+std::string SubstringPattern::to_string() const {
+  std::string out = initial + "*";
+  for (const std::string& part : any) out += part + "*";
+  out += final;
+  return out;
+}
+
+bool Filter::is_positive() const {
+  if (kind_ == FilterKind::Not) return false;
+  for (const FilterPtr& child : children_) {
+    if (!child->is_positive()) return false;
+  }
+  return true;
+}
+
+std::size_t Filter::predicate_count() const {
+  if (is_predicate()) return 1;
+  std::size_t count = 0;
+  for (const FilterPtr& child : children_) count += child->predicate_count();
+  return count;
+}
+
+void Filter::for_each_predicate(const std::function<void(const Filter&)>& fn) const {
+  if (is_predicate()) {
+    fn(*this);
+    return;
+  }
+  for (const FilterPtr& child : children_) child->for_each_predicate(fn);
+}
+
+std::string Filter::to_string() const {
+  switch (kind_) {
+    case FilterKind::And:
+    case FilterKind::Or: {
+      std::string out = kind_ == FilterKind::And ? "(&" : "(|";
+      for (const FilterPtr& child : children_) out += child->to_string();
+      return out + ")";
+    }
+    case FilterKind::Not:
+      return "(!" + children_.front()->to_string() + ")";
+    case FilterKind::Equality:
+      return "(" + attribute_ + "=" + value_ + ")";
+    case FilterKind::GreaterEq:
+      return "(" + attribute_ + ">=" + value_ + ")";
+    case FilterKind::LessEq:
+      return "(" + attribute_ + "<=" + value_ + ")";
+    case FilterKind::Present:
+      return "(" + attribute_ + "=*)";
+    case FilterKind::Substring:
+      return "(" + attribute_ + "=" + substrings_.to_string() + ")";
+  }
+  return "(?)";
+}
+
+FilterPtr Filter::make_and(std::vector<FilterPtr> children) {
+  if (children.empty()) throw ParseError("AND filter requires children");
+  if (children.size() == 1) return children.front();
+  auto node = std::shared_ptr<Filter>(new Filter());
+  node->kind_ = FilterKind::And;
+  node->children_ = std::move(children);
+  return node;
+}
+
+FilterPtr Filter::make_or(std::vector<FilterPtr> children) {
+  if (children.empty()) throw ParseError("OR filter requires children");
+  if (children.size() == 1) return children.front();
+  auto node = std::shared_ptr<Filter>(new Filter());
+  node->kind_ = FilterKind::Or;
+  node->children_ = std::move(children);
+  return node;
+}
+
+FilterPtr Filter::make_not(FilterPtr child) {
+  if (!child) throw ParseError("NOT filter requires a child");
+  auto node = std::shared_ptr<Filter>(new Filter());
+  node->kind_ = FilterKind::Not;
+  node->children_.push_back(std::move(child));
+  return node;
+}
+
+FilterPtr Filter::equality(std::string_view attr, std::string_view value) {
+  if (attr.empty()) throw ParseError("predicate with empty attribute name");
+  auto node = std::shared_ptr<Filter>(new Filter());
+  node->kind_ = FilterKind::Equality;
+  node->attribute_ = text::lower(attr);
+  node->value_ = std::string(value);
+  return node;
+}
+
+FilterPtr Filter::greater_eq(std::string_view attr, std::string_view value) {
+  if (attr.empty()) throw ParseError("predicate with empty attribute name");
+  auto node = std::shared_ptr<Filter>(new Filter());
+  node->kind_ = FilterKind::GreaterEq;
+  node->attribute_ = text::lower(attr);
+  node->value_ = std::string(value);
+  return node;
+}
+
+FilterPtr Filter::less_eq(std::string_view attr, std::string_view value) {
+  if (attr.empty()) throw ParseError("predicate with empty attribute name");
+  auto node = std::shared_ptr<Filter>(new Filter());
+  node->kind_ = FilterKind::LessEq;
+  node->attribute_ = text::lower(attr);
+  node->value_ = std::string(value);
+  return node;
+}
+
+FilterPtr Filter::present(std::string_view attr) {
+  if (attr.empty()) throw ParseError("predicate with empty attribute name");
+  auto node = std::shared_ptr<Filter>(new Filter());
+  node->kind_ = FilterKind::Present;
+  node->attribute_ = text::lower(attr);
+  return node;
+}
+
+FilterPtr Filter::substring(std::string_view attr, SubstringPattern pattern) {
+  if (attr.empty()) throw ParseError("predicate with empty attribute name");
+  if (pattern.initial.empty() && pattern.any.empty() && pattern.final.empty()) {
+    // "(attr=*)" is a presence filter, not a substring filter.
+    return present(attr);
+  }
+  auto node = std::shared_ptr<Filter>(new Filter());
+  node->kind_ = FilterKind::Substring;
+  node->attribute_ = text::lower(attr);
+  node->substrings_ = std::move(pattern);
+  return node;
+}
+
+FilterPtr Filter::match_all() {
+  static const FilterPtr kAll = present("objectclass");
+  return kAll;
+}
+
+bool filters_equal(const Filter& a, const Filter& b) {
+  if (a.kind() != b.kind()) return false;
+  if (a.is_predicate()) {
+    return a.attribute() == b.attribute() && a.value() == b.value() &&
+           a.substrings() == b.substrings();
+  }
+  if (a.children().size() != b.children().size()) return false;
+  for (std::size_t i = 0; i < a.children().size(); ++i) {
+    if (!filters_equal(*a.children()[i], *b.children()[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace fbdr::ldap

@@ -1,0 +1,111 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace fbdr::ldap {
+
+/// Node kinds of the LDAP search-filter AST (RFC 2254 subset used by the
+/// paper: AND, OR, NOT composites; equality, >=, <=, presence and substring
+/// predicates).
+enum class FilterKind {
+  And,
+  Or,
+  Not,
+  Equality,   // (attr=value)
+  GreaterEq,  // (attr>=value)
+  LessEq,     // (attr<=value)
+  Present,    // (attr=*)
+  Substring,  // (attr=initial*any*final)
+};
+
+std::string to_string(FilterKind kind);
+
+/// A substring assertion: initial*any1*any2*...*final, where any component
+/// may be absent. `(sn=smi*)` has initial "smi" and nothing else.
+struct SubstringPattern {
+  std::string initial;
+  std::vector<std::string> any;
+  std::string final;
+
+  /// True when `value` matches the pattern. Matching is done on
+  /// schema-normalized text by callers, so this is a plain byte match.
+  bool matches(std::string_view value) const;
+
+  /// True when the pattern is a pure prefix pattern ("abc*").
+  bool is_prefix_only() const { return any.empty() && final.empty(); }
+
+  /// RFC 2254 fragment, e.g. "smi*th*".
+  std::string to_string() const;
+
+  friend bool operator==(const SubstringPattern&, const SubstringPattern&) = default;
+};
+
+class Filter;
+using FilterPtr = std::shared_ptr<const Filter>;
+
+/// Immutable LDAP filter node. Composite nodes own their children; predicate
+/// nodes carry an attribute name (lowercased) and an assertion value or
+/// substring pattern. Build via the factory functions or parse_filter().
+class Filter {
+ public:
+  FilterKind kind() const noexcept { return kind_; }
+
+  // Composite access. Empty for predicate nodes.
+  const std::vector<FilterPtr>& children() const noexcept { return children_; }
+
+  // Predicate access. Empty for composite nodes.
+  const std::string& attribute() const noexcept { return attribute_; }
+  const std::string& value() const noexcept { return value_; }
+  const SubstringPattern& substrings() const noexcept { return substrings_; }
+
+  bool is_composite() const noexcept {
+    return kind_ == FilterKind::And || kind_ == FilterKind::Or ||
+           kind_ == FilterKind::Not;
+  }
+  bool is_predicate() const noexcept { return !is_composite(); }
+
+  /// True when the filter contains no NOT operator (the paper's "positive
+  /// filters", the class its containment propositions address).
+  bool is_positive() const;
+
+  /// Number of predicate leaves.
+  std::size_t predicate_count() const;
+
+  /// Visits every predicate leaf in pre-order.
+  void for_each_predicate(const std::function<void(const Filter&)>& fn) const;
+
+  /// RFC 2254 string form, e.g. "(&(sn=Doe)(givenName=John))".
+  std::string to_string() const;
+
+  // --- factories ---
+  static FilterPtr make_and(std::vector<FilterPtr> children);
+  static FilterPtr make_or(std::vector<FilterPtr> children);
+  static FilterPtr make_not(FilterPtr child);
+  static FilterPtr equality(std::string_view attr, std::string_view value);
+  static FilterPtr greater_eq(std::string_view attr, std::string_view value);
+  static FilterPtr less_eq(std::string_view attr, std::string_view value);
+  static FilterPtr present(std::string_view attr);
+  static FilterPtr substring(std::string_view attr, SubstringPattern pattern);
+
+  /// The filter matching every entry: (objectclass=*).
+  static FilterPtr match_all();
+
+ private:
+  Filter() = default;
+
+  FilterKind kind_ = FilterKind::Present;
+  std::vector<FilterPtr> children_;
+  std::string attribute_;
+  std::string value_;
+  SubstringPattern substrings_;
+};
+
+/// Structural equality of two filters (same shape, attributes and values,
+/// byte-compared). Semantic equivalence is the containment engine's job.
+bool filters_equal(const Filter& a, const Filter& b);
+
+}  // namespace fbdr::ldap

@@ -1,0 +1,21 @@
+#pragma once
+
+#include "ldap/entry.h"
+#include "ldap/filter.h"
+#include "ldap/schema.h"
+
+namespace fbdr::ldap {
+
+/// Evaluates `filter` against `entry` under the matching rules of `schema`.
+///
+/// Semantics follow RFC 2251/2254 three-valued logic collapsed to two values:
+/// a predicate on an absent attribute is false (Undefined treated as
+/// non-match), NOT inverts, AND/OR are conjunction/disjunction.
+bool matches(const Filter& filter, const Entry& entry,
+             const Schema& schema = Schema::default_instance());
+
+/// Evaluates a single predicate node (precondition: filter.is_predicate()).
+bool matches_predicate(const Filter& predicate, const Entry& entry,
+                       const Schema& schema = Schema::default_instance());
+
+}  // namespace fbdr::ldap

@@ -1,0 +1,216 @@
+#include "ldap/filter_parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+#include "ldap/error.h"
+#include "ldap/text.h"
+
+namespace fbdr::ldap {
+
+namespace {
+
+/// Recursive-descent parser over the filter text. Grammar (RFC 2254):
+///   filter     = "(" filtercomp ")"
+///   filtercomp = and / or / not / item
+///   and        = "&" filterlist
+///   or         = "|" filterlist
+///   not        = "!" filter
+///   filterlist = 1*filter
+///   item       = attr ( "=" / ">=" / "<=" ) assertion
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  FilterPtr parse() {
+    skip_spaces();
+    FilterPtr filter = parse_filter_node();
+    skip_spaces();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after filter");
+    }
+    return filter;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& message) const {
+    throw ParseError("filter parse error at offset " + std::to_string(pos_) +
+                     " in '" + std::string(text_) + "': " + message);
+  }
+
+  void skip_spaces() {
+    while (pos_ < text_.size() && text_[pos_] == ' ') ++pos_;
+  }
+
+  char peek() const { return pos_ < text_.size() ? text_[pos_] : '\0'; }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  FilterPtr parse_filter_node() {
+    expect('(');
+    FilterPtr result;
+    switch (peek()) {
+      case '&':
+        ++pos_;
+        result = Filter::make_and(parse_filter_list());
+        break;
+      case '|':
+        ++pos_;
+        result = Filter::make_or(parse_filter_list());
+        break;
+      case '!':
+        ++pos_;
+        result = Filter::make_not(parse_filter_node());
+        break;
+      default:
+        result = parse_item();
+        break;
+    }
+    expect(')');
+    return result;
+  }
+
+  std::vector<FilterPtr> parse_filter_list() {
+    std::vector<FilterPtr> children;
+    skip_spaces();
+    while (peek() == '(') {
+      children.push_back(parse_filter_node());
+      skip_spaces();
+    }
+    if (children.empty()) fail("composite filter with no children");
+    return children;
+  }
+
+  FilterPtr parse_item() {
+    const std::string attr = parse_attribute();
+    FilterKind op;
+    if (peek() == '>') {
+      ++pos_;
+      expect('=');
+      op = FilterKind::GreaterEq;
+    } else if (peek() == '<') {
+      ++pos_;
+      expect('=');
+      op = FilterKind::LessEq;
+    } else if (peek() == '~') {
+      // Approximate match is treated as equality in this reproduction.
+      ++pos_;
+      expect('=');
+      op = FilterKind::Equality;
+    } else if (peek() == '=') {
+      ++pos_;
+      op = FilterKind::Equality;
+    } else {
+      fail("expected comparison operator");
+    }
+
+    if (op != FilterKind::Equality) {
+      const auto [value, had_star] = parse_assertion();
+      if (had_star) fail("'*' not allowed in ordering assertion");
+      return op == FilterKind::GreaterEq ? Filter::greater_eq(attr, value)
+                                         : Filter::less_eq(attr, value);
+    }
+
+    // Equality assertion may be a plain value, "*" (presence) or a substring
+    // pattern with embedded '*'.
+    SubstringPattern pattern;
+    std::vector<std::string> parts;
+    std::string current;
+    bool saw_star = false;
+    while (pos_ < text_.size() && text_[pos_] != ')') {
+      char c = text_[pos_];
+      if (c == '(') fail("unescaped '(' in assertion value");
+      if (c == '*') {
+        parts.push_back(current);
+        current.clear();
+        saw_star = true;
+        ++pos_;
+        continue;
+      }
+      current.push_back(read_value_char());
+    }
+    parts.push_back(current);
+
+    if (!saw_star) {
+      if (parts.front().empty()) fail("empty assertion value");
+      return Filter::equality(attr, parts.front());
+    }
+    if (parts.size() == 2 && parts[0].empty() && parts[1].empty()) {
+      return Filter::present(attr);
+    }
+    pattern.initial = parts.front();
+    pattern.final = parts.back();
+    for (std::size_t i = 1; i + 1 < parts.size(); ++i) {
+      if (parts[i].empty()) continue;  // "a**b" collapses to "a*b"
+      pattern.any.push_back(parts[i]);
+    }
+    return Filter::substring(attr, std::move(pattern));
+  }
+
+  std::string parse_attribute() {
+    std::string attr;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '=' || c == '>' || c == '<' || c == '~' || c == ')' || c == '(') break;
+      attr.push_back(c);
+      ++pos_;
+    }
+    std::string trimmed{text::trim(attr)};
+    if (trimmed.empty()) fail("empty attribute name");
+    return trimmed;
+  }
+
+  /// Reads one assertion-value character, decoding RFC 2254 \XX escapes.
+  char read_value_char() {
+    const char c = text_[pos_++];
+    if (c != '\\') return c;
+    if (pos_ + 2 > text_.size()) fail("truncated hex escape in assertion value");
+    auto hex = [&](char h) -> int {
+      if (h >= '0' && h <= '9') return h - '0';
+      if (h >= 'a' && h <= 'f') return h - 'a' + 10;
+      if (h >= 'A' && h <= 'F') return h - 'A' + 10;
+      fail("invalid hex digit in escape");
+    };
+    const int hi = hex(text_[pos_]);
+    const int lo = hex(text_[pos_ + 1]);
+    pos_ += 2;
+    return static_cast<char>(hi * 16 + lo);
+  }
+
+  std::pair<std::string, bool> parse_assertion() {
+    std::string value;
+    bool had_star = false;
+    while (pos_ < text_.size() && text_[pos_] != ')') {
+      if (text_[pos_] == '*') {
+        had_star = true;
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '(') fail("unescaped '(' in assertion value");
+      value.push_back(read_value_char());
+    }
+    if (value.empty()) fail("empty assertion value");
+    return {value, had_star};
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+FilterPtr parse_filter(std::string_view raw) {
+  const std::string_view s = text::trim(raw);
+  if (s.empty()) throw ParseError("empty filter");
+  if (s.front() != '(') {
+    // Permit the common shorthand without outer parentheses: "sn=Doe".
+    return Parser("(" + std::string(s) + ")").parse();
+  }
+  return Parser(s).parse();
+}
+
+}  // namespace fbdr::ldap

@@ -1,0 +1,15 @@
+#pragma once
+
+#include <string_view>
+
+#include "ldap/filter.h"
+
+namespace fbdr::ldap {
+
+/// Parses the RFC 2254 string representation of an LDAP search filter, e.g.
+/// "(&(sn=Doe)(givenName=John))", "(serialNumber=04*)", "(age>=30)",
+/// "(!(objectclass=referral))". Supports backslash-hex escapes (\2a, \28,
+/// \29, \5c) inside assertion values. Throws ParseError on malformed input.
+FilterPtr parse_filter(std::string_view text);
+
+}  // namespace fbdr::ldap

@@ -1,0 +1,23 @@
+#pragma once
+
+#include "ldap/filter.h"
+#include "ldap/schema.h"
+
+namespace fbdr::ldap {
+
+/// Structurally normalizes a filter without changing its semantics:
+///   - nested same-kind composites are flattened:
+///       (&(a=1)(&(b=2)(c=3)))  ->  (&(a=1)(b=2)(c=3))
+///   - duplicate children (structural equality after normalization) are
+///     removed:
+///       (|(sn=Doe)(sn=Doe))    ->  (sn=Doe)
+///   - double negation cancels:
+///       (!(!(sn=Doe)))         ->  (sn=Doe)
+///   - single-child composites collapse to the child.
+///
+/// Normalized filters make template matching and containment more effective
+/// (structurally different spellings of the same query unify) and keep DNF
+/// expansion small.
+FilterPtr simplify(const FilterPtr& filter);
+
+}  // namespace fbdr::ldap

@@ -1,0 +1,54 @@
+#include "ldap/ldif.h"
+
+#include <sstream>
+
+#include "ldap/error.h"
+#include "ldap/text.h"
+
+namespace fbdr::ldap {
+
+std::string to_ldif(const Entry& entry) {
+  std::string out = "dn: " + entry.dn().to_string() + "\n";
+  for (const auto& [name, values] : entry.attributes()) {
+    for (const std::string& value : values) {
+      out += name + ": " + value + "\n";
+    }
+  }
+  return out;
+}
+
+std::string to_ldif(const std::vector<EntryPtr>& entries) {
+  std::string out;
+  for (const EntryPtr& entry : entries) {
+    if (!out.empty()) out += "\n";
+    out += to_ldif(*entry);
+  }
+  return out;
+}
+
+EntryPtr entry_from_ldif(const std::string& textual) {
+  std::istringstream in(textual);
+  std::string line;
+  auto entry = std::make_shared<Entry>();
+  bool saw_dn = false;
+  while (std::getline(in, line)) {
+    const std::string_view trimmed = text::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    const std::size_t colon = trimmed.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      throw ParseError("malformed LDIF line: '" + line + "'");
+    }
+    const std::string_view name = text::trim(trimmed.substr(0, colon));
+    const std::string_view value = text::trim(trimmed.substr(colon + 1));
+    if (text::iequals(name, "dn")) {
+      entry->set_dn(Dn::parse(value));
+      saw_dn = true;
+    } else {
+      entry->add_value(name, value);
+    }
+  }
+  if (!saw_dn) throw ParseError("LDIF record without dn line");
+  return entry;
+}
+
+}  // namespace fbdr::ldap

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ldap/entry.h"
+
+namespace fbdr::ldap {
+
+/// Serializes one entry in LDIF-like form (RFC 2849 subset, no base64):
+///   dn: cn=John Doe,ou=research,o=xyz
+///   cn: John Doe
+///   objectclass: inetOrgPerson
+std::string to_ldif(const Entry& entry);
+
+/// Serializes a sequence of entries separated by blank lines.
+std::string to_ldif(const std::vector<EntryPtr>& entries);
+
+/// Parses one LDIF record (as produced by to_ldif). Throws ParseError on
+/// malformed input. Blank lines and `#` comment lines are skipped.
+EntryPtr entry_from_ldif(const std::string& textual);
+
+}  // namespace fbdr::ldap

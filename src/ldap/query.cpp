@@ -1,0 +1,94 @@
+#include "ldap/query.h"
+
+#include <algorithm>
+
+#include "ldap/error.h"
+#include "ldap/filter_parser.h"
+#include "ldap/text.h"
+
+namespace fbdr::ldap {
+
+std::string to_string(Scope scope) {
+  switch (scope) {
+    case Scope::Base:
+      return "base";
+    case Scope::OneLevel:
+      return "one";
+    case Scope::Subtree:
+      return "sub";
+  }
+  return "unknown";
+}
+
+Scope scope_from_string(std::string_view s) {
+  if (text::iequals(s, "base")) return Scope::Base;
+  if (text::iequals(s, "one") || text::iequals(s, "onelevel")) return Scope::OneLevel;
+  if (text::iequals(s, "sub") || text::iequals(s, "subtree")) return Scope::Subtree;
+  throw ParseError("unknown scope '" + std::string(s) + "'");
+}
+
+AttributeSelection AttributeSelection::of(std::vector<std::string> names) {
+  AttributeSelection sel;
+  sel.all = false;
+  sel.names.reserve(names.size());
+  for (std::string& name : names) sel.names.push_back(text::lower(name));
+  std::sort(sel.names.begin(), sel.names.end());
+  sel.names.erase(std::unique(sel.names.begin(), sel.names.end()), sel.names.end());
+  return sel;
+}
+
+bool AttributeSelection::subset_of(const AttributeSelection& other) const {
+  if (other.all) return true;
+  if (all) return false;
+  return std::includes(other.names.begin(), other.names.end(), names.begin(),
+                       names.end());
+}
+
+std::string AttributeSelection::to_string() const {
+  if (all) return "*";
+  std::string out;
+  for (const std::string& name : names) {
+    if (!out.empty()) out += ',';
+    out += name;
+  }
+  return out;
+}
+
+Query Query::parse(std::string_view base, Scope scope, std::string_view filter) {
+  return Query(Dn::parse(base), scope, parse_filter(filter));
+}
+
+Query Query::whole_subtree(Dn base) {
+  return Query(std::move(base), Scope::Subtree, Filter::match_all());
+}
+
+bool Query::region_covers(const Dn& dn) const {
+  switch (scope) {
+    case Scope::Base:
+      return dn == base;
+    case Scope::OneLevel:
+      return base.is_parent_of(dn);
+    case Scope::Subtree:
+      return base.is_ancestor_or_self(dn);
+  }
+  return false;
+}
+
+std::string Query::to_string() const {
+  return "base='" + base.to_string() + "' scope=" + ldap::to_string(scope) +
+         " filter=" + (filter ? filter->to_string() : "(null)") +
+         " attrs=" + attrs.to_string();
+}
+
+std::string Query::key() const {
+  return base.norm_key() + "|" + std::to_string(static_cast<int>(scope)) + "|" +
+         (filter ? filter->to_string() : "") + "|" + attrs.to_string();
+}
+
+bool operator==(const Query& a, const Query& b) {
+  return a.base == b.base && a.scope == b.scope && a.attrs == b.attrs &&
+         ((a.filter == nullptr && b.filter == nullptr) ||
+          (a.filter && b.filter && filters_equal(*a.filter, *b.filter)));
+}
+
+}  // namespace fbdr::ldap

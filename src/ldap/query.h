@@ -1,0 +1,78 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ldap/dn.h"
+#include "ldap/filter.h"
+
+namespace fbdr::ldap {
+
+/// Search scope (RFC 2251 §4.5.1). Ordered so that a numerically larger
+/// scope covers a deeper region, as the paper's QC algorithm assumes
+/// (BASE=0, SINGLE LEVEL=1, SUBTREE=2).
+enum class Scope : int {
+  Base = 0,
+  OneLevel = 1,
+  Subtree = 2,
+};
+
+std::string to_string(Scope scope);
+Scope scope_from_string(std::string_view text);
+
+/// The set of attributes a query requests. `all` corresponds to the special
+/// "*" selection of every user attribute.
+struct AttributeSelection {
+  bool all = true;
+  std::vector<std::string> names;  // lowercased, meaningful when !all
+
+  static AttributeSelection all_attributes() { return {}; }
+  static AttributeSelection of(std::vector<std::string> names);
+
+  /// True when this selection is a subset of `other` (condition (ii) of the
+  /// paper's semantic containment definition).
+  bool subset_of(const AttributeSelection& other) const;
+
+  std::string to_string() const;
+
+  friend bool operator==(const AttributeSelection&, const AttributeSelection&) = default;
+};
+
+/// An LDAP search request: (base, scope, filter, attributes). This is the
+/// paper's unit of replication ("the replication unit is semantically
+/// equivalent to an LDAP query", §3).
+struct Query {
+  Dn base;
+  Scope scope = Scope::Subtree;
+  FilterPtr filter = Filter::match_all();
+  AttributeSelection attrs;
+
+  Query() = default;
+  Query(Dn base_dn, Scope search_scope, FilterPtr search_filter,
+        AttributeSelection selection = {})
+      : base(std::move(base_dn)),
+        scope(search_scope),
+        filter(std::move(search_filter)),
+        attrs(std::move(selection)) {}
+
+  /// Convenience constructor from string forms.
+  static Query parse(std::string_view base, Scope scope, std::string_view filter);
+
+  /// A whole-subtree query: base + SUBTREE + (objectclass=*). Every subtree
+  /// replication context is expressible as such a query (§3).
+  static Query whole_subtree(Dn base);
+
+  /// True when `dn` lies in the region selected by base and scope.
+  bool region_covers(const Dn& dn) const;
+
+  /// Display form "base='o=xyz' scope=subtree filter=(sn=Doe) attrs=*".
+  std::string to_string() const;
+
+  /// Canonical key for dedup/maps: normalized base + scope + filter string.
+  std::string key() const;
+};
+
+bool operator==(const Query& a, const Query& b);
+
+}  // namespace fbdr::ldap

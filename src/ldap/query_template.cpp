@@ -1,0 +1,249 @@
+#include "ldap/query_template.h"
+
+#include <utility>
+
+#include "ldap/error.h"
+#include "ldap/filter_parser.h"
+
+namespace fbdr::ldap {
+
+namespace {
+
+bool is_placeholder(std::string_view value) { return value == kPlaceholder; }
+
+/// Counts `_` placeholders in a skeleton, pre-order.
+std::size_t count_slots(const Filter& skeleton) {
+  std::size_t count = 0;
+  skeleton.for_each_predicate([&](const Filter& p) {
+    switch (p.kind()) {
+      case FilterKind::Equality:
+      case FilterKind::GreaterEq:
+      case FilterKind::LessEq:
+        if (is_placeholder(p.value())) ++count;
+        break;
+      case FilterKind::Substring: {
+        const SubstringPattern& pat = p.substrings();
+        if (is_placeholder(pat.initial)) ++count;
+        for (const std::string& part : pat.any) {
+          if (is_placeholder(part)) ++count;
+        }
+        if (is_placeholder(pat.final)) ++count;
+        break;
+      }
+      default:
+        break;
+    }
+  });
+  return count;
+}
+
+/// Recursive structural unification of a concrete filter against a skeleton.
+bool unify(const Filter& tmpl, const Filter& f, const Schema& schema,
+           std::vector<std::string>& slots) {
+  if (tmpl.kind() != f.kind()) return false;
+  if (tmpl.is_composite()) {
+    if (tmpl.children().size() != f.children().size()) return false;
+    for (std::size_t i = 0; i < tmpl.children().size(); ++i) {
+      if (!unify(*tmpl.children()[i], *f.children()[i], schema, slots)) return false;
+    }
+    return true;
+  }
+  if (tmpl.attribute() != f.attribute()) return false;
+  switch (tmpl.kind()) {
+    case FilterKind::Present:
+      return true;
+    case FilterKind::Equality:
+    case FilterKind::GreaterEq:
+    case FilterKind::LessEq:
+      if (is_placeholder(tmpl.value())) {
+        slots.push_back(f.value());
+        return true;
+      }
+      return schema.equals(tmpl.attribute(), tmpl.value(), f.value());
+    case FilterKind::Substring: {
+      const SubstringPattern& tp = tmpl.substrings();
+      const SubstringPattern& fp = f.substrings();
+      if (tp.any.size() != fp.any.size()) return false;
+      // Components must agree in presence: a template with a non-empty
+      // initial only matches filters with a non-empty initial, etc.
+      if (tp.initial.empty() != fp.initial.empty()) return false;
+      if (tp.final.empty() != fp.final.empty()) return false;
+      auto component = [&](const std::string& t, const std::string& v) {
+        if (t.empty()) return true;
+        if (is_placeholder(t)) {
+          slots.push_back(v);
+          return true;
+        }
+        return schema.normalize(tmpl.attribute(), t) ==
+               schema.normalize(tmpl.attribute(), v);
+      };
+      if (!component(tp.initial, fp.initial)) return false;
+      for (std::size_t i = 0; i < tp.any.size(); ++i) {
+        if (!component(tp.any[i], fp.any[i])) return false;
+      }
+      return component(tp.final, fp.final);
+    }
+    default:
+      return false;
+  }
+}
+
+/// Rebuilds a skeleton with placeholders bound from `slots` (consumed in
+/// pre-order). Placeholder occurrences beyond the binding count throw.
+FilterPtr bind(const Filter& tmpl, const std::vector<std::string>& slots,
+               std::size_t& next) {
+  if (tmpl.is_composite()) {
+    std::vector<FilterPtr> children;
+    children.reserve(tmpl.children().size());
+    for (const FilterPtr& child : tmpl.children()) {
+      children.push_back(bind(*child, slots, next));
+    }
+    switch (tmpl.kind()) {
+      case FilterKind::And:
+        return Filter::make_and(std::move(children));
+      case FilterKind::Or:
+        return Filter::make_or(std::move(children));
+      default:
+        return Filter::make_not(std::move(children.front()));
+    }
+  }
+  auto take = [&](const std::string& component) -> std::string {
+    if (!is_placeholder(component)) return component;
+    if (next >= slots.size()) {
+      throw ProtocolError("template instantiation: not enough slot bindings");
+    }
+    return slots[next++];
+  };
+  switch (tmpl.kind()) {
+    case FilterKind::Present:
+      return Filter::present(tmpl.attribute());
+    case FilterKind::Equality:
+      return Filter::equality(tmpl.attribute(), take(tmpl.value()));
+    case FilterKind::GreaterEq:
+      return Filter::greater_eq(tmpl.attribute(), take(tmpl.value()));
+    case FilterKind::LessEq:
+      return Filter::less_eq(tmpl.attribute(), take(tmpl.value()));
+    case FilterKind::Substring: {
+      SubstringPattern pat;
+      pat.initial = tmpl.substrings().initial.empty()
+                        ? ""
+                        : take(tmpl.substrings().initial);
+      for (const std::string& part : tmpl.substrings().any) {
+        pat.any.push_back(take(part));
+      }
+      pat.final =
+          tmpl.substrings().final.empty() ? "" : take(tmpl.substrings().final);
+      return Filter::substring(tmpl.attribute(), std::move(pat));
+    }
+    default:
+      throw ProtocolError("template instantiation: unexpected node kind");
+  }
+}
+
+/// Generalizes a concrete filter into a fully wildcarded skeleton.
+FilterPtr generalize_node(const Filter& f) {
+  if (f.is_composite()) {
+    std::vector<FilterPtr> children;
+    children.reserve(f.children().size());
+    for (const FilterPtr& child : f.children()) {
+      children.push_back(generalize_node(*child));
+    }
+    switch (f.kind()) {
+      case FilterKind::And:
+        return Filter::make_and(std::move(children));
+      case FilterKind::Or:
+        return Filter::make_or(std::move(children));
+      default:
+        return Filter::make_not(std::move(children.front()));
+    }
+  }
+  switch (f.kind()) {
+    case FilterKind::Present:
+      return Filter::present(f.attribute());
+    case FilterKind::Equality:
+      return Filter::equality(f.attribute(), kPlaceholder);
+    case FilterKind::GreaterEq:
+      return Filter::greater_eq(f.attribute(), kPlaceholder);
+    case FilterKind::LessEq:
+      return Filter::less_eq(f.attribute(), kPlaceholder);
+    case FilterKind::Substring: {
+      SubstringPattern pat;
+      if (!f.substrings().initial.empty()) pat.initial = kPlaceholder;
+      for (std::size_t i = 0; i < f.substrings().any.size(); ++i) {
+        pat.any.emplace_back(kPlaceholder);
+      }
+      if (!f.substrings().final.empty()) pat.final = kPlaceholder;
+      return Filter::substring(f.attribute(), std::move(pat));
+    }
+    default:
+      throw ProtocolError("generalize: unexpected node kind");
+  }
+}
+
+}  // namespace
+
+FilterTemplate FilterTemplate::parse(std::string_view textual) {
+  return from_skeleton(parse_filter(textual));
+}
+
+FilterTemplate FilterTemplate::from_skeleton(FilterPtr skeleton) {
+  if (!skeleton) throw ProtocolError("null template skeleton");
+  FilterTemplate tmpl;
+  tmpl.skeleton_ = std::move(skeleton);
+  tmpl.key_ = tmpl.skeleton_->to_string();
+  tmpl.slot_count_ = count_slots(*tmpl.skeleton_);
+  return tmpl;
+}
+
+FilterTemplate FilterTemplate::generalize(const Filter& filter) {
+  return from_skeleton(generalize_node(filter));
+}
+
+std::optional<std::vector<std::string>> FilterTemplate::match(
+    const Filter& filter, const Schema& schema) const {
+  std::vector<std::string> slots;
+  slots.reserve(slot_count_);
+  if (!unify(*skeleton_, filter, schema, slots)) return std::nullopt;
+  return slots;
+}
+
+FilterPtr FilterTemplate::instantiate(const std::vector<std::string>& slots) const {
+  if (slots.size() != slot_count_) {
+    throw ProtocolError("template '" + key_ + "' expects " +
+                        std::to_string(slot_count_) + " bindings, got " +
+                        std::to_string(slots.size()));
+  }
+  std::size_t next = 0;
+  return bind(*skeleton_, slots, next);
+}
+
+std::size_t TemplateRegistry::add(FilterTemplate tmpl) {
+  for (std::size_t i = 0; i < templates_.size(); ++i) {
+    if (templates_[i].key() == tmpl.key()) return i;
+  }
+  templates_.push_back(std::move(tmpl));
+  return templates_.size() - 1;
+}
+
+std::size_t TemplateRegistry::add(std::string_view template_text) {
+  return add(FilterTemplate::parse(template_text));
+}
+
+std::optional<BoundTemplate> TemplateRegistry::match(const Filter& filter,
+                                                     const Schema& schema) const {
+  for (std::size_t i = 0; i < templates_.size(); ++i) {
+    if (auto slots = templates_[i].match(filter, schema)) {
+      return BoundTemplate{i, templates_[i].key(), std::move(*slots)};
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<std::size_t> TemplateRegistry::find(std::string_view key) const {
+  for (std::size_t i = 0; i < templates_.size(); ++i) {
+    if (templates_[i].key() == key) return i;
+  }
+  return std::nullopt;
+}
+
+}  // namespace fbdr::ldap

@@ -1,0 +1,101 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ldap/filter.h"
+#include "ldap/schema.h"
+
+namespace fbdr::ldap {
+
+/// LDAP templates (paper §3.4.2): filter prototypes in which assertion
+/// values are replaced by the `_` placeholder, e.g. `(&(cn=_)(ou=research))`,
+/// `(uid=_)`, `(sn=_*)`. A template may mix placeholders and constants.
+///
+/// A template is represented as an ordinary Filter whose assertion values (or
+/// substring components) may be the literal `_`. Placeholders are numbered in
+/// pre-order; within a substring predicate the order is initial, any...,
+/// final.
+class FilterTemplate {
+ public:
+  /// Builds a template from its string form, e.g. "(&(cn=_)(ou=research))".
+  static FilterTemplate parse(std::string_view text);
+
+  /// Builds a template from a filter skeleton (values may contain `_`).
+  static FilterTemplate from_skeleton(FilterPtr skeleton);
+
+  /// Fully generalizes a concrete filter: every assertion value and every
+  /// substring component becomes `_`. The inverse of binding.
+  static FilterTemplate generalize(const Filter& filter);
+
+  const FilterPtr& skeleton() const noexcept { return skeleton_; }
+
+  /// Canonical key, the skeleton's RFC 2254 string (lowercased attributes).
+  const std::string& key() const noexcept { return key_; }
+
+  /// Number of `_` placeholders.
+  std::size_t slot_count() const noexcept { return slot_count_; }
+
+  /// Attempts to match `filter` against this template. On success returns the
+  /// placeholder bindings in slot order; constants must match under the
+  /// schema's matching rules. Returns nullopt when structure, attributes or
+  /// constants differ.
+  std::optional<std::vector<std::string>> match(
+      const Filter& filter, const Schema& schema = Schema::default_instance()) const;
+
+  /// Instantiates the template with the given slot bindings (inverse of
+  /// match). Throws ProtocolError when the binding count is wrong.
+  FilterPtr instantiate(const std::vector<std::string>& slots) const;
+
+  friend bool operator==(const FilterTemplate& a, const FilterTemplate& b) {
+    return a.key_ == b.key_;
+  }
+
+ private:
+  FilterTemplate() = default;
+
+  FilterPtr skeleton_;
+  std::string key_;
+  std::size_t slot_count_ = 0;
+};
+
+/// The placeholder marker used in templates.
+inline constexpr std::string_view kPlaceholder = "_";
+
+/// A filter matched against a registry: which template and which bindings.
+struct BoundTemplate {
+  std::size_t template_id = 0;
+  std::string template_key;
+  std::vector<std::string> slots;
+};
+
+/// A set of admissible templates. The paper's replicas answer and replicate
+/// only queries belonging to a configured template set ("in template based
+/// containment, queries belonging to only a specified set of templates are
+/// replicated and answered", §3.4.2).
+class TemplateRegistry {
+ public:
+  /// Registers a template; returns its id. Re-registering the same key
+  /// returns the existing id.
+  std::size_t add(FilterTemplate tmpl);
+  std::size_t add(std::string_view template_text);
+
+  std::size_t size() const noexcept { return templates_.size(); }
+  const FilterTemplate& at(std::size_t id) const { return templates_.at(id); }
+
+  /// Finds the first registered template matching `filter`. Templates are
+  /// tried in registration order, so register more specific templates (with
+  /// constants) before fully wildcarded ones.
+  std::optional<BoundTemplate> match(
+      const Filter& filter, const Schema& schema = Schema::default_instance()) const;
+
+  /// Id of a template by key, if registered.
+  std::optional<std::size_t> find(std::string_view key) const;
+
+ private:
+  std::vector<FilterTemplate> templates_;
+};
+
+}  // namespace fbdr::ldap

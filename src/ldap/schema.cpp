@@ -1,0 +1,130 @@
+#include "ldap/schema.h"
+
+#include "ldap/text.h"
+
+namespace fbdr::ldap {
+
+std::string to_string(Syntax syntax) {
+  switch (syntax) {
+    case Syntax::CaseIgnoreString:
+      return "caseIgnoreString";
+    case Syntax::CaseExactString:
+      return "caseExactString";
+    case Syntax::Integer:
+      return "integer";
+    case Syntax::DnString:
+      return "dn";
+  }
+  return "unknown";
+}
+
+std::optional<std::string> canonical_integer(std::string_view value) {
+  std::string_view s = text::trim(value);
+  if (s.empty()) return std::nullopt;
+  bool negative = false;
+  if (s.front() == '-' || s.front() == '+') {
+    negative = s.front() == '-';
+    s.remove_prefix(1);
+    if (s.empty()) return std::nullopt;
+  }
+  for (char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+  }
+  std::size_t first = 0;
+  while (first + 1 < s.size() && s[first] == '0') ++first;
+  std::string digits(s.substr(first));
+  if (digits == "0") return std::string("0");
+  return negative ? "-" + digits : digits;
+}
+
+int compare_canonical_integers(std::string_view a, std::string_view b) {
+  const bool na = !a.empty() && a.front() == '-';
+  const bool nb = !b.empty() && b.front() == '-';
+  if (na != nb) return na ? -1 : 1;
+  std::string_view da = na ? a.substr(1) : a;
+  std::string_view db = nb ? b.substr(1) : b;
+  int magnitude;
+  if (da.size() != db.size()) {
+    magnitude = da.size() < db.size() ? -1 : 1;
+  } else {
+    magnitude = da == db ? 0 : (da < db ? -1 : 1);
+  }
+  return na ? -magnitude : magnitude;
+}
+
+Schema::Schema() {
+  // Core naming / structural attributes.
+  for (const char* name : {"cn", "sn", "givenname", "ou", "o",
+                           "c", "l", "dc", "uid", "description", "title"}) {
+    add({name, Syntax::CaseIgnoreString, false, false});
+  }
+  add({"objectclass", Syntax::CaseIgnoreString, false, /*required=*/true});
+  // Case study attributes (IBM enterprise directory shape, §7.1).
+  add({"mail", Syntax::CaseIgnoreString, false});
+  add({"telephonenumber", Syntax::CaseIgnoreString, false});
+  // serialNumber is a structured digit string; substring (prefix) filters are
+  // issued against it, so it is matched as a string (fixed-width digit
+  // strings order identically to their numeric values).
+  add({"serialnumber", Syntax::CaseIgnoreString, true});
+  add({"employeenumber", Syntax::CaseIgnoreString, true});
+  add({"departmentnumber", Syntax::CaseIgnoreString, true});
+  add({"dept", Syntax::CaseIgnoreString, true});
+  add({"div", Syntax::CaseIgnoreString, true});
+  add({"location", Syntax::CaseIgnoreString, true});
+  add({"manager", Syntax::DnString, true});
+  // Numeric attributes used in containment examples (e.g. (age>=30)).
+  add({"age", Syntax::Integer, true});
+  add({"roomnumber", Syntax::Integer, true});
+  add({"uidnumber", Syntax::Integer, true});
+}
+
+const Schema& Schema::default_instance() {
+  static const Schema schema;
+  return schema;
+}
+
+void Schema::add(AttributeType type) {
+  type.name = text::lower(type.name);
+  types_[type.name] = std::move(type);
+}
+
+const AttributeType* Schema::find(std::string_view name) const {
+  const auto it = types_.find(text::lower(name));
+  return it == types_.end() ? nullptr : &it->second;
+}
+
+Syntax Schema::syntax_of(std::string_view attr) const {
+  const AttributeType* type = find(attr);
+  return type ? type->syntax : Syntax::CaseIgnoreString;
+}
+
+std::string Schema::normalize(std::string_view attr, std::string_view value) const {
+  switch (syntax_of(attr)) {
+    case Syntax::CaseExactString:
+      return std::string(text::trim(value));
+    case Syntax::Integer: {
+      if (auto canon = canonical_integer(value)) return *canon;
+      // Not a number: fall back to case-ignore string matching.
+      return text::lower(text::trim(value));
+    }
+    case Syntax::CaseIgnoreString:
+    case Syntax::DnString:
+      return text::lower(text::trim(value));
+  }
+  return std::string(value);
+}
+
+int Schema::compare(std::string_view attr, std::string_view a,
+                    std::string_view b) const {
+  if (syntax_of(attr) == Syntax::Integer) {
+    const auto ca = canonical_integer(a);
+    const auto cb = canonical_integer(b);
+    if (ca && cb) return compare_canonical_integers(*ca, *cb);
+  }
+  const std::string na = normalize(attr, a);
+  const std::string nb = normalize(attr, b);
+  if (na == nb) return 0;
+  return na < nb ? -1 : 1;
+}
+
+}  // namespace fbdr::ldap

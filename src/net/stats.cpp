@@ -1,0 +1,13 @@
+#include "net/stats.h"
+
+namespace fbdr::net {
+
+std::string TrafficStats::to_string() const {
+  return "round_trips=" + std::to_string(round_trips) +
+         " pdus=" + std::to_string(pdus) + " entries=" + std::to_string(entries) +
+         " dns_only=" + std::to_string(dns_only) +
+         " referrals=" + std::to_string(referrals) +
+         " bytes=" + std::to_string(bytes);
+}
+
+}  // namespace fbdr::net

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fbdr::net {
+
+/// Traffic accounting for the simulated client/server and master/replica
+/// links. The paper's evaluation reports update traffic in *number of
+/// entries* (Figs. 6-7) and protocol costs in round trips (§2.3); bytes are
+/// tracked as well for finer-grained comparisons.
+struct TrafficStats {
+  std::uint64_t round_trips = 0;    // request/response exchanges
+  std::uint64_t pdus = 0;           // protocol data units (entries, refs, DNs)
+  std::uint64_t entries = 0;        // full entries transferred
+  std::uint64_t dns_only = 0;       // delete/retain PDUs carrying only a DN
+  std::uint64_t referrals = 0;      // referral PDUs
+  std::uint64_t bytes = 0;          // approximate wire bytes
+
+  void count_round_trip() { ++round_trips; }
+
+  void count_entry(std::size_t entry_bytes) {
+    ++pdus;
+    ++entries;
+    bytes += entry_bytes;
+  }
+
+  void count_dn(std::size_t dn_bytes) {
+    ++pdus;
+    ++dns_only;
+    bytes += dn_bytes;
+  }
+
+  void count_referral(std::size_t ref_bytes) {
+    ++pdus;
+    ++referrals;
+    bytes += ref_bytes;
+  }
+
+  TrafficStats& operator+=(const TrafficStats& other) {
+    round_trips += other.round_trips;
+    pdus += other.pdus;
+    entries += other.entries;
+    dns_only += other.dns_only;
+    referrals += other.referrals;
+    bytes += other.bytes;
+    return *this;
+  }
+
+  void reset() { *this = {}; }
+
+  std::string to_string() const;
+};
+
+/// Deterministic logical clock used wherever the protocols need "time"
+/// (session timeouts, update windows). One tick is one simulated event.
+class LogicalClock {
+ public:
+  std::uint64_t now() const noexcept { return now_; }
+  std::uint64_t tick() { return ++now_; }
+  void advance(std::uint64_t delta) { now_ += delta; }
+
+ private:
+  std::uint64_t now_ = 0;
+};
+
+}  // namespace fbdr::net

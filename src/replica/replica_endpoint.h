@@ -1,0 +1,46 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "replica/filter_replica.h"
+#include "server/endpoint.h"
+
+namespace fbdr::replica {
+
+/// A filter-based replica exposed as a search endpoint: queries semantically
+/// contained in a stored or cached query are answered from local content; a
+/// miss returns a referral to the master, which a DistributedClient then
+/// chases transparently. This is the paper's deployment model — the replica
+/// sits at a remote site and either answers completely or refers (§3).
+class FilterReplicaEndpoint : public server::SearchEndpoint {
+ public:
+  /// The endpoint borrows the replica; the owner (typically a
+  /// core::FilterReplicationService) keeps it alive and synchronized.
+  FilterReplicaEndpoint(std::string url, std::string master_url,
+                        FilterReplica& replica)
+      : url_(std::move(url)),
+        master_url_(std::move(master_url)),
+        replica_(&replica) {}
+
+  const std::string& url() const override { return url_; }
+
+  server::SearchResult process_search(const ldap::Query& query) override {
+    server::SearchResult result;
+    if (replica_->handle(query).hit) {
+      result.base_resolved = true;
+      result.entries = replica_->answer(query);
+    } else {
+      // Not contained in any replicated query: refer the whole request.
+      result.referrals.push_back({master_url_, query.base, query.scope});
+    }
+    return result;
+  }
+
+ private:
+  std::string url_;
+  std::string master_url_;
+  FilterReplica* replica_;
+};
+
+}  // namespace fbdr::replica

@@ -1,0 +1,132 @@
+#include "resync/master.h"
+
+#include "ldap/error.h"
+
+namespace fbdr::resync {
+
+using ldap::ProtocolError;
+
+ReSyncMaster::ReSyncMaster(server::DirectoryServer& master)
+    : master_(&master), last_pumped_seq_(master.journal().last_seq()) {}
+
+std::string ReSyncMaster::new_cookie() {
+  return "rs-" + std::to_string(++cookie_counter_);
+}
+
+void ReSyncMaster::account(const std::vector<EntryPdu>& pdus) {
+  for (const EntryPdu& pdu : pdus) {
+    if (pdu.entry) {
+      traffic_.count_entry(pdu.approx_bytes());
+    } else {
+      traffic_.count_dn(pdu.approx_bytes());
+    }
+  }
+}
+
+ReSyncResponse ReSyncMaster::handle(const ldap::Query& query,
+                                    const ReSyncControl& control) {
+  traffic_.count_round_trip();
+
+  if (control.mode == Mode::SyncEnd) {
+    if (!control.initial()) sessions_.erase(control.cookie);
+    return {};
+  }
+
+  ReSyncResponse response;
+  std::string cookie = control.cookie;
+  Session* session = nullptr;
+
+  if (control.initial()) {
+    // (i) Initial request: create the session and send the whole content.
+    cookie = new_cookie();
+    Session fresh;
+    fresh.session = std::make_unique<sync::QuerySession>(query, master_->schema());
+    fresh.mode = control.mode;
+    session = &sessions_.emplace(cookie, std::move(fresh)).first->second;
+    const sync::UpdateBatch batch = session->session->initial(master_->dit());
+    response.pdus = to_pdus(batch);
+    response.full_reload = true;
+  } else {
+    // (ii) Cookie identifies the session; send accumulated updates.
+    const auto it = sessions_.find(control.cookie);
+    if (it == sessions_.end()) {
+      throw ProtocolError("unknown or expired resync cookie '" + control.cookie +
+                          "'");
+    }
+    session = &it->second;
+    session->mode = control.mode;
+    const sync::UpdateBatch batch = incomplete_history_
+                                        ? session->session->poll_with_retains()
+                                        : session->session->poll();
+    response.pdus = to_pdus(batch);
+    response.complete_enumeration = batch.complete_enumeration;
+  }
+
+  session->last_active = clock_.now();
+  account(response.pdus);
+
+  if (control.mode == Mode::Persist) {
+    // (iii) Connection stays open for pushed notifications.
+    response.persistent = true;
+    response.cookie = cookie;
+  } else {
+    // (iv) Poll: return the resumption cookie.
+    response.cookie = cookie;
+  }
+  return response;
+}
+
+void ReSyncMaster::pump() {
+  const auto records = master_->journal().since(last_pumped_seq_);
+  for (const server::ChangeRecord* record : records) {
+    for (auto& [cookie, session] : sessions_) {
+      session.session->on_change(*record);
+    }
+    last_pumped_seq_ = record->seq;
+  }
+  // Push accumulated updates on persist connections immediately.
+  for (auto& [cookie, session] : sessions_) {
+    if (session.mode != Mode::Persist || !session.session->initialized()) continue;
+    const sync::UpdateBatch batch = session.session->poll();
+    if (batch.empty()) continue;
+    const std::vector<EntryPdu> pdus = to_pdus(batch);
+    account(pdus);
+    session.last_active = clock_.now();
+    if (sink_) sink_(cookie, pdus);
+  }
+}
+
+void ReSyncMaster::tick(std::uint64_t delta) {
+  clock_.advance(delta);
+  if (time_limit_ == 0) return;
+  // (v) Expire idle poll sessions past the admin time limit. Persist
+  // sessions hold an open connection and are not expired here.
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    const bool idle = clock_.now() - it->second.last_active > time_limit_;
+    if (idle && it->second.mode == Mode::Poll) {
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ReSyncMaster::abandon(const std::string& cookie) { sessions_.erase(cookie); }
+
+std::size_t ReSyncMaster::open_connections() const {
+  std::size_t count = 0;
+  for (const auto& [cookie, session] : sessions_) {
+    if (session.mode == Mode::Persist) ++count;
+  }
+  return count;
+}
+
+std::size_t ReSyncMaster::history_size() const {
+  std::size_t total = 0;
+  for (const auto& [cookie, session] : sessions_) {
+    total += session.session->pending_events();
+  }
+  return total;
+}
+
+}  // namespace fbdr::resync

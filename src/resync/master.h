@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "net/stats.h"
+#include "resync/protocol.h"
+#include "server/directory_server.h"
+#include "sync/query_session.h"
+
+namespace fbdr::resync {
+
+/// Server-side handling of the ReSync protocol (§5.2):
+///
+///  (i)   null cookie: initial request of an update session — the entire
+///        content is sent;
+///  (ii)  otherwise the cookie identifies the session and accumulated
+///        content updates (session history) are sent;
+///  (iii) mode "persist": the connection is kept open and further change
+///        notifications are pushed;
+///  (iv)  mode "poll": a cookie to resume the session is returned;
+///  (v)   mode "sync_end" (or abandoning a persistent search) ends the
+///        session; idle sessions time out after an admin limit.
+///
+/// Drive it with handle() for requests, pump() after applying master updates
+/// (delivers persist notifications), and tick()/expire_sessions() for the
+/// admin time limit.
+class ReSyncMaster {
+ public:
+  /// Sink receiving pushed notifications for persist-mode sessions.
+  using NotificationSink =
+      std::function<void(const std::string& cookie, const std::vector<EntryPdu>&)>;
+
+  explicit ReSyncMaster(server::DirectoryServer& master);
+
+  /// Keep incomplete history: polls answer with equation (3) retain-based
+  /// enumerations instead of minimal deltas. Default: complete history.
+  void set_incomplete_history(bool incomplete) { incomplete_history_ = incomplete; }
+
+  /// Admin time limit for idle sessions (logical ticks; 0 disables).
+  void set_session_time_limit(std::uint64_t ticks) { time_limit_ = ticks; }
+
+  void set_notification_sink(NotificationSink sink) { sink_ = std::move(sink); }
+
+  /// Handles one resync search request.
+  ReSyncResponse handle(const ldap::Query& query, const ReSyncControl& control);
+
+  /// Feeds journal records appended since the last pump into every session;
+  /// persist sessions get their updates pushed through the sink immediately.
+  void pump();
+
+  /// Advances the logical clock and expires idle poll sessions.
+  void tick(std::uint64_t delta = 1);
+
+  /// Client-initiated abandon of a persistent search.
+  void abandon(const std::string& cookie);
+
+  std::size_t session_count() const noexcept { return sessions_.size(); }
+
+  /// Open persist connections — the scaling concern that motivates polling
+  /// ("persistent search requires a TCP connection per replicated filter").
+  std::size_t open_connections() const;
+
+  /// Total pending history events held across sessions.
+  std::size_t history_size() const;
+
+  /// Traffic shipped to replicas so far (entries/DNs/bytes).
+  const net::TrafficStats& traffic() const noexcept { return traffic_; }
+  void reset_traffic() { traffic_.reset(); }
+
+ private:
+  struct Session {
+    std::unique_ptr<sync::QuerySession> session;
+    Mode mode = Mode::Poll;
+    std::uint64_t last_active = 0;
+  };
+
+  std::string new_cookie();
+  void account(const std::vector<EntryPdu>& pdus);
+
+  server::DirectoryServer* master_;
+  std::map<std::string, Session> sessions_;
+  NotificationSink sink_;
+  net::LogicalClock clock_;
+  net::TrafficStats traffic_;
+  std::uint64_t last_pumped_seq_ = 0;
+  std::uint64_t time_limit_ = 0;
+  std::uint64_t cookie_counter_ = 0;
+  bool incomplete_history_ = false;
+};
+
+}  // namespace fbdr::resync

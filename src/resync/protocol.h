@@ -1,0 +1,73 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ldap/dn.h"
+#include "ldap/entry.h"
+#include "ldap/query.h"
+#include "sync/update_batch.h"
+
+namespace fbdr::resync {
+
+/// Update mode requested by the replica (§5.2): "the client can specify the
+/// mode of update as polling or notifications".
+enum class Mode {
+  Poll,     // pull accumulated updates, receive a resumption cookie
+  Persist,  // keep the connection open; further changes are pushed
+  SyncEnd,  // terminate the session
+};
+
+std::string to_string(Mode mode);
+
+/// The resync control attached to a search request:
+///   reSyncControl = (mode, cookie).
+/// An empty cookie marks the initial request of an update session.
+struct ReSyncControl {
+  Mode mode = Mode::Poll;
+  std::string cookie;
+
+  bool initial() const noexcept { return cookie.empty(); }
+  std::string to_string() const;
+};
+
+/// Action carried by a notification/update PDU: "if the action is add or
+/// modify, the complete entry is sent, otherwise if the action is delete,
+/// only the DN of the entry is sent". Retain conveys the unchanged entries
+/// of equation (3) when history information is incomplete.
+enum class Action { Add, Modify, Delete, Retain };
+
+std::string to_string(Action action);
+
+/// One update PDU: an entry (or bare DN) plus the action control.
+struct EntryPdu {
+  Action action = Action::Add;
+  ldap::Dn dn;
+  ldap::EntryPtr entry;  // null for Delete/Retain
+
+  std::size_t approx_bytes(std::size_t entry_padding = 0) const;
+  std::string to_string() const;
+};
+
+/// Response to one resync request.
+struct ReSyncResponse {
+  std::vector<EntryPdu> pdus;
+  std::string cookie;        // resumption cookie (poll mode)
+  bool persistent = false;   // connection remains open (persist mode)
+  bool full_reload = false;  // initial content: replica starts empty
+  /// Equation (3) responses enumerate the whole content; unmentioned entries
+  /// must be discarded by the replica.
+  bool complete_enumeration = false;
+
+  std::size_t entries_sent() const;
+  std::size_t dns_sent() const;
+};
+
+/// Converts a sync::UpdateBatch into the wire PDUs.
+std::vector<EntryPdu> to_pdus(const sync::UpdateBatch& batch);
+
+/// Applies wire PDUs back into an UpdateBatch shape (replica side).
+sync::UpdateBatch from_pdus(const std::vector<EntryPdu>& pdus, bool full_reload,
+                            bool complete_enumeration);
+
+}  // namespace fbdr::resync

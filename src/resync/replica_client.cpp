@@ -1,0 +1,73 @@
+#include "resync/replica_client.h"
+
+#include "ldap/error.h"
+
+namespace fbdr::resync {
+
+ReSyncReplica::ReSyncReplica(ReSyncMaster& master, ldap::Query query)
+    : master_(&master), query_(std::move(query)) {}
+
+void ReSyncReplica::apply(const ReSyncResponse& response) {
+  content_.apply(from_pdus(response.pdus, response.full_reload,
+                           response.complete_enumeration));
+}
+
+void ReSyncReplica::start(Mode mode) {
+  mode_ = mode;
+  const ReSyncResponse response = master_->handle(query_, {mode, ""});
+  cookie_ = response.cookie;
+  active_ = true;
+  apply(response);
+}
+
+void ReSyncReplica::poll() {
+  if (!active_) {
+    throw ldap::ProtocolError("poll() before start()");
+  }
+  try {
+    const ReSyncResponse response = master_->handle(query_, {Mode::Poll, cookie_});
+    apply(response);
+  } catch (const ldap::ProtocolError&) {
+    if (!auto_recover_) throw;
+    // Session lost at the master: start over. The initial response is a
+    // full reload, so convergence is preserved at the cost of the content
+    // retransmission — the trade-off the cookie mechanism exists to avoid.
+    ++recoveries_;
+    start(Mode::Poll);
+  }
+}
+
+void ReSyncReplica::sync_end() {
+  if (!active_) return;
+  master_->handle(query_, {Mode::SyncEnd, cookie_});
+  active_ = false;
+}
+
+void ReSyncReplica::abandon() {
+  if (!active_) return;
+  master_->abandon(cookie_);
+  active_ = false;
+}
+
+void ReSyncReplica::deliver(const std::vector<EntryPdu>& pdus) {
+  content_.apply(from_pdus(pdus, /*full_reload=*/false,
+                           /*complete_enumeration=*/false));
+}
+
+void NotificationRouter::attach(ReSyncMaster& master) {
+  master.set_notification_sink(
+      [this](const std::string& cookie, const std::vector<EntryPdu>& pdus) {
+        const auto it = by_cookie_.find(cookie);
+        if (it != by_cookie_.end()) it->second->deliver(pdus);
+      });
+}
+
+void NotificationRouter::subscribe(ReSyncReplica& replica) {
+  by_cookie_[replica.cookie()] = &replica;
+}
+
+void NotificationRouter::unsubscribe(const std::string& cookie) {
+  by_cookie_.erase(cookie);
+}
+
+}  // namespace fbdr::resync

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "resync/master.h"
+#include "sync/replica_content.h"
+
+namespace fbdr::resync {
+
+/// Replica-side ReSync client for one replicated query: runs the update
+/// session against a master, applies the received PDUs to a local content
+/// store, and exposes the store for serving queries.
+class ReSyncReplica {
+ public:
+  ReSyncReplica(ReSyncMaster& master, ldap::Query query);
+
+  /// Sends the initial request (null cookie) in the given mode.
+  void start(Mode mode = Mode::Poll);
+
+  /// Poll-mode pull of accumulated updates. Throws ProtocolError when the
+  /// session is unknown/expired at the master (unless recovery is enabled).
+  void poll();
+
+  /// When enabled, a poll whose cookie the master no longer recognizes
+  /// (session timed out, master restarted) transparently re-starts the
+  /// session: the master replies with the full content, the replica reloads,
+  /// and polling resumes under the fresh cookie.
+  void set_auto_recover(bool enabled) { auto_recover_ = enabled; }
+
+  /// Number of full-reload recoveries performed.
+  std::uint64_t recoveries() const noexcept { return recoveries_; }
+
+  /// Ends the session (mode sync_end).
+  void sync_end();
+
+  /// Abandons a persistent search (the other way a session ends).
+  void abandon();
+
+  /// Delivers pushed notifications (persist mode); normally invoked via a
+  /// NotificationRouter installed as the master's sink.
+  void deliver(const std::vector<EntryPdu>& pdus);
+
+  const sync::ReplicaContent& content() const noexcept { return content_; }
+  const std::string& cookie() const noexcept { return cookie_; }
+  bool active() const noexcept { return active_; }
+
+ private:
+  void apply(const ReSyncResponse& response);
+
+  ReSyncMaster* master_;
+  ldap::Query query_;
+  sync::ReplicaContent content_;
+  std::string cookie_;
+  Mode mode_ = Mode::Poll;
+  bool active_ = false;
+  bool auto_recover_ = false;
+  std::uint64_t recoveries_ = 0;
+};
+
+/// Routes persist-mode notifications from one master to the replicas that
+/// own the corresponding sessions. Install via master.set_notification_sink.
+class NotificationRouter {
+ public:
+  void attach(ReSyncMaster& master);
+  void subscribe(ReSyncReplica& replica);
+  void unsubscribe(const std::string& cookie);
+
+ private:
+  std::map<std::string, ReSyncReplica*> by_cookie_;
+};
+
+}  // namespace fbdr::resync

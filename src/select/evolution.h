@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "select/generalize.h"
+#include "select/selector.h"
+
+namespace fbdr::select {
+
+/// Comparison baseline: the evolution/revolution scheme of Kapitskaia, Ng
+/// and Srivastava [12] as sketched in §6.2. Benefits of both the *actual*
+/// (stored) and *candidate* filters are updated on every user query
+/// (evolution); when the candidates' aggregate benefit exceeds the actuals'
+/// by a configured factor, a revolution merges the two lists and re-selects
+/// by benefit/size. The paper's own selector (FilterSelector) approximates
+/// this with strictly periodic revolutions, which suits replication better
+/// ("using evolutions as described above requires frequent updates to the
+/// stored filter list").
+class EvolutionSelector {
+ public:
+  struct Config {
+    /// Revolution triggers when candidate benefit > threshold * actual
+    /// benefit.
+    double revolution_threshold = 1.2;
+    /// Benefits are multiplied by this factor at each revolution (aging).
+    double decay = 0.5;
+    std::size_t budget_entries = std::numeric_limits<std::size_t>::max();
+    std::size_t budget_filters = std::numeric_limits<std::size_t>::max();
+    /// Minimum observations between revolutions (guards against thrashing).
+    std::size_t min_interval = 100;
+  };
+
+  EvolutionSelector(Config config, Generalizer generalizer,
+                    FilterSelector::SizeEstimator estimator);
+
+  std::optional<FilterSelector::Revolution> observe(const ldap::Query& query);
+
+  std::vector<ldap::Query> stored() const;
+  std::uint64_t revolutions() const noexcept { return revolutions_; }
+  std::size_t candidate_count() const noexcept { return candidates_.size(); }
+
+ private:
+  struct Candidate {
+    ldap::Query query;
+    double benefit = 0.0;
+    std::size_t size = 0;
+    bool stored = false;
+  };
+
+  FilterSelector::Revolution revolve();
+
+  Config config_;
+  Generalizer generalizer_;
+  FilterSelector::SizeEstimator estimator_;
+  std::map<std::string, Candidate> candidates_;
+  std::uint64_t since_revolution_ = 0;
+  std::uint64_t revolutions_ = 0;
+};
+
+}  // namespace fbdr::select

@@ -1,0 +1,66 @@
+#include "select/generalize.h"
+
+namespace fbdr::select {
+
+using ldap::FilterTemplate;
+using ldap::Query;
+
+void Generalizer::add_rule(std::string_view user_template,
+                           std::string_view candidate_template,
+                           SlotTransform transform) {
+  rules_.push_back(Rule{FilterTemplate::parse(user_template),
+                        FilterTemplate::parse(candidate_template),
+                        std::move(transform)});
+}
+
+std::optional<Query> Generalizer::generalize(const Query& query) const {
+  if (!query.filter) return std::nullopt;
+  for (const Rule& rule : rules_) {
+    const auto slots = rule.user_template.match(*query.filter, *schema_);
+    if (!slots) continue;
+    Query candidate = query;
+    candidate.filter = rule.candidate_template.instantiate(rule.transform(*slots));
+    return candidate;
+  }
+  return std::nullopt;
+}
+
+Generalizer::SlotTransform prefix_transform(std::size_t len) {
+  return [len](const std::vector<std::string>& slots) {
+    std::vector<std::string> out;
+    out.reserve(slots.size());
+    for (const std::string& slot : slots) {
+      out.push_back(slot.substr(0, len));
+    }
+    return out;
+  };
+}
+
+Generalizer::SlotTransform keep_slots(std::vector<std::size_t> indices) {
+  return [indices = std::move(indices)](const std::vector<std::string>& slots) {
+    std::vector<std::string> out;
+    out.reserve(indices.size());
+    for (const std::size_t index : indices) {
+      out.push_back(slots.at(index));
+    }
+    return out;
+  };
+}
+
+Generalizer::SlotTransform suffix_from(char marker) {
+  return [marker](const std::vector<std::string>& slots) {
+    std::vector<std::string> out;
+    out.reserve(slots.size());
+    for (const std::string& slot : slots) {
+      const std::size_t pos = slot.find(marker);
+      out.push_back(pos == std::string::npos ? slot : slot.substr(pos));
+    }
+    return out;
+  };
+}
+
+Generalizer::SlotTransform no_slots() {
+  return [](const std::vector<std::string>&) { return std::vector<std::string>{}; };
+}
+
+}  // namespace fbdr::select

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ldap/query.h"
+#include "ldap/query_template.h"
+#include "ldap/schema.h"
+
+namespace fbdr::select {
+
+/// Generalizes user queries into candidate replication filters (§6.1):
+/// "generalized form of user queries can be used to represent frequently
+/// accessed regions". Two guideline families from [12] are supported through
+/// template-to-template rules:
+///   (i)  generalization based on attribute components — e.g.
+///        (telephoneNumber=261-7580) -> (telephoneNumber=261-758*),
+///        (serialNumber=041234)      -> (serialNumber=04*);
+///   (ii) generalization based on the natural hierarchy of filters — e.g.
+///        (&(dept=2406)(div=X))      -> (&(div=X)(dept=*)).
+///
+/// A rule matches the user query's filter against a template and emits the
+/// candidate template instantiated with transformed slot bindings. Rules are
+/// tried in registration order.
+class Generalizer {
+ public:
+  /// Maps the user query's slot bindings to the candidate's slot bindings.
+  using SlotTransform =
+      std::function<std::vector<std::string>(const std::vector<std::string>&)>;
+
+  struct Rule {
+    ldap::FilterTemplate user_template;
+    ldap::FilterTemplate candidate_template;
+    SlotTransform transform;
+  };
+
+  explicit Generalizer(const ldap::Schema& schema = ldap::Schema::default_instance())
+      : schema_(&schema) {}
+
+  void add_rule(std::string_view user_template, std::string_view candidate_template,
+                SlotTransform transform);
+
+  /// Generalizes one user query; the candidate keeps the user query's base,
+  /// scope and attribute selection. Returns nullopt when no rule matches.
+  std::optional<ldap::Query> generalize(const ldap::Query& query) const;
+
+  std::size_t rule_count() const noexcept { return rules_.size(); }
+
+ private:
+  const ldap::Schema* schema_;
+  std::vector<Rule> rules_;
+};
+
+/// Transform: truncate the single slot value to its first `len` characters
+/// (attribute-component prefix generalization).
+Generalizer::SlotTransform prefix_transform(std::size_t len);
+
+/// Transform: keep only the slots at the given indices, in order (hierarchy
+/// generalization: drop the fine-grained component).
+Generalizer::SlotTransform keep_slots(std::vector<std::size_t> indices);
+
+/// Transform: keep the suffix of slot 0 starting at the first occurrence of
+/// `marker` (e.g. marker "@" maps john@us.ibm.com -> @us.ibm.com).
+Generalizer::SlotTransform suffix_from(char marker);
+
+/// Transform: produce no slots (fully constant candidate templates).
+Generalizer::SlotTransform no_slots();
+
+}  // namespace fbdr::select

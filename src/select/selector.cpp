@@ -1,0 +1,105 @@
+#include "select/selector.h"
+
+#include <algorithm>
+
+namespace fbdr::select {
+
+using ldap::Query;
+
+FilterSelector::FilterSelector(Config config, Generalizer generalizer,
+                               SizeEstimator estimator)
+    : config_(config),
+      generalizer_(std::move(generalizer)),
+      estimator_(std::move(estimator)) {}
+
+std::optional<FilterSelector::Revolution> FilterSelector::observe(
+    const Query& query) {
+  ++observed_;
+  ++since_revolution_;
+  if (const auto candidate = generalizer_.generalize(query)) {
+    const std::string key = candidate->key();
+    auto [it, inserted] = candidates_.try_emplace(key);
+    if (inserted) {
+      it->second.query = *candidate;
+      it->second.size = std::max<std::size_t>(1, estimator_(*candidate));
+    }
+    ++it->second.hits;
+  }
+  if (since_revolution_ >= config_.revolution_interval) {
+    return revolve();
+  }
+  return std::nullopt;
+}
+
+FilterSelector::Revolution FilterSelector::revolve() {
+  since_revolution_ = 0;
+  ++revolutions_;
+
+  // Rank candidates by benefit/size, best first; deterministic tie-break on
+  // the query key.
+  std::vector<Candidate*> ranked;
+  ranked.reserve(candidates_.size());
+  for (auto& [key, candidate] : candidates_) {
+    if (candidate.hits > 0) ranked.push_back(&candidate);
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const Candidate* a, const Candidate* b) {
+    const double ra = static_cast<double>(a->hits) / static_cast<double>(a->size);
+    const double rb = static_cast<double>(b->hits) / static_cast<double>(b->size);
+    if (ra != rb) return ra > rb;
+    if (a->hits != b->hits) return a->hits > b->hits;
+    return a->query.key() < b->query.key();
+  });
+
+  // Greedy knapsack under the entry and filter budgets.
+  Revolution revolution;
+  std::size_t entries = 0;
+  std::size_t filters = 0;
+  std::vector<Candidate*> selected;
+  for (Candidate* candidate : ranked) {
+    if (filters + 1 > config_.budget_filters) break;
+    if (entries + candidate->size > config_.budget_entries) continue;
+    entries += candidate->size;
+    ++filters;
+    selected.push_back(candidate);
+  }
+
+  // Diff against the previous stored set.
+  for (Candidate* candidate : selected) {
+    revolution.install.push_back(candidate->query);
+    if (!candidate->stored) {
+      revolution.fetched.push_back(candidate->query);
+      revolution.fetched_entries += candidate->size;
+    }
+  }
+  for (auto& [key, candidate] : candidates_) {
+    const bool keep =
+        std::find(selected.begin(), selected.end(), &candidate) != selected.end();
+    if (candidate.stored && !keep) {
+      revolution.dropped.push_back(candidate.query);
+    }
+    candidate.stored = keep;
+  }
+  stored_entries_ = entries;
+
+  // Reset benefits ("the number of hits for a candidate since the last
+  // update") and optionally forget cold candidates.
+  for (auto it = candidates_.begin(); it != candidates_.end();) {
+    it->second.hits = 0;
+    if (config_.prune_cold_candidates && !it->second.stored) {
+      it = candidates_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return revolution;
+}
+
+std::vector<Query> FilterSelector::stored() const {
+  std::vector<Query> out;
+  for (const auto& [key, candidate] : candidates_) {
+    if (candidate.stored) out.push_back(candidate.query);
+  }
+  return out;
+}
+
+}  // namespace fbdr::select

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ldap/query.h"
+#include "select/generalize.h"
+
+namespace fbdr::select {
+
+/// The paper's filter-selection algorithm (§6.2): maintain hit statistics
+/// for candidate generalized filters; every R queries (a *revolution*)
+/// re-select the stored filter set by best benefit-to-size ratio under a
+/// replica budget. "The benefit is defined as the number of hits for a
+/// candidate since the last update, while size is the estimated number of
+/// entries matching the filter."
+class FilterSelector {
+ public:
+  /// Estimates the number of entries matching a candidate query.
+  using SizeEstimator = std::function<std::size_t(const ldap::Query&)>;
+
+  struct Config {
+    /// Queries between revolutions (the paper's R: 6000/10000 in Fig. 5/7).
+    std::size_t revolution_interval = 10000;
+    /// Replica entry budget for the stored set.
+    std::size_t budget_entries = std::numeric_limits<std::size_t>::max();
+    /// Maximum number of stored filters.
+    std::size_t budget_filters = std::numeric_limits<std::size_t>::max();
+    /// Candidates with no hits since the last revolution are forgotten.
+    bool prune_cold_candidates = true;
+  };
+
+  /// The outcome of a revolution.
+  struct Revolution {
+    std::vector<ldap::Query> install;   // the new stored set (complete)
+    std::vector<ldap::Query> fetched;   // additions (cost: fetch their content)
+    std::vector<ldap::Query> dropped;   // evictions
+    std::size_t fetched_entries = 0;    // update traffic of the additions
+  };
+
+  FilterSelector(Config config, Generalizer generalizer, SizeEstimator estimator);
+
+  /// Observes one user query: generalizes it to a candidate, accumulates its
+  /// hit statistic, and — every revolution_interval observations — performs
+  /// a revolution. Returns the revolution when one occurred.
+  std::optional<Revolution> observe(const ldap::Query& query);
+
+  /// Forces a revolution now (also used to bootstrap the initial set).
+  Revolution revolve();
+
+  /// Currently selected stored set.
+  std::vector<ldap::Query> stored() const;
+  std::size_t stored_entry_budget_used() const noexcept { return stored_entries_; }
+  std::size_t candidate_count() const noexcept { return candidates_.size(); }
+  std::uint64_t observed() const noexcept { return observed_; }
+  std::uint64_t revolutions() const noexcept { return revolutions_; }
+
+ private:
+  struct Candidate {
+    ldap::Query query;
+    std::uint64_t hits = 0;       // since last revolution
+    std::size_t size = 0;         // estimated entries
+    bool stored = false;
+  };
+
+  Config config_;
+  Generalizer generalizer_;
+  SizeEstimator estimator_;
+  std::map<std::string, Candidate> candidates_;  // by query key
+  std::size_t stored_entries_ = 0;
+  std::uint64_t observed_ = 0;
+  std::uint64_t since_revolution_ = 0;
+  std::uint64_t revolutions_ = 0;
+};
+
+}  // namespace fbdr::select

@@ -1,0 +1,54 @@
+#include "server/change.h"
+
+#include <algorithm>
+
+namespace fbdr::server {
+
+std::string to_string(ChangeType type) {
+  switch (type) {
+    case ChangeType::Add:
+      return "add";
+    case ChangeType::Delete:
+      return "delete";
+    case ChangeType::Modify:
+      return "modify";
+    case ChangeType::ModifyDn:
+      return "modifyDN";
+  }
+  return "unknown";
+}
+
+std::string ChangeRecord::to_string() const {
+  std::string out = "#" + std::to_string(seq) + " " + server::to_string(type) +
+                    " '" + dn.to_string() + "'";
+  if (type == ChangeType::ModifyDn) out += " -> '" + new_dn.to_string() + "'";
+  return out;
+}
+
+std::uint64_t ChangeJournal::append(ChangeRecord record) {
+  record.seq = next_seq_++;
+  records_.push_back(std::move(record));
+  return records_.back().seq;
+}
+
+std::vector<const ChangeRecord*> ChangeJournal::since(std::uint64_t after_seq) const {
+  std::vector<const ChangeRecord*> out;
+  // Records are seq-ordered; binary search for the first seq > after_seq.
+  auto it = std::upper_bound(records_.begin(), records_.end(), after_seq,
+                             [](std::uint64_t seq, const ChangeRecord& r) {
+                               return seq < r.seq;
+                             });
+  out.reserve(static_cast<std::size_t>(records_.end() - it));
+  for (; it != records_.end(); ++it) out.push_back(&*it);
+  return out;
+}
+
+void ChangeJournal::trim(std::uint64_t up_to_seq) {
+  const auto it = std::upper_bound(records_.begin(), records_.end(), up_to_seq,
+                                   [](std::uint64_t seq, const ChangeRecord& r) {
+                                     return seq < r.seq;
+                                   });
+  records_.erase(records_.begin(), it);
+}
+
+}  // namespace fbdr::server

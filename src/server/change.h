@@ -1,0 +1,65 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ldap/dn.h"
+#include "ldap/entry.h"
+
+namespace fbdr::server {
+
+/// LDAP update operation kinds (RFC 2251 §4.6-4.9).
+enum class ChangeType { Add, Delete, Modify, ModifyDn };
+
+std::string to_string(ChangeType type);
+
+/// One attribute modification within a modify operation.
+struct Modification {
+  enum class Op { AddValues, DeleteValues, Replace };
+
+  Op op = Op::Replace;
+  std::string attr;
+  std::vector<std::string> values;  // empty + DeleteValues/Replace = remove all
+};
+
+/// A journaled update with full before/after entry snapshots. The sync
+/// back-ends consume these records; the degraded views used by the baseline
+/// protocols (tombstones: DN only; changelogs: changed attributes only) are
+/// derived from them in src/sync.
+struct ChangeRecord {
+  std::uint64_t seq = 0;
+  ChangeType type = ChangeType::Add;
+  ldap::Dn dn;                       // target entry (old DN for ModifyDn)
+  ldap::Dn new_dn;                   // ModifyDn only
+  ldap::EntryPtr before;             // null for Add
+  ldap::EntryPtr after;              // null for Delete
+  std::vector<Modification> mods;    // Modify only (the changelog's view)
+
+  std::string to_string() const;
+};
+
+/// Append-only journal of updates applied at a master server, with monotonic
+/// sequence numbers. Sequence numbers double as the protocol's logical
+/// update timeline.
+class ChangeJournal {
+ public:
+  /// Appends a record; assigns and returns its sequence number.
+  std::uint64_t append(ChangeRecord record);
+
+  /// Records with seq > `after_seq`, in order.
+  std::vector<const ChangeRecord*> since(std::uint64_t after_seq) const;
+
+  std::uint64_t last_seq() const noexcept { return next_seq_ - 1; }
+  std::size_t size() const noexcept { return records_.size(); }
+  const ChangeRecord& at(std::size_t index) const { return records_.at(index); }
+
+  /// Drops records with seq <= `up_to_seq` (log trimming).
+  void trim(std::uint64_t up_to_seq);
+
+ private:
+  std::vector<ChangeRecord> records_;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace fbdr::server

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/stats.h"
+#include "server/directory_server.h"
+#include "server/endpoint.h"
+
+namespace fbdr::server {
+
+/// The set of endpoints jointly serving a distributed directory, addressable
+/// by URL ("ldap://hostA") — master servers and replica sites alike.
+class ServerMap {
+ public:
+  void add(std::shared_ptr<SearchEndpoint> endpoint);
+  SearchEndpoint* find(const std::string& url) const;
+  std::size_t size() const noexcept { return servers_.size(); }
+
+ private:
+  std::map<std::string, std::shared_ptr<SearchEndpoint>> servers_;
+};
+
+/// A client performing distributed operation processing with referral
+/// chasing, exactly as §2.3/Figure 2 describes: contact a server; on a
+/// default referral re-target the original request; on subordinate referrals
+/// send continuation searches with modified bases. Every request/response
+/// exchange counts one round trip.
+class DistributedClient {
+ public:
+  explicit DistributedClient(const ServerMap& servers) : servers_(&servers) {}
+
+  /// Runs `query` starting at `start_url`, chasing referrals to completion.
+  /// Returns all entries collected across servers.
+  std::vector<ldap::EntryPtr> search(const std::string& start_url,
+                                     const ldap::Query& query);
+
+  const net::TrafficStats& stats() const noexcept { return stats_; }
+  void reset_stats() { stats_.reset(); }
+
+  /// Hop limit guarding against referral loops.
+  void set_max_hops(std::size_t hops) { max_hops_ = hops; }
+
+ private:
+  SearchResult request(const std::string& url, const ldap::Query& query);
+
+  const ServerMap* servers_;
+  net::TrafficStats stats_;
+  std::size_t max_hops_ = 32;
+};
+
+}  // namespace fbdr::server

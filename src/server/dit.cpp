@@ -1,0 +1,277 @@
+#include "server/dit.h"
+
+#include <algorithm>
+
+#include "ldap/error.h"
+#include "ldap/text.h"
+
+namespace fbdr::server {
+
+using ldap::Dn;
+using ldap::Entry;
+using ldap::EntryPtr;
+using ldap::OperationError;
+using ldap::ResultCode;
+
+void Dit::add_suffix(const Dn& suffix) {
+  if (std::find(suffixes_.begin(), suffixes_.end(), suffix) == suffixes_.end()) {
+    suffixes_.push_back(suffix);
+  }
+}
+
+bool Dit::is_suffix_dn(const Dn& dn) const {
+  return std::find(suffixes_.begin(), suffixes_.end(), dn) != suffixes_.end();
+}
+
+bool Dit::contains(const Dn& dn) const { return entries_.count(dn.norm_key()) > 0; }
+
+EntryPtr Dit::find(const Dn& dn) const {
+  return find_by_key(dn.norm_key());
+}
+
+EntryPtr Dit::find_by_key(const std::string& norm_key) const {
+  const auto it = entries_.find(norm_key);
+  return it == entries_.end() ? nullptr : it->second;
+}
+
+void Dit::add(EntryPtr entry) {
+  if (!entry) {
+    throw OperationError(ResultCode::OperationsError, "add of null entry");
+  }
+  const Dn& dn = entry->dn();
+  if (dn.is_root()) {
+    throw OperationError(ResultCode::NamingViolation, "cannot add the root DSE");
+  }
+  if (contains(dn)) {
+    throw OperationError(ResultCode::EntryAlreadyExists, dn.to_string());
+  }
+  if (!is_suffix_dn(dn) && !contains(dn.parent())) {
+    throw OperationError(ResultCode::NoSuchObject,
+                         "parent of '" + dn.to_string() + "' not present");
+  }
+  index_entry(*entry);
+  entries_[dn.norm_key()] = std::move(entry);
+  children_[dn.parent().norm_key()].insert(dn.norm_key());
+}
+
+EntryPtr Dit::remove(const Dn& dn) {
+  const auto it = entries_.find(dn.norm_key());
+  if (it == entries_.end()) {
+    throw OperationError(ResultCode::NoSuchObject, dn.to_string());
+  }
+  const auto kids = children_.find(dn.norm_key());
+  if (kids != children_.end() && !kids->second.empty()) {
+    throw OperationError(ResultCode::NotAllowedOnNonLeaf, dn.to_string());
+  }
+  EntryPtr removed = it->second;
+  deindex_entry(*removed);
+  entries_.erase(it);
+  children_.erase(dn.norm_key());
+  const auto parent = children_.find(dn.parent().norm_key());
+  if (parent != children_.end()) {
+    parent->second.erase(dn.norm_key());
+    if (parent->second.empty()) children_.erase(parent);
+  }
+  return removed;
+}
+
+std::pair<EntryPtr, EntryPtr> Dit::modify(const Dn& dn,
+                                          const std::vector<Modification>& mods) {
+  const auto it = entries_.find(dn.norm_key());
+  if (it == entries_.end()) {
+    throw OperationError(ResultCode::NoSuchObject, dn.to_string());
+  }
+  const EntryPtr before = it->second;
+  auto after = std::make_shared<Entry>(*before);
+  for (const Modification& mod : mods) {
+    switch (mod.op) {
+      case Modification::Op::AddValues:
+        for (const std::string& value : mod.values) {
+          after->add_value(mod.attr, value);
+        }
+        break;
+      case Modification::Op::DeleteValues:
+        if (mod.values.empty()) {
+          after->remove_attribute(mod.attr);
+        } else {
+          for (const std::string& value : mod.values) {
+            after->remove_value(mod.attr, value);
+          }
+        }
+        break;
+      case Modification::Op::Replace:
+        after->set_values(mod.attr, mod.values);
+        break;
+    }
+  }
+  deindex_entry(*before);
+  index_entry(*after);
+  it->second = after;
+  return {before, after};
+}
+
+std::vector<Dit::Renamed> Dit::move(const Dn& dn, const Dn& new_dn) {
+  if (!contains(dn)) {
+    throw OperationError(ResultCode::NoSuchObject, dn.to_string());
+  }
+  if (contains(new_dn)) {
+    throw OperationError(ResultCode::EntryAlreadyExists, new_dn.to_string());
+  }
+  if (!new_dn.is_root() && !contains(new_dn.parent()) &&
+      !is_suffix_dn(new_dn)) {
+    throw OperationError(ResultCode::NoSuchObject,
+                         "new superior of '" + new_dn.to_string() +
+                             "' not present");
+  }
+  if (dn.is_ancestor_or_self(new_dn)) {
+    throw OperationError(ResultCode::NamingViolation,
+                         "cannot move '" + dn.to_string() + "' under itself");
+  }
+
+  // Collect the subtree snapshots (parent first), then re-root them.
+  std::vector<EntryPtr> old_entries;
+  collect_subtree(dn, old_entries);
+  std::vector<Renamed> renamed;
+  renamed.reserve(old_entries.size());
+
+  // Remove old keys (children first to satisfy the leaf-only invariant is
+  // unnecessary here; we bypass remove() and edit the indexes directly).
+  for (const EntryPtr& old_entry : old_entries) {
+    deindex_entry(*old_entry);
+    entries_.erase(old_entry->dn().norm_key());
+    children_.erase(old_entry->dn().norm_key());
+    const auto parent = children_.find(old_entry->dn().parent().norm_key());
+    if (parent != children_.end()) {
+      parent->second.erase(old_entry->dn().norm_key());
+      if (parent->second.empty()) children_.erase(parent);
+    }
+  }
+  for (const EntryPtr& old_entry : old_entries) {
+    const Dn moved_dn = old_entry->dn().rebase(dn, new_dn);
+    auto moved = std::make_shared<Entry>(*old_entry);
+    moved->set_dn(moved_dn);
+    // Keep the naming attribute of the renamed apex consistent with its RDN.
+    if (old_entry->dn() == dn) {
+      moved->set_values(moved_dn.leaf_rdn().type(), {moved_dn.leaf_rdn().value()});
+    }
+    index_entry(*moved);
+    entries_[moved_dn.norm_key()] = moved;
+    children_[moved_dn.parent().norm_key()].insert(moved_dn.norm_key());
+    renamed.push_back({old_entry->dn(), moved_dn, moved, old_entry});
+  }
+  return renamed;
+}
+
+std::vector<EntryPtr> Dit::children(const Dn& dn) const {
+  std::vector<EntryPtr> out;
+  const auto it = children_.find(dn.norm_key());
+  if (it == children_.end()) return out;
+  out.reserve(it->second.size());
+  for (const std::string& key : it->second) {
+    out.push_back(entries_.at(key));
+  }
+  return out;
+}
+
+void Dit::collect_subtree(const Dn& base, std::vector<EntryPtr>& out) const {
+  const EntryPtr entry = find(base);
+  if (entry) out.push_back(entry);
+  const auto it = children_.find(base.norm_key());
+  if (it == children_.end()) return;
+  for (const std::string& key : it->second) {
+    collect_subtree(entries_.at(key)->dn(), out);
+  }
+}
+
+std::vector<EntryPtr> Dit::subtree(const Dn& base) const {
+  std::vector<EntryPtr> out;
+  collect_subtree(base, out);
+  return out;
+}
+
+std::vector<EntryPtr> Dit::scoped(const Dn& base, ldap::Scope scope) const {
+  switch (scope) {
+    case ldap::Scope::Base: {
+      const EntryPtr entry = find(base);
+      return entry ? std::vector<EntryPtr>{entry} : std::vector<EntryPtr>{};
+    }
+    case ldap::Scope::OneLevel:
+      return children(base);
+    case ldap::Scope::Subtree:
+      return subtree(base);
+  }
+  return {};
+}
+
+void Dit::for_each(const std::function<void(const EntryPtr&)>& fn) const {
+  for (const auto& [key, entry] : entries_) fn(entry);
+}
+
+void Dit::add_index(std::string_view attr, const ldap::Schema& schema) {
+  index_schema_ = &schema;
+  auto [it, inserted] = indexes_.try_emplace(ldap::text::lower(attr));
+  // Attribute names normalize by lowercasing; reuse the schema for that.
+  if (!inserted) return;
+  for (const auto& [key, entry] : entries_) {
+    if (const std::vector<std::string>* values = entry->get(it->first)) {
+      for (const std::string& value : *values) {
+        it->second[schema.normalize(it->first, value)].insert(key);
+      }
+    }
+  }
+}
+
+bool Dit::has_index(std::string_view attr) const {
+  return index_schema_ && indexes_.count(ldap::text::lower(attr)) > 0;
+}
+
+const std::set<std::string>* Dit::index_lookup(std::string_view attr,
+                                               std::string_view value) const {
+  if (!index_schema_) return nullptr;
+  const auto index = indexes_.find(ldap::text::lower(attr));
+  if (index == indexes_.end()) return nullptr;
+  static const std::set<std::string> kEmpty;
+  const auto it = index->second.find(index_schema_->normalize(index->first, value));
+  return it == index->second.end() ? &kEmpty : &it->second;
+}
+
+std::vector<std::string> Dit::index_prefix_lookup(std::string_view attr,
+                                                  std::string_view prefix) const {
+  std::vector<std::string> keys;
+  if (!index_schema_) return keys;
+  const auto index = indexes_.find(ldap::text::lower(attr));
+  if (index == indexes_.end()) return keys;
+  const std::string norm = index_schema_->normalize(index->first, prefix);
+  for (auto it = index->second.lower_bound(norm); it != index->second.end();
+       ++it) {
+    if (it->first.compare(0, norm.size(), norm) != 0) break;
+    keys.insert(keys.end(), it->second.begin(), it->second.end());
+  }
+  return keys;
+}
+
+void Dit::index_entry(const ldap::Entry& entry) {
+  for (auto& [attr, value_map] : indexes_) {
+    if (const std::vector<std::string>* values = entry.get(attr)) {
+      for (const std::string& value : *values) {
+        value_map[index_schema_->normalize(attr, value)].insert(
+            entry.dn().norm_key());
+      }
+    }
+  }
+}
+
+void Dit::deindex_entry(const ldap::Entry& entry) {
+  for (auto& [attr, value_map] : indexes_) {
+    if (const std::vector<std::string>* values = entry.get(attr)) {
+      for (const std::string& value : *values) {
+        const auto it = value_map.find(index_schema_->normalize(attr, value));
+        if (it == value_map.end()) continue;
+        it->second.erase(entry.dn().norm_key());
+        if (it->second.empty()) value_map.erase(it);
+      }
+    }
+  }
+}
+
+}  // namespace fbdr::server

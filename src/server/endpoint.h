@@ -1,0 +1,26 @@
+#pragma once
+
+#include <string>
+
+#include "ldap/query.h"
+#include "server/search_result.h"
+
+namespace fbdr::server {
+
+/// Anything a client can send a search to: a master directory server or a
+/// replica site. Replicas answer contained queries locally and generate
+/// referrals for the rest (§3: "the meta information is used to determine if
+/// an incoming query is semantically contained in any stored query;
+/// otherwise a referral is generated").
+class SearchEndpoint {
+ public:
+  virtual ~SearchEndpoint() = default;
+
+  virtual const std::string& url() const = 0;
+
+  /// Processes one search request. Non-const: replica endpoints update their
+  /// hit statistics and query caches.
+  virtual SearchResult process_search(const ldap::Query& query) = 0;
+};
+
+}  // namespace fbdr::server

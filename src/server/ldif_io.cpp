@@ -1,0 +1,56 @@
+#include "server/ldif_io.h"
+
+#include <sstream>
+
+#include "ldap/ldif.h"
+#include "ldap/text.h"
+
+namespace fbdr::server {
+
+std::size_t load_ldif(DirectoryServer& server, const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  std::string record;
+  std::size_t loaded = 0;
+  auto flush = [&] {
+    // A record must contain at least one non-comment line.
+    bool has_content = false;
+    std::istringstream probe(record);
+    std::string probe_line;
+    while (std::getline(probe, probe_line)) {
+      const auto trimmed = ldap::text::trim(probe_line);
+      if (!trimmed.empty() && trimmed.front() != '#') {
+        has_content = true;
+        break;
+      }
+    }
+    if (has_content) {
+      server.load(ldap::entry_from_ldif(record));
+      ++loaded;
+    }
+    record.clear();
+  };
+  while (std::getline(in, line)) {
+    if (ldap::text::trim(line).empty()) {
+      flush();
+    } else {
+      record += line;
+      record += '\n';
+    }
+  }
+  flush();
+  return loaded;
+}
+
+std::string dump_ldif(const DirectoryServer& server) {
+  std::string out;
+  for (const NamingContext& context : server.contexts()) {
+    for (const ldap::EntryPtr& entry : server.dit().subtree(context.suffix)) {
+      if (!out.empty()) out += '\n';
+      out += ldap::to_ldif(*entry);
+    }
+  }
+  return out;
+}
+
+}  // namespace fbdr::server

@@ -1,0 +1,19 @@
+#pragma once
+
+#include <string>
+
+#include "server/directory_server.h"
+
+namespace fbdr::server {
+
+/// Bulk-loads LDIF records (blank-line separated, as produced by dump_ldif)
+/// into a server without journaling. Records must be parent-first; returns
+/// the number of entries loaded. Throws ParseError / OperationError on
+/// malformed input or tree violations.
+std::size_t load_ldif(DirectoryServer& server, const std::string& text);
+
+/// Serializes everything the server holds, parent-first per naming context,
+/// so the output reloads cleanly with load_ldif.
+std::string dump_ldif(const DirectoryServer& server);
+
+}  // namespace fbdr::server

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ldap/dn.h"
+#include "ldap/entry.h"
+#include "ldap/query.h"
+
+namespace fbdr::server {
+
+/// A referral returned to the client: where to continue and with what base.
+struct ReferralHint {
+  std::string url;
+  ldap::Dn base;  // continuation base (target naming context suffix)
+  ldap::Scope scope = ldap::Scope::Subtree;
+
+  std::string to_string() const { return url + "/" + base.to_string(); }
+};
+
+/// Result of one search request against one endpoint.
+struct SearchResult {
+  std::vector<ldap::EntryPtr> entries;
+  std::vector<ReferralHint> referrals;
+  /// True when this endpoint could answer at all (name resolution succeeded
+  /// on a master / containment succeeded on a replica); false when the
+  /// client was bounced whole via a default or master referral.
+  bool base_resolved = false;
+};
+
+}  // namespace fbdr::server

@@ -1,0 +1,26 @@
+#include "server/sort_control.h"
+
+#include <algorithm>
+
+namespace fbdr::server {
+
+void sort_entries(std::vector<ldap::EntryPtr>& entries, const SortControl& control,
+                  const ldap::Schema& schema) {
+  std::stable_sort(
+      entries.begin(), entries.end(),
+      [&](const ldap::EntryPtr& a, const ldap::EntryPtr& b) {
+        const std::string_view va = a->first(control.attr);
+        const std::string_view vb = b->first(control.attr);
+        const bool absent_a = !a->has_attribute(control.attr);
+        const bool absent_b = !b->has_attribute(control.attr);
+        if (absent_a != absent_b) {
+          // Missing attribute sorts last regardless of direction (RFC 2891).
+          return absent_b;
+        }
+        if (absent_a) return false;
+        const int cmp = schema.compare(control.attr, va, vb);
+        return control.reverse ? cmp > 0 : cmp < 0;
+      });
+}
+
+}  // namespace fbdr::server

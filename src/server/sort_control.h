@@ -1,0 +1,25 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ldap/entry.h"
+#include "ldap/schema.h"
+
+namespace fbdr::server {
+
+/// Server-side sorting control (RFC 2891, the control example of §2.2):
+/// orders a result set by an attribute under its schema ordering rule.
+/// Entries without the attribute sort last (the RFC's "largest value"
+/// treatment); `reverse` flips the order.
+struct SortControl {
+  std::string attr;
+  bool reverse = false;
+};
+
+/// Sorts `entries` in place per the control. Stable, so equal keys keep
+/// their original (DIT) order.
+void sort_entries(std::vector<ldap::EntryPtr>& entries, const SortControl& control,
+                  const ldap::Schema& schema = ldap::Schema::default_instance());
+
+}  // namespace fbdr::server

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "ldap/query.h"
+#include "server/change.h"
+#include "sync/update_batch.h"
+
+namespace fbdr::sync {
+
+/// Master-side synchronization back-end serving one replica's set of
+/// replicated queries. Four implementations are compared (§5.2):
+///
+///   - SessionHistoryBackend: ReSync's approach — per-session history of
+///     entries leaving each content; minimal update sets.
+///   - TombstoneBackend: deleted entries leave attribute-less tombstones;
+///     every deleted DN since the last poll must be shipped.
+///   - ChangelogBackend: a log of changed attributes; deletes and
+///     modifies-out-of-content cannot be classified, so conservative delete
+///     notifications are shipped.
+///   - FullReloadBackend: retransmit the whole content each poll.
+///
+/// Usage: register queries, feed every master ChangeRecord via on_change,
+/// pull batches with initial() then poll(). Applying each returned batch to
+/// the replica's content must converge it to the master's (tested).
+class SyncBackend {
+ public:
+  virtual ~SyncBackend() = default;
+
+  /// Registers a replicated query; returns its handle.
+  virtual std::size_t register_query(const ldap::Query& query) = 0;
+
+  /// Full initial content for a freshly registered query.
+  virtual UpdateBatch initial(std::size_t id) = 0;
+
+  /// Updates accumulated since the previous initial()/poll() for this query.
+  virtual UpdateBatch poll(std::size_t id) = 0;
+
+  /// Feeds one journaled master update to the back-end.
+  virtual void on_change(const server::ChangeRecord& record) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace fbdr::sync

@@ -1,0 +1,115 @@
+#include "sync/content_tracker.h"
+
+#include "ldap/filter_eval.h"
+
+namespace fbdr::sync {
+
+using ldap::Dn;
+using ldap::Entry;
+using ldap::EntryPtr;
+using ldap::Scope;
+using server::ChangeRecord;
+using server::ChangeType;
+
+std::string to_string(Transition transition) {
+  switch (transition) {
+    case Transition::Enter:
+      return "enter";
+    case Transition::Leave:
+      return "leave";
+    case Transition::Update:
+      return "update";
+  }
+  return "unknown";
+}
+
+ContentTracker::ContentTracker(ldap::Query query, const ldap::Schema& schema)
+    : query_(std::move(query)), schema_(&schema) {}
+
+bool ContentTracker::in_region(const Dn& dn) const {
+  switch (query_.scope) {
+    case Scope::Base:
+      return dn == query_.base;
+    case Scope::OneLevel:
+      return query_.base.is_parent_of(dn);
+    case Scope::Subtree:
+      return query_.base.is_ancestor_or_self(dn);
+  }
+  return false;
+}
+
+bool ContentTracker::matches_query(const Entry& entry) const {
+  if (!in_region(entry.dn())) return false;
+  return !query_.filter || ldap::matches(*query_.filter, entry, *schema_);
+}
+
+void ContentTracker::initialize(const server::Dit& dit) {
+  content_.clear();
+  dit.for_each([&](const EntryPtr& entry) {
+    if (matches_query(*entry)) {
+      content_[entry->dn().norm_key()] = entry;
+    }
+  });
+}
+
+bool ContentTracker::in_content(const Dn& dn) const {
+  return content_.count(dn.norm_key()) > 0;
+}
+
+std::vector<std::string> ContentTracker::content_keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(content_.size());
+  for (const auto& [key, entry] : content_) keys.push_back(key);
+  return keys;
+}
+
+std::vector<ContentEvent> ContentTracker::on_change(const ChangeRecord& record) {
+  std::vector<ContentEvent> events;
+  switch (record.type) {
+    case ChangeType::Add: {
+      if (record.after && matches_query(*record.after)) {
+        content_[record.dn.norm_key()] = record.after;
+        events.push_back({record.seq, Transition::Enter, record.dn, record.after});
+      }
+      break;
+    }
+    case ChangeType::Delete: {
+      if (content_.erase(record.dn.norm_key()) > 0) {
+        events.push_back({record.seq, Transition::Leave, record.dn, nullptr});
+      }
+      break;
+    }
+    case ChangeType::Modify: {
+      const bool was_in = in_content(record.dn);
+      const bool now_in = record.after && matches_query(*record.after);
+      if (was_in && now_in) {
+        content_[record.dn.norm_key()] = record.after;
+        events.push_back({record.seq, Transition::Update, record.dn, record.after});
+      } else if (was_in && !now_in) {
+        content_.erase(record.dn.norm_key());
+        events.push_back({record.seq, Transition::Leave, record.dn, nullptr});
+      } else if (!was_in && now_in) {
+        content_[record.dn.norm_key()] = record.after;
+        events.push_back({record.seq, Transition::Enter, record.dn, record.after});
+      }
+      break;
+    }
+    case ChangeType::ModifyDn: {
+      const bool was_in = in_content(record.dn);
+      const bool now_in = record.after && matches_query(*record.after);
+      if (was_in) {
+        content_.erase(record.dn.norm_key());
+        events.push_back({record.seq, Transition::Leave, record.dn, nullptr});
+      }
+      if (now_in) {
+        content_[record.new_dn.norm_key()] = record.after;
+        events.push_back(
+            {record.seq, Transition::Enter, record.new_dn, record.after});
+      }
+      break;
+    }
+  }
+  return events;
+}
+
+}  // namespace fbdr::sync

@@ -1,0 +1,105 @@
+#include "sync/query_session.h"
+
+#include <set>
+
+#include "ldap/error.h"
+
+namespace fbdr::sync {
+
+using ldap::Dn;
+using ldap::EntryPtr;
+
+QuerySession::QuerySession(ldap::Query query, const ldap::Schema& schema)
+    : tracker_(std::move(query), schema) {}
+
+UpdateBatch QuerySession::initial(const server::Dit& dit) {
+  tracker_.initialize(dit);
+  pending_.clear();
+  acked_.clear();
+  UpdateBatch batch;
+  batch.full_reload = true;
+  dit.for_each([&](const EntryPtr& entry) {
+    if (tracker_.matches_query(*entry)) {
+      batch.adds.push_back(entry);
+      acked_.emplace(entry->dn().norm_key(), entry->dn());
+    }
+  });
+  initialized_ = true;
+  return batch;
+}
+
+void QuerySession::on_change(const server::ChangeRecord& record) {
+  std::vector<ContentEvent> events = tracker_.on_change(record);
+  pending_.insert(pending_.end(), std::make_move_iterator(events.begin()),
+                  std::make_move_iterator(events.end()));
+}
+
+UpdateBatch QuerySession::poll() {
+  if (!initialized_) {
+    throw ldap::ProtocolError("poll() before initial()");
+  }
+  // Compact pending events per DN: the final state decides the action.
+  struct Final {
+    bool in_content = false;
+    EntryPtr entry;
+    Dn dn;
+  };
+  std::map<std::string, Final> finals;
+  for (const ContentEvent& event : pending_) {
+    Final& f = finals[event.dn.norm_key()];
+    f.dn = event.dn;
+    f.in_content = event.transition != Transition::Leave;
+    f.entry = event.entry;
+  }
+  pending_.clear();
+
+  UpdateBatch batch;
+  for (const auto& [key, f] : finals) {
+    const bool known = acked_.count(key) > 0;
+    if (f.in_content) {
+      if (known) {
+        batch.mods.push_back(f.entry);
+      } else {
+        batch.adds.push_back(f.entry);
+        acked_.emplace(key, f.dn);
+      }
+    } else if (known) {
+      batch.deletes.push_back(f.dn);
+      acked_.erase(key);
+    }
+    // entered and left between polls: nothing to send.
+  }
+  return batch;
+}
+
+UpdateBatch QuerySession::poll_with_retains() {
+  if (!initialized_) {
+    throw ldap::ProtocolError("poll_with_retains() before initial()");
+  }
+  // Equation (3): enumerate the entire current content. Entries touched by a
+  // pending event are shipped in full; the rest are retained by DN.
+  std::set<std::string> touched;
+  for (const ContentEvent& event : pending_) {
+    touched.insert(event.dn.norm_key());
+  }
+  pending_.clear();
+
+  UpdateBatch batch;
+  batch.complete_enumeration = true;
+  std::map<std::string, Dn> new_acked;
+  for (const auto& [key, entry] : tracker_.content()) {
+    const bool known = acked_.count(key) > 0;
+    if (!known) {
+      batch.adds.push_back(entry);  // E01
+    } else if (touched.count(key) > 0) {
+      batch.mods.push_back(entry);  // E11
+    } else {
+      batch.retains.push_back(entry->dn());  // Eun
+    }
+    new_acked.emplace(key, entry->dn());
+  }
+  acked_ = std::move(new_acked);
+  return batch;
+}
+
+}  // namespace fbdr::sync

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "server/dit.h"
+#include "sync/content_tracker.h"
+#include "sync/update_batch.h"
+
+namespace fbdr::sync {
+
+/// The per-replicated-query synchronization state a ReSync master keeps for
+/// one session: the content tracker, the pending events since the last poll
+/// (the session history) and the replica's last acknowledged view.
+///
+/// Complete-history polls compact pending events into the minimal update set
+/// of equation (2); incomplete-history polls fall back to the retain-based
+/// complete enumeration of equation (3).
+class QuerySession {
+ public:
+  explicit QuerySession(ldap::Query query,
+                        const ldap::Schema& schema = ldap::Schema::default_instance());
+
+  const ldap::Query& query() const { return tracker_.query(); }
+  const ContentTracker& tracker() const { return tracker_; }
+  bool initialized() const noexcept { return initialized_; }
+
+  /// Full initial content (clears history).
+  UpdateBatch initial(const server::Dit& dit);
+
+  /// Feeds one journaled master change into the session history.
+  void on_change(const server::ChangeRecord& record);
+
+  /// Minimal updates since the last poll (equation (2)); requires the
+  /// session history fed via on_change.
+  UpdateBatch poll();
+
+  /// Retain-based updates (equation (3)): changed in-content entries as
+  /// add/mod plus retain DNs for unchanged ones; the replica drops anything
+  /// unmentioned. Used when the server keeps no per-session leave history.
+  UpdateBatch poll_with_retains();
+
+  /// Pending (unpolled) events — the history size the master holds.
+  std::size_t pending_events() const noexcept { return pending_.size(); }
+
+ private:
+  ContentTracker tracker_;
+  std::vector<ContentEvent> pending_;
+  std::map<std::string, ldap::Dn> acked_;  // replica's last known DNs
+  bool initialized_ = false;
+};
+
+}  // namespace fbdr::sync

@@ -1,0 +1,68 @@
+#include "sync/replica_content.h"
+
+#include <set>
+
+namespace fbdr::sync {
+
+using ldap::Dn;
+using ldap::EntryPtr;
+
+void ReplicaContent::apply(const UpdateBatch& batch) {
+  if (batch.full_reload) entries_.clear();
+  for (const EntryPtr& entry : batch.adds) {
+    entries_[entry->dn().norm_key()] = entry;
+  }
+  for (const EntryPtr& entry : batch.mods) {
+    entries_[entry->dn().norm_key()] = entry;
+  }
+  for (const Dn& dn : batch.deletes) {
+    entries_.erase(dn.norm_key());
+  }
+  if (batch.complete_enumeration) {
+    // Equation (3): anything the batch did not mention has left the content.
+    std::set<std::string> mentioned;
+    for (const EntryPtr& entry : batch.adds) mentioned.insert(entry->dn().norm_key());
+    for (const EntryPtr& entry : batch.mods) mentioned.insert(entry->dn().norm_key());
+    for (const Dn& dn : batch.retains) mentioned.insert(dn.norm_key());
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (mentioned.count(it->first) == 0) {
+        it = entries_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+bool ReplicaContent::contains(const Dn& dn) const {
+  return entries_.count(dn.norm_key()) > 0;
+}
+
+EntryPtr ReplicaContent::find(const Dn& dn) const {
+  const auto it = entries_.find(dn.norm_key());
+  return it == entries_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> ReplicaContent::keys() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) out.push_back(key);
+  return out;
+}
+
+std::vector<EntryPtr> ReplicaContent::entries() const {
+  std::vector<EntryPtr> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) out.push_back(entry);
+  return out;
+}
+
+std::size_t ReplicaContent::bytes(std::size_t entry_padding) const {
+  std::size_t total = 0;
+  for (const auto& [key, entry] : entries_) {
+    total += entry->approx_size_bytes(entry_padding);
+  }
+  return total;
+}
+
+}  // namespace fbdr::sync

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ldap/entry.h"
+#include "sync/update_batch.h"
+
+namespace fbdr::sync {
+
+/// The replica-side entry store for one replicated query: applies update
+/// batches produced by any sync back-end. Convergence means this store's
+/// contents equal the master-side ContentTracker's after each poll.
+class ReplicaContent {
+ public:
+  /// Applies one batch. Handles full reloads, the add/mod/delete actions of
+  /// equation (2) and the retain-based complete enumeration of equation (3).
+  /// Deletes of unknown DNs (the conservative notifications of the baseline
+  /// protocols) are ignored.
+  void apply(const UpdateBatch& batch);
+
+  bool contains(const ldap::Dn& dn) const;
+  ldap::EntryPtr find(const ldap::Dn& dn) const;
+  std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Sorted normalized DN keys (for convergence comparison).
+  std::vector<std::string> keys() const;
+
+  std::vector<ldap::EntryPtr> entries() const;
+
+  /// Total approximate bytes stored.
+  std::size_t bytes(std::size_t entry_padding = 0) const;
+
+  void clear() { entries_.clear(); }
+
+ private:
+  std::map<std::string, ldap::EntryPtr> entries_;
+};
+
+}  // namespace fbdr::sync

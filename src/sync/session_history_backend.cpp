@@ -1,0 +1,57 @@
+#include "sync/session_history_backend.h"
+
+#include "ldap/error.h"
+
+namespace fbdr::sync {
+
+SessionHistoryBackend::SessionHistoryBackend(const server::Dit& master_dit,
+                                             const ldap::Schema& schema)
+    : dit_(&master_dit), schema_(&schema) {}
+
+std::size_t SessionHistoryBackend::register_query(const ldap::Query& query) {
+  Slot slot;
+  slot.session = std::make_unique<QuerySession>(query, *schema_);
+  slots_.push_back(std::move(slot));
+  return slots_.size() - 1;
+}
+
+const ContentTracker& SessionHistoryBackend::tracker(std::size_t id) const {
+  return slots_.at(id).session->tracker();
+}
+
+void SessionHistoryBackend::unregister_query(std::size_t id) {
+  slots_.at(id).active = false;
+}
+
+UpdateBatch SessionHistoryBackend::initial(std::size_t id) {
+  Slot& slot = slots_.at(id);
+  if (!slot.active) {
+    throw ldap::ProtocolError("initial() on an unregistered query");
+  }
+  return slot.session->initial(*dit_);
+}
+
+void SessionHistoryBackend::on_change(const server::ChangeRecord& record) {
+  for (Slot& slot : slots_) {
+    if (slot.active) slot.session->on_change(record);
+  }
+}
+
+UpdateBatch SessionHistoryBackend::poll(std::size_t id) {
+  Slot& slot = slots_.at(id);
+  if (!slot.active) {
+    throw ldap::ProtocolError("poll() on an unregistered query");
+  }
+  if (!slot.session->initialized()) return slot.session->initial(*dit_);
+  return slot.session->poll();
+}
+
+std::size_t SessionHistoryBackend::pending_events() const {
+  std::size_t total = 0;
+  for (const Slot& slot : slots_) {
+    if (slot.active) total += slot.session->pending_events();
+  }
+  return total;
+}
+
+}  // namespace fbdr::sync

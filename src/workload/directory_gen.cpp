@@ -1,0 +1,192 @@
+#include "workload/directory_gen.h"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+
+#include "ldap/entry.h"
+
+namespace fbdr::workload {
+
+using ldap::Dn;
+using ldap::Entry;
+
+namespace {
+
+const char* kCountryPool[] = {"us", "in", "de", "uk", "fr", "jp", "br", "au",
+                              "cn", "ca", "it", "es", "mx", "se", "ch", "nl",
+                              "pl", "za", "kr", "sg"};
+
+const char* kLocationPool[] = {
+    "armonk",   "austin",    "bangalore", "beijing",  "boeblingen", "budapest",
+    "cairo",    "cambridge", "delhi",     "dublin",   "endicott",   "fishkill",
+    "guadalajara", "haifa",  "hursley",   "krakow",   "lagrange",   "madrid",
+    "markham",  "melbourne", "mumbai",    "nairobi",  "ottawa",     "paris",
+    "pune",     "raleigh",   "rochester", "rome",     "samborondon", "saopaulo",
+    "seattle",  "seoul",     "shanghai",  "singapore", "stockholm", "sydney",
+    "taipei",   "tokyo",     "toronto",   "tucson",   "vienna",     "warsaw",
+    "yamato",   "yorktown",  "zurich"};
+
+std::string two_digits(std::size_t value) {
+  std::string out = std::to_string(value % 100);
+  return out.size() < 2 ? "0" + out : out;
+}
+
+std::string fixed_digits(std::size_t value, std::size_t width) {
+  std::string out = std::to_string(value);
+  while (out.size() < width) out.insert(out.begin(), '0');
+  return out;
+}
+
+/// Scrambled, structure-free local part for mail addresses: a base-26
+/// encoding of a multiplicative hash of the employee id.
+std::string scrambled_local_part(std::size_t id) {
+  std::uint64_t h = (static_cast<std::uint64_t>(id) + 1) * 2654435761u;
+  h ^= h >> 16;
+  h *= 0x45d9f3b;
+  h ^= h >> 13;
+  std::string out;
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>('a' + h % 26));
+    h /= 26;
+  }
+  return out;
+}
+
+}  // namespace
+
+EnterpriseDirectory generate_directory(const DirectoryConfig& config) {
+  if (config.divisions == 0 || config.divisions > 99) {
+    throw std::invalid_argument(
+        "divisions must be 1..99: division codes are two digits of the "
+        "6-digit serial layout");
+  }
+  if (config.countries == 0 || config.employees == 0 || config.locations == 0 ||
+      config.depts_per_division == 0) {
+    throw std::invalid_argument("directory config dimensions must be positive");
+  }
+  EnterpriseDirectory dir;
+  dir.config = config;
+  dir.master = std::make_shared<server::DirectoryServer>("ldap://master");
+  // Index the attributes the Table-1 workload filters on, as a production
+  // deployment would.
+  for (const char* attr : {"serialnumber", "mail", "dept", "div", "location"}) {
+    dir.master->add_index(attr);
+  }
+  std::mt19937 rng(config.seed);
+
+  server::NamingContext context;
+  context.suffix = Dn::parse("o=ibm");
+  dir.master->add_context(std::move(context));
+  dir.master->load(ldap::make_entry(
+      "o=ibm", {{"objectclass", "organization"}, {"o", "ibm"}}));
+
+  // Countries.
+  for (std::size_t c = 0; c < config.countries; ++c) {
+    std::string code = c < std::size(kCountryPool)
+                           ? kCountryPool[c]
+                           : "x" + std::to_string(c);
+    dir.country_codes.push_back(code);
+    dir.master->load(ldap::make_entry(
+        "c=" + code + ",o=ibm", {{"objectclass", "country"}, {"c", code}}));
+  }
+
+  // Divisions and departments.
+  for (std::size_t d = 0; d < config.divisions; ++d) {
+    const std::string div_name = "div" + two_digits(d);
+    dir.division_names.push_back(div_name);
+    dir.master->load(ldap::make_entry(
+        "ou=" + div_name + ",o=ibm",
+        {{"objectclass", "organizationalUnit"}, {"ou", div_name}}));
+    std::vector<std::string> depts;
+    for (std::size_t j = 0; j < config.depts_per_division; ++j) {
+      const std::string dept_number = two_digits(d) + two_digits(j);
+      depts.push_back(dept_number);
+      auto dept = std::make_shared<Entry>(
+          Dn::parse("cn=dept" + dept_number + ",ou=" + div_name + ",o=ibm"));
+      dept->add_value("objectclass", "organizationalUnit");
+      dept->add_value("cn", "dept" + dept_number);
+      dept->add_value("dept", dept_number);
+      dept->add_value("div", div_name);
+      dir.master->load(dept);
+    }
+    dir.division_depts.push_back(std::move(depts));
+    dir.division_members.emplace_back();
+  }
+
+  // Locations.
+  dir.master->load(ldap::make_entry(
+      "l=locations,o=ibm", {{"objectclass", "locality"}, {"l", "locations"}}));
+  for (std::size_t l = 0; l < config.locations; ++l) {
+    std::string name = l < std::size(kLocationPool)
+                           ? kLocationPool[l]
+                           : "site" + std::to_string(l);
+    dir.location_names.push_back(name);
+    auto location = std::make_shared<Entry>(
+        Dn::parse("cn=" + name + ",l=locations,o=ibm"));
+    location->add_value("objectclass", "locality");
+    location->add_value("cn", name);
+    location->add_value("location", name);
+    dir.master->load(location);
+  }
+
+  // Employees: assign countries with the geography split, divisions round
+  // robin with jitter, serials division-major in within-division popularity
+  // order.
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  std::uniform_int_distribution<std::size_t> geo_pick(
+      0, std::max<std::size_t>(1, config.geo_countries) - 1);
+  std::uniform_int_distribution<std::size_t> other_pick(
+      std::min(config.geo_countries, config.countries - 1),
+      config.countries - 1);
+  std::uniform_int_distribution<std::size_t> division_pick(0,
+                                                           config.divisions - 1);
+
+  dir.employees.resize(config.employees);
+  for (std::size_t i = 0; i < config.employees; ++i) {
+    EmployeeInfo& info = dir.employees[i];
+    info.country = coin(rng) < config.geo_fraction ? geo_pick(rng)
+                                                   : other_pick(rng);
+    info.division = division_pick(rng);
+    dir.division_members[info.division].push_back(i);
+  }
+  for (std::size_t d = 0; d < config.divisions; ++d) {
+    // Member order within a division is the popularity order; serials are
+    // assigned along it so that popular blocks share serial prefixes.
+    auto& members = dir.division_members[d];
+    std::shuffle(members.begin(), members.end(), rng);
+    for (std::size_t rank = 0; rank < members.size(); ++rank) {
+      EmployeeInfo& info = dir.employees[members[rank]];
+      info.serial = two_digits(d) + fixed_digits(rank, 4);
+    }
+  }
+  for (std::size_t i = 0; i < config.employees; ++i) {
+    EmployeeInfo& info = dir.employees[i];
+    const std::string& cc = dir.country_codes[info.country];
+    info.mail = scrambled_local_part(i) + "@" + cc + ".ibm.com";
+    info.dn = Dn::parse("cn=e" + info.serial + ",c=" + cc + ",o=ibm");
+
+    auto entry = std::make_shared<Entry>(info.dn);
+    entry->add_value("objectclass", "inetOrgPerson");
+    entry->add_value("cn", "e" + info.serial);
+    entry->add_value("sn", "employee" + std::to_string(i));
+    entry->add_value("serialNumber", info.serial);
+    entry->add_value("mail", info.mail);
+    entry->add_value("employeeNumber", std::to_string(i));
+    // Employees reference their department through departmentNumber (like
+    // inetOrgPerson); the dept/div attribute pair lives on department
+    // entries only, so department queries target department entries.
+    const auto& depts = dir.division_depts[info.division];
+    entry->add_value("departmentNumber", depts[i % depts.size()]);
+    // The location query type targets location *entries*; employees carry
+    // their site under a different attribute so (location=...) filters match
+    // only the location tree.
+    entry->add_value(
+        "buildingname",
+        dir.location_names[(i * 7919) % dir.location_names.size()]);
+    dir.master->load(entry);
+  }
+  return dir;
+}
+
+}  // namespace fbdr::workload

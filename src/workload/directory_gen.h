@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "server/directory_server.h"
+
+namespace fbdr::workload {
+
+/// Parameters of the synthetic enterprise directory (the stand-in for the
+/// paper's IBM enterprise directory, §7.1 — see DESIGN.md for the
+/// substitution argument). Topology:
+///
+///   o=ibm
+///     c=<cc>,o=ibm                 country containers; employees are their
+///       cn=e<serial>,c=<cc>,o=ibm  direct children (flat namespace, §3.3)
+///     ou=div<dd>,o=ibm             division containers
+///       cn=dept<nnnn>,ou=div<dd>,o=ibm   department entries
+///     l=locations,o=ibm
+///       cn=<name>,l=locations,o=ibm      location entries
+///
+/// serialNumber is a structured, fixed-width digit string
+/// <2-digit division><4-digit popularity rank within the division>, so value
+/// prefixes describe organizational blocks ("the fields in serialnumber
+/// attribute [are organized]", §7.2c). The mail local part is scrambled and
+/// carries no structure.
+struct DirectoryConfig {
+  std::size_t employees = 20000;
+  std::size_t countries = 12;
+  /// Fraction of employees living in the focus geography (the first
+  /// `geo_countries` countries) — "a geography containing nearly 30%
+  /// employees" (§7.1).
+  double geo_fraction = 0.3;
+  std::size_t geo_countries = 3;
+  std::size_t divisions = 40;
+  std::size_t depts_per_division = 25;
+  std::size_t locations = 50;
+  unsigned seed = 20050401;
+};
+
+/// One generated employee, with the indexes the workload generator needs.
+struct EmployeeInfo {
+  std::string serial;   // 6-digit structured serial number
+  std::string mail;     // unstructured local part @ country domain
+  std::size_t country = 0;
+  std::size_t division = 0;
+  ldap::Dn dn;
+};
+
+/// The generated directory plus generation metadata.
+struct EnterpriseDirectory {
+  DirectoryConfig config;
+  std::shared_ptr<server::DirectoryServer> master;
+
+  std::vector<EmployeeInfo> employees;
+  /// Employee ids per division, in popularity order (rank 0 = hottest).
+  std::vector<std::vector<std::size_t>> division_members;
+  /// Department numbers per division ("2406" = division 24, dept 06).
+  std::vector<std::vector<std::string>> division_depts;
+  std::vector<std::string> division_names;  // "div07"
+  std::vector<std::string> location_names;
+  std::vector<std::string> country_codes;
+
+  std::size_t person_entries() const { return employees.size(); }
+};
+
+/// Builds the directory deterministically from the config.
+EnterpriseDirectory generate_directory(const DirectoryConfig& config);
+
+}  // namespace fbdr::workload

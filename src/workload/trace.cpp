@@ -1,0 +1,71 @@
+#include "workload/trace.h"
+
+#include <sstream>
+
+#include "ldap/error.h"
+#include "ldap/filter_parser.h"
+
+namespace fbdr::workload {
+
+namespace {
+
+QueryType type_from_string(const std::string& text) {
+  if (text == "serialNumber") return QueryType::SerialNumber;
+  if (text == "mail") return QueryType::Mail;
+  if (text == "department") return QueryType::Department;
+  if (text == "location") return QueryType::Location;
+  throw ldap::ParseError("unknown trace query type '" + text + "'");
+}
+
+}  // namespace
+
+std::string trace_to_text(const std::vector<GeneratedQuery>& trace) {
+  std::string out;
+  for (const GeneratedQuery& generated : trace) {
+    out += to_string(generated.type);
+    out += '\t';
+    out += ldap::to_string(generated.query.scope);
+    out += '\t';
+    // The null base serializes as "-" so every line has four fields.
+    const std::string& base = generated.query.base.to_string();
+    out += base.empty() ? "-" : base;
+    out += '\t';
+    out += generated.query.filter->to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<GeneratedQuery> trace_from_text(const std::string& text) {
+  std::vector<GeneratedQuery> trace;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> fields;
+    std::size_t start = 0;
+    for (std::size_t tab = line.find('\t'); tab != std::string::npos;
+         tab = line.find('\t', start)) {
+      fields.push_back(line.substr(start, tab - start));
+      start = tab + 1;
+    }
+    fields.push_back(line.substr(start));
+    if (fields.size() != 4) {
+      throw ldap::ParseError("malformed trace line: '" + line + "'");
+    }
+    const std::string& type_text = fields[0];
+    const std::string& scope_text = fields[1];
+    const std::string& base_text = fields[2];
+    const std::string& filter_text = fields[3];
+    GeneratedQuery generated;
+    generated.type = type_from_string(type_text);
+    generated.query.scope = ldap::scope_from_string(scope_text);
+    generated.query.base =
+        base_text == "-" ? ldap::Dn() : ldap::Dn::parse(base_text);
+    generated.query.filter = ldap::parse_filter(filter_text);
+    trace.push_back(std::move(generated));
+  }
+  return trace;
+}
+
+}  // namespace fbdr::workload

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "workload/workload_gen.h"
+
+namespace fbdr::workload {
+
+/// Text serialization of a query trace, one tab-separated request per line:
+///   <type>\t<scope>\t<base>\t<filter>
+/// (values may contain spaces; tabs never appear in DNs or filters here).
+/// Used to record a generated workload once and replay it across experiments
+/// (the role of the paper's captured two-day trace).
+std::string trace_to_text(const std::vector<GeneratedQuery>& trace);
+
+/// Parses a trace produced by trace_to_text. Target metadata
+/// (target_employee etc.) is not serialized and comes back unset. Throws
+/// ParseError on malformed lines.
+std::vector<GeneratedQuery> trace_from_text(const std::string& text);
+
+}  // namespace fbdr::workload

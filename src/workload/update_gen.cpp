@@ -1,0 +1,142 @@
+#include "workload/update_gen.h"
+
+#include "ldap/entry.h"
+
+namespace fbdr::workload {
+
+using ldap::Dn;
+using ldap::Entry;
+using server::Modification;
+
+namespace {
+
+std::string two_digits(std::size_t value) {
+  std::string out = std::to_string(value % 100);
+  return out.size() < 2 ? "0" + out : out;
+}
+
+std::string fixed_digits(std::size_t value, std::size_t width) {
+  std::string out = std::to_string(value);
+  while (out.size() < width) out.insert(out.begin(), '0');
+  return out;
+}
+
+}  // namespace
+
+UpdateGenerator::UpdateGenerator(EnterpriseDirectory& directory,
+                                 UpdateConfig config)
+    : directory_(&directory), config_(config), rng_(config.seed) {
+  live_.reserve(directory.employees.size());
+  for (const EmployeeInfo& info : directory.employees) {
+    live_.push_back({info.dn, info.serial, info.division, info.country});
+  }
+  next_rank_.resize(directory.config.divisions);
+  for (std::size_t d = 0; d < directory.config.divisions; ++d) {
+    next_rank_[d] = directory.division_members[d].size();
+  }
+}
+
+UpdateGenerator::LiveEmployee& UpdateGenerator::pick_employee() {
+  std::uniform_int_distribution<std::size_t> pick(0, live_.size() - 1);
+  return live_[pick(rng_)];
+}
+
+UpdateKind UpdateGenerator::apply_one() {
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  double t = coin(rng_);
+  UpdateKind kind;
+  if (t < config_.p_modify_employee) {
+    kind = UpdateKind::ModifyEmployee;
+  } else if (t < config_.p_modify_employee + config_.p_add_employee) {
+    kind = UpdateKind::AddEmployee;
+  } else if (t < config_.p_modify_employee + config_.p_add_employee +
+                     config_.p_delete_employee) {
+    kind = UpdateKind::DeleteEmployee;
+  } else if (t < config_.p_modify_employee + config_.p_add_employee +
+                     config_.p_delete_employee + config_.p_rename_employee) {
+    kind = UpdateKind::RenameEmployee;
+  } else {
+    kind = UpdateKind::ModifyDept;
+  }
+  if (live_.empty() && kind != UpdateKind::AddEmployee) {
+    kind = UpdateKind::AddEmployee;
+  }
+
+  server::DirectoryServer& master = *directory_->master;
+  switch (kind) {
+    case UpdateKind::ModifyEmployee: {
+      LiveEmployee& target = pick_employee();
+      std::uniform_int_distribution<int> phone(1000000, 9999999);
+      master.modify(target.dn,
+                    {{Modification::Op::Replace, "telephonenumber",
+                      {std::to_string(phone(rng_))}}});
+      break;
+    }
+    case UpdateKind::AddEmployee: {
+      std::uniform_int_distribution<std::size_t> division_pick(
+          0, directory_->config.divisions - 1);
+      std::uniform_int_distribution<std::size_t> country_pick(
+          0, directory_->country_codes.size() - 1);
+      const std::size_t division = division_pick(rng_);
+      const std::size_t country = country_pick(rng_);
+      const std::string serial =
+          two_digits(division) + fixed_digits(next_rank_[division]++, 4);
+      const std::string& cc = directory_->country_codes[country];
+      const Dn dn = Dn::parse("cn=e" + serial + ",c=" + cc + ",o=ibm");
+      auto entry = std::make_shared<Entry>(dn);
+      entry->add_value("objectclass", "inetOrgPerson");
+      entry->add_value("cn", "e" + serial);
+      entry->add_value("sn", "newhire" + serial);
+      entry->add_value("serialNumber", serial);
+      entry->add_value("mail", "new" + serial + "@" + cc + ".ibm.com");
+      entry->add_value("div", directory_->division_names[division]);
+      const auto& depts = directory_->division_depts[division];
+      entry->add_value("dept", depts[next_rank_[division] % depts.size()]);
+      master.add(entry);
+      live_.push_back({dn, serial, division, country});
+      break;
+    }
+    case UpdateKind::DeleteEmployee: {
+      std::uniform_int_distribution<std::size_t> pick(0, live_.size() - 1);
+      const std::size_t index = pick(rng_);
+      master.remove(live_[index].dn);
+      live_[index] = live_.back();
+      live_.pop_back();
+      break;
+    }
+    case UpdateKind::RenameEmployee: {
+      std::uniform_int_distribution<std::size_t> pick(0, live_.size() - 1);
+      const std::size_t index = pick(rng_);
+      LiveEmployee& target = live_[index];
+      // Rename within the same country: a new cn with an "r" suffix.
+      const std::string new_cn =
+          target.dn.leaf_rdn().value() + "r" + std::to_string(applied_);
+      const Dn new_dn = target.dn.parent().child(ldap::Rdn("cn", new_cn));
+      master.modify_dn(target.dn, new_dn);
+      target.dn = new_dn;
+      break;
+    }
+    case UpdateKind::ModifyDept: {
+      std::uniform_int_distribution<std::size_t> division_pick(
+          0, directory_->config.divisions - 1);
+      const std::size_t division = division_pick(rng_);
+      const auto& depts = directory_->division_depts[division];
+      std::uniform_int_distribution<std::size_t> dept_pick(0, depts.size() - 1);
+      const std::string dept_number = depts[dept_pick(rng_)];
+      const Dn dn = Dn::parse("cn=dept" + dept_number + ",ou=" +
+                              directory_->division_names[division] + ",o=ibm");
+      master.modify(dn, {{Modification::Op::Replace, "description",
+                          {"updated-" + std::to_string(applied_)}}});
+      break;
+    }
+  }
+  ++kind_counts_[static_cast<std::size_t>(kind)];
+  ++applied_;
+  return kind;
+}
+
+void UpdateGenerator::apply(std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) apply_one();
+}
+
+}  // namespace fbdr::workload

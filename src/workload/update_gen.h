@@ -1,0 +1,65 @@
+#pragma once
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "workload/directory_gen.h"
+
+namespace fbdr::workload {
+
+/// Kinds of master updates the generator can apply.
+enum class UpdateKind {
+  ModifyEmployee,  // change a non-structural attribute (phone/title)
+  AddEmployee,
+  DeleteEmployee,
+  RenameEmployee,  // modify DN within the same country
+  ModifyDept,      // departments change rarely (§7.3b)
+};
+
+/// Update stream applied to the master directory for the update-traffic
+/// experiments (Figs. 6-7). Directories are read-mostly; the mix below
+/// models routine personnel churn with rare department edits.
+struct UpdateConfig {
+  double p_modify_employee = 0.70;
+  double p_add_employee = 0.10;
+  double p_delete_employee = 0.10;
+  double p_rename_employee = 0.05;
+  double p_modify_dept = 0.05;
+  unsigned seed = 20050403;
+};
+
+class UpdateGenerator {
+ public:
+  UpdateGenerator(EnterpriseDirectory& directory, UpdateConfig config);
+
+  /// Applies one update operation to the master; returns its kind.
+  UpdateKind apply_one();
+
+  void apply(std::size_t count);
+
+  std::size_t applied() const noexcept { return applied_; }
+  const std::vector<std::size_t>& kind_counts() const noexcept {
+    return kind_counts_;
+  }
+
+ private:
+  struct LiveEmployee {
+    ldap::Dn dn;
+    std::string serial;
+    std::size_t division = 0;
+    std::size_t country = 0;
+  };
+
+  LiveEmployee& pick_employee();
+
+  EnterpriseDirectory* directory_;
+  UpdateConfig config_;
+  std::mt19937 rng_;
+  std::vector<LiveEmployee> live_;
+  std::vector<std::size_t> next_rank_;  // per division, for fresh serials
+  std::size_t applied_ = 0;
+  std::vector<std::size_t> kind_counts_ = std::vector<std::size_t>(5, 0);
+};
+
+}  // namespace fbdr::workload

@@ -1,0 +1,134 @@
+#include "workload/workload_gen.h"
+
+#include "ldap/error.h"
+#include "ldap/filter_parser.h"
+
+namespace fbdr::workload {
+
+using ldap::Query;
+using ldap::Scope;
+
+std::string to_string(QueryType type) {
+  switch (type) {
+    case QueryType::SerialNumber:
+      return "serialNumber";
+    case QueryType::Mail:
+      return "mail";
+    case QueryType::Department:
+      return "department";
+    case QueryType::Location:
+      return "location";
+  }
+  return "unknown";
+}
+
+WorkloadGenerator::WorkloadGenerator(const EnterpriseDirectory& directory,
+                                     WorkloadConfig config)
+    : directory_(&directory),
+      config_(config),
+      rng_(config.seed),
+      division_popularity_(directory.config.divisions, config.zipf_divisions),
+      dept_popularity_(directory.config.depts_per_division, config.zipf_depts),
+      location_popularity_(directory.location_names.size(),
+                           config.zipf_locations) {
+  member_popularity_.reserve(directory.division_members.size());
+  for (const auto& members : directory.division_members) {
+    member_popularity_.emplace_back(std::max<std::size_t>(1, members.size()),
+                                    config.zipf_members);
+  }
+}
+
+std::size_t WorkloadGenerator::drifted_division(std::size_t sampled_rank) const {
+  if (config_.drift_interval == 0) return sampled_rank;
+  return (sampled_rank + drift_offset_) % directory_->config.divisions;
+}
+
+GeneratedQuery WorkloadGenerator::fresh_query() {
+  if (config_.drift_interval != 0 &&
+      ++fresh_since_drift_ >= config_.drift_interval) {
+    fresh_since_drift_ = 0;
+    drift_offset_ = (drift_offset_ + config_.drift_step) %
+                    directory_->config.divisions;
+  }
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  const double t = coin(rng_);
+  GeneratedQuery out;
+  if (t < config_.p_serial) {
+    out.type = QueryType::SerialNumber;
+  } else if (t < config_.p_serial + config_.p_mail) {
+    out.type = QueryType::Mail;
+  } else if (t < config_.p_serial + config_.p_mail + config_.p_dept) {
+    out.type = QueryType::Department;
+  } else {
+    out.type = QueryType::Location;
+  }
+
+  std::string filter_text;
+  switch (out.type) {
+    case QueryType::SerialNumber:
+    case QueryType::Mail: {
+      const std::size_t division =
+          drifted_division(division_popularity_.sample(rng_));
+      const auto& members = directory_->division_members[division];
+      if (members.empty()) {
+        filter_text = "(serialnumber=999999)";  // degenerate empty division
+        break;
+      }
+      const std::size_t rank =
+          std::min(member_popularity_[division].sample(rng_), members.size() - 1);
+      const std::size_t employee_id = members[rank];
+      const EmployeeInfo& employee = directory_->employees[employee_id];
+      out.target_employee = employee_id;
+      out.target_country = employee.country;
+      out.target_division = division;
+      filter_text = out.type == QueryType::SerialNumber
+                        ? "(serialnumber=" + employee.serial + ")"
+                        : "(mail=" + employee.mail + ")";
+      break;
+    }
+    case QueryType::Department: {
+      const std::size_t division =
+          drifted_division(division_popularity_.sample(rng_));
+      out.target_division = division;
+      const auto& depts = directory_->division_depts[division];
+      const std::size_t index =
+          std::min(dept_popularity_.sample(rng_), depts.size() - 1);
+      filter_text = "(&(dept=" + depts[index] + ")(div=" +
+                    directory_->division_names[division] + "))";
+      break;
+    }
+    case QueryType::Location: {
+      const std::size_t index = location_popularity_.sample(rng_);
+      filter_text = "(location=" + directory_->location_names[index] + ")";
+      break;
+    }
+  }
+  // Minimally directory enabled applications search the whole DIT (§3.1.1).
+  out.query = Query(ldap::Dn{}, Scope::Subtree, ldap::parse_filter(filter_text));
+  return out;
+}
+
+GeneratedQuery WorkloadGenerator::next() {
+  std::uniform_real_distribution<double> coin(0.0, 1.0);
+  GeneratedQuery out;
+  if (!recent_.empty() && coin(rng_) < config_.temporal_rereference) {
+    std::uniform_int_distribution<std::size_t> pick(0, recent_.size() - 1);
+    out = recent_[pick(rng_)];
+  } else {
+    out = fresh_query();
+  }
+  recent_.push_back(out);
+  while (recent_.size() > config_.rereference_window) recent_.pop_front();
+  ++type_counts_[static_cast<std::size_t>(out.type)];
+  ++generated_;
+  return out;
+}
+
+std::vector<GeneratedQuery> WorkloadGenerator::generate(std::size_t count) {
+  std::vector<GeneratedQuery> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(next());
+  return out;
+}
+
+}  // namespace fbdr::workload

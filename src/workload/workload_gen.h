@@ -1,0 +1,97 @@
+#pragma once
+
+#include <deque>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "workload/directory_gen.h"
+#include "workload/zipf.h"
+
+namespace fbdr::workload {
+
+/// The four query types of the case-study workload (Table 1).
+enum class QueryType { SerialNumber, Mail, Department, Location };
+
+std::string to_string(QueryType type);
+
+/// One generated client request, with target metadata for evaluation modes
+/// that need it (e.g. crediting a subtree replica when the target entry
+/// lives in a replicated country).
+struct GeneratedQuery {
+  ldap::Query query;
+  QueryType type = QueryType::SerialNumber;
+  std::size_t target_employee = SIZE_MAX;  // serial/mail queries
+  std::size_t target_country = SIZE_MAX;   // serial/mail queries
+  std::size_t target_division = SIZE_MAX;  // serial/mail/dept queries
+};
+
+/// Workload generator reproducing the characteristics the evaluation relies
+/// on (§7.1-7.2):
+///   - query-type mix per Table 1 (serialNumber 58%, mail 24%, dept+div 16%,
+///     location 2%),
+///   - Zipf-skewed popularity over divisions, employees within a division,
+///     departments and locations (semantic locality),
+///   - short-range temporal re-reference (a fraction of queries repeat one
+///     of the last W queries), which is what query caching exploits
+///     (Figs. 8-9),
+///   - all queries use the null base and SUBTREE scope (minimally directory
+///     enabled applications, §3.1.1).
+struct WorkloadConfig {
+  double p_serial = 0.58;
+  double p_mail = 0.24;
+  double p_dept = 0.16;
+  double p_location = 0.02;
+
+  double zipf_divisions = 1.1;   // division popularity skew
+  double zipf_members = 1.0;     // employee-within-division skew
+  double zipf_depts = 0.9;       // department-within-division skew
+  double zipf_locations = 1.0;
+
+  double temporal_rereference = 0.15;  // P(repeat a recent query)
+  std::size_t rereference_window = 100;
+
+  /// Non-stationarity: every `drift_interval` fresh queries the division
+  /// popularity ranking rotates by `drift_step` (0 disables). Dynamic filter
+  /// selection (Figs. 5/7) only pays off under such drift.
+  std::size_t drift_interval = 0;
+  std::size_t drift_step = 1;
+
+  unsigned seed = 20050402;
+};
+
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const EnterpriseDirectory& directory, WorkloadConfig config);
+
+  /// Generates the next request.
+  GeneratedQuery next();
+
+  /// Generates a batch.
+  std::vector<GeneratedQuery> generate(std::size_t count);
+
+  /// Per-type counts of generated queries (Table 1 verification).
+  const std::vector<std::size_t>& type_counts() const noexcept {
+    return type_counts_;
+  }
+  std::size_t generated() const noexcept { return generated_; }
+
+ private:
+  GeneratedQuery fresh_query();
+  std::size_t drifted_division(std::size_t sampled_rank) const;
+
+  std::size_t drift_offset_ = 0;
+  std::size_t fresh_since_drift_ = 0;
+  const EnterpriseDirectory* directory_;
+  WorkloadConfig config_;
+  std::mt19937 rng_;
+  ZipfSampler division_popularity_;
+  std::vector<ZipfSampler> member_popularity_;  // per division
+  ZipfSampler dept_popularity_;
+  ZipfSampler location_popularity_;
+  std::deque<GeneratedQuery> recent_;
+  std::vector<std::size_t> type_counts_ = std::vector<std::size_t>(4, 0);
+  std::size_t generated_ = 0;
+};
+
+}  // namespace fbdr::workload

@@ -1,0 +1,157 @@
+#include "containment/compiled.h"
+
+#include <gtest/gtest.h>
+
+#include "containment/filter_containment.h"
+#include "ldap/filter_parser.h"
+
+namespace fbdr::containment {
+namespace {
+
+using ldap::FilterTemplate;
+
+std::optional<CompiledContainment> compile(const char* inner, const char* outer) {
+  return CompiledContainment::compile(FilterTemplate::parse(inner),
+                                      FilterTemplate::parse(outer));
+}
+
+TEST(Compiled, PaperAgeExample) {
+  // §3.4.2: "query (age=X) can be answered by query (age>=Y) if (Y <= X)".
+  const auto condition = compile("(age=_)", "(age>=_)");
+  ASSERT_TRUE(condition.has_value());
+  EXPECT_FALSE(condition->trivially_true());
+  EXPECT_FALSE(condition->trivially_false());
+  EXPECT_TRUE(condition->evaluate({"30"}, {"18"}));   // 18 <= 30
+  EXPECT_TRUE(condition->evaluate({"30"}, {"30"}));   // boundary
+  EXPECT_FALSE(condition->evaluate({"30"}, {"31"}));  // 31 > 30
+  EXPECT_TRUE(condition->evaluate({"9"}, {"8"}));     // numeric ordering
+}
+
+TEST(Compiled, EqualityIntoEquality) {
+  const auto condition = compile("(uid=_)", "(uid=_)");
+  ASSERT_TRUE(condition.has_value());
+  EXPECT_TRUE(condition->evaluate({"jdoe"}, {"jdoe"}));
+  EXPECT_TRUE(condition->evaluate({"jdoe"}, {"JDOE"}));  // matching rule
+  EXPECT_FALSE(condition->evaluate({"jdoe"}, {"jsmith"}));
+}
+
+TEST(Compiled, DifferentAttributesNeverContained) {
+  const auto condition = compile("(uid=_)", "(cn=_)");
+  ASSERT_TRUE(condition.has_value());
+  EXPECT_TRUE(condition->trivially_false());
+  EXPECT_FALSE(condition->evaluate({"x"}, {"x"}));
+}
+
+TEST(Compiled, NarrowTemplateInsideWiderTemplate) {
+  // (&(dept=_)(div=_)) inside (&(div=_)(dept=*))-style stored queries: the
+  // stored filter fixes the division and wildcards the department.
+  const auto condition = compile("(&(dept=_)(div=_))", "(&(div=_)(dept=*))");
+  ASSERT_TRUE(condition.has_value());
+  EXPECT_TRUE(condition->evaluate({"2406", "sw"}, {"sw"}));
+  EXPECT_FALSE(condition->evaluate({"2406", "sw"}, {"hw"}));
+}
+
+TEST(Compiled, ConstantTemplatesFoldAtCompileTime) {
+  // Containment between fully constant templates decides at compile time.
+  const auto yes = compile("(&(cn=_)(ou=research))", "(ou=research)");
+  ASSERT_TRUE(yes.has_value());
+  EXPECT_TRUE(yes->trivially_true());
+  EXPECT_TRUE(yes->evaluate({"fred"}, {}));
+
+  const auto no = compile("(&(cn=_)(ou=research))", "(ou=sales)");
+  ASSERT_TRUE(no.has_value());
+  EXPECT_TRUE(no->trivially_false());
+  EXPECT_FALSE(no->evaluate({"fred"}, {}));
+}
+
+TEST(Compiled, PrefixTemplates) {
+  // (serialnumber=_) inside (serialnumber=_*): X has prefix P.
+  const auto condition = compile("(serialnumber=_)", "(serialnumber=_*)");
+  ASSERT_TRUE(condition.has_value());
+  EXPECT_TRUE(condition->evaluate({"041234"}, {"04"}));
+  EXPECT_TRUE(condition->evaluate({"041234"}, {"041234"}));
+  EXPECT_FALSE(condition->evaluate({"051234"}, {"04"}));
+  EXPECT_FALSE(condition->evaluate({"04"}, {"041"}));
+}
+
+TEST(Compiled, PrefixInsidePrefix) {
+  const auto condition = compile("(serialnumber=_*)", "(serialnumber=_*)");
+  ASSERT_TRUE(condition.has_value());
+  EXPECT_TRUE(condition->evaluate({"0412"}, {"04"}));
+  EXPECT_TRUE(condition->evaluate({"04"}, {"04"}));
+  EXPECT_FALSE(condition->evaluate({"04"}, {"0412"}));
+  EXPECT_FALSE(condition->evaluate({"05"}, {"04"}));
+}
+
+TEST(Compiled, RangePairTemplates) {
+  // (&(age>=_)(age<=_)) inside (&(age>=_)(age<=_)): interval containment.
+  const auto condition = compile("(&(age>=_)(age<=_))", "(&(age>=_)(age<=_))");
+  ASSERT_TRUE(condition.has_value());
+  EXPECT_TRUE(condition->evaluate({"20", "30"}, {"10", "40"}));
+  EXPECT_TRUE(condition->evaluate({"20", "30"}, {"20", "30"}));
+  EXPECT_FALSE(condition->evaluate({"20", "30"}, {"25", "40"}));
+  EXPECT_FALSE(condition->evaluate({"20", "30"}, {"10", "25"}));
+  // Empty incoming interval is contained in anything.
+  EXPECT_TRUE(condition->evaluate({"30", "20"}, {"99", "1"}));
+}
+
+TEST(Compiled, NonPrefixSubstringTemplatesNotCompilable) {
+  EXPECT_FALSE(compile("(mail=_)", "(mail=*_)").has_value());
+  EXPECT_FALSE(compile("(mail=*_)", "(mail=*_)").has_value());
+  EXPECT_FALSE(compile("(cn=_*_)", "(cn=_*)").has_value());
+}
+
+TEST(Compiled, MatchesGeneralEngineOnConcreteInstances) {
+  // The compiled decision must agree with Proposition 1 on every instance.
+  struct Case {
+    const char* inner_template;
+    const char* outer_template;
+    std::vector<std::string> inner_slots;
+    std::vector<std::string> outer_slots;
+  };
+  const std::vector<Case> cases = {
+      {"(age=_)", "(age>=_)", {"30"}, {"18"}},
+      {"(age=_)", "(age>=_)", {"30"}, {"40"}},
+      {"(age>=_)", "(age>=_)", {"30"}, {"18"}},
+      {"(age<=_)", "(age>=_)", {"30"}, {"18"}},
+      {"(serialnumber=_)", "(serialnumber=_*)", {"0412"}, {"04"}},
+      {"(serialnumber=_)", "(serialnumber=_*)", {"0512"}, {"04"}},
+      {"(serialnumber=_*)", "(serialnumber=_*)", {"041"}, {"04"}},
+      {"(&(dept=_)(div=_))", "(&(div=_)(dept=*))", {"2406", "sw"}, {"sw"}},
+      {"(&(dept=_)(div=_))", "(&(div=_)(dept=*))", {"2406", "sw"}, {"hw"}},
+      {"(&(dept=_)(div=_))", "(dept=_)", {"2406", "sw"}, {"2406"}},
+      {"(&(dept=_)(div=_))", "(dept=_)", {"2406", "sw"}, {"2407"}},
+      {"(uid=_)", "(objectclass=*)", {"jdoe"}, {}},
+  };
+  for (const Case& c : cases) {
+    const FilterTemplate inner_t = FilterTemplate::parse(c.inner_template);
+    const FilterTemplate outer_t = FilterTemplate::parse(c.outer_template);
+    const auto condition = CompiledContainment::compile(inner_t, outer_t);
+    ASSERT_TRUE(condition.has_value())
+        << c.inner_template << " in " << c.outer_template;
+    const auto inner_f = inner_t.instantiate(c.inner_slots);
+    const auto outer_f = outer_t.instantiate(c.outer_slots);
+    EXPECT_EQ(condition->evaluate(c.inner_slots, c.outer_slots),
+              filter_contained(*inner_f, *outer_f))
+        << inner_f->to_string() << " in " << outer_f->to_string();
+  }
+}
+
+TEST(Compiled, ToStringShowsCnf) {
+  const auto condition = compile("(age=_)", "(age>=_)");
+  ASSERT_TRUE(condition.has_value());
+  const std::string text = condition->to_string();
+  EXPECT_NE(text.find("q0"), std::string::npos);
+  EXPECT_NE(text.find("s0"), std::string::npos);
+}
+
+TEST(Compiled, AtomCountIsSmall) {
+  // §3.4.2's point: per-query evaluation is a handful of comparisons.
+  const auto condition = compile("(&(age>=_)(age<=_))", "(&(age>=_)(age<=_))");
+  ASSERT_TRUE(condition.has_value());
+  EXPECT_LE(condition->atom_count(), 16u);
+  EXPECT_LE(condition->clause_count(), 8u);
+}
+
+}  // namespace
+}  // namespace fbdr::containment

@@ -1,0 +1,124 @@
+#include "containment/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "ldap/filter_parser.h"
+
+namespace fbdr::containment {
+namespace {
+
+using ldap::Filter;
+using ldap::FilterPtr;
+using ldap::Query;
+using ldap::Scope;
+using ldap::TemplateRegistry;
+
+class EngineTest : public ::testing::Test {
+ protected:
+  EngineTest() {
+    registry_ = std::make_shared<TemplateRegistry>();
+    registry_->add("(serialnumber=_)");
+    registry_->add("(serialnumber=_*)");
+    registry_->add("(mail=_)");
+    registry_->add("(&(dept=_)(div=_))");
+    registry_->add("(&(div=_)(dept=*))");
+    registry_->add("(age=_)");
+    registry_->add("(age>=_)");
+    engine_ = std::make_unique<ContainmentEngine>(ldap::Schema::default_instance(),
+                                                  registry_);
+  }
+
+  bool check(const char* inner, const char* outer) {
+    const FilterPtr fi = ldap::parse_filter(inner);
+    const FilterPtr fo = ldap::parse_filter(outer);
+    return engine_->filter_contained(*fi, engine_->bind(*fi), *fo,
+                                     engine_->bind(*fo));
+  }
+
+  std::shared_ptr<TemplateRegistry> registry_;
+  std::unique_ptr<ContainmentEngine> engine_;
+};
+
+TEST_F(EngineTest, SameTemplateUsesProposition3) {
+  EXPECT_TRUE(check("(serialnumber=041*)", "(serialnumber=04*)"));
+  EXPECT_FALSE(check("(serialnumber=05*)", "(serialnumber=04*)"));
+  EXPECT_EQ(engine_->stats().same_template, 2u);
+  EXPECT_EQ(engine_->stats().compiled, 0u);
+  EXPECT_EQ(engine_->stats().general, 0u);
+}
+
+TEST_F(EngineTest, CrossTemplateUsesCompiledCondition) {
+  EXPECT_TRUE(check("(serialnumber=041234)", "(serialnumber=04*)"));
+  EXPECT_FALSE(check("(serialnumber=051234)", "(serialnumber=04*)"));
+  EXPECT_EQ(engine_->stats().compiled, 2u);
+  EXPECT_EQ(engine_->stats().compilations, 1u);  // compiled once, reused
+  EXPECT_EQ(engine_->stats().general, 0u);
+}
+
+TEST_F(EngineTest, PaperCrossTemplateAgeExample) {
+  EXPECT_TRUE(check("(age=30)", "(age>=18)"));
+  EXPECT_FALSE(check("(age=30)", "(age>=40)"));
+  EXPECT_EQ(engine_->stats().compiled, 2u);
+}
+
+TEST_F(EngineTest, NonCompilablePairFallsBackToGeneral) {
+  registry_->add("(mail=*_)");
+  EXPECT_TRUE(check("(mail=john@us.xyz.com)", "(mail=*@us.xyz.com)"));
+  EXPECT_FALSE(check("(mail=john@in.xyz.com)", "(mail=*@us.xyz.com)"));
+  EXPECT_EQ(engine_->stats().general, 2u);
+  EXPECT_EQ(engine_->stats().compiled, 0u);
+}
+
+TEST_F(EngineTest, UnboundFilterFallsBackToGeneral) {
+  EXPECT_TRUE(check("(sn=Doe)", "(sn=*)"));  // neither matches a template
+  EXPECT_EQ(engine_->stats().general, 1u);
+}
+
+TEST_F(EngineTest, DeptDivCrossTemplate) {
+  EXPECT_TRUE(check("(&(dept=2406)(div=sw))", "(&(div=sw)(dept=*))"));
+  EXPECT_FALSE(check("(&(dept=2406)(div=sw))", "(&(div=hw)(dept=*))"));
+}
+
+TEST_F(EngineTest, QueryContainedAppliesRegionChecks) {
+  const Query incoming =
+      Query::parse("c=us,o=ibm", Scope::Subtree, "(serialnumber=041234)");
+  const Query stored = Query::parse("o=ibm", Scope::Subtree, "(serialnumber=04*)");
+  EXPECT_TRUE(engine_->query_contained(incoming, stored));
+
+  const Query wrong_region =
+      Query::parse("c=us,o=other", Scope::Subtree, "(serialnumber=041234)");
+  EXPECT_FALSE(engine_->query_contained(wrong_region, stored));
+}
+
+TEST_F(EngineTest, StatsAccumulateAndReset) {
+  check("(serialnumber=04*)", "(serialnumber=04*)");
+  check("(age=30)", "(age>=18)");
+  check("(sn=Doe)", "(sn=*)");
+  const auto& stats = engine_->stats();
+  EXPECT_EQ(stats.checks, 3u);
+  EXPECT_EQ(stats.same_template, 1u);
+  EXPECT_EQ(stats.compiled, 1u);
+  EXPECT_EQ(stats.general, 1u);
+  engine_->reset_stats();
+  EXPECT_EQ(engine_->stats().checks, 0u);
+}
+
+TEST_F(EngineTest, DefaultConstructedEngineHasEmptyRegistry) {
+  ContainmentEngine engine;
+  EXPECT_EQ(engine.registry().size(), 0u);
+  const FilterPtr f = ldap::parse_filter("(sn=Doe)");
+  EXPECT_FALSE(engine.bind(*f).has_value());
+  EXPECT_TRUE(engine.filter_contained(*f, std::nullopt, *f, std::nullopt));
+}
+
+TEST_F(EngineTest, TemplatePruningViaTriviallyFalseCondition) {
+  // (mail=_) can never be inside (serialnumber=_): compiled once to FALSE,
+  // then every check is constant time.
+  EXPECT_FALSE(check("(mail=a@b.c)", "(serialnumber=041234)"));
+  EXPECT_FALSE(check("(mail=x@y.z)", "(serialnumber=99)"));
+  EXPECT_EQ(engine_->stats().compilations, 1u);
+  EXPECT_EQ(engine_->stats().compiled_trivial, 2u);
+}
+
+}  // namespace
+}  // namespace fbdr::containment

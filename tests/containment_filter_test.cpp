@@ -1,0 +1,179 @@
+#include "containment/filter_containment.h"
+
+#include <gtest/gtest.h>
+
+#include "ldap/filter_parser.h"
+
+namespace fbdr::containment {
+namespace {
+
+bool contained(const char* inner, const char* outer) {
+  return filter_contained(*ldap::parse_filter(inner), *ldap::parse_filter(outer));
+}
+
+TEST(FilterContainment, ReflexiveOnEquality) {
+  EXPECT_TRUE(contained("(sn=Doe)", "(sn=Doe)"));
+  EXPECT_TRUE(contained("(sn=Doe)", "(sn=DOE)"));  // matching rule
+  EXPECT_FALSE(contained("(sn=Doe)", "(sn=Smith)"));
+}
+
+TEST(FilterContainment, EqualityInsidePresence) {
+  EXPECT_TRUE(contained("(sn=Doe)", "(sn=*)"));
+  EXPECT_FALSE(contained("(sn=*)", "(sn=Doe)"));
+}
+
+TEST(FilterContainment, EverythingInsideMatchAll) {
+  // (objectclass=*) matches every entry (§2.2), so any filter is contained
+  // in it — even one that never mentions objectclass.
+  EXPECT_TRUE(contained("(sn=Doe)", "(objectclass=*)"));
+  EXPECT_TRUE(contained("(&(sn=Doe)(age>=30))", "(objectclass=*)"));
+  EXPECT_FALSE(contained("(objectclass=*)", "(sn=Doe)"));
+}
+
+TEST(FilterContainment, PresenceOfOptionalAttributeIsNotUniversal) {
+  // (telephonenumber=*) does NOT contain (sn=Doe): an entry can have a sn
+  // but no telephone number.
+  EXPECT_FALSE(contained("(sn=Doe)", "(telephonenumber=*)"));
+}
+
+TEST(FilterContainment, RangeExample) {
+  // Paper §3.4.2: query (age=X) can be answered by (age>=Y) if Y <= X.
+  EXPECT_TRUE(contained("(age=30)", "(age>=18)"));
+  EXPECT_TRUE(contained("(age=30)", "(age>=30)"));
+  EXPECT_FALSE(contained("(age=30)", "(age>=31)"));
+  EXPECT_TRUE(contained("(age=9)", "(age<=10)"));  // numeric comparison
+}
+
+TEST(FilterContainment, RangeInRange) {
+  EXPECT_TRUE(contained("(age>=30)", "(age>=18)"));
+  EXPECT_FALSE(contained("(age>=18)", "(age>=30)"));
+  EXPECT_TRUE(contained("(age<=18)", "(age<=30)"));
+  EXPECT_FALSE(contained("(age<=30)", "(age<=18)"));
+}
+
+TEST(FilterContainment, ConjunctionIsSmaller) {
+  EXPECT_TRUE(contained("(&(sn=Doe)(givenname=John))", "(sn=Doe)"));
+  EXPECT_FALSE(contained("(sn=Doe)", "(&(sn=Doe)(givenname=John))"));
+}
+
+TEST(FilterContainment, DisjunctionIsLarger) {
+  EXPECT_TRUE(contained("(sn=Doe)", "(|(sn=Doe)(sn=Smith))"));
+  EXPECT_FALSE(contained("(|(sn=Doe)(sn=Smith))", "(sn=Doe)"));
+  EXPECT_TRUE(contained("(|(sn=Doe)(sn=Smith))", "(|(sn=Smith)(sn=Doe)(sn=X))"));
+}
+
+TEST(FilterContainment, PaperSection4Example) {
+  // F1 = (a>=p)&(b>=q), F2 = (a=x)|(b>=y): contained iff q >= y.
+  // Instantiate with integers: p=5, q=20, x=7, y=10 -> contained (20 >= 10).
+  EXPECT_TRUE(contained("(&(age>=5)(roomnumber>=20))",
+                        "(|(age=7)(roomnumber>=10))"));
+  // q=5, y=10 -> not contained.
+  EXPECT_FALSE(contained("(&(age>=5)(roomnumber>=5))",
+                         "(|(age=7)(roomnumber>=10))"));
+}
+
+TEST(FilterContainment, DepartmentPrefixExample) {
+  // §3.1.2: (&(objectclass=inetOrgPerson)(departmentnumber=2406)) is
+  // answered by (&(objectclass=inetOrgPerson)(departmentnumber=240*)).
+  EXPECT_TRUE(contained("(&(objectclass=inetOrgPerson)(departmentnumber=2406))",
+                        "(&(objectclass=inetOrgPerson)(departmentnumber=240*))"));
+  EXPECT_FALSE(contained("(&(objectclass=inetOrgPerson)(departmentnumber=2506))",
+                         "(&(objectclass=inetOrgPerson)(departmentnumber=240*))"));
+}
+
+TEST(FilterContainment, SerialNumberPrefix) {
+  EXPECT_TRUE(contained("(serialnumber=041234)", "(serialnumber=04*)"));
+  EXPECT_TRUE(contained("(serialnumber=0412*)", "(serialnumber=04*)"));
+  EXPECT_FALSE(contained("(serialnumber=04*)", "(serialnumber=0412*)"));
+  EXPECT_FALSE(contained("(serialnumber=051234)", "(serialnumber=04*)"));
+}
+
+TEST(FilterContainment, MailSuffixPattern) {
+  EXPECT_TRUE(contained("(mail=john@us.xyz.com)", "(mail=*@us.xyz.com)"));
+  EXPECT_FALSE(contained("(mail=john@in.xyz.com)", "(mail=*@us.xyz.com)"));
+  EXPECT_TRUE(contained("(mail=*@us.xyz.com)", "(mail=*xyz.com)"));
+}
+
+TEST(FilterContainment, RangeConjunctionSubsumption) {
+  // Beyond Proposition 3: redundant predicates still decided correctly by
+  // the general engine.
+  EXPECT_TRUE(contained("(&(age>=5)(age>=3))", "(&(age>=1)(age>=4))"));
+  EXPECT_FALSE(contained("(&(age>=5)(age>=3))", "(&(age>=1)(age>=6))"));
+}
+
+TEST(FilterContainment, BoundedIntervalInLargerInterval) {
+  EXPECT_TRUE(contained("(&(age>=20)(age<=30))", "(&(age>=10)(age<=40))"));
+  EXPECT_FALSE(contained("(&(age>=10)(age<=40))", "(&(age>=20)(age<=30))"));
+}
+
+TEST(FilterContainment, EmptyInnerContainedInAnything) {
+  // (age>=30)&(age<=20) matches nothing, hence contained everywhere.
+  EXPECT_TRUE(contained("(&(age>=30)(age<=20))", "(sn=Doe)"));
+}
+
+TEST(FilterContainment, NegationHandledViaDnf) {
+  EXPECT_TRUE(contained("(sn=Doe)", "(!(sn=Smith))"));
+  EXPECT_FALSE(contained("(sn=Doe)", "(!(sn=Doe))"));
+  EXPECT_TRUE(contained("(&(sn=Doe)(!(c=us)))", "(sn=Doe)"));
+  // (!(age<=20)) == (age>20): contains (age>=30).
+  EXPECT_TRUE(contained("(age>=30)", "(!(age<=20))"));
+  EXPECT_FALSE(contained("(age>=10)", "(!(age<=20))"));
+}
+
+TEST(FilterContainment, CrossAttributeNotContained) {
+  EXPECT_FALSE(contained("(sn=Doe)", "(givenname=Doe)"));
+}
+
+TEST(FilterContainment, OrOfPrefixesCoversNarrowerPrefix) {
+  EXPECT_TRUE(contained("(serialnumber=041*)",
+                        "(|(serialnumber=04*)(serialnumber=05*))"));
+  EXPECT_FALSE(contained("(serialnumber=061*)",
+                         "(|(serialnumber=04*)(serialnumber=05*))"));
+}
+
+TEST(FilterContainment, DeMorganEquivalence) {
+  // !(A|B) == !A & !B: the two forms contain each other.
+  EXPECT_TRUE(contained("(!(|(sn=a)(sn=b)))", "(&(!(sn=a))(!(sn=b)))"));
+  EXPECT_TRUE(contained("(&(!(sn=a))(!(sn=b)))", "(!(|(sn=a)(sn=b)))"));
+}
+
+TEST(PredicateContained, DirectCases) {
+  const auto& schema = ldap::Schema::default_instance();
+  auto pred = [](const char* text) { return ldap::parse_filter(text); };
+  EXPECT_TRUE(predicate_contained(*pred("(age=30)"), *pred("(age>=18)"), schema));
+  EXPECT_TRUE(predicate_contained(*pred("(age>=30)"), *pred("(age>=18)"), schema));
+  EXPECT_FALSE(predicate_contained(*pred("(age>=10)"), *pred("(age>=18)"), schema));
+  EXPECT_TRUE(predicate_contained(*pred("(sn=doe)"), *pred("(sn=*)"), schema));
+  EXPECT_TRUE(
+      predicate_contained(*pred("(sn=doe)"), *pred("(sn=do*)"), schema));
+  EXPECT_TRUE(
+      predicate_contained(*pred("(sn=do*)"), *pred("(sn=d*)"), schema));
+  EXPECT_FALSE(
+      predicate_contained(*pred("(sn=do*)"), *pred("(cn=do*)"), schema));
+  // Prefix pattern inside a compatible range.
+  EXPECT_TRUE(
+      predicate_contained(*pred("(sn=do*)"), *pred("(sn>=do)"), schema));
+  EXPECT_FALSE(
+      predicate_contained(*pred("(sn=do*)"), *pred("(sn>=dz)"), schema));
+}
+
+TEST(SameTemplateContained, PairwisePredicateWalk) {
+  auto f = [](const char* text) { return ldap::parse_filter(text); };
+  // Proposition 3 walk on (&(dept=_)(div=_)).
+  EXPECT_TRUE(same_template_contained(*f("(&(dept=2406)(div=sw))"),
+                                      *f("(&(dept=2406)(div=sw))")));
+  EXPECT_FALSE(same_template_contained(*f("(&(dept=2406)(div=sw))"),
+                                       *f("(&(dept=2407)(div=sw))")));
+  // Range template (age>=_).
+  EXPECT_TRUE(same_template_contained(*f("(age>=30)"), *f("(age>=18)")));
+  EXPECT_FALSE(same_template_contained(*f("(age>=18)"), *f("(age>=30)")));
+  // Prefix template (serialnumber=_*).
+  EXPECT_TRUE(same_template_contained(*f("(serialnumber=041*)"),
+                                      *f("(serialnumber=04*)")));
+  // Structural mismatch yields false.
+  EXPECT_FALSE(same_template_contained(*f("(sn=doe)"),
+                                       *f("(&(sn=doe)(cn=x))")));
+}
+
+}  // namespace
+}  // namespace fbdr::containment

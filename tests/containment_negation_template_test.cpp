@@ -1,0 +1,136 @@
+// Negated templates through the engine: Proposition 3's fast path only
+// covers positive filters, but the Proposition 2 compiler expands NOT nodes
+// symbolically, so registered templates containing negation still get
+// compiled cross-template conditions. Plus fuzz for the template
+// match/instantiate round trip.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "containment/engine.h"
+#include "containment/filter_containment.h"
+#include "ldap/filter_parser.h"
+
+namespace fbdr::containment {
+namespace {
+
+using ldap::FilterPtr;
+using ldap::FilterTemplate;
+using ldap::parse_filter;
+using ldap::TemplateRegistry;
+
+TEST(NegationTemplates, CompiledConditionForNotEquals) {
+  // (dept=X) is inside (!(dept=Y)) iff X != Y.
+  const auto condition = CompiledContainment::compile(
+      FilterTemplate::parse("(dept=_)"), FilterTemplate::parse("(!(dept=_))"));
+  ASSERT_TRUE(condition.has_value());
+  EXPECT_TRUE(condition->evaluate({"2406"}, {"2407"}));
+  EXPECT_FALSE(condition->evaluate({"2406"}, {"2406"}));
+}
+
+TEST(NegationTemplates, EngineDispatchesNegatedStoredTemplate) {
+  auto registry = std::make_shared<TemplateRegistry>();
+  registry->add("(dept=_)");
+  registry->add("(!(dept=_))");
+  ContainmentEngine engine(ldap::Schema::default_instance(), registry);
+
+  const FilterPtr inner = parse_filter("(dept=2406)");
+  const FilterPtr outer_other = parse_filter("(!(dept=9999))");
+  const FilterPtr outer_same = parse_filter("(!(dept=2406))");
+  EXPECT_TRUE(engine.filter_contained(*inner, engine.bind(*inner), *outer_other,
+                                      engine.bind(*outer_other)));
+  EXPECT_FALSE(engine.filter_contained(*inner, engine.bind(*inner), *outer_same,
+                                       engine.bind(*outer_same)));
+  EXPECT_GE(engine.stats().compiled, 2u);
+}
+
+TEST(NegationTemplates, SameNegatedTemplateFallsToConservativeAnswer) {
+  // Proposition 3 addresses positive filters only; identical negated
+  // templates answer false (sound, a referral at worst).
+  auto registry = std::make_shared<TemplateRegistry>();
+  registry->add("(!(dept=_))");
+  ContainmentEngine engine(ldap::Schema::default_instance(), registry);
+  const FilterPtr a = parse_filter("(!(dept=2406))");
+  EXPECT_FALSE(
+      engine.filter_contained(*a, engine.bind(*a), *a, engine.bind(*a)));
+  // The general engine decides the same pair exactly.
+  EXPECT_TRUE(filter_contained(*a, *a));
+}
+
+TEST(TemplateFuzz, MatchInstantiateRoundTrip) {
+  const std::vector<const char*> templates = {
+      "(uid=_)",
+      "(serialnumber=_*)",
+      "(&(sn=_)(givenname=_))",
+      "(&(dept=_)(div=_))",
+      "(|(c=_)(c=_))",
+      "(&(objectclass=person)(sn=_))",
+      "(!(dept=_))",
+      "(mail=*_)",
+  };
+  const std::vector<std::string> values = {"a",    "zz",   "2406", "Doe",
+                                           "x-1",  "04",   "9",    "long value"};
+  std::mt19937 rng(1234);
+  std::uniform_int_distribution<std::size_t> value_pick(0, values.size() - 1);
+
+  for (const char* text : templates) {
+    const FilterTemplate tmpl = FilterTemplate::parse(text);
+    for (int trial = 0; trial < 50; ++trial) {
+      std::vector<std::string> slots;
+      for (std::size_t i = 0; i < tmpl.slot_count(); ++i) {
+        slots.push_back(values[value_pick(rng)]);
+      }
+      const FilterPtr instantiated = tmpl.instantiate(slots);
+      const auto matched = tmpl.match(*instantiated);
+      ASSERT_TRUE(matched.has_value())
+          << text << " failed to match its own instantiation "
+          << instantiated->to_string();
+      // Values may normalize (case), so compare re-instantiations.
+      EXPECT_TRUE(ldap::filters_equal(*tmpl.instantiate(*matched), *instantiated));
+    }
+  }
+}
+
+TEST(TemplateFuzz, GeneralizeMatchesEveryConcreteFilter) {
+  std::mt19937 rng(777);
+  const std::vector<std::string> attrs = {"sn", "dept", "mail"};
+  const std::vector<std::string> values = {"a", "b", "2406"};
+  std::uniform_int_distribution<std::size_t> attr_pick(0, attrs.size() - 1);
+  std::uniform_int_distribution<std::size_t> value_pick(0, values.size() - 1);
+  std::uniform_int_distribution<int> kind(0, 3);
+
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<FilterPtr> children;
+    const int n = 1 + trial % 3;
+    for (int i = 0; i < n; ++i) {
+      const std::string& attr = attrs[attr_pick(rng)];
+      const std::string& value = values[value_pick(rng)];
+      switch (kind(rng)) {
+        case 0:
+          children.push_back(ldap::Filter::equality(attr, value));
+          break;
+        case 1:
+          children.push_back(ldap::Filter::greater_eq(attr, value));
+          break;
+        case 2: {
+          ldap::SubstringPattern pattern;
+          pattern.initial = value;
+          children.push_back(ldap::Filter::substring(attr, std::move(pattern)));
+          break;
+        }
+        default:
+          children.push_back(ldap::Filter::present(attr));
+          break;
+      }
+    }
+    const FilterPtr filter =
+        children.size() == 1 ? children[0] : ldap::Filter::make_and(std::move(children));
+    const FilterTemplate generalized = FilterTemplate::generalize(*filter);
+    EXPECT_TRUE(generalized.match(*filter).has_value())
+        << generalized.key() << " does not match " << filter->to_string();
+  }
+}
+
+}  // namespace
+}  // namespace fbdr::containment

@@ -1,0 +1,99 @@
+#include "containment/pattern.h"
+
+#include <gtest/gtest.h>
+
+#include "ldap/filter_parser.h"
+
+namespace fbdr::containment {
+namespace {
+
+using ldap::SubstringPattern;
+
+SubstringPattern pat(const char* filter_text) {
+  // Parse "(x=<pattern>)" and pull out the normalized pattern.
+  const ldap::FilterPtr f = ldap::parse_filter(filter_text);
+  return normalize_pattern(f->substrings(), f->attribute(),
+                           ldap::Schema::default_instance());
+}
+
+TEST(NormalizePattern, LowercasesCaseIgnoreComponents) {
+  const SubstringPattern p = pat("(cn=SMI*TH*X)");
+  EXPECT_EQ(p.initial, "smi");
+  ASSERT_EQ(p.any.size(), 1u);
+  EXPECT_EQ(p.any[0], "th");
+  EXPECT_EQ(p.final, "x");
+}
+
+TEST(PatternContained, PrefixRefinement) {
+  // (serialnumber=041*) inside (serialnumber=04*).
+  EXPECT_TRUE(pattern_contained(pat("(serialnumber=041*)"),
+                                pat("(serialnumber=04*)")));
+  EXPECT_FALSE(pattern_contained(pat("(serialnumber=04*)"),
+                                 pat("(serialnumber=041*)")));
+  EXPECT_FALSE(pattern_contained(pat("(serialnumber=05*)"),
+                                 pat("(serialnumber=04*)")));
+}
+
+TEST(PatternContained, SuffixRefinement) {
+  EXPECT_TRUE(pattern_contained(pat("(mail=*@us.xyz.com)"),
+                                pat("(mail=*xyz.com)")));
+  EXPECT_FALSE(pattern_contained(pat("(mail=*xyz.com)"),
+                                 pat("(mail=*@us.xyz.com)")));
+}
+
+TEST(PatternContained, SamePatternContainsItself) {
+  EXPECT_TRUE(pattern_contained(pat("(cn=a*b*c)"), pat("(cn=a*b*c)")));
+  EXPECT_TRUE(pattern_contained(pat("(sn=smi*)"), pat("(sn=smi*)")));
+}
+
+TEST(PatternContained, MiddleComponentEmbedding) {
+  // Every string matching a*bcd*e contains "bc".
+  EXPECT_TRUE(pattern_contained(pat("(cn=a*bcd*e)"), pat("(cn=*bc*)")));
+  EXPECT_TRUE(pattern_contained(pat("(cn=a*bcd*e)"), pat("(cn=a*cd*)")));
+  EXPECT_FALSE(pattern_contained(pat("(cn=a*bcd*e)"), pat("(cn=*xy*)")));
+}
+
+TEST(PatternContained, MiddleComponentsMustEmbedInOrder) {
+  EXPECT_TRUE(pattern_contained(pat("(cn=*ab*cd*)"), pat("(cn=*b*c*)")));
+  // Reversed order is not forced.
+  EXPECT_FALSE(pattern_contained(pat("(cn=*ab*cd*)"), pat("(cn=*c*b*)")));
+}
+
+TEST(PatternContained, TwoNeedlesCannotShareOneComponent) {
+  // A string matching *abc* need not contain "a" and "c" in two separate
+  // places... it does contain both in order inside "abc", but the sound rule
+  // maps needles to distinct components. *a*c* IS implied here, though the
+  // conservative check declines it — verify it answers false (sound,
+  // incomplete) rather than true.
+  EXPECT_FALSE(pattern_contained(pat("(cn=*abc*)"), pat("(cn=*a*c*)")));
+}
+
+TEST(PatternContained, OuterPrefixConsumesInnerInitialBytes) {
+  // inner = ab*..., outer = *b*: "b" must embed in what remains of the
+  // initial after outer's (empty) prefix — here the full "ab" hosts it.
+  EXPECT_TRUE(pattern_contained(pat("(cn=ab*z)"), pat("(cn=*b*)")));
+  // outer = a*a*: inner initial "a" is consumed by outer's prefix "a"; the
+  // second "a" must come from elsewhere - not forced by inner = a*z.
+  EXPECT_FALSE(pattern_contained(pat("(cn=a*z)"), pat("(cn=a*a*)")));
+}
+
+TEST(PatternContained, EmptyOuterComponentsContainEverything) {
+  // outer "*x*" with empty initial/final; inner with rich structure.
+  EXPECT_TRUE(pattern_contained(pat("(cn=abc*x*def)"), pat("(cn=*x*)")));
+  // A bare contains-anything outer would be a presence filter, which the
+  // parser never produces as a Substring node.
+}
+
+TEST(PatternContained, FinalHostsNeedle) {
+  EXPECT_TRUE(pattern_contained(pat("(cn=*xyz)"), pat("(cn=*y*)")));
+  EXPECT_FALSE(pattern_contained(pat("(cn=*xyz)"), pat("(cn=*w*)")));
+}
+
+TEST(PatternContained, CaseInsensitiveViaNormalization) {
+  EXPECT_TRUE(pattern_contained(pat("(cn=SMITH*)"), pat("(cn=smi*)")));
+  EXPECT_TRUE(pattern_contained(pat("(mail=*@US.XYZ.COM)"),
+                                pat("(mail=*xyz.com)")));
+}
+
+}  // namespace
+}  // namespace fbdr::containment

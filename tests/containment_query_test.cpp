@@ -1,0 +1,123 @@
+#include "containment/query_containment.h"
+
+#include <gtest/gtest.h>
+
+namespace fbdr::containment {
+namespace {
+
+using ldap::Query;
+using ldap::Scope;
+
+Query q(const char* base, Scope scope, const char* filter) {
+  return Query::parse(base, scope, filter);
+}
+
+TEST(RegionContained, SameBaseScopeMustCover) {
+  EXPECT_TRUE(region_contained(q("o=xyz", Scope::Base, "(a=1)"),
+                               q("o=xyz", Scope::Subtree, "(a=1)")));
+  EXPECT_TRUE(region_contained(q("o=xyz", Scope::OneLevel, "(a=1)"),
+                               q("o=xyz", Scope::OneLevel, "(a=1)")));
+  EXPECT_FALSE(region_contained(q("o=xyz", Scope::Subtree, "(a=1)"),
+                                q("o=xyz", Scope::OneLevel, "(a=1)")));
+  EXPECT_FALSE(region_contained(q("o=xyz", Scope::OneLevel, "(a=1)"),
+                                q("o=xyz", Scope::Base, "(a=1)")));
+}
+
+TEST(RegionContained, StoredSubtreeAboveQueryBase) {
+  EXPECT_TRUE(region_contained(q("c=us,o=xyz", Scope::Subtree, "(a=1)"),
+                               q("o=xyz", Scope::Subtree, "(a=1)")));
+  EXPECT_TRUE(region_contained(q("cn=j,c=us,o=xyz", Scope::Base, "(a=1)"),
+                               q("o=xyz", Scope::Subtree, "(a=1)")));
+}
+
+TEST(RegionContained, UnrelatedBasesNotContained) {
+  EXPECT_FALSE(region_contained(q("c=us,o=xyz", Scope::Base, "(a=1)"),
+                                q("c=in,o=xyz", Scope::Subtree, "(a=1)")));
+  EXPECT_FALSE(region_contained(q("o=xyz", Scope::Base, "(a=1)"),
+                                q("c=us,o=xyz", Scope::Subtree, "(a=1)")));
+}
+
+TEST(RegionContained, OneLevelParentCoversBaseChild) {
+  // Stored: one-level search from parent; query: BASE at child.
+  EXPECT_TRUE(region_contained(q("cn=j,c=us,o=xyz", Scope::Base, "(a=1)"),
+                               q("c=us,o=xyz", Scope::OneLevel, "(a=1)")));
+  // But not a one-level query at the child.
+  EXPECT_FALSE(region_contained(q("cn=j,c=us,o=xyz", Scope::OneLevel, "(a=1)"),
+                                q("c=us,o=xyz", Scope::OneLevel, "(a=1)")));
+  // And not when the stored base is a grandparent.
+  EXPECT_FALSE(region_contained(q("cn=j,ou=r,c=us,o=xyz", Scope::Base, "(a=1)"),
+                                q("c=us,o=xyz", Scope::OneLevel, "(a=1)")));
+}
+
+TEST(RegionContained, StoredBaseScopeCoversOnlyItself) {
+  EXPECT_TRUE(region_contained(q("o=xyz", Scope::Base, "(a=1)"),
+                               q("o=xyz", Scope::Base, "(a=1)")));
+  EXPECT_FALSE(region_contained(q("c=us,o=xyz", Scope::Base, "(a=1)"),
+                                q("o=xyz", Scope::Base, "(a=1)")));
+}
+
+TEST(QueryContained, FullCheckCombinesRegionAttrsAndFilter) {
+  const Query stored = q("o=xyz", Scope::Subtree, "(serialnumber=04*)");
+  EXPECT_TRUE(query_contained(q("c=us,o=xyz", Scope::Subtree,
+                                "(serialnumber=0412*)"),
+                              stored));
+  // Region fails.
+  EXPECT_FALSE(query_contained(q("o=abc", Scope::Subtree, "(serialnumber=0412*)"),
+                               stored));
+  // Filter fails.
+  EXPECT_FALSE(query_contained(q("c=us,o=xyz", Scope::Subtree,
+                                 "(serialnumber=05*)"),
+                               stored));
+}
+
+TEST(QueryContained, AttributeSubsetRequired) {
+  Query incoming = q("o=xyz", Scope::Subtree, "(sn=Doe)");
+  Query stored = q("o=xyz", Scope::Subtree, "(sn=*)");
+  stored.attrs = ldap::AttributeSelection::of({"cn", "mail"});
+
+  incoming.attrs = ldap::AttributeSelection::of({"cn"});
+  EXPECT_TRUE(query_contained(incoming, stored));
+
+  incoming.attrs = ldap::AttributeSelection::of({"cn", "telephonenumber"});
+  EXPECT_FALSE(query_contained(incoming, stored));
+
+  incoming.attrs = ldap::AttributeSelection::all_attributes();
+  EXPECT_FALSE(query_contained(incoming, stored));
+}
+
+TEST(QueryContained, NullBasedQueryInsideNullBasedReplicaQuery) {
+  // §3.1.1: minimally directory enabled applications search from the null
+  // base; a filter-based replica can replicate null-based queries.
+  const Query stored = q("", Scope::Subtree, "(serialnumber=04*)");
+  EXPECT_TRUE(query_contained(q("", Scope::Subtree, "(serialnumber=041234)"),
+                              stored));
+  EXPECT_TRUE(query_contained(q("c=us,o=xyz", Scope::Subtree,
+                                "(serialnumber=041234)"),
+                              stored));
+}
+
+TEST(QueryContained, CustomFilterCheckIsUsed) {
+  // The pluggable filter check is what template engines hook into.
+  bool called = false;
+  const bool result = query_contained(
+      q("c=us,o=xyz", Scope::Base, "(sn=Doe)"), q("o=xyz", Scope::Subtree, "(sn=*)"),
+      [&](const ldap::Filter&, const ldap::Filter&) {
+        called = true;
+        return true;
+      });
+  EXPECT_TRUE(result);
+  EXPECT_TRUE(called);
+}
+
+TEST(QueryContained, WholeSubtreeQueryActsAsSubtreeReplica) {
+  // A subtree replication unit expressed as a query contains everything
+  // under its base.
+  const Query stored = Query::whole_subtree(ldap::Dn::parse("c=us,o=xyz"));
+  EXPECT_TRUE(query_contained(q("ou=r,c=us,o=xyz", Scope::Subtree, "(sn=Doe)"),
+                              stored));
+  EXPECT_FALSE(query_contained(q("c=in,o=xyz", Scope::Subtree, "(sn=Doe)"),
+                               stored));
+}
+
+}  // namespace
+}  // namespace fbdr::containment

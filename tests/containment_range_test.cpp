@@ -1,0 +1,159 @@
+#include "containment/value_range.h"
+
+#include <gtest/gtest.h>
+
+namespace fbdr::containment {
+namespace {
+
+using ldap::Schema;
+
+ValueOrder string_order() { return {Schema::default_instance(), "cn"}; }
+ValueOrder int_order() { return {Schema::default_instance(), "age"}; }
+
+TEST(PrefixUpperBound, IncrementsLastByte) {
+  EXPECT_EQ(prefix_upper_bound("04"), "05");
+  EXPECT_EQ(prefix_upper_bound("a"), "b");
+  EXPECT_EQ(prefix_upper_bound("abz"), "ab{");  // '{' == 'z' + 1
+}
+
+TEST(PrefixUpperBound, CarriesPastMaxByte) {
+  EXPECT_EQ(prefix_upper_bound("a\xff"), "b");
+  EXPECT_EQ(prefix_upper_bound("a\xff\xff"), "b");
+}
+
+TEST(PrefixUpperBound, AllMaxBytesHasNoUpperBound) {
+  EXPECT_FALSE(prefix_upper_bound("\xff").has_value());
+  EXPECT_FALSE(prefix_upper_bound("\xff\xff").has_value());
+}
+
+TEST(PrefixUpperBound, EmptyPrefixHasNoUpperBound) {
+  // Every string has the empty prefix; nothing bounds it above.
+  EXPECT_FALSE(prefix_upper_bound("").has_value());
+}
+
+TEST(ValueRange, DefaultIsFullDomain) {
+  const ValueRange all = ValueRange::all();
+  EXPECT_FALSE(all.empty(string_order()));
+  EXPECT_TRUE(all.contains_value("anything", string_order()));
+}
+
+TEST(ValueRange, PointContainsOnlyItself) {
+  const ValueRange point = ValueRange::point("doe");
+  const auto order = string_order();
+  EXPECT_TRUE(point.contains_value("doe", order));
+  EXPECT_FALSE(point.contains_value("dof", order));
+  EXPECT_FALSE(point.empty(order));
+  EXPECT_EQ(point.single_value(order), "doe");
+}
+
+TEST(ValueRange, HalfOpenBounds) {
+  const ValueRange r = ValueRange::less_than("m");
+  const auto order = string_order();
+  EXPECT_TRUE(r.contains_value("a", order));
+  EXPECT_FALSE(r.contains_value("m", order));
+  const ValueRange ge = ValueRange::greater_than("m");
+  EXPECT_FALSE(ge.contains_value("m", order));
+  EXPECT_TRUE(ge.contains_value("n", order));
+}
+
+TEST(ValueRange, PrefixRangeMatchesPrefixSet) {
+  const ValueRange r = ValueRange::prefix("04");
+  const auto order = string_order();
+  EXPECT_TRUE(r.contains_value("04", order));
+  EXPECT_TRUE(r.contains_value("041234", order));
+  EXPECT_TRUE(r.contains_value("04zzzz", order));
+  EXPECT_FALSE(r.contains_value("05", order));
+  EXPECT_FALSE(r.contains_value("03zzzz", order));
+  EXPECT_FALSE(r.contains_value("0", order));
+}
+
+TEST(ValueRange, IntersectTightensBothEnds) {
+  const auto order = int_order();
+  const ValueRange r =
+      ValueRange::at_least("10").intersect(ValueRange::at_most("20"), order);
+  EXPECT_TRUE(r.contains_value("10", order));
+  EXPECT_TRUE(r.contains_value("20", order));
+  EXPECT_TRUE(r.contains_value("15", order));
+  EXPECT_FALSE(r.contains_value("9", order));
+  EXPECT_FALSE(r.contains_value("21", order));
+  EXPECT_FALSE(r.empty(order));
+}
+
+TEST(ValueRange, DisjointIntersectionIsEmpty) {
+  const auto order = int_order();
+  EXPECT_TRUE(ValueRange::at_least("30")
+                  .intersect(ValueRange::at_most("20"), order)
+                  .empty(order));
+}
+
+TEST(ValueRange, TouchingBoundsEmptinessDependsOnInclusivity) {
+  const auto order = int_order();
+  // [5, 5] is a point, not empty.
+  EXPECT_FALSE(ValueRange::at_least("5")
+                   .intersect(ValueRange::at_most("5"), order)
+                   .empty(order));
+  // [5, 5) is empty.
+  EXPECT_TRUE(ValueRange::at_least("5")
+                  .intersect(ValueRange::less_than("5"), order)
+                  .empty(order));
+  // (5, 5] is empty.
+  EXPECT_TRUE(ValueRange::greater_than("5")
+                  .intersect(ValueRange::at_most("5"), order)
+                  .empty(order));
+}
+
+TEST(ValueRange, IntegerOrderIsNumeric) {
+  const auto order = int_order();
+  const ValueRange r = ValueRange::at_least("9");
+  EXPECT_TRUE(r.contains_value("10", order));  // 10 >= 9 numerically
+  EXPECT_TRUE(r.contains_value("100", order));
+  EXPECT_FALSE(r.contains_value("8", order));
+}
+
+TEST(ValueRange, ContainsRange) {
+  const auto order = int_order();
+  const ValueRange outer =
+      ValueRange::at_least("10").intersect(ValueRange::at_most("30"), order);
+  const ValueRange inner =
+      ValueRange::at_least("15").intersect(ValueRange::at_most("25"), order);
+  EXPECT_TRUE(outer.contains_range(inner, order));
+  EXPECT_FALSE(inner.contains_range(outer, order));
+  EXPECT_TRUE(outer.contains_range(outer, order));
+  EXPECT_TRUE(ValueRange::all().contains_range(outer, order));
+}
+
+TEST(ValueRange, EmptyRangeContainedInAnything) {
+  const auto order = int_order();
+  const ValueRange empty =
+      ValueRange::at_least("30").intersect(ValueRange::at_most("20"), order);
+  ASSERT_TRUE(empty.empty(order));
+  EXPECT_TRUE(ValueRange::point("5").contains_range(empty, order));
+}
+
+TEST(ValueRange, PrefixContainment) {
+  const auto order = string_order();
+  // (serialnumber=041*) range inside (serialnumber=04*) range.
+  EXPECT_TRUE(ValueRange::prefix("04").contains_range(ValueRange::prefix("041"),
+                                                      order));
+  EXPECT_FALSE(ValueRange::prefix("041").contains_range(ValueRange::prefix("04"),
+                                                        order));
+  EXPECT_FALSE(ValueRange::prefix("04").contains_range(ValueRange::prefix("05"),
+                                                       order));
+}
+
+TEST(ValueRange, SingleValueOnlyForClosedPoints) {
+  const auto order = string_order();
+  EXPECT_FALSE(ValueRange::all().single_value(order).has_value());
+  EXPECT_FALSE(ValueRange::at_least("a").single_value(order).has_value());
+  EXPECT_FALSE(ValueRange::prefix("a").single_value(order).has_value());
+  EXPECT_EQ(ValueRange::point("a").single_value(order), "a");
+}
+
+TEST(ValueRange, ToStringFormats) {
+  EXPECT_EQ(ValueRange::all().to_string(), "(-inf, +inf)");
+  EXPECT_EQ(ValueRange::point("v").to_string(), "[v, v]");
+  EXPECT_EQ(ValueRange::prefix("04").to_string(), "[04, 05)");
+}
+
+}  // namespace
+}  // namespace fbdr::containment

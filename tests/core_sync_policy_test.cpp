@@ -1,0 +1,104 @@
+// §3.2: per-filter consistency levels — a filter replica can give different
+// object types different synchronization tightness, unlike a subtree replica
+// which must apply the strictest requirement to the whole subtree.
+
+#include <gtest/gtest.h>
+
+#include "core/replication_service.h"
+#include "workload/directory_gen.h"
+
+namespace fbdr::core {
+namespace {
+
+using ldap::Dn;
+using ldap::Query;
+using ldap::Scope;
+
+class SyncPolicyTest : public ::testing::Test {
+ protected:
+  SyncPolicyTest() {
+    workload::DirectoryConfig config;
+    config.employees = 500;
+    config.countries = 4;
+    config.divisions = 5;
+    config.depts_per_division = 5;
+    config.locations = 8;
+    dir_ = workload::generate_directory(config);
+
+    auto registry = std::make_shared<ldap::TemplateRegistry>();
+    registry->add("(serialnumber=_*)");
+    registry->add("(location=*)");
+    service_ = std::make_unique<FilterReplicationService>(
+        dir_.master, FilterReplicationService::Config{}, registry);
+
+    // Tight consistency for the people block, loose for locations.
+    service_->install(Query::parse("", Scope::Subtree, "(serialnumber=00*)"),
+                      {/*interval=*/1});
+    service_->install(Query::parse("", Scope::Subtree, "(location=*)"),
+                      {/*interval=*/4});
+  }
+
+  bool replica_has_location_value(const std::string& value) {
+    for (const auto& entry :
+         service_->filter_replica().query_content(1)) {
+      if (entry->has_value("description", value)) return true;
+    }
+    return false;
+  }
+
+  workload::EnterpriseDirectory dir_;
+  std::unique_ptr<FilterReplicationService> service_;
+};
+
+TEST_F(SyncPolicyTest, TightFilterUpdatesEverySync) {
+  const Dn person = dir_.employees[dir_.division_members[0][0]].dn;
+  dir_.master->modify(person, {{server::Modification::Op::Replace, "mail",
+                                {"tight@x.com"}}});
+  service_->sync();
+  bool found = false;
+  for (const auto& entry : service_->filter_replica().query_content(0)) {
+    if (entry->dn() == person) {
+      found = entry->has_value("mail", "tight@x.com");
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(SyncPolicyTest, LooseFilterUpdatesOnItsInterval) {
+  const Dn location =
+      Dn::parse("cn=" + dir_.location_names[0] + ",l=locations,o=ibm");
+  dir_.master->modify(location, {{server::Modification::Op::Replace,
+                                  "description",
+                                  {"renovated"}}});
+  // Syncs 1-3: the location session is not due yet.
+  service_->sync();
+  service_->sync();
+  service_->sync();
+  EXPECT_FALSE(replica_has_location_value("renovated"));
+  // Sync 4: due.
+  service_->sync();
+  EXPECT_TRUE(replica_has_location_value("renovated"));
+}
+
+TEST_F(SyncPolicyTest, ZeroIntervalIsClampedToOne) {
+  auto registry = std::make_shared<ldap::TemplateRegistry>();
+  registry->add("(serialnumber=_*)");
+  FilterReplicationService service(dir_.master,
+                                   FilterReplicationService::Config{}, registry);
+  service.install(Query::parse("", Scope::Subtree, "(serialnumber=01*)"),
+                  {/*interval=*/0});
+  const Dn person = dir_.employees[dir_.division_members[1][0]].dn;
+  dir_.master->modify(person, {{server::Modification::Op::Replace, "mail",
+                                {"clamped@x.com"}}});
+  EXPECT_NO_THROW(service.sync());
+}
+
+TEST_F(SyncPolicyTest, LooseIntervalReducesRoundTrips) {
+  const auto before = service_->traffic().round_trips;
+  for (int i = 0; i < 8; ++i) service_->sync();
+  // 8 polls for the tight session + 2 for the loose one.
+  EXPECT_EQ(service_->traffic().round_trips - before, 10u);
+}
+
+}  // namespace
+}  // namespace fbdr::core

@@ -1,0 +1,167 @@
+// End-to-end deployment integration (the paper's motivating scenario): a
+// remote site runs a filter-based replica; clients send every query to the
+// replica, which answers contained queries locally and refers the rest to
+// the master, where the DistributedClient transparently continues. Checks
+// answer *correctness* (replica answers equal master answers), round-trip
+// savings, and consistency across master updates.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/replication_service.h"
+#include "replica/replica_endpoint.h"
+#include "server/distributed.h"
+#include "workload/directory_gen.h"
+#include "workload/workload_gen.h"
+
+namespace fbdr {
+namespace {
+
+using ldap::Dn;
+using ldap::EntryPtr;
+using ldap::Query;
+using ldap::Scope;
+
+class DeploymentTest : public ::testing::Test {
+ protected:
+  DeploymentTest() {
+    workload::DirectoryConfig config;
+    config.employees = 2000;
+    config.countries = 6;
+    config.divisions = 10;
+    config.depts_per_division = 10;
+    config.locations = 15;
+    dir_ = workload::generate_directory(config);
+
+    registry_ = std::make_shared<ldap::TemplateRegistry>();
+    registry_->add("(serialnumber=_)");
+    registry_->add("(serialnumber=_*)");
+    registry_->add("(location=_)");
+    registry_->add("(location=*)");
+
+    service_ = std::make_unique<core::FilterReplicationService>(
+        dir_.master, core::FilterReplicationService::Config{}, registry_);
+    service_->install(Query::parse("", Scope::Subtree, "(serialnumber=00*)"));
+    service_->install(Query::parse("", Scope::Subtree, "(serialnumber=01*)"));
+    service_->install(Query::parse("", Scope::Subtree, "(location=*)"));
+
+    endpoint_ = std::make_shared<replica::FilterReplicaEndpoint>(
+        "ldap://remote-replica", "ldap://master", service_->filter_replica());
+    servers_.add(dir_.master);
+    servers_.add(endpoint_);
+  }
+
+  static std::vector<std::string> dns_of(const std::vector<EntryPtr>& entries) {
+    std::vector<std::string> keys;
+    keys.reserve(entries.size());
+    for (const EntryPtr& entry : entries) keys.push_back(entry->dn().norm_key());
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  }
+
+  workload::EnterpriseDirectory dir_;
+  std::shared_ptr<ldap::TemplateRegistry> registry_;
+  std::unique_ptr<core::FilterReplicationService> service_;
+  std::shared_ptr<replica::FilterReplicaEndpoint> endpoint_;
+  server::ServerMap servers_;
+};
+
+TEST_F(DeploymentTest, ContainedQueryIsAnsweredInOneRoundTrip) {
+  server::DistributedClient client(servers_);
+  const std::string serial = dir_.employees[dir_.division_members[0][0]].serial;
+  const Query q = Query::parse("", Scope::Subtree, "(serialnumber=" + serial + ")");
+  const auto entries = client.search("ldap://remote-replica", q);
+  EXPECT_EQ(client.stats().round_trips, 1u);
+  EXPECT_EQ(dns_of(entries), dns_of(dir_.master->evaluate(q)));
+}
+
+TEST_F(DeploymentTest, MissIsReferredToMasterTransparently) {
+  server::DistributedClient client(servers_);
+  const std::string serial = dir_.employees[dir_.division_members[5][0]].serial;
+  const Query q = Query::parse("", Scope::Subtree, "(serialnumber=" + serial + ")");
+  const auto entries = client.search("ldap://remote-replica", q);
+  EXPECT_EQ(client.stats().round_trips, 2u);  // replica referral + master
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(dns_of(entries), dns_of(dir_.master->evaluate(q)));
+}
+
+TEST_F(DeploymentTest, ReplicaAnswersEqualMasterAnswersAcrossAWorkload) {
+  // Strong correctness property: for every query the replica claims to
+  // answer, its result set must equal the master's.
+  workload::WorkloadConfig wconfig;
+  wconfig.p_serial = 0.8;
+  wconfig.p_mail = 0.0;
+  wconfig.p_dept = 0.0;
+  wconfig.p_location = 0.2;
+  workload::WorkloadGenerator generator(dir_, wconfig);
+  std::size_t hits = 0;
+  for (int i = 0; i < 500; ++i) {
+    const Query q = generator.next().query;
+    server::SearchResult result = endpoint_->process_search(q);
+    if (!result.base_resolved) continue;
+    ++hits;
+    EXPECT_EQ(dns_of(result.entries), dns_of(dir_.master->evaluate(q)))
+        << q.to_string();
+  }
+  EXPECT_GT(hits, 50u);  // the property must not hold vacuously
+}
+
+TEST_F(DeploymentTest, AnswersStayCorrectAfterSync) {
+  // Update entries inside the replicated block, sync, and re-check equality.
+  const auto& members = dir_.division_members[0];
+  dir_.master->modify(dir_.employees[members[0]].dn,
+                      {{server::Modification::Op::Replace, "mail",
+                        {"changed@x.com"}}});
+  dir_.master->remove(dir_.employees[members[1]].dn);
+  service_->sync();
+
+  server::DistributedClient client(servers_);
+  const Query q = Query::parse("", Scope::Subtree, "(serialnumber=00*)");
+  const auto entries = client.search("ldap://remote-replica", q);
+  EXPECT_EQ(dns_of(entries), dns_of(dir_.master->evaluate(q)));
+  // The modified value is visible at the replica.
+  const Query changed = Query::parse(
+      "", Scope::Subtree,
+      "(serialnumber=" + dir_.employees[members[0]].serial + ")");
+  const auto answer = client.search("ldap://remote-replica", changed);
+  ASSERT_EQ(answer.size(), 1u);
+  EXPECT_TRUE(answer[0]->has_value("mail", "changed@x.com"));
+}
+
+TEST_F(DeploymentTest, AttributeProjectionAtTheReplica) {
+  server::DistributedClient client(servers_);
+  Query q = Query::parse(
+      "", Scope::Subtree,
+      "(serialnumber=" + dir_.employees[dir_.division_members[0][0]].serial + ")");
+  q.attrs = ldap::AttributeSelection::of({"mail"});
+  const auto entries = client.search("ldap://remote-replica", q);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_TRUE(entries[0]->has_attribute("mail"));
+  EXPECT_FALSE(entries[0]->has_attribute("serialnumber"));
+}
+
+TEST_F(DeploymentTest, RoundTripSavingsOverAWorkload) {
+  // The deployment's point: most requests complete at the remote site.
+  workload::WorkloadConfig wconfig;
+  wconfig.p_serial = 1.0;
+  wconfig.p_mail = wconfig.p_dept = wconfig.p_location = 0.0;
+  workload::WorkloadGenerator generator(dir_, wconfig);
+
+  server::DistributedClient via_replica(servers_);
+  server::DistributedClient direct(servers_);
+  for (int i = 0; i < 300; ++i) {
+    const Query q = generator.next().query;
+    via_replica.search("ldap://remote-replica", q);
+    direct.search("ldap://master", q);
+  }
+  EXPECT_EQ(direct.stats().round_trips, 300u);
+  // With ~2 of 10 divisions replicated and Zipf skew, well over a third of
+  // queries complete locally; every other query costs one extra hop.
+  EXPECT_LT(via_replica.stats().round_trips, 600u);
+  const double hit_ratio = service_->filter_replica().stats().hit_ratio();
+  EXPECT_GT(hit_ratio, 0.3);
+}
+
+}  // namespace
+}  // namespace fbdr

@@ -1,0 +1,203 @@
+#include "ldap/filter_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "ldap/error.h"
+
+namespace fbdr::ldap {
+namespace {
+
+TEST(FilterParser, SimpleEquality) {
+  const FilterPtr f = parse_filter("(sn=Doe)");
+  EXPECT_EQ(f->kind(), FilterKind::Equality);
+  EXPECT_EQ(f->attribute(), "sn");
+  EXPECT_EQ(f->value(), "Doe");
+}
+
+TEST(FilterParser, AttributeNameLowercased) {
+  EXPECT_EQ(parse_filter("(GivenName=John)")->attribute(), "givenname");
+}
+
+TEST(FilterParser, OuterParenthesesOptional) {
+  const FilterPtr f = parse_filter("sn=Doe");
+  EXPECT_EQ(f->kind(), FilterKind::Equality);
+}
+
+TEST(FilterParser, AndFilter) {
+  const FilterPtr f = parse_filter("(&(sn=Doe)(givenName=John))");
+  ASSERT_EQ(f->kind(), FilterKind::And);
+  ASSERT_EQ(f->children().size(), 2u);
+  EXPECT_EQ(f->children()[0]->attribute(), "sn");
+  EXPECT_EQ(f->children()[1]->attribute(), "givenname");
+}
+
+TEST(FilterParser, OrFilterWithThreeChildren) {
+  const FilterPtr f = parse_filter("(|(c=us)(c=in)(c=uk))");
+  ASSERT_EQ(f->kind(), FilterKind::Or);
+  EXPECT_EQ(f->children().size(), 3u);
+}
+
+TEST(FilterParser, NotFilter) {
+  const FilterPtr f = parse_filter("(!(objectclass=referral))");
+  ASSERT_EQ(f->kind(), FilterKind::Not);
+  EXPECT_EQ(f->children().front()->kind(), FilterKind::Equality);
+  EXPECT_FALSE(f->is_positive());
+}
+
+TEST(FilterParser, NestedComposite) {
+  const FilterPtr f =
+      parse_filter("(&(objectclass=inetOrgPerson)(|(departmentNumber=2406)"
+                   "(departmentNumber=2407)))");
+  ASSERT_EQ(f->kind(), FilterKind::And);
+  ASSERT_EQ(f->children().size(), 2u);
+  EXPECT_EQ(f->children()[1]->kind(), FilterKind::Or);
+  EXPECT_TRUE(f->is_positive());
+  EXPECT_EQ(f->predicate_count(), 3u);
+}
+
+TEST(FilterParser, SingleChildCompositeCollapses) {
+  const FilterPtr f = parse_filter("(&(sn=Doe))");
+  EXPECT_EQ(f->kind(), FilterKind::Equality);
+}
+
+TEST(FilterParser, GreaterAndLessEqual) {
+  const FilterPtr ge = parse_filter("(age>=30)");
+  EXPECT_EQ(ge->kind(), FilterKind::GreaterEq);
+  EXPECT_EQ(ge->value(), "30");
+  const FilterPtr le = parse_filter("(age<=65)");
+  EXPECT_EQ(le->kind(), FilterKind::LessEq);
+}
+
+TEST(FilterParser, ApproxTreatedAsEquality) {
+  EXPECT_EQ(parse_filter("(sn~=Doe)")->kind(), FilterKind::Equality);
+}
+
+TEST(FilterParser, Presence) {
+  const FilterPtr f = parse_filter("(objectclass=*)");
+  EXPECT_EQ(f->kind(), FilterKind::Present);
+  EXPECT_EQ(f->attribute(), "objectclass");
+}
+
+TEST(FilterParser, PrefixSubstring) {
+  const FilterPtr f = parse_filter("(serialNumber=04*)");
+  ASSERT_EQ(f->kind(), FilterKind::Substring);
+  EXPECT_EQ(f->substrings().initial, "04");
+  EXPECT_TRUE(f->substrings().any.empty());
+  EXPECT_TRUE(f->substrings().final.empty());
+  EXPECT_TRUE(f->substrings().is_prefix_only());
+}
+
+TEST(FilterParser, SuffixSubstring) {
+  const FilterPtr f = parse_filter("(mail=*@us.xyz.com)");
+  ASSERT_EQ(f->kind(), FilterKind::Substring);
+  EXPECT_EQ(f->substrings().initial, "");
+  EXPECT_EQ(f->substrings().final, "@us.xyz.com");
+}
+
+TEST(FilterParser, FullSubstringPattern) {
+  const FilterPtr f = parse_filter("(cn=Jo*hn*oe)");
+  ASSERT_EQ(f->kind(), FilterKind::Substring);
+  EXPECT_EQ(f->substrings().initial, "Jo");
+  ASSERT_EQ(f->substrings().any.size(), 1u);
+  EXPECT_EQ(f->substrings().any[0], "hn");
+  EXPECT_EQ(f->substrings().final, "oe");
+}
+
+TEST(FilterParser, ContainsSubstring) {
+  const FilterPtr f = parse_filter("(cn=*smith*)");
+  ASSERT_EQ(f->kind(), FilterKind::Substring);
+  EXPECT_TRUE(f->substrings().initial.empty());
+  ASSERT_EQ(f->substrings().any.size(), 1u);
+  EXPECT_EQ(f->substrings().any[0], "smith");
+  EXPECT_TRUE(f->substrings().final.empty());
+}
+
+TEST(FilterParser, EscapedStarIsLiteral) {
+  const FilterPtr f = parse_filter("(cn=a\\2ab)");
+  EXPECT_EQ(f->kind(), FilterKind::Equality);
+  EXPECT_EQ(f->value(), "a*b");
+}
+
+TEST(FilterParser, EscapedParentheses) {
+  const FilterPtr f = parse_filter("(cn=\\28x\\29)");
+  EXPECT_EQ(f->value(), "(x)");
+}
+
+TEST(FilterParser, RoundTripThroughToString) {
+  for (const char* text : {
+           "(sn=Doe)",
+           "(&(sn=Doe)(givenname=John))",
+           "(|(c=us)(c=in))",
+           "(!(objectclass=referral))",
+           "(serialnumber=04*)",
+           "(mail=*@us.xyz.com)",
+           "(cn=a*b*c)",
+           "(age>=30)",
+           "(age<=65)",
+           "(objectclass=*)",
+           "(&(objectclass=inetOrgPerson)(departmentnumber=240*))",
+       }) {
+    const FilterPtr f = parse_filter(text);
+    EXPECT_EQ(f->to_string(), text) << "round trip failed for " << text;
+    EXPECT_TRUE(filters_equal(*f, *parse_filter(f->to_string())));
+  }
+}
+
+TEST(FilterParser, MalformedFiltersThrow) {
+  EXPECT_THROW(parse_filter(""), ParseError);
+  EXPECT_THROW(parse_filter("("), ParseError);
+  EXPECT_THROW(parse_filter("()"), ParseError);
+  EXPECT_THROW(parse_filter("(sn=Doe"), ParseError);
+  EXPECT_THROW(parse_filter("(sn=Doe))"), ParseError);
+  EXPECT_THROW(parse_filter("(&)"), ParseError);
+  EXPECT_THROW(parse_filter("(!)"), ParseError);
+  EXPECT_THROW(parse_filter("(=value)"), ParseError);
+  EXPECT_THROW(parse_filter("(sn=)"), ParseError);
+  EXPECT_THROW(parse_filter("(age>=3*0)"), ParseError);
+  EXPECT_THROW(parse_filter("(cn=a\\2)"), ParseError);
+  EXPECT_THROW(parse_filter("(cn=a\\zz)"), ParseError);
+}
+
+TEST(FilterParser, DoubleStarCollapses) {
+  const FilterPtr f = parse_filter("(cn=a**b)");
+  ASSERT_EQ(f->kind(), FilterKind::Substring);
+  EXPECT_EQ(f->substrings().initial, "a");
+  EXPECT_TRUE(f->substrings().any.empty());
+  EXPECT_EQ(f->substrings().final, "b");
+}
+
+TEST(SubstringPattern, Matching) {
+  SubstringPattern prefix{"smi", {}, ""};
+  EXPECT_TRUE(prefix.matches("smith"));
+  EXPECT_TRUE(prefix.matches("smi"));
+  EXPECT_FALSE(prefix.matches("smythe"));
+
+  SubstringPattern suffix{"", {}, "xyz.com"};
+  EXPECT_TRUE(suffix.matches("john@xyz.com"));
+  EXPECT_FALSE(suffix.matches("john@xyz.org"));
+
+  SubstringPattern middle{"", {"smith"}, ""};
+  EXPECT_TRUE(middle.matches("blacksmithing"));
+  EXPECT_FALSE(middle.matches("blackmith"));
+
+  SubstringPattern full{"a", {"b", "c"}, "d"};
+  EXPECT_TRUE(full.matches("axbxcxd"));
+  EXPECT_TRUE(full.matches("abcd"));
+  EXPECT_FALSE(full.matches("acbd"));    // order matters
+  EXPECT_FALSE(full.matches("abcx"));    // wrong suffix
+}
+
+TEST(SubstringPattern, ComponentsMustNotOverlap) {
+  // "aba" against (a*b*a): initial 'a', any 'b' found at 1, final 'a' must
+  // occupy a position after the 'b'.
+  SubstringPattern pat{"a", {"b"}, "a"};
+  EXPECT_TRUE(pat.matches("aba"));
+  EXPECT_FALSE(pat.matches("ab"));
+  // Final may not overlap the any component.
+  SubstringPattern pat2{"", {"ab"}, "ba"};
+  EXPECT_TRUE(pat2.matches("abba"));
+  EXPECT_FALSE(pat2.matches("aba"));
+}
+
+}  // namespace
+}  // namespace fbdr::ldap

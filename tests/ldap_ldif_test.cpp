@@ -1,0 +1,58 @@
+#include "ldap/ldif.h"
+
+#include <gtest/gtest.h>
+
+#include "ldap/error.h"
+
+namespace fbdr::ldap {
+namespace {
+
+TEST(Ldif, SerializesDnFirstThenAttributes) {
+  const EntryPtr e = make_entry(
+      "cn=John Doe,ou=research,c=us,o=xyz",
+      {{"objectclass", "inetOrgPerson"}, {"cn", "John Doe"}, {"mail", "j@x.com"}});
+  const std::string ldif = to_ldif(*e);
+  EXPECT_EQ(ldif.substr(0, 4), "dn: ");
+  EXPECT_NE(ldif.find("cn: John Doe\n"), std::string::npos);
+  EXPECT_NE(ldif.find("mail: j@x.com\n"), std::string::npos);
+  EXPECT_NE(ldif.find("objectclass: inetOrgPerson\n"), std::string::npos);
+}
+
+TEST(Ldif, RoundTrip) {
+  const EntryPtr original = make_entry(
+      "cn=Fred Jones,o=xyz",
+      {{"objectclass", "person"}, {"cn", "Fred Jones"}, {"sn", "Jones"}});
+  const EntryPtr parsed = entry_from_ldif(to_ldif(*original));
+  EXPECT_EQ(*parsed, *original);
+}
+
+TEST(Ldif, MultipleEntriesSeparatedByBlankLine) {
+  const std::vector<EntryPtr> entries = {
+      make_entry("o=xyz", {{"objectclass", "organization"}, {"o", "xyz"}}),
+      make_entry("c=us,o=xyz", {{"objectclass", "country"}, {"c", "us"}}),
+  };
+  const std::string ldif = to_ldif(entries);
+  EXPECT_NE(ldif.find("\n\ndn: "), std::string::npos);
+}
+
+TEST(Ldif, ParserSkipsCommentsAndBlankLines) {
+  const EntryPtr e = entry_from_ldif(
+      "# a comment\n"
+      "\n"
+      "dn: cn=x,o=xyz\n"
+      "objectclass: person\n"
+      "cn: x\n");
+  EXPECT_EQ(e->dn(), Dn::parse("cn=x,o=xyz"));
+  EXPECT_TRUE(e->has_value("cn", "x"));
+}
+
+TEST(Ldif, MissingDnThrows) {
+  EXPECT_THROW(entry_from_ldif("cn: x\n"), ParseError);
+}
+
+TEST(Ldif, MalformedLineThrows) {
+  EXPECT_THROW(entry_from_ldif("dn: o=x\nbroken-line\n"), ParseError);
+}
+
+}  // namespace
+}  // namespace fbdr::ldap

@@ -1,0 +1,100 @@
+#include "ldap/query.h"
+
+#include <gtest/gtest.h>
+
+#include "ldap/error.h"
+#include "ldap/filter_parser.h"
+
+namespace fbdr::ldap {
+namespace {
+
+TEST(Scope, OrderedAsInPaper) {
+  // QC assumes BASE=0, SINGLE LEVEL=1, SUBTREE=2.
+  EXPECT_EQ(static_cast<int>(Scope::Base), 0);
+  EXPECT_EQ(static_cast<int>(Scope::OneLevel), 1);
+  EXPECT_EQ(static_cast<int>(Scope::Subtree), 2);
+}
+
+TEST(Scope, StringConversions) {
+  EXPECT_EQ(to_string(Scope::Base), "base");
+  EXPECT_EQ(to_string(Scope::OneLevel), "one");
+  EXPECT_EQ(to_string(Scope::Subtree), "sub");
+  EXPECT_EQ(scope_from_string("SUBTREE"), Scope::Subtree);
+  EXPECT_EQ(scope_from_string("onelevel"), Scope::OneLevel);
+  EXPECT_EQ(scope_from_string("base"), Scope::Base);
+  EXPECT_THROW(scope_from_string("everything"), ParseError);
+}
+
+TEST(AttributeSelection, DefaultSelectsAll) {
+  const AttributeSelection sel;
+  EXPECT_TRUE(sel.all);
+  EXPECT_EQ(sel.to_string(), "*");
+}
+
+TEST(AttributeSelection, OfNormalizesSortsAndDedups) {
+  const auto sel = AttributeSelection::of({"Mail", "CN", "mail"});
+  EXPECT_FALSE(sel.all);
+  ASSERT_EQ(sel.names.size(), 2u);
+  EXPECT_EQ(sel.names[0], "cn");
+  EXPECT_EQ(sel.names[1], "mail");
+}
+
+TEST(AttributeSelection, SubsetRules) {
+  const auto all = AttributeSelection::all_attributes();
+  const auto cn_mail = AttributeSelection::of({"cn", "mail"});
+  const auto cn = AttributeSelection::of({"cn"});
+
+  EXPECT_TRUE(cn.subset_of(all));
+  EXPECT_TRUE(cn.subset_of(cn_mail));
+  EXPECT_TRUE(cn_mail.subset_of(all));
+  EXPECT_TRUE(all.subset_of(all));
+  EXPECT_FALSE(all.subset_of(cn_mail));   // "*" is not covered by a finite set
+  EXPECT_FALSE(cn_mail.subset_of(cn));
+}
+
+TEST(Query, ParseBuildsComponents) {
+  const Query q = Query::parse("ou=research,o=xyz", Scope::Subtree, "(sn=Doe)");
+  EXPECT_EQ(q.base, Dn::parse("ou=research,o=xyz"));
+  EXPECT_EQ(q.scope, Scope::Subtree);
+  EXPECT_EQ(q.filter->to_string(), "(sn=Doe)");
+  EXPECT_TRUE(q.attrs.all);
+}
+
+TEST(Query, WholeSubtreeReductionFromPaper) {
+  // §3: "a query specification can be reduced to a subtree specification with
+  // base as the root of the subtree, scope as SUBTREE and filter
+  // (objectclass=*)".
+  const Query q = Query::whole_subtree(Dn::parse("c=us,o=xyz"));
+  EXPECT_EQ(q.scope, Scope::Subtree);
+  EXPECT_EQ(q.filter->to_string(), "(objectclass=*)");
+}
+
+TEST(Query, KeyIsStableAcrossCaseDifferences) {
+  const Query a = Query::parse("C=US,O=XYZ", Scope::Subtree, "(sn=Doe)");
+  const Query b = Query::parse("c=us,o=xyz", Scope::Subtree, "(sn=Doe)");
+  EXPECT_EQ(a.key(), b.key());
+}
+
+TEST(Query, KeyDistinguishesScopeAndFilter) {
+  const Query a = Query::parse("o=xyz", Scope::Subtree, "(sn=Doe)");
+  const Query b = Query::parse("o=xyz", Scope::OneLevel, "(sn=Doe)");
+  const Query c = Query::parse("o=xyz", Scope::Subtree, "(sn=Smith)");
+  EXPECT_NE(a.key(), b.key());
+  EXPECT_NE(a.key(), c.key());
+}
+
+TEST(Query, EqualityComparesAllComponents) {
+  const Query a = Query::parse("o=xyz", Scope::Subtree, "(sn=Doe)");
+  Query b = a;
+  EXPECT_EQ(a, b);
+  b.attrs = AttributeSelection::of({"cn"});
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Query, ToStringIsReadable) {
+  const Query q = Query::parse("o=xyz", Scope::OneLevel, "(uid=jdoe)");
+  EXPECT_EQ(q.to_string(), "base='o=xyz' scope=one filter=(uid=jdoe) attrs=*");
+}
+
+}  // namespace
+}  // namespace fbdr::ldap

@@ -1,0 +1,202 @@
+#include "ldap/query_template.h"
+
+#include <gtest/gtest.h>
+
+#include "ldap/error.h"
+#include "ldap/filter_parser.h"
+
+namespace fbdr::ldap {
+namespace {
+
+TEST(FilterTemplate, ParseSimplePlaceholder) {
+  const FilterTemplate t = FilterTemplate::parse("(uid=_)");
+  EXPECT_EQ(t.key(), "(uid=_)");
+  EXPECT_EQ(t.slot_count(), 1u);
+}
+
+TEST(FilterTemplate, PaperExampleTemplates) {
+  // §3.4.2 examples: (&(cn=_)(ou=research)), (uid=_), (&(sn=_)(givenName=_)),
+  // (sn=_*).
+  EXPECT_EQ(FilterTemplate::parse("(&(cn=_)(ou=research))").slot_count(), 1u);
+  EXPECT_EQ(FilterTemplate::parse("(uid=_)").slot_count(), 1u);
+  EXPECT_EQ(FilterTemplate::parse("(&(sn=_)(givenName=_))").slot_count(), 2u);
+  EXPECT_EQ(FilterTemplate::parse("(sn=_*)").slot_count(), 1u);
+}
+
+TEST(FilterTemplate, MatchBindsPlaceholders) {
+  const FilterTemplate t = FilterTemplate::parse("(&(sn=_)(givenName=_))");
+  const auto slots = t.match(*parse_filter("(&(sn=Doe)(givenName=John))"));
+  ASSERT_TRUE(slots.has_value());
+  ASSERT_EQ(slots->size(), 2u);
+  EXPECT_EQ((*slots)[0], "Doe");
+  EXPECT_EQ((*slots)[1], "John");
+}
+
+TEST(FilterTemplate, ConstantsMustMatchUnderMatchingRule) {
+  const FilterTemplate t = FilterTemplate::parse("(&(cn=_)(ou=research))");
+  EXPECT_TRUE(t.match(*parse_filter("(&(cn=Fred)(ou=RESEARCH))")).has_value());
+  EXPECT_FALSE(t.match(*parse_filter("(&(cn=Fred)(ou=sales))")).has_value());
+}
+
+TEST(FilterTemplate, StructureMustMatch) {
+  const FilterTemplate t = FilterTemplate::parse("(&(sn=_)(givenName=_))");
+  EXPECT_FALSE(t.match(*parse_filter("(sn=Doe)")).has_value());
+  EXPECT_FALSE(t.match(*parse_filter("(|(sn=Doe)(givenName=John))")).has_value());
+  EXPECT_FALSE(
+      t.match(*parse_filter("(&(sn=Doe)(givenName=John)(mail=x))")).has_value());
+}
+
+TEST(FilterTemplate, AttributeNamesMustMatch) {
+  const FilterTemplate t = FilterTemplate::parse("(uid=_)");
+  EXPECT_FALSE(t.match(*parse_filter("(cn=jdoe)")).has_value());
+  EXPECT_TRUE(t.match(*parse_filter("(UID=jdoe)")).has_value());
+}
+
+TEST(FilterTemplate, PredicateKindsMustMatch) {
+  const FilterTemplate eq = FilterTemplate::parse("(age=_)");
+  EXPECT_FALSE(eq.match(*parse_filter("(age>=30)")).has_value());
+  const FilterTemplate ge = FilterTemplate::parse("(age>=_)");
+  EXPECT_TRUE(ge.match(*parse_filter("(age>=30)")).has_value());
+}
+
+TEST(FilterTemplate, SubstringTemplateMatchesSameShapeOnly) {
+  const FilterTemplate prefix = FilterTemplate::parse("(sn=_*)");
+  EXPECT_TRUE(prefix.match(*parse_filter("(sn=smi*)")).has_value());
+  EXPECT_FALSE(prefix.match(*parse_filter("(sn=*ith)")).has_value());
+  EXPECT_FALSE(prefix.match(*parse_filter("(sn=smith)")).has_value());
+  EXPECT_FALSE(prefix.match(*parse_filter("(sn=s*h)")).has_value());
+
+  const auto slots = prefix.match(*parse_filter("(sn=smi*)"));
+  ASSERT_TRUE(slots.has_value());
+  EXPECT_EQ((*slots)[0], "smi");
+}
+
+TEST(FilterTemplate, SuffixSubstringTemplate) {
+  const FilterTemplate t = FilterTemplate::parse("(mail=*_)");
+  const auto slots = t.match(*parse_filter("(mail=*@us.xyz.com)"));
+  ASSERT_TRUE(slots.has_value());
+  EXPECT_EQ((*slots)[0], "@us.xyz.com");
+}
+
+TEST(FilterTemplate, SubstringTemplateWithConstantComponent) {
+  const FilterTemplate t = FilterTemplate::parse("(telephoneNumber=261-_*)");
+  EXPECT_FALSE(t.match(*parse_filter("(telephoneNumber=262-75*)")).has_value());
+  // Constant component "261-" vs filter initial "261-75": component-wise the
+  // initial is one component, so a partially constant initial does not unify.
+  EXPECT_FALSE(t.match(*parse_filter("(telephoneNumber=261-75*)")).has_value());
+}
+
+TEST(FilterTemplate, GeneralizeReplacesAllValues) {
+  const FilterTemplate t =
+      FilterTemplate::generalize(*parse_filter("(&(sn=Doe)(givenName=John))"));
+  EXPECT_EQ(t.key(), "(&(sn=_)(givenname=_))");
+  EXPECT_EQ(t.slot_count(), 2u);
+}
+
+TEST(FilterTemplate, GeneralizeSubstring) {
+  EXPECT_EQ(FilterTemplate::generalize(*parse_filter("(serialNumber=04*)")).key(),
+            "(serialnumber=_*)");
+  EXPECT_EQ(FilterTemplate::generalize(*parse_filter("(mail=*@x.com)")).key(),
+            "(mail=*_)");
+  EXPECT_EQ(FilterTemplate::generalize(*parse_filter("(cn=a*b*c)")).key(),
+            "(cn=_*_*_)");
+}
+
+TEST(FilterTemplate, GeneralizePreservesStructure) {
+  const FilterTemplate t = FilterTemplate::generalize(
+      *parse_filter("(&(objectclass=person)(|(c=us)(c=in)))"));
+  EXPECT_EQ(t.key(), "(&(objectclass=_)(|(c=_)(c=_)))");
+  EXPECT_EQ(t.slot_count(), 3u);
+}
+
+TEST(FilterTemplate, GeneralizedTemplateMatchesOriginal) {
+  const FilterPtr f = parse_filter("(&(dept=2406)(div=software))");
+  const FilterTemplate t = FilterTemplate::generalize(*f);
+  const auto slots = t.match(*f);
+  ASSERT_TRUE(slots.has_value());
+  EXPECT_EQ((*slots)[0], "2406");
+  EXPECT_EQ((*slots)[1], "software");
+}
+
+TEST(FilterTemplate, InstantiateIsInverseOfMatch) {
+  const FilterTemplate t = FilterTemplate::parse("(&(sn=_)(givenName=_))");
+  const FilterPtr f = t.instantiate({"Doe", "John"});
+  EXPECT_EQ(f->to_string(), "(&(sn=Doe)(givenname=John))");
+  const auto slots = t.match(*f);
+  ASSERT_TRUE(slots.has_value());
+  EXPECT_EQ(*slots, (std::vector<std::string>{"Doe", "John"}));
+}
+
+TEST(FilterTemplate, InstantiateSubstringTemplate) {
+  const FilterTemplate t = FilterTemplate::parse("(serialNumber=_*)");
+  EXPECT_EQ(t.instantiate({"04"})->to_string(), "(serialnumber=04*)");
+}
+
+TEST(FilterTemplate, InstantiateWrongArityThrows) {
+  const FilterTemplate t = FilterTemplate::parse("(uid=_)");
+  EXPECT_THROW(t.instantiate({}), ProtocolError);
+  EXPECT_THROW(t.instantiate({"a", "b"}), ProtocolError);
+}
+
+TEST(FilterTemplate, PresenceHasNoSlots) {
+  const FilterTemplate t = FilterTemplate::parse("(objectclass=*)");
+  EXPECT_EQ(t.slot_count(), 0u);
+  EXPECT_TRUE(t.match(*parse_filter("(objectclass=*)")).has_value());
+}
+
+TEST(TemplateRegistry, MatchInRegistrationOrder) {
+  TemplateRegistry registry;
+  const std::size_t specific = registry.add("(&(cn=_)(ou=research))");
+  const std::size_t generic = registry.add("(&(cn=_)(ou=_))");
+
+  const auto bound = registry.match(*parse_filter("(&(cn=Fred)(ou=research))"));
+  ASSERT_TRUE(bound.has_value());
+  EXPECT_EQ(bound->template_id, specific);
+  ASSERT_EQ(bound->slots.size(), 1u);
+  EXPECT_EQ(bound->slots[0], "Fred");
+
+  const auto other = registry.match(*parse_filter("(&(cn=Fred)(ou=sales))"));
+  ASSERT_TRUE(other.has_value());
+  EXPECT_EQ(other->template_id, generic);
+  EXPECT_EQ(other->slots.size(), 2u);
+}
+
+TEST(TemplateRegistry, NoMatchReturnsNullopt) {
+  TemplateRegistry registry;
+  registry.add("(uid=_)");
+  EXPECT_FALSE(registry.match(*parse_filter("(sn=Doe)")).has_value());
+}
+
+TEST(TemplateRegistry, AddDeduplicatesByKey) {
+  TemplateRegistry registry;
+  const std::size_t a = registry.add("(uid=_)");
+  const std::size_t b = registry.add("(UID=_)");  // same canonical key
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(TemplateRegistry, FindByKey) {
+  TemplateRegistry registry;
+  const std::size_t id = registry.add("(serialnumber=_*)");
+  EXPECT_EQ(registry.find("(serialnumber=_*)"), id);
+  EXPECT_FALSE(registry.find("(mail=_)").has_value());
+}
+
+TEST(TemplateRegistry, CaseStudyWorkloadTemplates) {
+  // Table 1 query types.
+  TemplateRegistry registry;
+  registry.add("(serialnumber=_)");
+  registry.add("(mail=_)");
+  registry.add("(&(dept=_)(div=_))");
+  registry.add("(location=_)");
+
+  EXPECT_TRUE(registry.match(*parse_filter("(serialNumber=041234)")).has_value());
+  EXPECT_TRUE(registry.match(*parse_filter("(mail=a@b.c)")).has_value());
+  EXPECT_TRUE(
+      registry.match(*parse_filter("(&(dept=2406)(div=sw))")).has_value());
+  EXPECT_TRUE(registry.match(*parse_filter("(location=bangalore)")).has_value());
+  EXPECT_FALSE(registry.match(*parse_filter("(cn=John)")).has_value());
+}
+
+}  // namespace
+}  // namespace fbdr::ldap

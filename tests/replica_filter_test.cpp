@@ -1,0 +1,176 @@
+#include "replica/filter_replica.h"
+
+#include <gtest/gtest.h>
+
+namespace fbdr::replica {
+namespace {
+
+using ldap::Dn;
+using ldap::make_entry;
+using ldap::Query;
+using ldap::Scope;
+using ldap::TemplateRegistry;
+
+class FilterReplicaTest : public ::testing::Test {
+ protected:
+  FilterReplicaTest() : master_("ldap://master") {
+    server::NamingContext context;
+    context.suffix = Dn::parse("o=ibm");
+    master_.add_context(std::move(context));
+    master_.load(make_entry("o=ibm", {{"objectclass", "organization"}}));
+    master_.load(make_entry("c=us,o=ibm", {{"objectclass", "country"}}));
+    for (int i = 0; i < 10; ++i) {
+      const std::string serial = "04" + std::string(i < 10 ? "000" : "00") +
+                                 std::to_string(i);
+      master_.load(make_entry(
+          "cn=e" + serial + ",c=us,o=ibm",
+          {{"objectclass", "inetOrgPerson"}, {"serialNumber", serial}}));
+    }
+
+    registry_ = std::make_shared<TemplateRegistry>();
+    registry_->add("(serialnumber=_)");
+    registry_->add("(serialnumber=_*)");
+  }
+
+  Query serial_query(const std::string& serial) {
+    return Query::parse("", Scope::Subtree, "(serialNumber=" + serial + ")");
+  }
+
+  server::DirectoryServer master_;
+  std::shared_ptr<TemplateRegistry> registry_;
+};
+
+TEST_F(FilterReplicaTest, StoredGeneralizedFilterAnswersContainedQueries) {
+  FilterReplica replica(ldap::Schema::default_instance(), registry_);
+  const std::size_t id =
+      replica.add_query(Query::parse("", Scope::Subtree, "(serialNumber=04*)"));
+  replica.load_content(id, master_);
+  EXPECT_EQ(replica.stored_entries(), 10u);
+
+  EXPECT_TRUE(replica.handle(serial_query("040001")).hit);
+  EXPECT_TRUE(replica.handle(serial_query("040009")).hit);
+  EXPECT_FALSE(replica.handle(serial_query("050001")).hit);
+  EXPECT_NEAR(replica.stats().hit_ratio(), 2.0 / 3.0, 1e-9);
+}
+
+TEST_F(FilterReplicaTest, NullBasedQueriesAreAnswerable) {
+  // §3.1.1: filter based partial replicas can replicate null based queries.
+  FilterReplica replica(ldap::Schema::default_instance(), registry_);
+  replica.add_query(Query::parse("", Scope::Subtree, "(serialNumber=04*)"));
+  EXPECT_TRUE(replica.handle(serial_query("040000")).hit);
+  // And region-contained queries from deeper bases.
+  EXPECT_TRUE(replica
+                  .handle(Query::parse("c=us,o=ibm", Scope::Subtree,
+                                       "(serialNumber=040000)"))
+                  .hit);
+}
+
+TEST_F(FilterReplicaTest, RemoveQueryReleasesEntries) {
+  FilterReplica replica(ldap::Schema::default_instance(), registry_);
+  const std::size_t id =
+      replica.add_query(Query::parse("", Scope::Subtree, "(serialNumber=04*)"));
+  replica.load_content(id, master_);
+  EXPECT_EQ(replica.stored_entries(), 10u);
+  replica.remove_query(id);
+  EXPECT_EQ(replica.stored_entries(), 0u);
+  EXPECT_EQ(replica.query_count(), 0u);
+  EXPECT_FALSE(replica.handle(serial_query("040001")).hit);
+}
+
+TEST_F(FilterReplicaTest, OverlappingQueriesPoolEntries) {
+  FilterReplica replica(ldap::Schema::default_instance(), registry_);
+  const std::size_t wide =
+      replica.add_query(Query::parse("", Scope::Subtree, "(serialNumber=04*)"));
+  const std::size_t narrow =
+      replica.add_query(Query::parse("", Scope::Subtree, "(serialNumber=0400*)"));
+  replica.load_content(wide, master_);
+  replica.load_content(narrow, master_);
+  // The narrow query's entries are a subset; pooling avoids double counting.
+  EXPECT_EQ(replica.stored_entries(), 10u);
+  replica.remove_query(wide);
+  EXPECT_EQ(replica.stored_entries(), 10u);  // all serials are 0400x here
+  replica.remove_query(narrow);
+  EXPECT_EQ(replica.stored_entries(), 0u);
+}
+
+TEST_F(FilterReplicaTest, QueryContentReturnsEntries) {
+  FilterReplica replica(ldap::Schema::default_instance(), registry_);
+  const std::size_t id =
+      replica.add_query(Query::parse("", Scope::Subtree, "(serialNumber=04*)"));
+  replica.load_content(id, master_);
+  EXPECT_EQ(replica.query_content(id).size(), 10u);
+  EXPECT_TRUE(replica.holds_entry(Dn::parse("cn=e040000,c=us,o=ibm")));
+  EXPECT_FALSE(replica.holds_entry(Dn::parse("cn=ghost,c=us,o=ibm")));
+}
+
+TEST_F(FilterReplicaTest, EstimatedSizeUsedWhenUnmaterialized) {
+  FilterReplica replica(ldap::Schema::default_instance(), registry_);
+  replica.add_query(Query::parse("", Scope::Subtree, "(serialNumber=04*)"), 1000);
+  replica.add_query(Query::parse("", Scope::Subtree, "(serialNumber=05*)"), 500);
+  EXPECT_EQ(replica.stored_entries(), 1500u);
+}
+
+TEST_F(FilterReplicaTest, QueryCacheProvidesTemporalLocalityHits) {
+  FilterReplica replica(ldap::Schema::default_instance(), registry_);
+  replica.set_query_cache_window(2);
+  const Query q1 = serial_query("990001");
+
+  EXPECT_FALSE(replica.handle(q1).hit);  // miss, then cached by the manager
+  replica.cache_user_query(q1, {});
+  EXPECT_TRUE(replica.handle(q1).hit);  // repeat within the window
+  EXPECT_EQ(replica.cached_query_count(), 1u);
+  EXPECT_EQ(replica.stored_filter_count(), 1u);
+}
+
+TEST_F(FilterReplicaTest, QueryCacheWindowEvictsOldest) {
+  FilterReplica replica(ldap::Schema::default_instance(), registry_);
+  replica.set_query_cache_window(2);
+  replica.cache_user_query(serial_query("990001"), {});
+  replica.cache_user_query(serial_query("990002"), {});
+  replica.cache_user_query(serial_query("990003"), {});
+  EXPECT_EQ(replica.cached_query_count(), 2u);
+  EXPECT_FALSE(replica.handle(serial_query("990001")).hit);  // evicted
+  EXPECT_TRUE(replica.handle(serial_query("990003")).hit);
+}
+
+TEST_F(FilterReplicaTest, CachedQueryHitIsMarkedAsCache) {
+  FilterReplica replica(ldap::Schema::default_instance(), registry_);
+  replica.set_query_cache_window(4);
+  replica.cache_user_query(serial_query("990001"), {});
+  const Decision decision = replica.handle(serial_query("990001"));
+  ASSERT_TRUE(decision.hit);
+  EXPECT_EQ(decision.answered_by.rfind("cache:", 0), 0u);
+}
+
+TEST_F(FilterReplicaTest, ZeroWindowDisablesCaching) {
+  FilterReplica replica(ldap::Schema::default_instance(), registry_);
+  replica.cache_user_query(serial_query("990001"), {});
+  EXPECT_EQ(replica.cached_query_count(), 0u);
+  EXPECT_FALSE(replica.handle(serial_query("990001")).hit);
+}
+
+TEST_F(FilterReplicaTest, ContainmentChecksAreCounted) {
+  FilterReplica replica(ldap::Schema::default_instance(), registry_);
+  for (int i = 0; i < 5; ++i) {
+    replica.add_query(Query::parse(
+        "", Scope::Subtree, "(serialNumber=0" + std::to_string(i) + "*)"));
+  }
+  replica.handle(serial_query("990001"));  // miss: checks all five
+  EXPECT_EQ(replica.stats().containment_checks, 5u);
+  replica.handle(serial_query("040001"));  // hit possibly earlier
+  EXPECT_GE(replica.stats().containment_checks, 6u);
+}
+
+TEST_F(FilterReplicaTest, SetContentReplacesEntries) {
+  FilterReplica replica(ldap::Schema::default_instance(), registry_);
+  const std::size_t id =
+      replica.add_query(Query::parse("", Scope::Subtree, "(serialNumber=04*)"));
+  replica.set_content(id, {make_entry("cn=e040000,c=us,o=ibm",
+                                      {{"serialNumber", "040000"}})});
+  EXPECT_EQ(replica.stored_entries(), 1u);
+  replica.set_content(id, {});
+  EXPECT_EQ(replica.stored_entries(), 0u);
+}
+
+}  // namespace
+}  // namespace fbdr::replica

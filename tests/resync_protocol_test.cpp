@@ -1,0 +1,312 @@
+// Tests for the ReSync protocol layer (§5.2): control semantics, cookies,
+// poll/persist modes, session end and timeout, the incomplete-history retain
+// mode of equation (3), and a reenactment of the Figure 3 message sequence.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "ldap/error.h"
+
+#include "resync/replica_client.h"
+#include "server/directory_server.h"
+
+namespace fbdr::resync {
+namespace {
+
+using ldap::Dn;
+using ldap::make_entry;
+using ldap::Query;
+using ldap::Scope;
+using server::Modification;
+
+std::unique_ptr<server::DirectoryServer> make_master() {
+  auto master = std::make_unique<server::DirectoryServer>("ldap://master");
+  server::NamingContext context;
+  context.suffix = Dn::parse("o=xyz");
+  master->add_context(std::move(context));
+  master->load(make_entry("o=xyz", {{"objectclass", "organization"}}));
+  return master;
+}
+
+ldap::EntryPtr person(const std::string& cn, const std::string& dept) {
+  return make_entry("cn=" + cn + ",o=xyz",
+                    {{"objectclass", "person"}, {"dept", dept}});
+}
+
+const Query kQuery = Query::parse("o=xyz", Scope::Subtree, "(dept=42)");
+
+TEST(ReSyncControl, StringForms) {
+  EXPECT_EQ(ReSyncControl{}.to_string(), "(poll, null)");
+  EXPECT_EQ((ReSyncControl{Mode::Persist, "rs-1"}).to_string(), "(persist, rs-1)");
+  EXPECT_EQ(to_string(Mode::SyncEnd), "sync_end");
+  EXPECT_EQ(to_string(Action::Retain), "retain");
+}
+
+TEST(ReSyncMaster, InitialRequestSendsEntireContent) {
+  auto master = make_master();
+  master->load(person("E1", "42"));
+  master->load(person("E2", "42"));
+  master->load(person("E3", "7"));
+  ReSyncMaster resync(*master);
+
+  const ReSyncResponse response = resync.handle(kQuery, {Mode::Poll, ""});
+  EXPECT_TRUE(response.full_reload);
+  EXPECT_EQ(response.entries_sent(), 2u);
+  EXPECT_FALSE(response.cookie.empty());
+  EXPECT_FALSE(response.persistent);
+  EXPECT_EQ(resync.session_count(), 1u);
+}
+
+TEST(ReSyncMaster, PollWithCookieSendsAccumulatedUpdates) {
+  auto master = make_master();
+  master->load(person("E1", "42"));
+  ReSyncMaster resync(*master);
+  const std::string cookie = resync.handle(kQuery, {Mode::Poll, ""}).cookie;
+
+  master->add(person("E2", "42"));
+  master->modify(Dn::parse("cn=E1,o=xyz"),
+                 {{Modification::Op::AddValues, "mail", {"e1@x.com"}}});
+  resync.pump();
+
+  const ReSyncResponse response = resync.handle(kQuery, {Mode::Poll, cookie});
+  EXPECT_FALSE(response.full_reload);
+  EXPECT_EQ(response.entries_sent(), 2u);  // one add, one mod
+  EXPECT_EQ(response.cookie, cookie);
+
+  std::size_t adds = 0;
+  std::size_t mods = 0;
+  for (const EntryPdu& pdu : response.pdus) {
+    if (pdu.action == Action::Add) ++adds;
+    if (pdu.action == Action::Modify) ++mods;
+  }
+  EXPECT_EQ(adds, 1u);
+  EXPECT_EQ(mods, 1u);
+}
+
+TEST(ReSyncMaster, UnknownCookieIsRejected) {
+  auto master = make_master();
+  ReSyncMaster resync(*master);
+  EXPECT_THROW(resync.handle(kQuery, {Mode::Poll, "rs-999"}), ldap::ProtocolError);
+}
+
+TEST(ReSyncMaster, SyncEndRemovesSession) {
+  auto master = make_master();
+  ReSyncMaster resync(*master);
+  const std::string cookie = resync.handle(kQuery, {Mode::Poll, ""}).cookie;
+  EXPECT_EQ(resync.session_count(), 1u);
+  resync.handle(kQuery, {Mode::SyncEnd, cookie});
+  EXPECT_EQ(resync.session_count(), 0u);
+  EXPECT_THROW(resync.handle(kQuery, {Mode::Poll, cookie}), ldap::ProtocolError);
+}
+
+TEST(ReSyncMaster, PersistModePushesNotifications) {
+  auto master = make_master();
+  master->load(person("E1", "42"));
+  ReSyncMaster resync(*master);
+
+  std::vector<std::pair<std::string, std::vector<EntryPdu>>> pushed;
+  resync.set_notification_sink(
+      [&](const std::string& cookie, const std::vector<EntryPdu>& pdus) {
+        pushed.emplace_back(cookie, pdus);
+      });
+
+  const ReSyncResponse response = resync.handle(kQuery, {Mode::Persist, ""});
+  EXPECT_TRUE(response.persistent);
+  EXPECT_EQ(resync.open_connections(), 1u);
+
+  master->add(person("E2", "42"));
+  master->remove(Dn::parse("cn=E1,o=xyz"));
+  resync.pump();
+
+  ASSERT_EQ(pushed.size(), 1u);
+  EXPECT_EQ(pushed[0].first, response.cookie);
+  ASSERT_EQ(pushed[0].second.size(), 2u);
+
+  // Quiet pump pushes nothing.
+  resync.pump();
+  EXPECT_EQ(pushed.size(), 1u);
+}
+
+TEST(ReSyncMaster, AbandonClosesPersistentSearch) {
+  auto master = make_master();
+  ReSyncMaster resync(*master);
+  const ReSyncResponse response = resync.handle(kQuery, {Mode::Persist, ""});
+  EXPECT_EQ(resync.open_connections(), 1u);
+  resync.abandon(response.cookie);
+  EXPECT_EQ(resync.open_connections(), 0u);
+  EXPECT_EQ(resync.session_count(), 0u);
+}
+
+TEST(ReSyncMaster, IdlePollSessionsTimeOut) {
+  auto master = make_master();
+  ReSyncMaster resync(*master);
+  resync.set_session_time_limit(10);
+  const std::string poll_cookie = resync.handle(kQuery, {Mode::Poll, ""}).cookie;
+  resync.handle(kQuery, {Mode::Persist, ""});
+  EXPECT_EQ(resync.session_count(), 2u);
+
+  resync.tick(11);
+  EXPECT_EQ(resync.session_count(), 1u);  // persist session survives
+  EXPECT_THROW(resync.handle(kQuery, {Mode::Poll, poll_cookie}),
+               ldap::ProtocolError);
+}
+
+TEST(ReSyncMaster, ModeSwitchFromPollToPersist) {
+  // Figure 3's session switches from poll to persist with the same cookie.
+  auto master = make_master();
+  ReSyncMaster resync(*master);
+  const std::string cookie = resync.handle(kQuery, {Mode::Poll, ""}).cookie;
+  const ReSyncResponse response = resync.handle(kQuery, {Mode::Persist, cookie});
+  EXPECT_TRUE(response.persistent);
+  EXPECT_EQ(resync.open_connections(), 1u);
+}
+
+TEST(ReSyncMaster, IncompleteHistoryUsesRetains) {
+  auto master = make_master();
+  master->load(person("E1", "42"));
+  master->load(person("E2", "42"));
+  ReSyncMaster resync(*master);
+  resync.set_incomplete_history(true);
+  const std::string cookie = resync.handle(kQuery, {Mode::Poll, ""}).cookie;
+
+  // Modify E1 out of the content; E2 unchanged.
+  master->modify(Dn::parse("cn=E1,o=xyz"),
+                 {{Modification::Op::Replace, "dept", {"7"}}});
+  resync.pump();
+  const ReSyncResponse response = resync.handle(kQuery, {Mode::Poll, cookie});
+  EXPECT_TRUE(response.complete_enumeration);
+  // No delete PDU is possible without history: E2 is retained, E1 simply
+  // unmentioned.
+  std::size_t retains = 0;
+  for (const EntryPdu& pdu : response.pdus) {
+    EXPECT_NE(pdu.action, Action::Delete);
+    if (pdu.action == Action::Retain) ++retains;
+  }
+  EXPECT_EQ(retains, 1u);
+}
+
+TEST(ReSyncMaster, TrafficAccounting) {
+  auto master = make_master();
+  master->load(person("E1", "42"));
+  ReSyncMaster resync(*master);
+  const std::string cookie = resync.handle(kQuery, {Mode::Poll, ""}).cookie;
+  master->remove(Dn::parse("cn=E1,o=xyz"));
+  resync.pump();
+  resync.handle(kQuery, {Mode::Poll, cookie});
+  EXPECT_EQ(resync.traffic().round_trips, 2u);
+  EXPECT_EQ(resync.traffic().entries, 1u);   // initial content
+  EXPECT_EQ(resync.traffic().dns_only, 1u);  // the delete
+  resync.reset_traffic();
+  EXPECT_EQ(resync.traffic().round_trips, 0u);
+}
+
+TEST(ReSyncReplica, EndToEndPollLoopConverges) {
+  auto master = make_master();
+  for (int i = 0; i < 6; ++i) {
+    master->load(person("E" + std::to_string(i), i % 2 == 0 ? "42" : "7"));
+  }
+  ReSyncMaster resync(*master);
+  ReSyncReplica replica(resync, kQuery);
+  replica.start(Mode::Poll);
+  EXPECT_EQ(replica.content().size(), 3u);
+
+  master->add(person("E6", "42"));
+  master->remove(Dn::parse("cn=E0,o=xyz"));
+  master->modify(Dn::parse("cn=E2,o=xyz"),
+                 {{Modification::Op::Replace, "dept", {"7"}}});
+  resync.pump();
+  replica.poll();
+  EXPECT_EQ(replica.content().size(), 2u);  // E4, E6
+  EXPECT_TRUE(replica.content().contains(Dn::parse("cn=E6,o=xyz")));
+  EXPECT_FALSE(replica.content().contains(Dn::parse("cn=E2,o=xyz")));
+
+  replica.sync_end();
+  EXPECT_FALSE(replica.active());
+  EXPECT_EQ(resync.session_count(), 0u);
+}
+
+TEST(ReSyncReplica, PersistDeliveryViaRouter) {
+  auto master = make_master();
+  master->load(person("E1", "42"));
+  ReSyncMaster resync(*master);
+  NotificationRouter router;
+  router.attach(resync);
+
+  ReSyncReplica replica(resync, kQuery);
+  replica.start(Mode::Persist);
+  router.subscribe(replica);
+  EXPECT_EQ(replica.content().size(), 1u);
+
+  master->add(person("E2", "42"));
+  resync.pump();
+  EXPECT_EQ(replica.content().size(), 2u);
+
+  replica.abandon();
+  EXPECT_EQ(resync.open_connections(), 0u);
+}
+
+TEST(Figure3, MessageSequenceReenactment) {
+  // Entries E1..E5 and the operations of Figure 3:
+  //   Session starts (poll, null): E1, E2, E3 are in the content -> 3 adds.
+  //   Interval 1: E4 added (A); E1 modified out and E2 deleted (D, M);
+  //               E3 modified but stays in (M).
+  //   Poll (poll, cookie): E4 add; E1, E2 delete; E3 mod.
+  //   Interval 2: E3 renamed to E5 (R) - stays in content.
+  //   Request (persist, cookie1): E3 delete, E5 add; then abandon.
+  auto master = make_master();
+  master->load(person("E1", "42"));
+  master->load(person("E2", "42"));
+  master->load(person("E3", "42"));
+  ReSyncMaster resync(*master);
+
+  // S, (poll, null) -> E1, E2, E3 add + cookie.
+  const ReSyncResponse first = resync.handle(kQuery, {Mode::Poll, ""});
+  ASSERT_EQ(first.pdus.size(), 3u);
+  for (const EntryPdu& pdu : first.pdus) EXPECT_EQ(pdu.action, Action::Add);
+  const std::string cookie = first.cookie;
+
+  // Interval 1.
+  master->add(person("E4", "42"));                                   // A
+  master->modify(Dn::parse("cn=E1,o=xyz"),
+                 {{Modification::Op::Replace, "dept", {"7"}}});      // M (out)
+  master->remove(Dn::parse("cn=E2,o=xyz"));                          // D
+  master->modify(Dn::parse("cn=E3,o=xyz"),
+                 {{Modification::Op::AddValues, "mail", {"e3@x"}}}); // M (in)
+  resync.pump();
+
+  // S, (poll, cookie) -> E4 add; E1, E2 delete; E3 mod; cookie1.
+  const ReSyncResponse second = resync.handle(kQuery, {Mode::Poll, cookie});
+  std::map<std::string, Action> actions;
+  for (const EntryPdu& pdu : second.pdus) {
+    actions[pdu.dn.to_string()] = pdu.action;
+  }
+  EXPECT_EQ(actions.at("cn=E4,o=xyz"), Action::Add);
+  EXPECT_EQ(actions.at("cn=E1,o=xyz"), Action::Delete);
+  EXPECT_EQ(actions.at("cn=E2,o=xyz"), Action::Delete);
+  EXPECT_EQ(actions.at("cn=E3,o=xyz"), Action::Modify);
+
+  // Interval 2: rename E3 -> E5 (update corresponding to a modify DN which
+  // does not move an in-content entry out is a delete action for the old DN
+  // followed by an add action for the new DN).
+  master->modify_dn(Dn::parse("cn=E3,o=xyz"), Dn::parse("cn=E5,o=xyz"));
+  resync.pump();
+
+  // S, (persist, cookie) -> E3 delete, E5 add; connection stays open.
+  const ReSyncResponse third = resync.handle(kQuery, {Mode::Persist, cookie});
+  EXPECT_TRUE(third.persistent);
+  actions.clear();
+  for (const EntryPdu& pdu : third.pdus) {
+    actions[pdu.dn.to_string()] = pdu.action;
+  }
+  ASSERT_EQ(actions.size(), 2u);
+  EXPECT_EQ(actions.at("cn=E3,o=xyz"), Action::Delete);
+  EXPECT_EQ(actions.at("cn=E5,o=xyz"), Action::Add);
+
+  // abandon.
+  resync.abandon(cookie);
+  EXPECT_EQ(resync.session_count(), 0u);
+}
+
+}  // namespace
+}  // namespace fbdr::resync

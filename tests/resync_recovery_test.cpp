@@ -1,0 +1,217 @@
+// Failure injection and randomized convergence for the ReSync protocol:
+// session expiry with and without auto-recovery, the equation-(3) retain
+// mode under random update streams, and interleaved persist/poll sessions.
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ldap/error.h"
+#include "resync/replica_client.h"
+#include "server/directory_server.h"
+#include "sync/content_tracker.h"
+
+namespace fbdr::resync {
+namespace {
+
+using ldap::Dn;
+using ldap::make_entry;
+using ldap::Query;
+using ldap::Scope;
+using server::Modification;
+
+std::unique_ptr<server::DirectoryServer> make_master() {
+  auto master = std::make_unique<server::DirectoryServer>("ldap://master");
+  server::NamingContext context;
+  context.suffix = Dn::parse("o=xyz");
+  master->add_context(std::move(context));
+  master->load(make_entry("o=xyz", {{"objectclass", "organization"}}));
+  for (int i = 0; i < 8; ++i) {
+    master->load(make_entry("cn=E" + std::to_string(i) + ",o=xyz",
+                            {{"objectclass", "person"},
+                             {"dept", i % 2 == 0 ? "42" : "7"}}));
+  }
+  return master;
+}
+
+const Query kQuery = Query::parse("o=xyz", Scope::Subtree, "(dept=42)");
+
+std::vector<std::string> master_truth(const server::DirectoryServer& master) {
+  sync::ContentTracker tracker(kQuery);
+  tracker.initialize(master.dit());
+  return tracker.content_keys();
+}
+
+TEST(ReSyncRecovery, ExpiredSessionThrowsWithoutRecovery) {
+  auto master = make_master();
+  ReSyncMaster resync(*master);
+  resync.set_session_time_limit(5);
+  ReSyncReplica replica(resync, kQuery);
+  replica.start(Mode::Poll);
+  resync.tick(10);  // expire
+  EXPECT_THROW(replica.poll(), ldap::ProtocolError);
+}
+
+TEST(ReSyncRecovery, AutoRecoveryReloadsAndConverges) {
+  auto master = make_master();
+  ReSyncMaster resync(*master);
+  resync.set_session_time_limit(5);
+  ReSyncReplica replica(resync, kQuery);
+  replica.set_auto_recover(true);
+  replica.start(Mode::Poll);
+  const std::string first_cookie = replica.cookie();
+
+  // Changes land while the session expires.
+  resync.tick(10);
+  master->add(make_entry("cn=E8,o=xyz",
+                         {{"objectclass", "person"}, {"dept", "42"}}));
+  master->remove(Dn::parse("cn=E0,o=xyz"));
+  resync.pump();
+
+  replica.poll();
+  EXPECT_EQ(replica.recoveries(), 1u);
+  EXPECT_NE(replica.cookie(), first_cookie);
+  EXPECT_EQ(replica.content().keys(), master_truth(*master));
+
+  // Subsequent polls use the fresh session without further reloads.
+  master->remove(Dn::parse("cn=E2,o=xyz"));
+  resync.pump();
+  replica.poll();
+  EXPECT_EQ(replica.recoveries(), 1u);
+  EXPECT_EQ(replica.content().keys(), master_truth(*master));
+}
+
+TEST(ReSyncRecovery, RecoveryCostsAFullReload) {
+  auto master = make_master();
+  ReSyncMaster resync(*master);
+  resync.set_session_time_limit(5);
+  ReSyncReplica replica(resync, kQuery);
+  replica.set_auto_recover(true);
+  replica.start(Mode::Poll);
+  const auto after_start = resync.traffic().entries;
+
+  resync.tick(10);
+  replica.poll();  // recovery: whole content again
+  EXPECT_EQ(resync.traffic().entries, after_start * 2);
+}
+
+TEST(ReSyncRandomized, PollModeConvergesUnderRandomStreams) {
+  std::mt19937 rng(20050501);
+  for (int round = 0; round < 6; ++round) {
+    auto master = make_master();
+    ReSyncMaster resync(*master);
+    ReSyncReplica replica(resync, kQuery);
+    replica.start(Mode::Poll);
+
+    std::uniform_int_distribution<int> op(0, 99);
+    std::uniform_int_distribution<int> pick(0, 40);
+    int next = 100;
+    for (int step = 0; step < 80; ++step) {
+      const Dn target = Dn::parse("cn=E" + std::to_string(pick(rng)) + ",o=xyz");
+      try {
+        const int t = op(rng);
+        if (t < 30) {
+          master->add(make_entry("cn=E" + std::to_string(next++) + ",o=xyz",
+                                 {{"objectclass", "person"},
+                                  {"dept", t % 2 == 0 ? "42" : "7"}}));
+        } else if (t < 55) {
+          master->remove(target);
+        } else if (t < 85) {
+          master->modify(target, {{Modification::Op::Replace, "dept",
+                                   {t % 3 == 0 ? "42" : "7"}}});
+        } else {
+          master->modify_dn(target,
+                            Dn::parse("cn=R" + std::to_string(next++) + ",o=xyz"));
+        }
+      } catch (const ldap::OperationError&) {
+        // Missing random target: acceptable stream noise.
+      }
+      if (step % 13 == 0) {
+        resync.pump();
+        replica.poll();
+      }
+    }
+    resync.pump();
+    replica.poll();
+    EXPECT_EQ(replica.content().keys(), master_truth(*master))
+        << "diverged in round " << round;
+  }
+}
+
+TEST(ReSyncRandomized, IncompleteHistoryRetainModeConverges) {
+  std::mt19937 rng(777);
+  auto master = make_master();
+  ReSyncMaster resync(*master);
+  resync.set_incomplete_history(true);
+  ReSyncReplica replica(resync, kQuery);
+  replica.start(Mode::Poll);
+
+  std::uniform_int_distribution<int> op(0, 99);
+  std::uniform_int_distribution<int> pick(0, 30);
+  int next = 100;
+  for (int step = 0; step < 120; ++step) {
+    const Dn target = Dn::parse("cn=E" + std::to_string(pick(rng)) + ",o=xyz");
+    try {
+      const int t = op(rng);
+      if (t < 35) {
+        master->add(make_entry("cn=E" + std::to_string(next++) + ",o=xyz",
+                               {{"objectclass", "person"},
+                                {"dept", t % 2 == 0 ? "42" : "7"}}));
+      } else if (t < 60) {
+        master->remove(target);
+      } else {
+        master->modify(target, {{Modification::Op::Replace, "dept",
+                                 {t % 3 == 0 ? "42" : "7"}}});
+      }
+    } catch (const ldap::OperationError&) {
+    }
+    if (step % 11 == 0) {
+      resync.pump();
+      replica.poll();
+      EXPECT_EQ(replica.content().keys(), master_truth(*master))
+          << "retain-mode divergence at step " << step;
+    }
+  }
+}
+
+TEST(ReSyncRandomized, PersistAndPollSessionsAgree) {
+  auto master = make_master();
+  ReSyncMaster resync(*master);
+  NotificationRouter router;
+  router.attach(resync);
+
+  ReSyncReplica poller(resync, kQuery);
+  poller.start(Mode::Poll);
+  ReSyncReplica pusher(resync, kQuery);
+  pusher.start(Mode::Persist);
+  router.subscribe(pusher);
+
+  std::mt19937 rng(31337);
+  std::uniform_int_distribution<int> op(0, 2);
+  int next = 100;
+  for (int step = 0; step < 60; ++step) {
+    try {
+      switch (op(rng)) {
+        case 0:
+          master->add(make_entry("cn=E" + std::to_string(next++) + ",o=xyz",
+                                 {{"objectclass", "person"}, {"dept", "42"}}));
+          break;
+        case 1:
+          master->remove(Dn::parse("cn=E" + std::to_string(next - 2) + ",o=xyz"));
+          break;
+        default:
+          master->modify(Dn::parse("cn=E2,o=xyz"),
+                         {{Modification::Op::Replace, "dept", {"42"}}});
+          break;
+      }
+    } catch (const ldap::OperationError&) {
+    }
+    resync.pump();  // pushes to the persist session immediately
+  }
+  poller.poll();
+  EXPECT_EQ(pusher.content().keys(), master_truth(*master));
+  EXPECT_EQ(poller.content().keys(), pusher.content().keys());
+}
+
+}  // namespace
+}  // namespace fbdr::resync

@@ -1,0 +1,104 @@
+#include "select/generalize.h"
+
+#include <gtest/gtest.h>
+
+#include "containment/filter_containment.h"
+#include "ldap/filter_parser.h"
+
+namespace fbdr::select {
+namespace {
+
+using ldap::Query;
+using ldap::Scope;
+
+Query q(const char* filter) { return Query::parse("", Scope::Subtree, filter); }
+
+TEST(Generalizer, SerialPrefixRule) {
+  Generalizer g;
+  g.add_rule("(serialnumber=_)", "(serialnumber=_*)", prefix_transform(4));
+  const auto candidate = g.generalize(q("(serialNumber=041234)"));
+  ASSERT_TRUE(candidate.has_value());
+  EXPECT_EQ(candidate->filter->to_string(), "(serialnumber=0412*)");
+  EXPECT_EQ(candidate->base, ldap::Dn());
+  EXPECT_EQ(candidate->scope, Scope::Subtree);
+}
+
+TEST(Generalizer, TelephoneExampleFromPaper) {
+  // §6.1: (telephoneNumber=261-758*) as a generalized query.
+  Generalizer g;
+  g.add_rule("(telephonenumber=_)", "(telephonenumber=_*)", prefix_transform(7));
+  const auto candidate = g.generalize(q("(telephoneNumber=261-7580)"));
+  ASSERT_TRUE(candidate.has_value());
+  EXPECT_EQ(candidate->filter->to_string(), "(telephonenumber=261-758*)");
+}
+
+TEST(Generalizer, DeptHierarchyRule) {
+  // §6.1: (&(div=X)(dept=_)) — fix the division, wildcard the department.
+  Generalizer g;
+  g.add_rule("(&(dept=_)(div=_))", "(&(div=_)(dept=*))", keep_slots({1}));
+  const auto candidate = g.generalize(q("(&(dept=2406)(div=div24))"));
+  ASSERT_TRUE(candidate.has_value());
+  EXPECT_EQ(candidate->filter->to_string(), "(&(div=div24)(dept=*))");
+}
+
+TEST(Generalizer, MailDomainRule) {
+  Generalizer g;
+  g.add_rule("(mail=_)", "(mail=*_)", suffix_from('@'));
+  const auto candidate = g.generalize(q("(mail=john@us.ibm.com)"));
+  ASSERT_TRUE(candidate.has_value());
+  EXPECT_EQ(candidate->filter->to_string(), "(mail=*@us.ibm.com)");
+}
+
+TEST(Generalizer, LocationWholeClassRule) {
+  Generalizer g;
+  g.add_rule("(location=_)", "(location=*)", no_slots());
+  const auto candidate = g.generalize(q("(location=bangalore)"));
+  ASSERT_TRUE(candidate.has_value());
+  EXPECT_EQ(candidate->filter->to_string(), "(location=*)");
+}
+
+TEST(Generalizer, RulesTriedInOrder) {
+  Generalizer g;
+  g.add_rule("(serialnumber=_)", "(serialnumber=_*)", prefix_transform(2));
+  g.add_rule("(serialnumber=_)", "(serialnumber=_*)", prefix_transform(4));
+  const auto candidate = g.generalize(q("(serialNumber=041234)"));
+  ASSERT_TRUE(candidate.has_value());
+  EXPECT_EQ(candidate->filter->to_string(), "(serialnumber=04*)");  // first rule
+}
+
+TEST(Generalizer, NoRuleMatchesReturnsNullopt) {
+  Generalizer g;
+  g.add_rule("(serialnumber=_)", "(serialnumber=_*)", prefix_transform(2));
+  EXPECT_FALSE(g.generalize(q("(cn=John)")).has_value());
+  EXPECT_EQ(g.rule_count(), 1u);
+}
+
+TEST(Generalizer, SuffixFromMissingMarkerKeepsWhole) {
+  Generalizer g;
+  g.add_rule("(mail=_)", "(mail=*_)", suffix_from('@'));
+  const auto candidate = g.generalize(q("(mail=no-at-sign)"));
+  ASSERT_TRUE(candidate.has_value());
+  EXPECT_EQ(candidate->filter->to_string(), "(mail=*no-at-sign)");
+}
+
+TEST(Generalizer, GeneralizedQueryContainsTheUserQuery) {
+  // The essential invariant: the candidate must semantically contain the
+  // user query it was generalized from.
+  Generalizer g;
+  g.add_rule("(serialnumber=_)", "(serialnumber=_*)", prefix_transform(3));
+  g.add_rule("(&(dept=_)(div=_))", "(&(div=_)(dept=*))", keep_slots({1}));
+  g.add_rule("(mail=_)", "(mail=*_)", suffix_from('@'));
+  for (const char* filter :
+       {"(serialNumber=041234)", "(&(dept=2406)(div=div24))",
+        "(mail=john@us.ibm.com)"}) {
+    const Query user = q(filter);
+    const auto candidate = g.generalize(user);
+    ASSERT_TRUE(candidate.has_value()) << filter;
+    EXPECT_TRUE(containment::filter_contained(*user.filter, *candidate->filter))
+        << user.filter->to_string() << " not inside "
+        << candidate->filter->to_string();
+  }
+}
+
+}  // namespace
+}  // namespace fbdr::select

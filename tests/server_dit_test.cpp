@@ -1,0 +1,161 @@
+#include "server/dit.h"
+
+#include <gtest/gtest.h>
+
+#include "ldap/error.h"
+
+namespace fbdr::server {
+namespace {
+
+using ldap::Dn;
+using ldap::EntryPtr;
+using ldap::make_entry;
+using ldap::OperationError;
+using ldap::ResultCode;
+
+class DitTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dit_.add_suffix(Dn::parse("o=xyz"));
+    dit_.add(make_entry("o=xyz", {{"objectclass", "organization"}, {"o", "xyz"}}));
+    dit_.add(make_entry("c=us,o=xyz", {{"objectclass", "country"}, {"c", "us"}}));
+    dit_.add(make_entry("c=in,o=xyz", {{"objectclass", "country"}, {"c", "in"}}));
+    dit_.add(make_entry("ou=research,c=us,o=xyz",
+                        {{"objectclass", "organizationalUnit"}, {"ou", "research"}}));
+    dit_.add(make_entry("cn=John Doe,ou=research,c=us,o=xyz",
+                        {{"objectclass", "inetOrgPerson"}, {"cn", "John Doe"}}));
+  }
+
+  Dit dit_;
+};
+
+TEST_F(DitTest, FindByNormalizedDn) {
+  EXPECT_NE(dit_.find(Dn::parse("C=US,O=XYZ")), nullptr);
+  EXPECT_EQ(dit_.find(Dn::parse("c=uk,o=xyz")), nullptr);
+  EXPECT_EQ(dit_.size(), 5u);
+}
+
+TEST_F(DitTest, AddRequiresParent) {
+  EXPECT_THROW(
+      dit_.add(make_entry("cn=x,ou=missing,o=xyz", {{"cn", "x"}})),
+      OperationError);
+  try {
+    dit_.add(make_entry("cn=x,ou=missing,o=xyz", {{"cn", "x"}}));
+    FAIL();
+  } catch (const OperationError& e) {
+    EXPECT_EQ(e.code(), ResultCode::NoSuchObject);
+  }
+}
+
+TEST_F(DitTest, AddDuplicateThrows) {
+  try {
+    dit_.add(make_entry("c=us,o=xyz", {{"c", "us"}}));
+    FAIL();
+  } catch (const OperationError& e) {
+    EXPECT_EQ(e.code(), ResultCode::EntryAlreadyExists);
+  }
+}
+
+TEST_F(DitTest, SuffixEntryNeedsNoParent) {
+  Dit dit;
+  dit.add_suffix(Dn::parse("ou=research,c=us,o=xyz"));
+  EXPECT_NO_THROW(dit.add(make_entry("ou=research,c=us,o=xyz", {{"ou", "r"}})));
+}
+
+TEST_F(DitTest, RemoveLeafOnly) {
+  try {
+    dit_.remove(Dn::parse("ou=research,c=us,o=xyz"));
+    FAIL();
+  } catch (const OperationError& e) {
+    EXPECT_EQ(e.code(), ResultCode::NotAllowedOnNonLeaf);
+  }
+  const EntryPtr removed = dit_.remove(Dn::parse("cn=John Doe,ou=research,c=us,o=xyz"));
+  EXPECT_TRUE(removed->has_value("cn", "John Doe"));
+  EXPECT_NO_THROW(dit_.remove(Dn::parse("ou=research,c=us,o=xyz")));
+  EXPECT_EQ(dit_.size(), 3u);
+}
+
+TEST_F(DitTest, RemoveMissingThrows) {
+  EXPECT_THROW(dit_.remove(Dn::parse("cn=ghost,o=xyz")), OperationError);
+}
+
+TEST_F(DitTest, ModifyReturnsSnapshots) {
+  const Dn dn = Dn::parse("cn=John Doe,ou=research,c=us,o=xyz");
+  const auto [before, after] =
+      dit_.modify(dn, {{Modification::Op::AddValues, "mail", {"j@x.com"}}});
+  EXPECT_FALSE(before->has_attribute("mail"));
+  EXPECT_TRUE(after->has_value("mail", "j@x.com"));
+  // Stored entry is the new snapshot; the old one is untouched (immutability).
+  EXPECT_TRUE(dit_.find(dn)->has_value("mail", "j@x.com"));
+}
+
+TEST_F(DitTest, ModifyOps) {
+  const Dn dn = Dn::parse("cn=John Doe,ou=research,c=us,o=xyz");
+  dit_.modify(dn, {{Modification::Op::Replace, "mail", {"a@x.com", "b@x.com"}}});
+  EXPECT_EQ(dit_.find(dn)->get("mail")->size(), 2u);
+  dit_.modify(dn, {{Modification::Op::DeleteValues, "mail", {"a@x.com"}}});
+  EXPECT_EQ(dit_.find(dn)->get("mail")->size(), 1u);
+  dit_.modify(dn, {{Modification::Op::DeleteValues, "mail", {}}});
+  EXPECT_FALSE(dit_.find(dn)->has_attribute("mail"));
+  EXPECT_THROW(dit_.modify(Dn::parse("cn=ghost,o=xyz"), {}), OperationError);
+}
+
+TEST_F(DitTest, ChildrenAndSubtree) {
+  EXPECT_EQ(dit_.children(Dn::parse("o=xyz")).size(), 2u);
+  EXPECT_EQ(dit_.children(Dn::parse("c=in,o=xyz")).size(), 0u);
+  EXPECT_EQ(dit_.subtree(Dn::parse("o=xyz")).size(), 5u);
+  EXPECT_EQ(dit_.subtree(Dn::parse("c=us,o=xyz")).size(), 3u);
+  // Parent-first order.
+  const auto subtree = dit_.subtree(Dn::parse("c=us,o=xyz"));
+  EXPECT_EQ(subtree.front()->dn(), Dn::parse("c=us,o=xyz"));
+}
+
+TEST_F(DitTest, ScopedSelection) {
+  EXPECT_EQ(dit_.scoped(Dn::parse("o=xyz"), ldap::Scope::Base).size(), 1u);
+  EXPECT_EQ(dit_.scoped(Dn::parse("o=xyz"), ldap::Scope::OneLevel).size(), 2u);
+  EXPECT_EQ(dit_.scoped(Dn::parse("o=xyz"), ldap::Scope::Subtree).size(), 5u);
+  EXPECT_TRUE(dit_.scoped(Dn::parse("c=uk,o=xyz"), ldap::Scope::Base).empty());
+}
+
+TEST_F(DitTest, MoveLeafRename) {
+  const auto renamed = dit_.move(Dn::parse("cn=John Doe,ou=research,c=us,o=xyz"),
+                                 Dn::parse("cn=John M Doe,ou=research,c=us,o=xyz"));
+  ASSERT_EQ(renamed.size(), 1u);
+  EXPECT_EQ(renamed[0].old_dn, Dn::parse("cn=John Doe,ou=research,c=us,o=xyz"));
+  EXPECT_EQ(renamed[0].new_dn, Dn::parse("cn=John M Doe,ou=research,c=us,o=xyz"));
+  EXPECT_TRUE(renamed[0].entry->has_value("cn", "John M Doe"));
+  EXPECT_FALSE(dit_.contains(Dn::parse("cn=John Doe,ou=research,c=us,o=xyz")));
+  EXPECT_TRUE(dit_.contains(Dn::parse("cn=John M Doe,ou=research,c=us,o=xyz")));
+}
+
+TEST_F(DitTest, MoveSubtreeToNewSuperior) {
+  const auto renamed = dit_.move(Dn::parse("ou=research,c=us,o=xyz"),
+                                 Dn::parse("ou=research,c=in,o=xyz"));
+  ASSERT_EQ(renamed.size(), 2u);
+  EXPECT_TRUE(dit_.contains(Dn::parse("cn=John Doe,ou=research,c=in,o=xyz")));
+  EXPECT_FALSE(dit_.contains(Dn::parse("ou=research,c=us,o=xyz")));
+  EXPECT_EQ(dit_.children(Dn::parse("c=us,o=xyz")).size(), 0u);
+  EXPECT_EQ(dit_.subtree(Dn::parse("c=in,o=xyz")).size(), 3u);
+}
+
+TEST_F(DitTest, MoveGuards) {
+  EXPECT_THROW(dit_.move(Dn::parse("cn=ghost,o=xyz"), Dn::parse("cn=g2,o=xyz")),
+               OperationError);
+  EXPECT_THROW(dit_.move(Dn::parse("c=us,o=xyz"), Dn::parse("c=in,o=xyz")),
+               OperationError);  // target exists
+  EXPECT_THROW(dit_.move(Dn::parse("c=us,o=xyz"),
+                         Dn::parse("c=us2,ou=missing,o=xyz")),
+               OperationError);  // new superior missing
+  EXPECT_THROW(dit_.move(Dn::parse("c=us,o=xyz"),
+                         Dn::parse("c=deep,ou=research,c=us,o=xyz")),
+               OperationError);  // under itself
+}
+
+TEST_F(DitTest, ForEachVisitsAll) {
+  std::size_t count = 0;
+  dit_.for_each([&](const EntryPtr&) { ++count; });
+  EXPECT_EQ(count, dit_.size());
+}
+
+}  // namespace
+}  // namespace fbdr::server

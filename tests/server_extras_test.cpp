@@ -1,0 +1,119 @@
+// Tests for the server-side sorting control (RFC 2891, §2.2) and LDIF bulk
+// load/dump.
+
+#include <gtest/gtest.h>
+
+#include "ldap/error.h"
+#include "server/ldif_io.h"
+#include "server/sort_control.h"
+
+namespace fbdr::server {
+namespace {
+
+using ldap::Dn;
+using ldap::EntryPtr;
+using ldap::make_entry;
+
+std::vector<EntryPtr> people() {
+  return {
+      make_entry("cn=carol,o=x", {{"sn", "Zimmer"}, {"age", "30"}}),
+      make_entry("cn=alice,o=x", {{"sn", "adams"}, {"age", "9"}}),
+      make_entry("cn=bob,o=x", {{"sn", "Baker"}}),
+      make_entry("cn=dan,o=x", {{"sn", "baker"}, {"age", "100"}}),
+  };
+}
+
+TEST(SortControl, SortsByCaseIgnoreString) {
+  auto entries = people();
+  sort_entries(entries, {"sn", false});
+  EXPECT_EQ(entries[0]->dn(), Dn::parse("cn=alice,o=x"));   // adams
+  EXPECT_EQ(entries[1]->dn(), Dn::parse("cn=bob,o=x"));     // Baker
+  EXPECT_EQ(entries[2]->dn(), Dn::parse("cn=dan,o=x"));     // baker (stable)
+  EXPECT_EQ(entries[3]->dn(), Dn::parse("cn=carol,o=x"));   // Zimmer
+}
+
+TEST(SortControl, ReverseOrder) {
+  auto entries = people();
+  sort_entries(entries, {"sn", true});
+  EXPECT_EQ(entries[0]->dn(), Dn::parse("cn=carol,o=x"));
+}
+
+TEST(SortControl, NumericOrderingRule) {
+  auto entries = people();
+  sort_entries(entries, {"age", false});
+  // 9 < 30 < 100 numerically; bob (no age) last.
+  EXPECT_EQ(entries[0]->dn(), Dn::parse("cn=alice,o=x"));
+  EXPECT_EQ(entries[1]->dn(), Dn::parse("cn=carol,o=x"));
+  EXPECT_EQ(entries[2]->dn(), Dn::parse("cn=dan,o=x"));
+  EXPECT_EQ(entries[3]->dn(), Dn::parse("cn=bob,o=x"));
+}
+
+TEST(SortControl, MissingAttributeSortsLastEvenReversed) {
+  auto entries = people();
+  sort_entries(entries, {"age", true});
+  EXPECT_EQ(entries[0]->dn(), Dn::parse("cn=dan,o=x"));  // 100
+  EXPECT_EQ(entries[3]->dn(), Dn::parse("cn=bob,o=x"));  // absent stays last
+}
+
+const char* kLdif =
+    "dn: o=x\n"
+    "objectclass: organization\n"
+    "o: x\n"
+    "\n"
+    "# a person\n"
+    "dn: cn=alice,o=x\n"
+    "objectclass: person\n"
+    "cn: alice\n"
+    "sn: Adams\n"
+    "\n"
+    "dn: cn=bob,o=x\n"
+    "objectclass: person\n"
+    "cn: bob\n";
+
+TEST(LdifIo, LoadsRecordsParentFirst) {
+  DirectoryServer server("ldap://s");
+  NamingContext context;
+  context.suffix = Dn::parse("o=x");
+  server.add_context(std::move(context));
+  EXPECT_EQ(load_ldif(server, kLdif), 3u);
+  EXPECT_EQ(server.dit().size(), 3u);
+  EXPECT_TRUE(server.dit().find(Dn::parse("cn=alice,o=x"))->has_value("sn", "adams"));
+}
+
+TEST(LdifIo, DumpThenLoadRoundTrips) {
+  DirectoryServer server("ldap://s");
+  NamingContext context;
+  context.suffix = Dn::parse("o=x");
+  server.add_context(std::move(context));
+  load_ldif(server, kLdif);
+
+  const std::string dumped = dump_ldif(server);
+  DirectoryServer clone("ldap://clone");
+  NamingContext clone_context;
+  clone_context.suffix = Dn::parse("o=x");
+  clone.add_context(std::move(clone_context));
+  EXPECT_EQ(load_ldif(clone, dumped), 3u);
+  clone.dit().for_each([&](const EntryPtr& entry) {
+    const EntryPtr original = server.dit().find(entry->dn());
+    ASSERT_NE(original, nullptr);
+    EXPECT_EQ(*original, *entry);
+  });
+}
+
+TEST(LdifIo, ChildBeforeParentThrows) {
+  DirectoryServer server("ldap://s");
+  NamingContext context;
+  context.suffix = Dn::parse("o=x");
+  server.add_context(std::move(context));
+  EXPECT_THROW(load_ldif(server, "dn: cn=orphan,ou=gone,o=x\ncn: orphan\n"),
+               ldap::OperationError);
+}
+
+TEST(LdifIo, EmptyAndCommentOnlyInputLoadsNothing) {
+  DirectoryServer server("ldap://s");
+  EXPECT_EQ(load_ldif(server, ""), 0u);
+  EXPECT_EQ(load_ldif(server, "# only a comment\n\n# another\n"), 0u);
+}
+
+}  // namespace
+}  // namespace fbdr::server

@@ -1,0 +1,128 @@
+// Property test for distributed operation processing: partition one DIT
+// across several servers by randomly chosen naming contexts (with the
+// referral objects §2.3 prescribes), then check that a DistributedClient
+// chasing referrals from ANY starting server collects exactly the entries a
+// single server holding the whole tree would return.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <random>
+
+#include "ldap/filter_parser.h"
+#include "server/distributed.h"
+
+namespace fbdr::server {
+namespace {
+
+using ldap::Dn;
+using ldap::EntryPtr;
+using ldap::Query;
+using ldap::Scope;
+
+/// Builds a three-level DIT under o=root: containers ou=0..k with children.
+std::vector<EntryPtr> build_entries(std::size_t containers,
+                                    std::size_t per_container) {
+  std::vector<EntryPtr> entries;
+  entries.push_back(ldap::make_entry("o=root", {{"objectclass", "organization"}}));
+  for (std::size_t c = 0; c < containers; ++c) {
+    const std::string ou = "ou=u" + std::to_string(c) + ",o=root";
+    entries.push_back(
+        ldap::make_entry(ou, {{"objectclass", "organizationalUnit"}}));
+    for (std::size_t i = 0; i < per_container; ++i) {
+      entries.push_back(ldap::make_entry(
+          "cn=p" + std::to_string(c) + "_" + std::to_string(i) + "," + ou,
+          {{"objectclass", "person"}, {"sn", i % 2 == 0 ? "even" : "odd"}}));
+    }
+  }
+  return entries;
+}
+
+std::vector<std::string> dns_of(const std::vector<EntryPtr>& entries) {
+  std::vector<std::string> keys;
+  for (const EntryPtr& entry : entries) keys.push_back(entry->dn().norm_key());
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+TEST(PartitionProperty, ReferralChasingEqualsSingleServerOracle) {
+  std::mt19937 rng(20050203);
+  const std::vector<EntryPtr> entries = build_entries(6, 4);
+
+  // Oracle: one server holding everything.
+  DirectoryServer oracle("ldap://oracle");
+  NamingContext whole;
+  whole.suffix = Dn::parse("o=root");
+  oracle.add_context(std::move(whole));
+  for (const EntryPtr& entry : entries) oracle.load(entry);
+
+  const std::vector<const char*> filters = {"(objectclass=*)", "(sn=even)",
+                                            "(sn=odd)", "(objectclass=person)"};
+  const std::vector<const char*> bases = {"o=root", "ou=u1,o=root",
+                                          "ou=u4,o=root"};
+
+  for (int round = 0; round < 10; ++round) {
+    // Random partition: each container subtree is cut off into its own
+    // naming context with probability 1/2; cut contexts are spread over two
+    // subordinate servers.
+    ServerMap servers;
+    auto root_server = std::make_shared<DirectoryServer>("ldap://root");
+    auto sub_a = std::make_shared<DirectoryServer>("ldap://subA");
+    auto sub_b = std::make_shared<DirectoryServer>("ldap://subB");
+    sub_a->set_default_referral("ldap://root");
+    sub_b->set_default_referral("ldap://root");
+
+    NamingContext root_context;
+    root_context.suffix = Dn::parse("o=root");
+    std::map<std::string, DirectoryServer*> owner;  // container ou -> server
+    std::uniform_int_distribution<int> coin(0, 1);
+    for (std::size_t c = 0; c < 6; ++c) {
+      const std::string ou = "ou=u" + std::to_string(c) + ",o=root";
+      if (coin(rng) == 1) {
+        DirectoryServer* sub = coin(rng) == 1 ? sub_a.get() : sub_b.get();
+        owner[Dn::parse(ou).norm_key()] = sub;
+        root_context.subordinates.push_back({Dn::parse(ou), sub->url()});
+        NamingContext sub_context;
+        sub_context.suffix = Dn::parse(ou);
+        sub->add_context(std::move(sub_context));
+      }
+    }
+    root_server->add_context(std::move(root_context));
+
+    // Distribute the entries per ownership.
+    for (const EntryPtr& entry : entries) {
+      DirectoryServer* target = root_server.get();
+      for (const auto& [key, sub] : owner) {
+        const Dn cut = Dn::parse(key);
+        if (cut.is_ancestor_or_self(entry->dn())) {
+          target = sub;
+          break;
+        }
+      }
+      target->load(entry);
+    }
+    servers.add(root_server);
+    servers.add(sub_a);
+    servers.add(sub_b);
+
+    const std::vector<const char*> starts = {"ldap://root", "ldap://subA",
+                                             "ldap://subB"};
+    for (const char* base : bases) {
+      for (const char* filter : filters) {
+        const Query query = Query::parse(base, Scope::Subtree, filter);
+        const auto expected = dns_of(oracle.search(query).entries);
+        for (const char* start : starts) {
+          DistributedClient client(servers);
+          const auto got = dns_of(client.search(start, query));
+          ASSERT_EQ(got, expected)
+              << "round " << round << " start=" << start << " base=" << base
+              << " filter=" << filter;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fbdr::server

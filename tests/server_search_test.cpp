@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "ldap/error.h"
+#include "server/directory_server.h"
+
+namespace fbdr::server {
+namespace {
+
+using ldap::Dn;
+using ldap::make_entry;
+using ldap::Query;
+using ldap::Scope;
+
+/// hostA of Figure 2: holds o=xyz with referrals to hostB (research subtree)
+/// and hostC (india subtree).
+class ServerSearchTest : public ::testing::Test {
+ protected:
+  ServerSearchTest() : server_("ldap://hostA") {
+    NamingContext context;
+    context.suffix = Dn::parse("o=xyz");
+    context.subordinates.push_back(
+        {Dn::parse("ou=research,c=us,o=xyz"), "ldap://hostB"});
+    context.subordinates.push_back({Dn::parse("c=in,o=xyz"), "ldap://hostC"});
+    server_.add_context(std::move(context));
+    server_.load(make_entry("o=xyz", {{"objectclass", "organization"}, {"o", "xyz"}}));
+    server_.load(make_entry("c=us,o=xyz", {{"objectclass", "country"}, {"c", "us"}}));
+    server_.load(make_entry("cn=Fred Jones,c=us,o=xyz",
+                            {{"objectclass", "inetOrgPerson"},
+                             {"cn", "Fred Jones"},
+                             {"mail", "fred@us.xyz.com"}}));
+  }
+
+  DirectoryServer server_;
+};
+
+TEST_F(ServerSearchTest, SubtreeSearchReturnsEntriesAndSubordinateReferrals) {
+  const SearchResult result =
+      server_.search(Query::parse("o=xyz", Scope::Subtree, "(objectclass=*)"));
+  EXPECT_TRUE(result.base_resolved);
+  EXPECT_EQ(result.entries.size(), 3u);  // the three entries hostA holds
+  ASSERT_EQ(result.referrals.size(), 2u);
+  EXPECT_EQ(result.referrals[0].url, "ldap://hostB");
+  EXPECT_EQ(result.referrals[0].base, Dn::parse("ou=research,c=us,o=xyz"));
+  EXPECT_EQ(result.referrals[1].url, "ldap://hostC");
+}
+
+TEST_F(ServerSearchTest, FilterRestrictsEntries) {
+  const SearchResult result =
+      server_.search(Query::parse("o=xyz", Scope::Subtree, "(cn=Fred Jones)"));
+  ASSERT_EQ(result.entries.size(), 1u);
+  EXPECT_EQ(result.entries[0]->dn(), Dn::parse("cn=Fred Jones,c=us,o=xyz"));
+  // Referrals are still produced: subordinate servers might hold matches.
+  EXPECT_EQ(result.referrals.size(), 2u);
+}
+
+TEST_F(ServerSearchTest, BaseScopeNoReferrals) {
+  const SearchResult result =
+      server_.search(Query::parse("o=xyz", Scope::Base, "(objectclass=*)"));
+  EXPECT_EQ(result.entries.size(), 1u);
+  EXPECT_TRUE(result.referrals.empty());
+}
+
+TEST_F(ServerSearchTest, OneLevelScope) {
+  const SearchResult result =
+      server_.search(Query::parse("o=xyz", Scope::OneLevel, "(objectclass=*)"));
+  EXPECT_EQ(result.entries.size(), 1u);  // c=us only
+  // The c=in referral object is itself a child of the base, so a BASE-scoped
+  // continuation is produced for it; the research cut-point is deeper.
+  ASSERT_EQ(result.referrals.size(), 1u);
+  EXPECT_EQ(result.referrals[0].url, "ldap://hostC");
+  EXPECT_EQ(result.referrals[0].scope, Scope::Base);
+}
+
+TEST_F(ServerSearchTest, OneLevelScopeEmitsReferralForChildCutPoint) {
+  const SearchResult deeper = server_.search(
+      Query::parse("c=us,o=xyz", Scope::OneLevel, "(objectclass=*)"));
+  ASSERT_EQ(deeper.referrals.size(), 1u);  // research is a child of c=us
+  EXPECT_EQ(deeper.referrals[0].url, "ldap://hostB");
+  EXPECT_EQ(deeper.referrals[0].scope, Scope::Base);
+}
+
+TEST_F(ServerSearchTest, UnheldBaseYieldsDefaultReferral) {
+  server_.set_default_referral("ldap://superior");
+  const SearchResult result = server_.search(
+      Query::parse("o=abc", Scope::Subtree, "(objectclass=*)"));
+  EXPECT_FALSE(result.base_resolved);
+  ASSERT_EQ(result.referrals.size(), 1u);
+  EXPECT_EQ(result.referrals[0].url, "ldap://superior");
+  EXPECT_EQ(result.referrals[0].base, Dn::parse("o=abc"));
+}
+
+TEST_F(ServerSearchTest, UnheldBaseWithoutDefaultReferralThrows) {
+  EXPECT_THROW(
+      server_.search(Query::parse("o=abc", Scope::Subtree, "(objectclass=*)")),
+      ldap::OperationError);
+}
+
+TEST_F(ServerSearchTest, BaseUnderReferralPointGetsTargetedReferral) {
+  // Name resolution passes through the research referral object, so the
+  // server points the client straight at the subordinate holding it rather
+  // than at its superior.
+  server_.set_default_referral("ldap://superior");
+  const SearchResult result = server_.search(Query::parse(
+      "cn=x,ou=research,c=us,o=xyz", Scope::Base, "(objectclass=*)"));
+  EXPECT_FALSE(result.base_resolved);
+  ASSERT_EQ(result.referrals.size(), 1u);
+  EXPECT_EQ(result.referrals[0].url, "ldap://hostB");
+  EXPECT_EQ(result.referrals[0].base,
+            Dn::parse("cn=x,ou=research,c=us,o=xyz"));
+}
+
+TEST_F(ServerSearchTest, AttributeProjection) {
+  Query q = Query::parse("o=xyz", Scope::Subtree, "(cn=Fred Jones)");
+  q.attrs = ldap::AttributeSelection::of({"mail"});
+  const SearchResult result = server_.search(q);
+  ASSERT_EQ(result.entries.size(), 1u);
+  EXPECT_TRUE(result.entries[0]->has_attribute("mail"));
+  EXPECT_FALSE(result.entries[0]->has_attribute("cn"));
+  EXPECT_EQ(result.entries[0]->dn(), Dn::parse("cn=Fred Jones,c=us,o=xyz"));
+}
+
+TEST_F(ServerSearchTest, DisconnectedContextBelowBaseContributesEntries) {
+  // A server holding a second context below the searched base returns those
+  // entries directly, without a referral.
+  NamingContext extra;
+  extra.suffix = Dn::parse("ou=labs,c=us,o=xyz");
+  server_.add_context(std::move(extra));
+  server_.load(make_entry("ou=labs,c=us,o=xyz",
+                          {{"objectclass", "organizationalUnit"}, {"ou", "labs"}}));
+  server_.load(make_entry("cn=Ada,ou=labs,c=us,o=xyz",
+                          {{"objectclass", "inetOrgPerson"}, {"cn", "Ada"}}));
+
+  const SearchResult result =
+      server_.search(Query::parse("o=xyz", Scope::Subtree, "(objectclass=*)"));
+  EXPECT_EQ(result.entries.size(), 5u);
+}
+
+TEST_F(ServerSearchTest, UpdatesAreJournaled) {
+  const auto seq1 = server_.add(
+      make_entry("cn=New,c=us,o=xyz", {{"objectclass", "person"}, {"cn", "New"}}));
+  const auto seq2 = server_.modify(
+      Dn::parse("cn=New,c=us,o=xyz"),
+      {{Modification::Op::AddValues, "mail", {"new@x.com"}}});
+  const auto seq3 = server_.modify_dn(Dn::parse("cn=New,c=us,o=xyz"),
+                                      Dn::parse("cn=Newer,c=us,o=xyz"));
+  const auto seq4 = server_.remove(Dn::parse("cn=Newer,c=us,o=xyz"));
+  EXPECT_LT(seq1, seq2);
+  EXPECT_LT(seq2, seq3);
+  EXPECT_LT(seq3, seq4);
+
+  const auto records = server_.journal().since(0);
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records[0]->type, ChangeType::Add);
+  EXPECT_EQ(records[1]->type, ChangeType::Modify);
+  ASSERT_EQ(records[1]->mods.size(), 1u);
+  EXPECT_EQ(records[1]->mods[0].attr, "mail");
+  EXPECT_EQ(records[2]->type, ChangeType::ModifyDn);
+  EXPECT_EQ(records[2]->new_dn, Dn::parse("cn=Newer,c=us,o=xyz"));
+  EXPECT_EQ(records[3]->type, ChangeType::Delete);
+  EXPECT_TRUE(records[3]->before->has_value("mail", "new@x.com"));
+}
+
+TEST_F(ServerSearchTest, JournalSinceAndTrim) {
+  server_.add(make_entry("cn=A,c=us,o=xyz", {{"cn", "A"}}));
+  server_.add(make_entry("cn=B,c=us,o=xyz", {{"cn", "B"}}));
+  server_.add(make_entry("cn=C,c=us,o=xyz", {{"cn", "C"}}));
+  EXPECT_EQ(server_.journal().since(0).size(), 3u);
+  EXPECT_EQ(server_.journal().since(2).size(), 1u);
+  EXPECT_TRUE(server_.journal().since(3).empty());
+  server_.journal().trim(2);
+  EXPECT_EQ(server_.journal().size(), 1u);
+  EXPECT_EQ(server_.journal().since(0).size(), 1u);
+  EXPECT_EQ(server_.journal().last_seq(), 3u);
+}
+
+}  // namespace
+}  // namespace fbdr::server

@@ -1,0 +1,195 @@
+#include "sync/content_tracker.h"
+
+#include <gtest/gtest.h>
+
+#include "server/directory_server.h"
+
+namespace fbdr::sync {
+namespace {
+
+using ldap::Dn;
+using ldap::make_entry;
+using ldap::Query;
+using ldap::Scope;
+using server::ChangeType;
+
+class TrackerTest : public ::testing::Test {
+ protected:
+  TrackerTest() : master_("ldap://master") {
+    NamingContextSetup();
+  }
+
+  void NamingContextSetup() {
+    server::NamingContext context;
+    context.suffix = Dn::parse("o=xyz");
+    master_.add_context(std::move(context));
+    master_.load(make_entry("o=xyz", {{"objectclass", "organization"}}));
+    master_.load(make_entry("c=us,o=xyz", {{"objectclass", "country"}}));
+    master_.load(make_entry("cn=E1,c=us,o=xyz",
+                            {{"objectclass", "person"}, {"dept", "2406"}}));
+    master_.load(make_entry("cn=E2,c=us,o=xyz",
+                            {{"objectclass", "person"}, {"dept", "2406"}}));
+    master_.load(make_entry("cn=E3,c=us,o=xyz",
+                            {{"objectclass", "person"}, {"dept", "2407"}}));
+  }
+
+  /// Applies the journal suffix to the tracker, returning all events.
+  std::vector<ContentEvent> drain(ContentTracker& tracker, std::uint64_t& seq) {
+    std::vector<ContentEvent> events;
+    for (const server::ChangeRecord* record : master_.journal().since(seq)) {
+      auto batch = tracker.on_change(*record);
+      events.insert(events.end(), batch.begin(), batch.end());
+      seq = record->seq;
+    }
+    return events;
+  }
+
+  server::DirectoryServer master_;
+};
+
+TEST_F(TrackerTest, InitializeEvaluatesQuery) {
+  ContentTracker tracker(Query::parse("o=xyz", Scope::Subtree, "(dept=2406)"));
+  tracker.initialize(master_.dit());
+  EXPECT_EQ(tracker.content_size(), 2u);
+  EXPECT_TRUE(tracker.in_content(Dn::parse("cn=E1,c=us,o=xyz")));
+  EXPECT_FALSE(tracker.in_content(Dn::parse("cn=E3,c=us,o=xyz")));
+}
+
+TEST_F(TrackerTest, RegionScoping) {
+  ContentTracker base_scope(Query::parse("c=us,o=xyz", Scope::Base, "(objectclass=*)"));
+  base_scope.initialize(master_.dit());
+  EXPECT_EQ(base_scope.content_size(), 1u);
+
+  ContentTracker one_level(
+      Query::parse("c=us,o=xyz", Scope::OneLevel, "(objectclass=*)"));
+  one_level.initialize(master_.dit());
+  EXPECT_EQ(one_level.content_size(), 3u);  // E1, E2, E3
+
+  ContentTracker subtree(Query::parse("c=us,o=xyz", Scope::Subtree, "(objectclass=*)"));
+  subtree.initialize(master_.dit());
+  EXPECT_EQ(subtree.content_size(), 4u);  // c=us + E1..E3
+}
+
+TEST_F(TrackerTest, AddEnteringContent) {
+  ContentTracker tracker(Query::parse("o=xyz", Scope::Subtree, "(dept=2406)"));
+  tracker.initialize(master_.dit());
+  std::uint64_t seq = master_.journal().last_seq();
+
+  master_.add(make_entry("cn=E4,c=us,o=xyz",
+                         {{"objectclass", "person"}, {"dept", "2406"}}));
+  const auto events = drain(tracker, seq);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].transition, Transition::Enter);
+  EXPECT_EQ(events[0].dn, Dn::parse("cn=E4,c=us,o=xyz"));
+  ASSERT_NE(events[0].entry, nullptr);
+  EXPECT_EQ(tracker.content_size(), 3u);
+}
+
+TEST_F(TrackerTest, AddOutsideContentIgnored) {
+  ContentTracker tracker(Query::parse("o=xyz", Scope::Subtree, "(dept=2406)"));
+  tracker.initialize(master_.dit());
+  std::uint64_t seq = master_.journal().last_seq();
+  master_.add(make_entry("cn=E5,c=us,o=xyz",
+                         {{"objectclass", "person"}, {"dept", "9999"}}));
+  EXPECT_TRUE(drain(tracker, seq).empty());
+}
+
+TEST_F(TrackerTest, DeleteLeavingContent) {
+  ContentTracker tracker(Query::parse("o=xyz", Scope::Subtree, "(dept=2406)"));
+  tracker.initialize(master_.dit());
+  std::uint64_t seq = master_.journal().last_seq();
+  master_.remove(Dn::parse("cn=E1,c=us,o=xyz"));
+  const auto events = drain(tracker, seq);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].transition, Transition::Leave);
+  EXPECT_EQ(events[0].entry, nullptr);
+  EXPECT_EQ(tracker.content_size(), 1u);
+}
+
+TEST_F(TrackerTest, DeleteOutsideContentIgnored) {
+  ContentTracker tracker(Query::parse("o=xyz", Scope::Subtree, "(dept=2406)"));
+  tracker.initialize(master_.dit());
+  std::uint64_t seq = master_.journal().last_seq();
+  master_.remove(Dn::parse("cn=E3,c=us,o=xyz"));
+  EXPECT_TRUE(drain(tracker, seq).empty());
+}
+
+TEST_F(TrackerTest, ModifyTransitions) {
+  ContentTracker tracker(Query::parse("o=xyz", Scope::Subtree, "(dept=2406)"));
+  tracker.initialize(master_.dit());
+  std::uint64_t seq = master_.journal().last_seq();
+
+  // in -> in (E11)
+  master_.modify(Dn::parse("cn=E1,c=us,o=xyz"),
+                 {{server::Modification::Op::AddValues, "mail", {"e1@x.com"}}});
+  auto events = drain(tracker, seq);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].transition, Transition::Update);
+
+  // in -> out (E10)
+  master_.modify(Dn::parse("cn=E1,c=us,o=xyz"),
+                 {{server::Modification::Op::Replace, "dept", {"1111"}}});
+  events = drain(tracker, seq);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].transition, Transition::Leave);
+
+  // out -> in (E01)
+  master_.modify(Dn::parse("cn=E3,c=us,o=xyz"),
+                 {{server::Modification::Op::Replace, "dept", {"2406"}}});
+  events = drain(tracker, seq);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].transition, Transition::Enter);
+
+  // out -> out: nothing
+  master_.modify(Dn::parse("cn=E1,c=us,o=xyz"),
+                 {{server::Modification::Op::Replace, "dept", {"2222"}}});
+  EXPECT_TRUE(drain(tracker, seq).empty());
+}
+
+TEST_F(TrackerTest, RenameInsideContentIsLeavePlusEnter) {
+  // Figure 3: a modify DN of an in-content entry is a delete action for the
+  // old DN (E3) followed by an add action for the new DN (E5).
+  ContentTracker tracker(Query::parse("o=xyz", Scope::Subtree, "(dept=2406)"));
+  tracker.initialize(master_.dit());
+  std::uint64_t seq = master_.journal().last_seq();
+
+  master_.modify_dn(Dn::parse("cn=E1,c=us,o=xyz"), Dn::parse("cn=E1R,c=us,o=xyz"));
+  const auto events = drain(tracker, seq);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].transition, Transition::Leave);
+  EXPECT_EQ(events[0].dn, Dn::parse("cn=E1,c=us,o=xyz"));
+  EXPECT_EQ(events[1].transition, Transition::Enter);
+  EXPECT_EQ(events[1].dn, Dn::parse("cn=E1R,c=us,o=xyz"));
+  EXPECT_EQ(tracker.content_size(), 2u);
+}
+
+TEST_F(TrackerTest, RenameOutOfRegionIsLeaveOnly) {
+  ContentTracker tracker(
+      Query::parse("c=us,o=xyz", Scope::OneLevel, "(dept=2406)"));
+  tracker.initialize(master_.dit());
+  std::uint64_t seq = master_.journal().last_seq();
+
+  // Move E1 deeper: no longer a child of c=us.
+  master_.add(make_entry("ou=sub,c=us,o=xyz", {{"objectclass", "organizationalUnit"}}));
+  master_.modify_dn(Dn::parse("cn=E1,c=us,o=xyz"),
+                    Dn::parse("cn=E1,ou=sub,c=us,o=xyz"));
+  const auto events = drain(tracker, seq);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].transition, Transition::Leave);
+}
+
+TEST_F(TrackerTest, MatchesQueryChecksRegionAndFilter) {
+  ContentTracker tracker(Query::parse("c=us,o=xyz", Scope::Subtree, "(dept=2406)"));
+  const auto in_region_matching = make_entry(
+      "cn=X,c=us,o=xyz", {{"objectclass", "person"}, {"dept", "2406"}});
+  const auto in_region_not_matching =
+      make_entry("cn=Y,c=us,o=xyz", {{"objectclass", "person"}, {"dept", "1"}});
+  const auto out_of_region = make_entry(
+      "cn=Z,c=in,o=xyz", {{"objectclass", "person"}, {"dept", "2406"}});
+  EXPECT_TRUE(tracker.matches_query(*in_region_matching));
+  EXPECT_FALSE(tracker.matches_query(*in_region_not_matching));
+  EXPECT_FALSE(tracker.matches_query(*out_of_region));
+}
+
+}  // namespace
+}  // namespace fbdr::sync

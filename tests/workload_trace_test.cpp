@@ -1,0 +1,76 @@
+// Tests for trace record/replay and the directory server compare operation.
+
+#include <gtest/gtest.h>
+
+#include "ldap/error.h"
+#include "server/directory_server.h"
+#include "workload/directory_gen.h"
+#include "workload/trace.h"
+
+namespace fbdr::workload {
+namespace {
+
+using ldap::Dn;
+
+TEST(Trace, RoundTripPreservesQueries) {
+  DirectoryConfig config;
+  config.employees = 500;
+  config.countries = 4;
+  config.divisions = 6;
+  config.depts_per_division = 5;
+  config.locations = 8;
+  const EnterpriseDirectory dir = generate_directory(config);
+  WorkloadGenerator generator(dir, {});
+  const auto original = generator.generate(200);
+
+  const std::string text = trace_to_text(original);
+  const auto replayed = trace_from_text(text);
+  ASSERT_EQ(replayed.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(replayed[i].type, original[i].type);
+    EXPECT_EQ(replayed[i].query.key(), original[i].query.key());
+  }
+}
+
+TEST(Trace, NullBaseSerializesAsDash) {
+  GeneratedQuery generated;
+  generated.type = QueryType::Mail;
+  generated.query = ldap::Query::parse("", ldap::Scope::Subtree, "(mail=a b@x.c)");
+  const std::string text = trace_to_text({generated});
+  EXPECT_NE(text.find("\t-\t"), std::string::npos);
+  const auto replayed = trace_from_text(text);
+  ASSERT_EQ(replayed.size(), 1u);
+  EXPECT_TRUE(replayed[0].query.base.is_root());
+  EXPECT_EQ(replayed[0].query.filter->to_string(), "(mail=a b@x.c)");
+}
+
+TEST(Trace, CommentsAndBlankLinesSkipped) {
+  EXPECT_TRUE(trace_from_text("# header\n\n").empty());
+}
+
+TEST(Trace, MalformedLinesThrow) {
+  EXPECT_THROW(trace_from_text("serialNumber\tsub\t-\n"), ldap::ParseError);
+  EXPECT_THROW(trace_from_text("bogusType\tsub\t-\t(a=1)\n"), ldap::ParseError);
+  EXPECT_THROW(trace_from_text("mail\tnoscope\t-\t(a=1)\n"), ldap::ParseError);
+}
+
+TEST(Compare, ChecksValueUnderMatchingRule) {
+  server::DirectoryServer server("ldap://s");
+  server::NamingContext context;
+  context.suffix = Dn::parse("o=x");
+  server.add_context(std::move(context));
+  server.load(ldap::make_entry(
+      "o=x", {{"objectclass", "organization"}}));
+  server.load(ldap::make_entry(
+      "cn=a,o=x", {{"objectclass", "person"}, {"mail", "A@X.COM"}, {"age", "030"}}));
+
+  EXPECT_TRUE(server.compare(Dn::parse("cn=a,o=x"), "mail", "a@x.com"));
+  EXPECT_FALSE(server.compare(Dn::parse("cn=a,o=x"), "mail", "b@x.com"));
+  EXPECT_TRUE(server.compare(Dn::parse("cn=a,o=x"), "age", "30"));  // integer
+  EXPECT_FALSE(server.compare(Dn::parse("cn=a,o=x"), "sn", "missing"));
+  EXPECT_THROW(server.compare(Dn::parse("cn=ghost,o=x"), "mail", "x"),
+               ldap::OperationError);
+}
+
+}  // namespace
+}  // namespace fbdr::workload
