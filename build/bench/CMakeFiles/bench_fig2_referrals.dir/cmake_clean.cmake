@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_referrals.dir/bench_fig2_referrals.cpp.o"
+  "CMakeFiles/bench_fig2_referrals.dir/bench_fig2_referrals.cpp.o.d"
+  "bench_fig2_referrals"
+  "bench_fig2_referrals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_referrals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_hitratio_dept.dir/bench_fig5_hitratio_dept.cpp.o"
+  "CMakeFiles/bench_fig5_hitratio_dept.dir/bench_fig5_hitratio_dept.cpp.o.d"
+  "bench_fig5_hitratio_dept"
+  "bench_fig5_hitratio_dept.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_hitratio_dept.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_traffic_dept.dir/bench_fig7_traffic_dept.cpp.o"
+  "CMakeFiles/bench_fig7_traffic_dept.dir/bench_fig7_traffic_dept.cpp.o.d"
+  "bench_fig7_traffic_dept"
+  "bench_fig7_traffic_dept.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_traffic_dept.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

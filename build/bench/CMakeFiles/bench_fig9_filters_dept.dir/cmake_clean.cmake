@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_filters_dept.dir/bench_fig9_filters_dept.cpp.o"
+  "CMakeFiles/bench_fig9_filters_dept.dir/bench_fig9_filters_dept.cpp.o.d"
+  "bench_fig9_filters_dept"
+  "bench_fig9_filters_dept.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_filters_dept.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

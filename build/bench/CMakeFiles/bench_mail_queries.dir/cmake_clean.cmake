@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mail_queries.dir/bench_mail_queries.cpp.o"
+  "CMakeFiles/bench_mail_queries.dir/bench_mail_queries.cpp.o.d"
+  "bench_mail_queries"
+  "bench_mail_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mail_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_resync_modes.dir/bench_resync_modes.cpp.o"
+  "CMakeFiles/bench_resync_modes.dir/bench_resync_modes.cpp.o.d"
+  "bench_resync_modes"
+  "bench_resync_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_resync_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

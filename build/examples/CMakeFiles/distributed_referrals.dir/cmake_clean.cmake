@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_referrals.dir/distributed_referrals.cpp.o"
+  "CMakeFiles/distributed_referrals.dir/distributed_referrals.cpp.o.d"
+  "distributed_referrals"
+  "distributed_referrals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_referrals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/enterprise_replica.dir/enterprise_replica.cpp.o"
+  "CMakeFiles/enterprise_replica.dir/enterprise_replica.cpp.o.d"
+  "enterprise_replica"
+  "enterprise_replica.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/enterprise_replica.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

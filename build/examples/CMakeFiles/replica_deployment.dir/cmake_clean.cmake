@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replica_deployment.dir/replica_deployment.cpp.o"
+  "CMakeFiles/replica_deployment.dir/replica_deployment.cpp.o.d"
+  "replica_deployment"
+  "replica_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replica_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resync_session.dir/resync_session.cpp.o"
+  "CMakeFiles/resync_session.dir/resync_session.cpp.o.d"
+  "resync_session"
+  "resync_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resync_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

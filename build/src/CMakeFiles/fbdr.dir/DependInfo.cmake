@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/containment/compiled.cpp" "src/CMakeFiles/fbdr.dir/containment/compiled.cpp.o" "gcc" "src/CMakeFiles/fbdr.dir/containment/compiled.cpp.o.d"
+  "/root/repo/src/containment/dnf.cpp" "src/CMakeFiles/fbdr.dir/containment/dnf.cpp.o" "gcc" "src/CMakeFiles/fbdr.dir/containment/dnf.cpp.o.d"
+  "/root/repo/src/containment/engine.cpp" "src/CMakeFiles/fbdr.dir/containment/engine.cpp.o" "gcc" "src/CMakeFiles/fbdr.dir/containment/engine.cpp.o.d"
+  "/root/repo/src/containment/filter_containment.cpp" "src/CMakeFiles/fbdr.dir/containment/filter_containment.cpp.o" "gcc" "src/CMakeFiles/fbdr.dir/containment/filter_containment.cpp.o.d"
+  "/root/repo/src/containment/pattern.cpp" "src/CMakeFiles/fbdr.dir/containment/pattern.cpp.o" "gcc" "src/CMakeFiles/fbdr.dir/containment/pattern.cpp.o.d"
+  "/root/repo/src/containment/query_containment.cpp" "src/CMakeFiles/fbdr.dir/containment/query_containment.cpp.o" "gcc" "src/CMakeFiles/fbdr.dir/containment/query_containment.cpp.o.d"
+  "/root/repo/src/containment/subtree.cpp" "src/CMakeFiles/fbdr.dir/containment/subtree.cpp.o" "gcc" "src/CMakeFiles/fbdr.dir/containment/subtree.cpp.o.d"
+  "/root/repo/src/containment/value_range.cpp" "src/CMakeFiles/fbdr.dir/containment/value_range.cpp.o" "gcc" "src/CMakeFiles/fbdr.dir/containment/value_range.cpp.o.d"
+  "/root/repo/src/core/replication_service.cpp" "src/CMakeFiles/fbdr.dir/core/replication_service.cpp.o" "gcc" "src/CMakeFiles/fbdr.dir/core/replication_service.cpp.o.d"
+  "/root/repo/src/ldap/dn.cpp" "src/CMakeFiles/fbdr.dir/ldap/dn.cpp.o" "gcc" "src/CMakeFiles/fbdr.dir/ldap/dn.cpp.o.d"
+  "/root/repo/src/ldap/entry.cpp" "src/CMakeFiles/fbdr.dir/ldap/entry.cpp.o" "gcc" "src/CMakeFiles/fbdr.dir/ldap/entry.cpp.o.d"
+  "/root/repo/src/ldap/error.cpp" "src/CMakeFiles/fbdr.dir/ldap/error.cpp.o" "gcc" "src/CMakeFiles/fbdr.dir/ldap/error.cpp.o.d"
+  "/root/repo/src/ldap/filter.cpp" "src/CMakeFiles/fbdr.dir/ldap/filter.cpp.o" "gcc" "src/CMakeFiles/fbdr.dir/ldap/filter.cpp.o.d"
+  "/root/repo/src/ldap/filter_eval.cpp" "src/CMakeFiles/fbdr.dir/ldap/filter_eval.cpp.o" "gcc" "src/CMakeFiles/fbdr.dir/ldap/filter_eval.cpp.o.d"
+  "/root/repo/src/ldap/filter_parser.cpp" "src/CMakeFiles/fbdr.dir/ldap/filter_parser.cpp.o" "gcc" "src/CMakeFiles/fbdr.dir/ldap/filter_parser.cpp.o.d"
+  "/root/repo/src/ldap/filter_simplify.cpp" "src/CMakeFiles/fbdr.dir/ldap/filter_simplify.cpp.o" "gcc" "src/CMakeFiles/fbdr.dir/ldap/filter_simplify.cpp.o.d"
+  "/root/repo/src/ldap/ldif.cpp" "src/CMakeFiles/fbdr.dir/ldap/ldif.cpp.o" "gcc" "src/CMakeFiles/fbdr.dir/ldap/ldif.cpp.o.d"
+  "/root/repo/src/ldap/query.cpp" "src/CMakeFiles/fbdr.dir/ldap/query.cpp.o" "gcc" "src/CMakeFiles/fbdr.dir/ldap/query.cpp.o.d"
+  "/root/repo/src/ldap/query_template.cpp" "src/CMakeFiles/fbdr.dir/ldap/query_template.cpp.o" "gcc" "src/CMakeFiles/fbdr.dir/ldap/query_template.cpp.o.d"
+  "/root/repo/src/ldap/schema.cpp" "src/CMakeFiles/fbdr.dir/ldap/schema.cpp.o" "gcc" "src/CMakeFiles/fbdr.dir/ldap/schema.cpp.o.d"
+  "/root/repo/src/net/stats.cpp" "src/CMakeFiles/fbdr.dir/net/stats.cpp.o" "gcc" "src/CMakeFiles/fbdr.dir/net/stats.cpp.o.d"
+  "/root/repo/src/replica/filter_replica.cpp" "src/CMakeFiles/fbdr.dir/replica/filter_replica.cpp.o" "gcc" "src/CMakeFiles/fbdr.dir/replica/filter_replica.cpp.o.d"
+  "/root/repo/src/replica/subtree_replica.cpp" "src/CMakeFiles/fbdr.dir/replica/subtree_replica.cpp.o" "gcc" "src/CMakeFiles/fbdr.dir/replica/subtree_replica.cpp.o.d"
+  "/root/repo/src/resync/master.cpp" "src/CMakeFiles/fbdr.dir/resync/master.cpp.o" "gcc" "src/CMakeFiles/fbdr.dir/resync/master.cpp.o.d"
+  "/root/repo/src/resync/protocol.cpp" "src/CMakeFiles/fbdr.dir/resync/protocol.cpp.o" "gcc" "src/CMakeFiles/fbdr.dir/resync/protocol.cpp.o.d"
+  "/root/repo/src/resync/replica_client.cpp" "src/CMakeFiles/fbdr.dir/resync/replica_client.cpp.o" "gcc" "src/CMakeFiles/fbdr.dir/resync/replica_client.cpp.o.d"
+  "/root/repo/src/select/evolution.cpp" "src/CMakeFiles/fbdr.dir/select/evolution.cpp.o" "gcc" "src/CMakeFiles/fbdr.dir/select/evolution.cpp.o.d"
+  "/root/repo/src/select/generalize.cpp" "src/CMakeFiles/fbdr.dir/select/generalize.cpp.o" "gcc" "src/CMakeFiles/fbdr.dir/select/generalize.cpp.o.d"
+  "/root/repo/src/select/selector.cpp" "src/CMakeFiles/fbdr.dir/select/selector.cpp.o" "gcc" "src/CMakeFiles/fbdr.dir/select/selector.cpp.o.d"
+  "/root/repo/src/server/change.cpp" "src/CMakeFiles/fbdr.dir/server/change.cpp.o" "gcc" "src/CMakeFiles/fbdr.dir/server/change.cpp.o.d"
+  "/root/repo/src/server/directory_server.cpp" "src/CMakeFiles/fbdr.dir/server/directory_server.cpp.o" "gcc" "src/CMakeFiles/fbdr.dir/server/directory_server.cpp.o.d"
+  "/root/repo/src/server/distributed.cpp" "src/CMakeFiles/fbdr.dir/server/distributed.cpp.o" "gcc" "src/CMakeFiles/fbdr.dir/server/distributed.cpp.o.d"
+  "/root/repo/src/server/dit.cpp" "src/CMakeFiles/fbdr.dir/server/dit.cpp.o" "gcc" "src/CMakeFiles/fbdr.dir/server/dit.cpp.o.d"
+  "/root/repo/src/server/ldif_io.cpp" "src/CMakeFiles/fbdr.dir/server/ldif_io.cpp.o" "gcc" "src/CMakeFiles/fbdr.dir/server/ldif_io.cpp.o.d"
+  "/root/repo/src/server/sort_control.cpp" "src/CMakeFiles/fbdr.dir/server/sort_control.cpp.o" "gcc" "src/CMakeFiles/fbdr.dir/server/sort_control.cpp.o.d"
+  "/root/repo/src/sync/baseline_backends.cpp" "src/CMakeFiles/fbdr.dir/sync/baseline_backends.cpp.o" "gcc" "src/CMakeFiles/fbdr.dir/sync/baseline_backends.cpp.o.d"
+  "/root/repo/src/sync/content_tracker.cpp" "src/CMakeFiles/fbdr.dir/sync/content_tracker.cpp.o" "gcc" "src/CMakeFiles/fbdr.dir/sync/content_tracker.cpp.o.d"
+  "/root/repo/src/sync/query_session.cpp" "src/CMakeFiles/fbdr.dir/sync/query_session.cpp.o" "gcc" "src/CMakeFiles/fbdr.dir/sync/query_session.cpp.o.d"
+  "/root/repo/src/sync/replica_content.cpp" "src/CMakeFiles/fbdr.dir/sync/replica_content.cpp.o" "gcc" "src/CMakeFiles/fbdr.dir/sync/replica_content.cpp.o.d"
+  "/root/repo/src/sync/session_history_backend.cpp" "src/CMakeFiles/fbdr.dir/sync/session_history_backend.cpp.o" "gcc" "src/CMakeFiles/fbdr.dir/sync/session_history_backend.cpp.o.d"
+  "/root/repo/src/sync/update_batch.cpp" "src/CMakeFiles/fbdr.dir/sync/update_batch.cpp.o" "gcc" "src/CMakeFiles/fbdr.dir/sync/update_batch.cpp.o.d"
+  "/root/repo/src/workload/directory_gen.cpp" "src/CMakeFiles/fbdr.dir/workload/directory_gen.cpp.o" "gcc" "src/CMakeFiles/fbdr.dir/workload/directory_gen.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/CMakeFiles/fbdr.dir/workload/trace.cpp.o" "gcc" "src/CMakeFiles/fbdr.dir/workload/trace.cpp.o.d"
+  "/root/repo/src/workload/update_gen.cpp" "src/CMakeFiles/fbdr.dir/workload/update_gen.cpp.o" "gcc" "src/CMakeFiles/fbdr.dir/workload/update_gen.cpp.o.d"
+  "/root/repo/src/workload/workload_gen.cpp" "src/CMakeFiles/fbdr.dir/workload/workload_gen.cpp.o" "gcc" "src/CMakeFiles/fbdr.dir/workload/workload_gen.cpp.o.d"
+  "/root/repo/src/workload/zipf.cpp" "src/CMakeFiles/fbdr.dir/workload/zipf.cpp.o" "gcc" "src/CMakeFiles/fbdr.dir/workload/zipf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/containment_compiled_test.dir/containment_compiled_test.cpp.o"
+  "CMakeFiles/containment_compiled_test.dir/containment_compiled_test.cpp.o.d"
+  "containment_compiled_test"
+  "containment_compiled_test.pdb"
+  "containment_compiled_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/containment_compiled_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

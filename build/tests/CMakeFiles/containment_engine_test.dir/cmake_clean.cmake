@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/containment_engine_test.dir/containment_engine_test.cpp.o"
+  "CMakeFiles/containment_engine_test.dir/containment_engine_test.cpp.o.d"
+  "containment_engine_test"
+  "containment_engine_test.pdb"
+  "containment_engine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/containment_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

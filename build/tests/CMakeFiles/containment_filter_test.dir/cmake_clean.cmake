@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/containment_filter_test.dir/containment_filter_test.cpp.o"
+  "CMakeFiles/containment_filter_test.dir/containment_filter_test.cpp.o.d"
+  "containment_filter_test"
+  "containment_filter_test.pdb"
+  "containment_filter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/containment_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

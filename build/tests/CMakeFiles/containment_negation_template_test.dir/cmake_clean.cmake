@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/containment_negation_template_test.dir/containment_negation_template_test.cpp.o"
+  "CMakeFiles/containment_negation_template_test.dir/containment_negation_template_test.cpp.o.d"
+  "containment_negation_template_test"
+  "containment_negation_template_test.pdb"
+  "containment_negation_template_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/containment_negation_template_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

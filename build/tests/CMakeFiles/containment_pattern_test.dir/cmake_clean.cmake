@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/containment_pattern_test.dir/containment_pattern_test.cpp.o"
+  "CMakeFiles/containment_pattern_test.dir/containment_pattern_test.cpp.o.d"
+  "containment_pattern_test"
+  "containment_pattern_test.pdb"
+  "containment_pattern_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/containment_pattern_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/containment_query_test.dir/containment_query_test.cpp.o"
+  "CMakeFiles/containment_query_test.dir/containment_query_test.cpp.o.d"
+  "containment_query_test"
+  "containment_query_test.pdb"
+  "containment_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/containment_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/containment_range_test.dir/containment_range_test.cpp.o"
+  "CMakeFiles/containment_range_test.dir/containment_range_test.cpp.o.d"
+  "containment_range_test"
+  "containment_range_test.pdb"
+  "containment_range_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/containment_range_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/containment_subtree_test.dir/containment_subtree_test.cpp.o"
+  "CMakeFiles/containment_subtree_test.dir/containment_subtree_test.cpp.o.d"
+  "containment_subtree_test"
+  "containment_subtree_test.pdb"
+  "containment_subtree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/containment_subtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_deployment_test.dir/integration_deployment_test.cpp.o"
+  "CMakeFiles/integration_deployment_test.dir/integration_deployment_test.cpp.o.d"
+  "integration_deployment_test"
+  "integration_deployment_test.pdb"
+  "integration_deployment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_deployment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldap_dn_test.dir/ldap_dn_test.cpp.o"
+  "CMakeFiles/ldap_dn_test.dir/ldap_dn_test.cpp.o.d"
+  "ldap_dn_test"
+  "ldap_dn_test.pdb"
+  "ldap_dn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldap_dn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

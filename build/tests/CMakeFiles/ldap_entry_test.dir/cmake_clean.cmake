@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldap_entry_test.dir/ldap_entry_test.cpp.o"
+  "CMakeFiles/ldap_entry_test.dir/ldap_entry_test.cpp.o.d"
+  "ldap_entry_test"
+  "ldap_entry_test.pdb"
+  "ldap_entry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldap_entry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldap_filter_eval_test.dir/ldap_filter_eval_test.cpp.o"
+  "CMakeFiles/ldap_filter_eval_test.dir/ldap_filter_eval_test.cpp.o.d"
+  "ldap_filter_eval_test"
+  "ldap_filter_eval_test.pdb"
+  "ldap_filter_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldap_filter_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

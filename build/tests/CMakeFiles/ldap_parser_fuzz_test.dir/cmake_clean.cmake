@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldap_parser_fuzz_test.dir/ldap_parser_fuzz_test.cpp.o"
+  "CMakeFiles/ldap_parser_fuzz_test.dir/ldap_parser_fuzz_test.cpp.o.d"
+  "ldap_parser_fuzz_test"
+  "ldap_parser_fuzz_test.pdb"
+  "ldap_parser_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldap_parser_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

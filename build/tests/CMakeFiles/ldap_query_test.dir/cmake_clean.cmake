@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldap_query_test.dir/ldap_query_test.cpp.o"
+  "CMakeFiles/ldap_query_test.dir/ldap_query_test.cpp.o.d"
+  "ldap_query_test"
+  "ldap_query_test.pdb"
+  "ldap_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldap_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

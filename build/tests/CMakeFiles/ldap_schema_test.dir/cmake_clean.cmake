@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldap_schema_test.dir/ldap_schema_test.cpp.o"
+  "CMakeFiles/ldap_schema_test.dir/ldap_schema_test.cpp.o.d"
+  "ldap_schema_test"
+  "ldap_schema_test.pdb"
+  "ldap_schema_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldap_schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldap_simplify_test.dir/ldap_simplify_test.cpp.o"
+  "CMakeFiles/ldap_simplify_test.dir/ldap_simplify_test.cpp.o.d"
+  "ldap_simplify_test"
+  "ldap_simplify_test.pdb"
+  "ldap_simplify_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldap_simplify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldap_template_test.dir/ldap_template_test.cpp.o"
+  "CMakeFiles/ldap_template_test.dir/ldap_template_test.cpp.o.d"
+  "ldap_template_test"
+  "ldap_template_test.pdb"
+  "ldap_template_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldap_template_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

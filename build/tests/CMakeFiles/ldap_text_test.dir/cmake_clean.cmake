@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldap_text_test.dir/ldap_text_test.cpp.o"
+  "CMakeFiles/ldap_text_test.dir/ldap_text_test.cpp.o.d"
+  "ldap_text_test"
+  "ldap_text_test.pdb"
+  "ldap_text_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldap_text_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replica_answer_test.dir/replica_answer_test.cpp.o"
+  "CMakeFiles/replica_answer_test.dir/replica_answer_test.cpp.o.d"
+  "replica_answer_test"
+  "replica_answer_test.pdb"
+  "replica_answer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replica_answer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

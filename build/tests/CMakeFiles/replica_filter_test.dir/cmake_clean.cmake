@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replica_filter_test.dir/replica_filter_test.cpp.o"
+  "CMakeFiles/replica_filter_test.dir/replica_filter_test.cpp.o.d"
+  "replica_filter_test"
+  "replica_filter_test.pdb"
+  "replica_filter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replica_filter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

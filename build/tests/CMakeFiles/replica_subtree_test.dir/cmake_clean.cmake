@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replica_subtree_test.dir/replica_subtree_test.cpp.o"
+  "CMakeFiles/replica_subtree_test.dir/replica_subtree_test.cpp.o.d"
+  "replica_subtree_test"
+  "replica_subtree_test.pdb"
+  "replica_subtree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replica_subtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resync_protocol_test.dir/resync_protocol_test.cpp.o"
+  "CMakeFiles/resync_protocol_test.dir/resync_protocol_test.cpp.o.d"
+  "resync_protocol_test"
+  "resync_protocol_test.pdb"
+  "resync_protocol_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resync_protocol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

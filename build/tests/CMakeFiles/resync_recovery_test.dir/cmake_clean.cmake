@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/resync_recovery_test.dir/resync_recovery_test.cpp.o"
+  "CMakeFiles/resync_recovery_test.dir/resync_recovery_test.cpp.o.d"
+  "resync_recovery_test"
+  "resync_recovery_test.pdb"
+  "resync_recovery_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/resync_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

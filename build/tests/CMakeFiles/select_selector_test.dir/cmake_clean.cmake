@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/select_selector_test.dir/select_selector_test.cpp.o"
+  "CMakeFiles/select_selector_test.dir/select_selector_test.cpp.o.d"
+  "select_selector_test"
+  "select_selector_test.pdb"
+  "select_selector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/select_selector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

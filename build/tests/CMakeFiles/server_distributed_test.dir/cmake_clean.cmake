@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_distributed_test.dir/server_distributed_test.cpp.o"
+  "CMakeFiles/server_distributed_test.dir/server_distributed_test.cpp.o.d"
+  "server_distributed_test"
+  "server_distributed_test.pdb"
+  "server_distributed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_distributed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_dit_test.dir/server_dit_test.cpp.o"
+  "CMakeFiles/server_dit_test.dir/server_dit_test.cpp.o.d"
+  "server_dit_test"
+  "server_dit_test.pdb"
+  "server_dit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_dit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

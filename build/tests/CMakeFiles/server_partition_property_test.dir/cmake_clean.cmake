@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_partition_property_test.dir/server_partition_property_test.cpp.o"
+  "CMakeFiles/server_partition_property_test.dir/server_partition_property_test.cpp.o.d"
+  "server_partition_property_test"
+  "server_partition_property_test.pdb"
+  "server_partition_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_partition_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_search_test.dir/server_search_test.cpp.o"
+  "CMakeFiles/server_search_test.dir/server_search_test.cpp.o.d"
+  "server_search_test"
+  "server_search_test.pdb"
+  "server_search_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_search_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_backends_test.dir/sync_backends_test.cpp.o"
+  "CMakeFiles/sync_backends_test.dir/sync_backends_test.cpp.o.d"
+  "sync_backends_test"
+  "sync_backends_test.pdb"
+  "sync_backends_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_backends_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

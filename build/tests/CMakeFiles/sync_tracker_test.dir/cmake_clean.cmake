@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync_tracker_test.dir/sync_tracker_test.cpp.o"
+  "CMakeFiles/sync_tracker_test.dir/sync_tracker_test.cpp.o.d"
+  "sync_tracker_test"
+  "sync_tracker_test.pdb"
+  "sync_tracker_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync_tracker_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

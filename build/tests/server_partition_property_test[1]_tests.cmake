@@ -1,0 +1,3 @@
+add_test([=[PartitionProperty.ReferralChasingEqualsSingleServerOracle]=]  /root/repo/build/tests/server_partition_property_test [==[--gtest_filter=PartitionProperty.ReferralChasingEqualsSingleServerOracle]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[PartitionProperty.ReferralChasingEqualsSingleServerOracle]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  server_partition_property_test_TESTS PartitionProperty.ReferralChasingEqualsSingleServerOracle)
