@@ -87,7 +87,8 @@ int main() {
   master->modify_dn(Dn::parse("cn=E3,o=xyz"), Dn::parse("cn=E5,o=xyz"));
   resync.pump();
 
-  const auto third = resync.handle(s, {resync::Mode::Persist, cookie});
+  // Each poll returned a fresh resumption cookie (Fig. 3's cookie1).
+  const auto third = resync.handle(s, {resync::Mode::Persist, second.cookie});
   print_response("S, (persist, cookie1)", third);
 
   // --- a pushed notification on the persistent connection ---

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 gate: the plain build + full test suite, then an ASan/UBSan build
+# running the chaos/soak test (the faulty-transport paths are where memory
+# bugs would hide — duplicated in-flight requests, replay caches, session
+# teardown on master reset).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier 1: build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j"$(nproc)"
+ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+echo "== tier 1: sanitizer chaos run (ASan + UBSan) =="
+cmake -B build-asan -S . -DFBDR_SANITIZE=ON -DFBDR_BUILD_BENCHMARKS=OFF \
+      -DFBDR_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build build-asan -j"$(nproc)" --target resync_chaos_test \
+      resync_recovery_test resync_protocol_test
+ctest --test-dir build-asan --output-on-failure -j"$(nproc)" \
+      -R 'ReSyncChaos|ServiceDegradation|Recovery|ReSync'
+
+echo "tier 1: OK"

@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "ldap/error.h"
 #include "sync/content_tracker.h"
 
 namespace fbdr::core {
@@ -29,7 +30,8 @@ FilterReplicationService::FilterReplicationService(
     : master_(std::move(master)),
       config_(config),
       replica_(master_->schema(), std::move(registry)),
-      resync_(*master_) {
+      resync_(*master_),
+      channel_(std::make_shared<net::DirectChannel>(resync_)) {
   replica_.set_query_cache_window(config_.query_cache_window);
   if (config_.selection) {
     selector_.emplace(*config_.selection,
@@ -51,6 +53,36 @@ void FilterReplicationService::install(const Query& query) {
   install(query, SyncPolicy{});
 }
 
+void FilterReplicationService::set_channel(std::shared_ptr<net::Channel> channel) {
+  channel_ = std::move(channel);
+}
+
+resync::ReSyncResponse FilterReplicationService::request(
+    InstalledFilter& installed, const resync::ReSyncControl& control) {
+  return net::exchange_with_retry(*channel_, installed.query, control,
+                                  config_.retry, &installed.retries);
+}
+
+bool FilterReplicationService::refetch(InstalledFilter& installed) {
+  try {
+    // Full-reload recovery: a fresh session's initial response carries the
+    // whole content.
+    const resync::ReSyncResponse response =
+        request(installed, {resync::Mode::Poll, ""});
+    installed.cookie = response.cookie;
+    std::vector<EntryPtr> entries;
+    entries.reserve(response.pdus.size());
+    for (const resync::EntryPdu& pdu : response.pdus) {
+      if (pdu.entry) entries.push_back(pdu.entry);
+    }
+    replica_.set_content(installed.replica_id, entries);
+    installed.last_synced_tick = resync_.now();
+    return true;
+  } catch (const net::TransportError&) {
+    return false;
+  }
+}
+
 void FilterReplicationService::install(const Query& query, SyncPolicy policy) {
   if (find_installed(query.key())) return;
   InstalledFilter installed;
@@ -59,23 +91,36 @@ void FilterReplicationService::install(const Query& query, SyncPolicy policy) {
   if (installed.policy.interval == 0) installed.policy.interval = 1;
   installed.replica_id = replica_.add_query(query);
   // Open a ReSync session; the initial response carries the whole content
-  // and is accounted as fetch/update traffic by the master.
-  const resync::ReSyncResponse response =
-      resync_.handle(query, {resync::Mode::Poll, ""});
-  installed.cookie = response.cookie;
-  std::vector<EntryPtr> entries;
-  entries.reserve(response.pdus.size());
-  for (const resync::EntryPdu& pdu : response.pdus) {
-    if (pdu.entry) entries.push_back(pdu.entry);
+  // and is accounted as fetch/update traffic by the master. A transport
+  // failure past the retry budget propagates: a filter must never start
+  // serving before it has content.
+  try {
+    const resync::ReSyncResponse response =
+        request(installed, {resync::Mode::Poll, ""});
+    installed.cookie = response.cookie;
+    std::vector<EntryPtr> entries;
+    entries.reserve(response.pdus.size());
+    for (const resync::EntryPdu& pdu : response.pdus) {
+      if (pdu.entry) entries.push_back(pdu.entry);
+    }
+    replica_.set_content(installed.replica_id, entries);
+  } catch (const net::TransportError&) {
+    replica_.remove_query(installed.replica_id);
+    throw;
   }
-  replica_.set_content(installed.replica_id, entries);
+  installed.last_synced_tick = resync_.now();
   sessions_.push_back(std::move(installed));
 }
 
 void FilterReplicationService::uninstall(const Query& query) {
   for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
     if (it->query.key() == query.key()) {
-      resync_.handle(it->query, {resync::Mode::SyncEnd, it->cookie});
+      try {
+        channel_->exchange(it->query, {resync::Mode::SyncEnd, it->cookie});
+      } catch (const net::TransportError&) {
+        // Best effort: the master-side session expires under the admin
+        // limit; the local filter is removed regardless.
+      }
       replica_.remove_query(it->replica_id);
       sessions_.erase(it);
       return;
@@ -89,7 +134,12 @@ void FilterReplicationService::apply_revolution(
     uninstall(query);
   }
   for (const Query& query : revolution.fetched) {
-    install(query);
+    try {
+      install(query);
+    } catch (const net::TransportError&) {
+      // The link is down: skip this fetch; the filter simply is not
+      // installed and a later revolution can pick it up again.
+    }
   }
 }
 
@@ -99,6 +149,17 @@ ServeOutcome FilterReplicationService::serve(const Query& query) {
   outcome.hit = decision.hit;
   outcome.from_cache =
       decision.hit && decision.answered_by.rfind("cache:", 0) == 0;
+  if (outcome.hit && !outcome.from_cache) {
+    // Graceful degradation: the hit still answers locally, but flag it when
+    // the answering filter's session is down and its content may be stale.
+    for (const InstalledFilter& installed : sessions_) {
+      if (installed.degraded &&
+          installed.query.to_string() == decision.answered_by) {
+        outcome.stale = true;
+        break;
+      }
+    }
+  }
 
   if (!decision.hit) {
     // Miss: the master answers; optionally cache the user query with its
@@ -115,39 +176,90 @@ ServeOutcome FilterReplicationService::serve(const Query& query) {
   return outcome;
 }
 
+void FilterReplicationService::apply_delta(InstalledFilter& installed,
+                                           const resync::ReSyncResponse& response) {
+  if (response.pdus.empty()) return;
+  // Rebuild this query's content from the delta: adds/mods upsert, deletes
+  // drop. set_content needs the full list, so fold into a map first.
+  std::map<std::string, EntryPtr> content;
+  for (const EntryPtr& entry : replica_.query_content(installed.replica_id)) {
+    content[entry->dn().norm_key()] = entry;
+  }
+  for (const resync::EntryPdu& pdu : response.pdus) {
+    switch (pdu.action) {
+      case resync::Action::Add:
+      case resync::Action::Modify:
+        content[pdu.dn.norm_key()] = pdu.entry;
+        break;
+      case resync::Action::Delete:
+        content.erase(pdu.dn.norm_key());
+        break;
+      case resync::Action::Retain:
+        break;
+    }
+  }
+  std::vector<EntryPtr> entries;
+  entries.reserve(content.size());
+  for (auto& [key, entry] : content) entries.push_back(std::move(entry));
+  replica_.set_content(installed.replica_id, entries);
+}
+
 void FilterReplicationService::sync() {
   resync_.pump();
   ++sync_round_;
   for (InstalledFilter& installed : sessions_) {
     // Consistency levels (§3.2): lower-priority filters poll every Nth sync.
     if (sync_round_ % installed.policy.interval != 0) continue;
-    const resync::ReSyncResponse response =
-        resync_.handle(installed.query, {resync::Mode::Poll, installed.cookie});
-    if (response.pdus.empty()) continue;
-    // Rebuild this query's content from the delta: adds/mods upsert, deletes
-    // drop. set_content needs the full list, so fold into a map first.
-    std::map<std::string, EntryPtr> content;
-    for (const EntryPtr& entry : replica_.query_content(installed.replica_id)) {
-      content[entry->dn().norm_key()] = entry;
-    }
-    for (const resync::EntryPdu& pdu : response.pdus) {
-      switch (pdu.action) {
-        case resync::Action::Add:
-        case resync::Action::Modify:
-          content[pdu.dn.norm_key()] = pdu.entry;
-          break;
-        case resync::Action::Delete:
-          content.erase(pdu.dn.norm_key());
-          break;
-        case resync::Action::Retain:
-          break;
+    if (installed.degraded) {
+      // Heal on reconnect: the full-reload recovery replaces whatever the
+      // replica missed while the session was down.
+      if (refetch(installed)) {
+        installed.degraded = false;
+        ++installed.recoveries;
+      } else {
+        ++installed.failed_syncs;
       }
+      continue;
     }
-    std::vector<EntryPtr> entries;
-    entries.reserve(content.size());
-    for (auto& [key, entry] : content) entries.push_back(std::move(entry));
-    replica_.set_content(installed.replica_id, entries);
+    try {
+      const resync::ReSyncResponse response =
+          request(installed, {resync::Mode::Poll, installed.cookie});
+      installed.cookie = response.cookie;
+      installed.last_synced_tick = resync_.now();
+      apply_delta(installed, response);
+    } catch (const ldap::StaleCookieError&) {
+      // Session expired or the master restarted: recover with a full
+      // reload, or degrade if the link is down too.
+      if (refetch(installed)) {
+        ++installed.recoveries;
+      } else {
+        ++installed.failed_syncs;
+        installed.degraded = true;
+      }
+    } catch (const net::TransportError&) {
+      // Retry budget exhausted: degrade. The filter keeps serving
+      // containment hits from its local (possibly stale) content.
+      ++installed.failed_syncs;
+      installed.degraded = true;
+    }
   }
+}
+
+net::HealthStats FilterReplicationService::health() const {
+  net::HealthStats stats;
+  const std::uint64_t now = resync_.now();
+  for (const InstalledFilter& installed : sessions_) {
+    net::FilterHealth health;
+    health.degraded = installed.degraded;
+    health.ticks_behind = now > installed.last_synced_tick
+                              ? now - installed.last_synced_tick
+                              : 0;
+    health.retries = installed.retries;
+    health.recoveries = installed.recoveries;
+    health.failed_syncs = installed.failed_syncs;
+    stats.filters.emplace(installed.query.key(), health);
+  }
+  return stats;
 }
 
 std::uint64_t FilterReplicationService::revolutions() const {

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "net/channel.h"
 #include "net/stats.h"
 #include "replica/filter_replica.h"
 #include "replica/subtree_replica.h"
@@ -19,6 +20,9 @@ namespace fbdr::core {
 struct ServeOutcome {
   bool hit = false;
   bool from_cache = false;  // answered by a cached user query
+  /// The hit was served from a degraded filter's local content, which may
+  /// be stale (its update session is down past the retry budget).
+  bool stale = false;
 };
 
 /// A size estimator backed by the master directory, memoized by query key.
@@ -43,6 +47,9 @@ class FilterReplicationService {
     /// Entry padding for byte-level traffic accounting (the case-study
     /// entries are ~6 KB, §7.1).
     std::size_t entry_padding = 0;
+    /// Retry discipline for ReSync exchanges that fail at the transport
+    /// level. Default: a single attempt (faults surface immediately).
+    net::RetryPolicy retry;
   };
 
   FilterReplicationService(
@@ -67,14 +74,22 @@ class FilterReplicationService {
   /// Removes a replicated filter.
   void uninstall(const ldap::Query& query);
 
-  /// Serves one client query: a containment hit answers locally; a miss is
-  /// forwarded to the master (and optionally cached as a user query). The
-  /// selector observes every query and may trigger a revolution, whose
-  /// fetches are accounted as update traffic.
+  /// Serves one client query: a containment hit answers locally (even from
+  /// a degraded filter's possibly-stale content); a miss is forwarded to the
+  /// master (and optionally cached as a user query). The selector observes
+  /// every query and may trigger a revolution, whose fetches are accounted
+  /// as update traffic.
   ServeOutcome serve(const ldap::Query& query);
 
-  /// Polls every ReSync session and applies the deltas to the replica.
+  /// Polls every ReSync session due this round and applies the deltas to
+  /// the replica. A session whose transport fails past the retry budget
+  /// marks its filter degraded: the filter keeps answering from local
+  /// content and heals with a full-reload recovery once the link returns.
   void sync();
+
+  /// Replaces the transport between this site and the master (e.g. with a
+  /// net::FaultyChannel wrapping resync() for chaos testing).
+  void set_channel(std::shared_ptr<net::Channel> channel);
 
   replica::FilterReplica& filter_replica() noexcept { return replica_; }
   const replica::FilterReplica& filter_replica() const noexcept { return replica_; }
@@ -82,6 +97,10 @@ class FilterReplicationService {
 
   /// Master->replica update traffic: ReSync deltas plus revolution fetches.
   const net::TrafficStats& traffic() const noexcept { return resync_.traffic(); }
+
+  /// Per-filter session health: degradation state, staleness in master
+  /// clock ticks, retry/recovery counts.
+  net::HealthStats health() const;
 
   std::size_t installed_filters() const { return sessions_.size(); }
   std::uint64_t revolutions() const;
@@ -92,15 +111,28 @@ class FilterReplicationService {
     std::size_t replica_id = 0;
     std::string cookie;
     SyncPolicy policy;
+    bool degraded = false;
+    std::uint64_t last_synced_tick = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t recoveries = 0;
+    std::uint64_t failed_syncs = 0;
   };
 
   void apply_revolution(const select::FilterSelector::Revolution& revolution);
   InstalledFilter* find_installed(const std::string& key);
+  resync::ReSyncResponse request(InstalledFilter& installed,
+                                 const resync::ReSyncControl& control);
+  void apply_delta(InstalledFilter& installed,
+                   const resync::ReSyncResponse& response);
+  /// Opens a fresh session and reloads the filter's full content. Returns
+  /// false (leaving the filter as it was) when the transport stays down.
+  bool refetch(InstalledFilter& installed);
 
   std::shared_ptr<server::DirectoryServer> master_;
   Config config_;
   replica::FilterReplica replica_;
   resync::ReSyncMaster resync_;
+  std::shared_ptr<net::Channel> channel_;
   std::vector<InstalledFilter> sessions_;
   std::optional<select::FilterSelector> selector_;
   std::uint64_t sync_round_ = 0;

@@ -50,4 +50,13 @@ class ProtocolError : public std::runtime_error {
   explicit ProtocolError(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// A resync cookie the master no longer recognizes: the session idled past
+/// the admin limit, was ended, or the master restarted and lost its session
+/// state. This — and only this — protocol error is recoverable by a
+/// full-reload restart of the update session.
+class StaleCookieError : public ProtocolError {
+ public:
+  explicit StaleCookieError(const std::string& what) : ProtocolError(what) {}
+};
+
 }  // namespace fbdr::ldap

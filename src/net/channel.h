@@ -1,0 +1,88 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "ldap/query.h"
+#include "resync/protocol.h"
+
+namespace fbdr::resync {
+class ReSyncMaster;
+}
+
+namespace fbdr::net {
+
+/// A request or response was lost in transit (dropped, connection reset,
+/// master unreachable). Unlike ldap::ProtocolError this says nothing about
+/// session state — the exchange may or may not have been processed — so the
+/// correct client reaction is to retry the same request under its
+/// RetryPolicy, relying on the replay-safe cookie sequence numbers for
+/// idempotence.
+class TransportError : public std::runtime_error {
+ public:
+  explicit TransportError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// The transport seam between a ReSync replica and its master: one
+/// request/response exchange of the protocol. DirectChannel preserves the
+/// historical infallible in-process call; FaultyChannel (fault_injector.h)
+/// injects deterministic loss, duplication, reordering, delay and master
+/// restarts so the recovery paths of §5.2 can be exercised.
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  /// Performs one exchange. Throws TransportError on (simulated) link
+  /// failure and ldap::ProtocolError family on protocol-level rejection.
+  virtual resync::ReSyncResponse exchange(const ldap::Query& query,
+                                          const resync::ReSyncControl& control) = 0;
+
+  /// Client-initiated abandon of a persistent search (best effort).
+  virtual void abandon(const std::string& cookie) = 0;
+
+  /// Logical time spent waiting on the link (retry backoff). Forwarded to
+  /// the master clock so session admin limits keep running while a client
+  /// backs off.
+  virtual void elapse(std::uint64_t ticks) = 0;
+};
+
+/// The in-process channel: requests reach the master unconditionally, in
+/// order, exactly once — today's behavior, now behind the seam.
+class DirectChannel final : public Channel {
+ public:
+  explicit DirectChannel(resync::ReSyncMaster& master) : master_(&master) {}
+
+  resync::ReSyncResponse exchange(const ldap::Query& query,
+                                  const resync::ReSyncControl& control) override;
+  void abandon(const std::string& cookie) override;
+  void elapse(std::uint64_t ticks) override;
+
+ private:
+  resync::ReSyncMaster* master_;
+};
+
+/// Client-side retry discipline for transport failures: up to max_attempts
+/// tries, exponential backoff in logical ticks with deterministic jitter.
+struct RetryPolicy {
+  std::size_t max_attempts = 1;  // 1 = no retries
+  std::uint64_t base_backoff_ticks = 1;
+  double multiplier = 2.0;
+  std::uint64_t max_backoff_ticks = 64;
+  std::uint64_t jitter_seed = 0;  // 0 disables jitter
+
+  /// Backoff before retry number `attempt` (0-based), jitter included.
+  std::uint64_t backoff(std::size_t attempt) const;
+};
+
+/// Runs one exchange under the retry policy: TransportErrors consume
+/// attempts (with backoff elapsed on the channel between tries); protocol
+/// errors propagate immediately. `retries`, when given, accumulates the
+/// number of re-sent requests.
+resync::ReSyncResponse exchange_with_retry(Channel& channel,
+                                           const ldap::Query& query,
+                                           const resync::ReSyncControl& control,
+                                           const RetryPolicy& policy,
+                                           std::uint64_t* retries = nullptr);
+
+}  // namespace fbdr::net

@@ -1,0 +1,89 @@
+#include "net/fault_injector.h"
+
+#include <algorithm>
+
+#include "ldap/error.h"
+#include "resync/master.h"
+
+namespace fbdr::net {
+
+FaultyChannel::FaultyChannel(resync::ReSyncMaster& master, FaultConfig config)
+    : master_(&master), config_(config), rng_(config.seed) {}
+
+bool FaultyChannel::chance(double probability) {
+  if (probability <= 0.0) {
+    return false;
+  }
+  return std::uniform_real_distribution<double>(0.0, 1.0)(rng_) < probability;
+}
+
+void FaultyChannel::deliver_one_replay() {
+  auto [query, control] = std::move(in_flight_.front());
+  in_flight_.pop_front();
+  ++counters_.replayed;
+  try {
+    // The response to a stray duplicate goes nowhere; the master's replay
+    // cache (or its out-of-sequence rejection) keeps the session unharmed.
+    master_->handle(query, control);
+  } catch (const ldap::ProtocolError&) {
+  }
+}
+
+resync::ReSyncResponse FaultyChannel::exchange(const ldap::Query& query,
+                                               const resync::ReSyncControl& control) {
+  ++counters_.exchanges;
+  if (down_) {
+    ++counters_.rejected_while_down;
+    throw TransportError("master is down");
+  }
+  // A duplicate from an earlier exchange may overtake this request.
+  if (!in_flight_.empty() && chance(config_.reorder)) {
+    deliver_one_replay();
+  }
+  if (chance(config_.delay)) {
+    ++counters_.delayed;
+    const std::uint64_t span = std::max<std::uint64_t>(config_.max_delay_ticks, 1);
+    master_->tick(1 + rng_() % span);
+  }
+  if (chance(config_.drop_request)) {
+    ++counters_.dropped_requests;
+    throw TransportError("request lost");
+  }
+  if (chance(config_.duplicate)) {
+    ++counters_.duplicated;
+    in_flight_.emplace_back(query, control);
+  }
+  resync::ReSyncResponse response = master_->handle(query, control);
+  if (chance(config_.reset)) {
+    ++counters_.resets;
+    throw TransportError("connection reset");
+  }
+  if (chance(config_.drop_response)) {
+    ++counters_.dropped_responses;
+    throw TransportError("response lost");
+  }
+  return response;
+}
+
+void FaultyChannel::abandon(const std::string& cookie) {
+  if (down_) return;  // best effort: nothing to deliver to
+  master_->abandon(cookie);
+}
+
+void FaultyChannel::elapse(std::uint64_t ticks) { master_->tick(ticks); }
+
+void FaultyChannel::crash_master() {
+  down_ = true;
+  in_flight_.clear();  // requests addressed to the dead master are gone
+  master_->reset();
+}
+
+void FaultyChannel::restart_master() { down_ = false; }
+
+void FaultyChannel::flush_replays() {
+  while (!in_flight_.empty() && !down_) {
+    deliver_one_replay();
+  }
+}
+
+}  // namespace fbdr::net

@@ -1,0 +1,90 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <random>
+#include <string>
+#include <utility>
+
+#include "net/channel.h"
+
+namespace fbdr::net {
+
+/// Per-exchange fault probabilities of a FaultyChannel. All randomness is
+/// drawn from one seeded generator, so a (seed, schedule) pair replays the
+/// exact same fault sequence.
+struct FaultConfig {
+  std::uint64_t seed = 1;
+  double drop_request = 0.0;   // lost before reaching the master
+  double drop_response = 0.0;  // processed at the master, response lost
+  double duplicate = 0.0;      // a copy stays in flight and arrives later
+  double reorder = 0.0;        // chance an in-flight copy arrives before this
+  double reset = 0.0;          // connection reset after processing
+  double delay = 0.0;          // link delay (master clock advances)
+  std::uint64_t max_delay_ticks = 4;
+};
+
+/// What the injector actually did — for asserting that a chaos schedule
+/// exercised the paths it was meant to.
+struct FaultCounters {
+  std::uint64_t exchanges = 0;
+  std::uint64_t dropped_requests = 0;
+  std::uint64_t dropped_responses = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t replayed = 0;  // in-flight copies delivered to the master
+  std::uint64_t delayed = 0;
+  std::uint64_t resets = 0;
+  std::uint64_t rejected_while_down = 0;
+
+  std::uint64_t faults() const {
+    return dropped_requests + dropped_responses + duplicated + replayed +
+           delayed + resets + rejected_while_down;
+  }
+};
+
+/// A lossy, duplicating, reordering, delaying link to a ReSync master, plus
+/// a crash/restart hook that wipes the master's session state to model the
+/// "master restarted" case of §5.2. Deterministic under a fixed seed.
+///
+/// Duplication is modelled the way it bites an RPC protocol: the duplicated
+/// request is queued and re-delivered to the master *later* (possibly after
+/// newer requests — reordering), where only the replay-safe cookie sequence
+/// numbers prevent it from consuming session history twice.
+class FaultyChannel final : public Channel {
+ public:
+  FaultyChannel(resync::ReSyncMaster& master, FaultConfig config);
+
+  resync::ReSyncResponse exchange(const ldap::Query& query,
+                                  const resync::ReSyncControl& control) override;
+  void abandon(const std::string& cookie) override;
+  void elapse(std::uint64_t ticks) override;
+
+  /// Master crash: session state is wiped, in-flight requests are lost, and
+  /// every exchange fails with TransportError until restart_master().
+  void crash_master();
+  void restart_master();
+  bool master_down() const noexcept { return down_; }
+
+  /// Replaces the fault probabilities (e.g. zeroed for a quiescence phase);
+  /// the random stream continues, so the schedule stays deterministic.
+  void set_config(const FaultConfig& config) { config_ = config; }
+
+  /// Delivers every still-queued duplicate to the master (responses
+  /// discarded) — drains the link before checking convergence.
+  void flush_replays();
+
+  const FaultCounters& counters() const noexcept { return counters_; }
+
+ private:
+  bool chance(double probability);
+  void deliver_one_replay();
+
+  resync::ReSyncMaster* master_;
+  FaultConfig config_;
+  std::mt19937_64 rng_;
+  std::deque<std::pair<ldap::Query, resync::ReSyncControl>> in_flight_;
+  FaultCounters counters_;
+  bool down_ = false;
+};
+
+}  // namespace fbdr::net

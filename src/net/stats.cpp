@@ -10,4 +10,46 @@ std::string TrafficStats::to_string() const {
          " bytes=" + std::to_string(bytes);
 }
 
+std::size_t HealthStats::degraded_count() const {
+  std::size_t count = 0;
+  for (const auto& [key, health] : filters) {
+    if (health.degraded) ++count;
+  }
+  return count;
+}
+
+std::uint64_t HealthStats::max_ticks_behind() const {
+  std::uint64_t max = 0;
+  for (const auto& [key, health] : filters) {
+    if (health.ticks_behind > max) max = health.ticks_behind;
+  }
+  return max;
+}
+
+std::uint64_t HealthStats::total_retries() const {
+  std::uint64_t total = 0;
+  for (const auto& [key, health] : filters) total += health.retries;
+  return total;
+}
+
+std::uint64_t HealthStats::total_recoveries() const {
+  std::uint64_t total = 0;
+  for (const auto& [key, health] : filters) total += health.recoveries;
+  return total;
+}
+
+std::string HealthStats::to_string() const {
+  std::string out = "filters=" + std::to_string(filters.size()) +
+                    " degraded=" + std::to_string(degraded_count()) +
+                    " max_ticks_behind=" + std::to_string(max_ticks_behind()) +
+                    " retries=" + std::to_string(total_retries()) +
+                    " recoveries=" + std::to_string(total_recoveries());
+  for (const auto& [key, health] : filters) {
+    if (!health.degraded) continue;
+    out += "\n  degraded: " + key +
+           " ticks_behind=" + std::to_string(health.ticks_behind);
+  }
+  return out;
+}
+
 }  // namespace fbdr::net

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 
 namespace fbdr::net {
@@ -48,6 +49,32 @@ struct TrafficStats {
   }
 
   void reset() { *this = {}; }
+
+  std::string to_string() const;
+};
+
+/// Health of one replicated filter's update session, as seen by the replica
+/// site. A filter degrades when its session is down past the retry budget;
+/// it keeps serving containment hits from (possibly stale) local content
+/// until the full-reload recovery on reconnect heals it.
+struct FilterHealth {
+  bool degraded = false;
+  std::uint64_t ticks_behind = 0;   // master clock now - last successful sync
+  std::uint64_t retries = 0;        // transport retries spent on this filter
+  std::uint64_t recoveries = 0;     // full-reload session recoveries
+  std::uint64_t failed_syncs = 0;   // sync rounds lost to transport faults
+};
+
+/// Per-filter health of a replica site, the robustness counterpart of
+/// TrafficStats: staleness and degradation instead of bytes and PDUs.
+struct HealthStats {
+  std::map<std::string, FilterHealth> filters;  // keyed by query key
+
+  std::size_t degraded_count() const;
+  bool any_degraded() const { return degraded_count() > 0; }
+  std::uint64_t max_ticks_behind() const;
+  std::uint64_t total_retries() const;
+  std::uint64_t total_recoveries() const;
 
   std::string to_string() const;
 };

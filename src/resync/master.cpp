@@ -9,8 +9,28 @@ using ldap::ProtocolError;
 ReSyncMaster::ReSyncMaster(server::DirectoryServer& master)
     : master_(&master), last_pumped_seq_(master.journal().last_seq()) {}
 
-std::string ReSyncMaster::new_cookie() {
+std::string ReSyncMaster::new_session_id() {
   return "rs-" + std::to_string(++cookie_counter_);
+}
+
+ReSyncMaster::CookieParts ReSyncMaster::parse_cookie(const std::string& cookie) {
+  CookieParts parts;
+  const std::size_t hash = cookie.rfind('#');
+  if (hash == std::string::npos) {
+    parts.id = cookie;  // legacy/foreign cookie: no sequence number
+    return parts;
+  }
+  parts.id = cookie.substr(0, hash);
+  try {
+    parts.seq = std::stoull(cookie.substr(hash + 1));
+  } catch (const std::exception&) {
+    throw ProtocolError("malformed resync cookie '" + cookie + "'");
+  }
+  return parts;
+}
+
+std::string ReSyncMaster::make_cookie(const std::string& id, std::uint64_t seq) {
+  return id + "#" + std::to_string(seq);
 }
 
 void ReSyncMaster::account(const std::vector<EntryPdu>& pdus) {
@@ -28,51 +48,69 @@ ReSyncResponse ReSyncMaster::handle(const ldap::Query& query,
   traffic_.count_round_trip();
 
   if (control.mode == Mode::SyncEnd) {
-    if (!control.initial()) sessions_.erase(control.cookie);
+    if (!control.initial()) sessions_.erase(parse_cookie(control.cookie).id);
     return {};
   }
 
   ReSyncResponse response;
-  std::string cookie = control.cookie;
+  std::string id;
   Session* session = nullptr;
 
   if (control.initial()) {
     // (i) Initial request: create the session and send the whole content.
-    cookie = new_cookie();
+    id = new_session_id();
     Session fresh;
     fresh.session = std::make_unique<sync::QuerySession>(query, master_->schema());
     fresh.mode = control.mode;
-    session = &sessions_.emplace(cookie, std::move(fresh)).first->second;
+    session = &sessions_.emplace(id, std::move(fresh)).first->second;
     const sync::UpdateBatch batch = session->session->initial(master_->dit());
     response.pdus = to_pdus(batch);
     response.full_reload = true;
+    response.cookie = make_cookie(id, session->next_seq);
   } else {
-    // (ii) Cookie identifies the session; send accumulated updates.
-    const auto it = sessions_.find(control.cookie);
+    // (ii) The cookie identifies the session and carries the poll sequence
+    // number; send accumulated updates.
+    const CookieParts parts = parse_cookie(control.cookie);
+    id = parts.id;
+    const auto it = sessions_.find(id);
     if (it == sessions_.end()) {
-      throw ProtocolError("unknown or expired resync cookie '" + control.cookie +
-                          "'");
+      throw ldap::StaleCookieError("unknown or expired resync cookie '" +
+                                   control.cookie + "'");
     }
     session = &it->second;
+    if (parts.seq != 0 && parts.seq == session->last_seq) {
+      // Duplicated or retried poll: answer from the replay cache. Session
+      // history is untouched — the updates it carried are neither shipped a
+      // second time into the replica's future nor lost.
+      ++replays_;
+      session->last_active = clock_.now();
+      account(session->last_response.pdus);  // retransmission is wire traffic
+      return session->last_response;
+    }
+    if (parts.seq != session->next_seq) {
+      throw ProtocolError("out-of-sequence resync cookie '" + control.cookie +
+                          "' (expected seq " + std::to_string(session->next_seq) +
+                          ")");
+    }
     session->mode = control.mode;
     const sync::UpdateBatch batch = incomplete_history_
                                         ? session->session->poll_with_retains()
                                         : session->session->poll();
     response.pdus = to_pdus(batch);
     response.complete_enumeration = batch.complete_enumeration;
+    session->last_seq = parts.seq;
+    session->next_seq = parts.seq + 1;
+    response.cookie = make_cookie(id, session->next_seq);
   }
 
   session->last_active = clock_.now();
   account(response.pdus);
 
-  if (control.mode == Mode::Persist) {
-    // (iii) Connection stays open for pushed notifications.
-    response.persistent = true;
-    response.cookie = cookie;
-  } else {
-    // (iv) Poll: return the resumption cookie.
-    response.cookie = cookie;
-  }
+  // (iii) Persist: the connection stays open for pushed notifications.
+  // (iv) Poll: the returned cookie resumes the session.
+  response.persistent = control.mode == Mode::Persist;
+  session->current_cookie = response.cookie;
+  session->last_response = response;
   return response;
 }
 
@@ -85,14 +123,14 @@ void ReSyncMaster::pump() {
     last_pumped_seq_ = record->seq;
   }
   // Push accumulated updates on persist connections immediately.
-  for (auto& [cookie, session] : sessions_) {
+  for (auto& [id, session] : sessions_) {
     if (session.mode != Mode::Persist || !session.session->initialized()) continue;
     const sync::UpdateBatch batch = session.session->poll();
     if (batch.empty()) continue;
     const std::vector<EntryPdu> pdus = to_pdus(batch);
     account(pdus);
     session.last_active = clock_.now();
-    if (sink_) sink_(cookie, pdus);
+    if (sink_) sink_(session.current_cookie, pdus);
   }
 }
 
@@ -111,7 +149,16 @@ void ReSyncMaster::tick(std::uint64_t delta) {
   }
 }
 
-void ReSyncMaster::abandon(const std::string& cookie) { sessions_.erase(cookie); }
+void ReSyncMaster::reset() {
+  sessions_.clear();
+  // The restarted master resumes journal consumption at the tail: sessions
+  // created after the restart take their baseline from initial() anyway.
+  last_pumped_seq_ = master_->journal().last_seq();
+}
+
+void ReSyncMaster::abandon(const std::string& cookie) {
+  sessions_.erase(parse_cookie(cookie).id);
+}
 
 std::size_t ReSyncMaster::open_connections() const {
   std::size_t count = 0;

@@ -28,6 +28,13 @@ namespace fbdr::resync {
 /// Drive it with handle() for requests, pump() after applying master updates
 /// (delivers persist notifications), and tick()/expire_sessions() for the
 /// admin time limit.
+///
+/// Cookies are replay-safe: each poll cookie embeds a per-session monotonic
+/// sequence number ("rs-<id>#<seq>"). A duplicated or retried poll (same
+/// sequence as the last answered one) is re-answered from a last-response
+/// cache without touching session history, so lossy transports can retry
+/// idempotently; an out-of-sequence poll is rejected. reset() models a
+/// master restart that loses all session state (§5.2).
 class ReSyncMaster {
  public:
   /// Sink receiving pushed notifications for persist-mode sessions.
@@ -55,8 +62,20 @@ class ReSyncMaster {
   /// Advances the logical clock and expires idle poll sessions.
   void tick(std::uint64_t delta = 1);
 
+  /// Current logical time at the master.
+  std::uint64_t now() const noexcept { return clock_.now(); }
+
+  /// Models a master restart: every session (and its replay cache) is lost;
+  /// outstanding cookies become unknown and replicas must recover with a
+  /// full reload. The clock and cumulative counters survive.
+  void reset();
+
   /// Client-initiated abandon of a persistent search.
   void abandon(const std::string& cookie);
+
+  /// Duplicated/retried polls answered from the replay cache instead of
+  /// consuming session history a second time.
+  std::uint64_t replays_suppressed() const noexcept { return replays_; }
 
   std::size_t session_count() const noexcept { return sessions_.size(); }
 
@@ -76,9 +95,21 @@ class ReSyncMaster {
     std::unique_ptr<sync::QuerySession> session;
     Mode mode = Mode::Poll;
     std::uint64_t last_active = 0;
+    std::uint64_t next_seq = 1;    // sequence the next fresh poll must carry
+    std::uint64_t last_seq = 0;    // sequence of the last answered poll
+    ReSyncResponse last_response;  // replay cache for last_seq
+    std::string current_cookie;    // most recently issued cookie
   };
 
-  std::string new_cookie();
+  /// Splits "rs-<id>#<seq>" into the session id and sequence number.
+  struct CookieParts {
+    std::string id;
+    std::uint64_t seq = 0;
+  };
+  static CookieParts parse_cookie(const std::string& cookie);
+  static std::string make_cookie(const std::string& id, std::uint64_t seq);
+
+  std::string new_session_id();
   void account(const std::vector<EntryPdu>& pdus);
 
   server::DirectoryServer* master_;
@@ -89,6 +120,7 @@ class ReSyncMaster {
   std::uint64_t last_pumped_seq_ = 0;
   std::uint64_t time_limit_ = 0;
   std::uint64_t cookie_counter_ = 0;
+  std::uint64_t replays_ = 0;
   bool incomplete_history_ = false;
 };
 

@@ -5,7 +5,16 @@
 namespace fbdr::resync {
 
 ReSyncReplica::ReSyncReplica(ReSyncMaster& master, ldap::Query query)
-    : master_(&master), query_(std::move(query)) {}
+    : owned_channel_(std::make_unique<net::DirectChannel>(master)),
+      channel_(owned_channel_.get()),
+      query_(std::move(query)) {}
+
+ReSyncReplica::ReSyncReplica(net::Channel& channel, ldap::Query query)
+    : channel_(&channel), query_(std::move(query)) {}
+
+ReSyncResponse ReSyncReplica::request(const ReSyncControl& control) {
+  return net::exchange_with_retry(*channel_, query_, control, retry_, &retries_);
+}
 
 void ReSyncReplica::apply(const ReSyncResponse& response) {
   content_.apply(from_pdus(response.pdus, response.full_reload,
@@ -14,7 +23,7 @@ void ReSyncReplica::apply(const ReSyncResponse& response) {
 
 void ReSyncReplica::start(Mode mode) {
   mode_ = mode;
-  const ReSyncResponse response = master_->handle(query_, {mode, ""});
+  const ReSyncResponse response = request({mode, ""});
   cookie_ = response.cookie;
   active_ = true;
   apply(response);
@@ -25,13 +34,16 @@ void ReSyncReplica::poll() {
     throw ldap::ProtocolError("poll() before start()");
   }
   try {
-    const ReSyncResponse response = master_->handle(query_, {Mode::Poll, cookie_});
+    const ReSyncResponse response = request({Mode::Poll, cookie_});
+    cookie_ = response.cookie;
     apply(response);
-  } catch (const ldap::ProtocolError&) {
+  } catch (const ldap::StaleCookieError&) {
+    // Session lost at the master (expiry or restart): start over. The
+    // initial response is a full reload, so convergence is preserved at the
+    // cost of the content retransmission — the trade-off the cookie
+    // mechanism exists to avoid. Any other protocol error is a client or
+    // protocol bug and propagates.
     if (!auto_recover_) throw;
-    // Session lost at the master: start over. The initial response is a
-    // full reload, so convergence is preserved at the cost of the content
-    // retransmission — the trade-off the cookie mechanism exists to avoid.
     ++recoveries_;
     start(Mode::Poll);
   }
@@ -39,13 +51,13 @@ void ReSyncReplica::poll() {
 
 void ReSyncReplica::sync_end() {
   if (!active_) return;
-  master_->handle(query_, {Mode::SyncEnd, cookie_});
+  request({Mode::SyncEnd, cookie_});
   active_ = false;
 }
 
 void ReSyncReplica::abandon() {
   if (!active_) return;
-  master_->abandon(cookie_);
+  channel_->abandon(cookie_);
   active_ = false;
 }
 

@@ -1,35 +1,55 @@
 #pragma once
 
 #include <map>
+#include <memory>
 #include <string>
 
+#include "net/channel.h"
 #include "resync/master.h"
 #include "sync/replica_content.h"
 
 namespace fbdr::resync {
 
 /// Replica-side ReSync client for one replicated query: runs the update
-/// session against a master, applies the received PDUs to a local content
-/// store, and exposes the store for serving queries.
+/// session against a master through a net::Channel, applies the received
+/// PDUs to a local content store, and exposes the store for serving queries.
+///
+/// Transport faults (net::TransportError) are retried under the configured
+/// RetryPolicy; the master's replay-safe cookies make those retries
+/// idempotent. A stale cookie (session expired, master restarted) triggers
+/// the full-reload recovery when auto-recover is enabled.
 class ReSyncReplica {
  public:
+  /// Direct in-process link to the master (owns a DirectChannel).
   ReSyncReplica(ReSyncMaster& master, ldap::Query query);
+
+  /// Session over an explicit (possibly faulty) channel.
+  ReSyncReplica(net::Channel& channel, ldap::Query query);
+
+  /// Retry discipline for transport failures. Default: no retries.
+  void set_retry_policy(net::RetryPolicy policy) { retry_ = policy; }
 
   /// Sends the initial request (null cookie) in the given mode.
   void start(Mode mode = Mode::Poll);
 
-  /// Poll-mode pull of accumulated updates. Throws ProtocolError when the
-  /// session is unknown/expired at the master (unless recovery is enabled).
+  /// Poll-mode pull of accumulated updates. Throws ldap::StaleCookieError
+  /// when the session is unknown/expired at the master (unless recovery is
+  /// enabled) and net::TransportError when the link fails past the retry
+  /// budget; other protocol errors always propagate.
   void poll();
 
   /// When enabled, a poll whose cookie the master no longer recognizes
   /// (session timed out, master restarted) transparently re-starts the
   /// session: the master replies with the full content, the replica reloads,
-  /// and polling resumes under the fresh cookie.
+  /// and polling resumes under the fresh cookie. Only stale-cookie errors
+  /// recover; every other protocol error propagates.
   void set_auto_recover(bool enabled) { auto_recover_ = enabled; }
 
   /// Number of full-reload recoveries performed.
   std::uint64_t recoveries() const noexcept { return recoveries_; }
+
+  /// Transport retries spent across all exchanges.
+  std::uint64_t retries() const noexcept { return retries_; }
 
   /// Ends the session (mode sync_end).
   void sync_end();
@@ -46,16 +66,20 @@ class ReSyncReplica {
   bool active() const noexcept { return active_; }
 
  private:
+  ReSyncResponse request(const ReSyncControl& control);
   void apply(const ReSyncResponse& response);
 
-  ReSyncMaster* master_;
+  std::unique_ptr<net::Channel> owned_channel_;
+  net::Channel* channel_;
   ldap::Query query_;
   sync::ReplicaContent content_;
+  net::RetryPolicy retry_;
   std::string cookie_;
   Mode mode_ = Mode::Poll;
   bool active_ = false;
   bool auto_recover_ = false;
   std::uint64_t recoveries_ = 0;
+  std::uint64_t retries_ = 0;
 };
 
 /// Routes persist-mode notifications from one master to the replicas that

@@ -1,0 +1,372 @@
+// Chaos/soak test for the fault-injectable ReSync transport: N replicas run
+// against a mutating master over a FaultyChannel that drops, duplicates,
+// reorders, delays and resets exchanges and crashes/restarts the master,
+// while a fault-free twin master receives the identical update stream over
+// DirectChannels. After quiescence every faulty-side replica must be
+// byte-equivalent to its twin (and to the master truth), with replays
+// detected-and-suppressed on the faulty run and zero on the twin.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "core/replication_service.h"
+#include "ldap/error.h"
+#include "net/fault_injector.h"
+#include "resync/replica_client.h"
+#include "server/directory_server.h"
+#include "sync/content_tracker.h"
+#include "workload/directory_gen.h"
+
+namespace fbdr::resync {
+namespace {
+
+using ldap::Dn;
+using ldap::make_entry;
+using ldap::Query;
+using ldap::Scope;
+using server::Modification;
+
+std::unique_ptr<server::DirectoryServer> make_master() {
+  auto master = std::make_unique<server::DirectoryServer>("ldap://master");
+  server::NamingContext context;
+  context.suffix = Dn::parse("o=xyz");
+  master->add_context(std::move(context));
+  master->load(make_entry("o=xyz", {{"objectclass", "organization"}}));
+  for (int i = 0; i < 20; ++i) {
+    master->load(make_entry(
+        "cn=E" + std::to_string(i) + ",o=xyz",
+        {{"objectclass", "person"}, {"dept", std::to_string(i % 3 * 35 + 7)}}));
+  }
+  return master;
+}
+
+const std::vector<Query> kQueries = {
+    Query::parse("o=xyz", Scope::Subtree, "(dept=7)"),
+    Query::parse("o=xyz", Scope::Subtree, "(dept=42)"),
+    Query::parse("o=xyz", Scope::Subtree, "(objectclass=person)"),
+};
+
+std::vector<std::string> master_truth(const server::DirectoryServer& master,
+                                      const Query& query) {
+  sync::ContentTracker tracker(query);
+  tracker.initialize(master.dit());
+  return tracker.content_keys();
+}
+
+/// One operation drawn from `rng`, applied identically to both masters so
+/// the faulty world and the fault-free twin see the same history.
+void mutate_both(std::mt19937& rng, int& next_cn,
+                 server::DirectoryServer& faulty_master,
+                 server::DirectoryServer& twin_master) {
+  const int op = std::uniform_int_distribution<int>(0, 99)(rng);
+  const int pick = std::uniform_int_distribution<int>(0, 60)(rng);
+  const std::string dept = std::to_string(pick % 3 * 35 + 7);
+  const Dn target = Dn::parse("cn=E" + std::to_string(pick) + ",o=xyz");
+  const auto apply = [&](server::DirectoryServer& master) {
+    try {
+      if (op < 35) {
+        master.add(make_entry("cn=E" + std::to_string(next_cn) + ",o=xyz",
+                              {{"objectclass", "person"}, {"dept", dept}}));
+      } else if (op < 60) {
+        master.remove(target);
+      } else if (op < 90) {
+        master.modify(target, {{Modification::Op::Replace, "dept", {dept}}});
+      } else {
+        master.modify_dn(target, Dn::parse("cn=R" + std::to_string(next_cn) +
+                                           ",o=xyz"));
+      }
+    } catch (const ldap::OperationError&) {
+      // Missing random target: acceptable stream noise (identical on both
+      // masters, so the histories stay in lockstep).
+    }
+  };
+  apply(faulty_master);
+  apply(twin_master);
+  ++next_cn;
+}
+
+struct ChaosSchedule {
+  std::uint64_t seed;
+  net::FaultConfig faults;
+  int crash_step;    // -1 disables the master crash
+  int restart_step;
+};
+
+class ReSyncChaos : public ::testing::TestWithParam<ChaosSchedule> {};
+
+TEST_P(ReSyncChaos, ConvergesToFaultFreeTwinAfterQuiescence) {
+  const ChaosSchedule schedule = GetParam();
+
+  auto faulty_master = make_master();
+  auto twin_master = make_master();
+  ReSyncMaster faulty_resync(*faulty_master);
+  ReSyncMaster twin_resync(*twin_master);
+  faulty_resync.set_session_time_limit(60);
+  twin_resync.set_session_time_limit(60);
+
+  net::FaultyChannel faulty_channel(faulty_resync, schedule.faults);
+  net::DirectChannel twin_channel(twin_resync);
+
+  net::RetryPolicy retry;
+  retry.max_attempts = 4;
+  retry.base_backoff_ticks = 1;
+  retry.multiplier = 2.0;
+  retry.max_backoff_ticks = 6;
+  retry.jitter_seed = schedule.seed;
+
+  std::vector<std::unique_ptr<ReSyncReplica>> faulty_replicas;
+  std::vector<std::unique_ptr<ReSyncReplica>> twin_replicas;
+  for (const Query& query : kQueries) {
+    auto faulty = std::make_unique<ReSyncReplica>(faulty_channel, query);
+    faulty->set_auto_recover(true);
+    faulty->set_retry_policy(retry);
+    while (true) {
+      try {
+        faulty->start(Mode::Poll);
+        break;
+      } catch (const net::TransportError&) {
+        // Even session establishment may be retried by a real deployment.
+      }
+    }
+    faulty_replicas.push_back(std::move(faulty));
+
+    auto twin = std::make_unique<ReSyncReplica>(twin_channel, query);
+    twin->set_auto_recover(true);
+    twin->start(Mode::Poll);
+    twin_replicas.push_back(std::move(twin));
+  }
+
+  std::mt19937 rng(static_cast<unsigned>(schedule.seed));
+  int next_cn = 100;
+  for (int step = 0; step < 240; ++step) {
+    mutate_both(rng, next_cn, *faulty_master, *twin_master);
+    faulty_resync.pump();
+    twin_resync.pump();
+    faulty_resync.tick();
+    twin_resync.tick();
+
+    if (step == schedule.crash_step) faulty_channel.crash_master();
+    if (step == schedule.restart_step) faulty_channel.restart_master();
+
+    if (step % 7 == 0) {
+      for (std::size_t i = 0; i < kQueries.size(); ++i) {
+        twin_replicas[i]->poll();
+        try {
+          faulty_replicas[i]->poll();
+        } catch (const net::TransportError&) {
+          // Retry budget exhausted this round — the replica stays behind
+          // and catches up on a later poll.
+        }
+      }
+    }
+  }
+
+  // Quiescence: the link heals, stray duplicates drain, and every replica
+  // completes one clean poll (recovering first if the crash ate its
+  // session).
+  net::FaultConfig clean;
+  clean.seed = schedule.faults.seed;
+  faulty_channel.set_config(clean);
+  if (faulty_channel.master_down()) faulty_channel.restart_master();
+  faulty_channel.flush_replays();
+  faulty_resync.pump();
+  twin_resync.pump();
+  for (std::size_t i = 0; i < kQueries.size(); ++i) {
+    faulty_replicas[i]->poll();
+    twin_replicas[i]->poll();
+  }
+
+  for (std::size_t i = 0; i < kQueries.size(); ++i) {
+    const auto truth = master_truth(*faulty_master, kQueries[i]);
+    EXPECT_EQ(faulty_replicas[i]->content().keys(), truth)
+        << "faulty replica " << i << " diverged (seed " << schedule.seed << ")";
+    EXPECT_EQ(twin_replicas[i]->content().keys(),
+              master_truth(*twin_master, kQueries[i]))
+        << "twin replica " << i << " diverged (seed " << schedule.seed << ")";
+    // Identical update streams => identical content on both sides.
+    EXPECT_EQ(faulty_replicas[i]->content().keys(),
+              twin_replicas[i]->content().keys())
+        << "faulty/twin mismatch for replica " << i;
+  }
+
+  // The schedule must actually have hurt, and the replay protection must
+  // have fired: duplicated/retried polls were answered from the replay
+  // cache, never applied twice (content equality above proves the latter).
+  EXPECT_GT(faulty_channel.counters().faults(), 0u);
+  EXPECT_GT(faulty_resync.replays_suppressed(), 0u)
+      << "schedule produced no suppressed replays (seed " << schedule.seed
+      << ")";
+  EXPECT_EQ(twin_resync.replays_suppressed(), 0u);
+  if (schedule.crash_step >= 0) {
+    std::uint64_t recoveries = 0;
+    for (const auto& replica : faulty_replicas) {
+      recoveries += replica->recoveries();
+    }
+    EXPECT_GT(recoveries, 0u) << "master restart forced no recoveries";
+  }
+}
+
+net::FaultConfig lossy(std::uint64_t seed) {
+  net::FaultConfig config;
+  config.seed = seed;
+  config.drop_request = 0.10;
+  config.drop_response = 0.10;
+  config.duplicate = 0.20;
+  config.reorder = 0.50;
+  config.reset = 0.10;
+  config.delay = 0.15;
+  config.max_delay_ticks = 3;
+  return config;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedules, ReSyncChaos,
+    ::testing::Values(
+        // drop + duplicate + reorder + delay + reset, master crash mid-run
+        ChaosSchedule{20050501, lossy(20050501), 80, 95},
+        // heavier loss, later crash with a longer outage
+        ChaosSchedule{31337, lossy(31337), 150, 190},
+        // no crash: pure link chaos
+        ChaosSchedule{777, lossy(777), -1, -1},
+        // crash while a poll burst is due
+        ChaosSchedule{424242, lossy(424242), 63, 70}),
+    [](const ::testing::TestParamInfo<ChaosSchedule>& param_info) {
+      return "seed" + std::to_string(param_info.param.seed);
+    });
+
+// Service-level graceful degradation: a FilterReplicationService whose
+// master goes down keeps serving containment hits from stale local content,
+// surfaces the degradation through HealthStats, and heals with a full
+// reload on reconnect.
+TEST(ServiceDegradation, DegradedFilterServesStaleContentAndHeals) {
+  workload::DirectoryConfig config;
+  config.employees = 300;
+  config.countries = 3;
+  config.divisions = 4;
+  config.depts_per_division = 4;
+  config.locations = 6;
+  workload::EnterpriseDirectory dir = workload::generate_directory(config);
+
+  auto registry = std::make_shared<ldap::TemplateRegistry>();
+  registry->add("(serialnumber=_*)");
+
+  core::FilterReplicationService::Config service_config;
+  service_config.retry.max_attempts = 3;
+  service_config.retry.base_backoff_ticks = 1;
+  core::FilterReplicationService service(dir.master, service_config, registry);
+
+  net::FaultConfig quiet;
+  quiet.seed = 7;
+  auto channel =
+      std::make_shared<net::FaultyChannel>(service.resync(), quiet);
+  service.set_channel(channel);
+
+  const Query block = Query::parse("", Scope::Subtree, "(serialnumber=00*)");
+  service.install(block);
+  const std::string key = block.key();
+
+  // Healthy baseline: a contained query (an employee of division 0, serial
+  // prefix "00") hits and is not stale.
+  const workload::EmployeeInfo& target =
+      dir.employees[dir.division_members[0][0]];
+  ASSERT_EQ(target.serial.substr(0, 2), "00");
+  const Query probe =
+      Query::parse("", Scope::Subtree, "(serialnumber=" + target.serial + ")");
+  core::ServeOutcome outcome = service.serve(probe);
+  EXPECT_TRUE(outcome.hit);
+  EXPECT_FALSE(outcome.stale);
+  EXPECT_FALSE(service.health().any_degraded());
+
+  // The master goes down; changes keep landing that the replica cannot see.
+  channel->crash_master();
+  dir.master->modify(target.dn,
+                     {{Modification::Op::Replace, "mail", {"moved@x.com"}}});
+  service.sync();  // transport fails past the retry budget -> degraded
+
+  net::HealthStats health = service.health();
+  ASSERT_TRUE(health.filters.count(key) > 0);
+  EXPECT_TRUE(health.filters.at(key).degraded);
+  EXPECT_EQ(health.degraded_count(), 1u);
+
+  // Degraded serve: still a containment hit, flagged stale, answered from
+  // the pre-outage content.
+  outcome = service.serve(probe);
+  EXPECT_TRUE(outcome.hit);
+  EXPECT_TRUE(outcome.stale);
+  bool stale_mail = false;
+  for (const auto& entry : service.filter_replica().answer(probe)) {
+    stale_mail = !entry->has_value("mail", "moved@x.com");
+  }
+  EXPECT_TRUE(stale_mail) << "degraded filter should serve pre-outage content";
+
+  // Staleness grows while the outage lasts.
+  channel->elapse(10);
+  service.sync();  // still down
+  health = service.health();
+  EXPECT_TRUE(health.filters.at(key).degraded);
+  EXPECT_GE(health.filters.at(key).ticks_behind, 10u);
+  EXPECT_GT(health.filters.at(key).failed_syncs, 0u);
+
+  // Reconnect: the next sync heals with a full-reload recovery.
+  channel->restart_master();
+  service.sync();
+  health = service.health();
+  EXPECT_FALSE(health.filters.at(key).degraded);
+  EXPECT_GT(health.filters.at(key).recoveries, 0u);
+  outcome = service.serve(probe);
+  EXPECT_TRUE(outcome.hit);
+  EXPECT_FALSE(outcome.stale);
+  bool fresh_mail = false;
+  for (const auto& entry : service.filter_replica().answer(probe)) {
+    fresh_mail = entry->has_value("mail", "moved@x.com");
+  }
+  EXPECT_TRUE(fresh_mail) << "healed filter should serve the missed update";
+}
+
+// Session expiry racing the service's poll cadence: the master's admin
+// limit expires the session between syncs; the service recovers with a
+// full reload instead of degrading, because the link itself is healthy.
+TEST(ServiceDegradation, ExpiredSessionHealsWithoutDegrading) {
+  workload::DirectoryConfig config;
+  config.employees = 120;
+  config.countries = 2;
+  config.geo_countries = 1;
+  config.divisions = 2;
+  config.depts_per_division = 3;
+  config.locations = 4;
+  workload::EnterpriseDirectory dir = workload::generate_directory(config);
+
+  auto registry = std::make_shared<ldap::TemplateRegistry>();
+  registry->add("(serialnumber=_*)");
+  core::FilterReplicationService service(
+      dir.master, core::FilterReplicationService::Config{}, registry);
+  service.resync().set_session_time_limit(5);
+
+  const Query block = Query::parse("", Scope::Subtree, "(serialnumber=00*)");
+  service.install(block);
+
+  const workload::EmployeeInfo& target =
+      dir.employees[dir.division_members[0][0]];
+  ASSERT_EQ(target.serial.substr(0, 2), "00");
+  dir.master->modify(target.dn,
+                     {{Modification::Op::Replace, "mail", {"late@x.com"}}});
+  service.resync().tick(10);  // expire the session before the poll lands
+  service.sync();
+
+  const net::HealthStats health = service.health();
+  EXPECT_FALSE(health.any_degraded());
+  EXPECT_EQ(health.filters.at(block.key()).recoveries, 1u);
+  bool found = false;
+  for (const auto& entry : service.filter_replica().query_content(0)) {
+    if (entry->dn() == target.dn) {
+      found = entry->has_value("mail", "late@x.com");
+    }
+  }
+  EXPECT_TRUE(found) << "full-reload recovery should carry the missed update";
+}
+
+}  // namespace
+}  // namespace fbdr::resync

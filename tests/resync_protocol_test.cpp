@@ -72,7 +72,10 @@ TEST(ReSyncMaster, PollWithCookieSendsAccumulatedUpdates) {
   const ReSyncResponse response = resync.handle(kQuery, {Mode::Poll, cookie});
   EXPECT_FALSE(response.full_reload);
   EXPECT_EQ(response.entries_sent(), 2u);  // one add, one mod
-  EXPECT_EQ(response.cookie, cookie);
+  // Fig. 3: each poll returns a fresh resumption cookie (cookie -> cookie1);
+  // the sequence number it embeds is what makes retries replay-safe.
+  EXPECT_NE(response.cookie, cookie);
+  EXPECT_EQ(resync.session_count(), 1u);
 
   std::size_t adds = 0;
   std::size_t mods = 0;
@@ -201,6 +204,72 @@ TEST(ReSyncMaster, TrafficAccounting) {
   EXPECT_EQ(resync.traffic().round_trips, 0u);
 }
 
+TEST(ReSyncMaster, DuplicatedPollIsAnsweredFromReplayCache) {
+  auto master = make_master();
+  master->load(person("E1", "42"));
+  ReSyncMaster resync(*master);
+  const std::string cookie = resync.handle(kQuery, {Mode::Poll, ""}).cookie;
+
+  master->add(person("E2", "42"));
+  resync.pump();
+
+  const ReSyncResponse first = resync.handle(kQuery, {Mode::Poll, cookie});
+  ASSERT_EQ(first.entries_sent(), 1u);
+
+  // The same poll again (a retry after a lost response, or a duplicate on
+  // the wire): identical answer, session history not consumed twice.
+  const ReSyncResponse replay = resync.handle(kQuery, {Mode::Poll, cookie});
+  EXPECT_EQ(resync.replays_suppressed(), 1u);
+  EXPECT_EQ(replay.entries_sent(), first.entries_sent());
+  EXPECT_EQ(replay.cookie, first.cookie);
+
+  // The next fresh poll carries only what happened since — the E2 add was
+  // not dropped from history by the replay.
+  master->add(person("E3", "42"));
+  resync.pump();
+  const ReSyncResponse next = resync.handle(kQuery, {Mode::Poll, first.cookie});
+  EXPECT_EQ(next.entries_sent(), 1u);
+  EXPECT_EQ(next.pdus.at(0).dn.to_string(), "cn=E3,o=xyz");
+}
+
+TEST(ReSyncMaster, OutOfSequenceCookieIsRejected) {
+  auto master = make_master();
+  ReSyncMaster resync(*master);
+  const std::string cookie = resync.handle(kQuery, {Mode::Poll, ""}).cookie;
+  const std::string future = cookie.substr(0, cookie.rfind('#')) + "#7";
+  EXPECT_THROW(resync.handle(kQuery, {Mode::Poll, future}), ldap::ProtocolError);
+  // The rejection is not a stale cookie: recovery must not be triggered.
+  EXPECT_THROW(
+      {
+        try {
+          resync.handle(kQuery, {Mode::Poll, future});
+        } catch (const ldap::StaleCookieError&) {
+          ADD_FAILURE() << "out-of-sequence must not read as stale";
+          throw;
+        }
+      },
+      ldap::ProtocolError);
+  EXPECT_EQ(resync.replays_suppressed(), 0u);
+}
+
+TEST(ReSyncMaster, ResetWipesSessionsAndStalesCookies) {
+  auto master = make_master();
+  master->load(person("E1", "42"));
+  ReSyncMaster resync(*master);
+  const std::string cookie = resync.handle(kQuery, {Mode::Poll, ""}).cookie;
+  EXPECT_EQ(resync.session_count(), 1u);
+
+  resync.reset();  // master restarted: session state is gone
+  EXPECT_EQ(resync.session_count(), 0u);
+  EXPECT_THROW(resync.handle(kQuery, {Mode::Poll, cookie}),
+               ldap::StaleCookieError);
+
+  // A fresh initial request works and returns the full content again.
+  const ReSyncResponse fresh = resync.handle(kQuery, {Mode::Poll, ""});
+  EXPECT_TRUE(fresh.full_reload);
+  EXPECT_EQ(fresh.entries_sent(), 1u);
+}
+
 TEST(ReSyncReplica, EndToEndPollLoopConverges) {
   auto master = make_master();
   for (int i = 0; i < 6; ++i) {
@@ -292,8 +361,8 @@ TEST(Figure3, MessageSequenceReenactment) {
   master->modify_dn(Dn::parse("cn=E3,o=xyz"), Dn::parse("cn=E5,o=xyz"));
   resync.pump();
 
-  // S, (persist, cookie) -> E3 delete, E5 add; connection stays open.
-  const ReSyncResponse third = resync.handle(kQuery, {Mode::Persist, cookie});
+  // S, (persist, cookie1) -> E3 delete, E5 add; connection stays open.
+  const ReSyncResponse third = resync.handle(kQuery, {Mode::Persist, second.cookie});
   EXPECT_TRUE(third.persistent);
   actions.clear();
   for (const EntryPdu& pdu : third.pdus) {

@@ -7,6 +7,7 @@
 #include <random>
 
 #include "ldap/error.h"
+#include "net/channel.h"
 #include "resync/replica_client.h"
 #include "server/directory_server.h"
 #include "sync/content_tracker.h"
@@ -49,7 +50,95 @@ TEST(ReSyncRecovery, ExpiredSessionThrowsWithoutRecovery) {
   ReSyncReplica replica(resync, kQuery);
   replica.start(Mode::Poll);
   resync.tick(10);  // expire
+  EXPECT_THROW(replica.poll(), ldap::StaleCookieError);
+}
+
+// The session-expiry/poll race, throwing mode: tick() crosses the admin
+// limit just before the replica's next poll arrives with the now-stale
+// cookie. The poll must fail with the recoverable stale-cookie error and
+// leave the recovery counter untouched.
+TEST(ReSyncRecovery, ExpiryRacingPollThrowingMode) {
+  auto master = make_master();
+  ReSyncMaster resync(*master);
+  resync.set_session_time_limit(5);
+  ReSyncReplica replica(resync, kQuery);
+  replica.start(Mode::Poll);
+
+  master->add(make_entry("cn=E8,o=xyz",
+                         {{"objectclass", "person"}, {"dept", "42"}}));
+  resync.pump();
+  resync.tick(6);  // crosses the limit right before the poll lands
+
+  EXPECT_THROW(replica.poll(), ldap::StaleCookieError);
+  EXPECT_EQ(replica.recoveries(), 0u);
+  // The replica can still recover explicitly by restarting the session.
+  replica.start(Mode::Poll);
+  EXPECT_EQ(replica.content().keys(), master_truth(*master));
+}
+
+// The same race in auto-recover mode: exactly one full-reload recovery and
+// converged content, even with further polls afterwards.
+TEST(ReSyncRecovery, ExpiryRacingPollAutoRecoverMode) {
+  auto master = make_master();
+  ReSyncMaster resync(*master);
+  resync.set_session_time_limit(5);
+  ReSyncReplica replica(resync, kQuery);
+  replica.set_auto_recover(true);
+  replica.start(Mode::Poll);
+
+  master->add(make_entry("cn=E8,o=xyz",
+                         {{"objectclass", "person"}, {"dept", "42"}}));
+  resync.pump();
+  resync.tick(6);
+
+  replica.poll();
+  EXPECT_EQ(replica.recoveries(), 1u);
+  EXPECT_EQ(replica.content().keys(), master_truth(*master));
+
+  master->remove(Dn::parse("cn=E8,o=xyz"));
+  resync.pump();
+  replica.poll();
+  EXPECT_EQ(replica.recoveries(), 1u);  // no further reloads
+  EXPECT_EQ(replica.content().keys(), master_truth(*master));
+}
+
+// A channel whose master accepts the initial request but rejects every
+// later exchange with a non-cookie protocol error — models server-side
+// rejections that are not a lost session.
+class RejectingChannel final : public net::Channel {
+ public:
+  explicit RejectingChannel(ReSyncMaster& master) : master_(&master) {}
+  resync::ReSyncResponse exchange(const ldap::Query& query,
+                                  const ReSyncControl& control) override {
+    if (control.initial()) return master_->handle(query, control);
+    throw ldap::ProtocolError("unwilling to perform");
+  }
+  void abandon(const std::string& cookie) override { master_->abandon(cookie); }
+  void elapse(std::uint64_t ticks) override { master_->tick(ticks); }
+
+ private:
+  ReSyncMaster* master_;
+};
+
+// Auto-recover must be scoped to stale cookies: any other protocol error
+// (malformed request, server-side rejection) propagates even when recovery
+// is enabled — blindly reloading would mask real bugs.
+TEST(ReSyncRecovery, AutoRecoverDoesNotSwallowOtherProtocolErrors) {
+  auto master = make_master();
+  ReSyncMaster resync(*master);
+  RejectingChannel channel(resync);
+  ReSyncReplica replica(channel, kQuery);
+  replica.set_auto_recover(true);
+  replica.start(Mode::Poll);
+
   EXPECT_THROW(replica.poll(), ldap::ProtocolError);
+  EXPECT_EQ(replica.recoveries(), 0u);
+
+  // poll() before start() is a client bug and must propagate too.
+  ReSyncReplica unstarted(resync, kQuery);
+  unstarted.set_auto_recover(true);
+  EXPECT_THROW(unstarted.poll(), ldap::ProtocolError);
+  EXPECT_EQ(unstarted.recoveries(), 0u);
 }
 
 TEST(ReSyncRecovery, AutoRecoveryReloadsAndConverges) {
