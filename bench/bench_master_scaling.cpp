@@ -1,0 +1,221 @@
+// Master pump() scaling with the number of replicated-filter sessions: the
+// hot path the change-routing index and compiled filter evaluation optimize.
+//
+// Three evaluation modes over the same update mix and session population:
+//   legacy    — exhaustive per-record x per-session fan-out, AST-walking
+//               filter evaluation (the pre-optimization master),
+//   compiled  — exhaustive fan-out, compiled filter programs,
+//   routed    — ChangeRouter candidate pruning + compiled programs + shared
+//               normalized-value cache (the default configuration).
+//
+// Sessions replicate attribute-selective department filters
+// (departmentnumber=NNNN), the workload of §7.3b. Reported: pump cost per
+// journaled change (ns) and sustained change throughput per mode, plus the
+// router's candidate statistics. Results are also written as a JSON report
+// for CI (scripts/bench_smoke.sh); --min-speedup makes the bench exit
+// non-zero when routed/legacy throughput at the largest session count falls
+// below the given factor.
+//
+// Usage:
+//   bench_master_scaling [--employees=N] [--updates=N]
+//                        [--sessions=100,250,500,1000]
+//                        [--json=PATH] [--min-speedup=F]
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "json_report.h"
+#include "resync/master.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Options {
+  std::size_t employees = 10000;
+  std::size_t updates = 3000;
+  std::vector<std::size_t> sessions = {100, 250, 500, 1000};
+  std::string json_path = "BENCH_master_scaling.json";
+  double min_speedup = 0.0;
+};
+
+std::vector<std::size_t> parse_csv(const char* text) {
+  std::vector<std::size_t> out;
+  for (const char* cursor = text; *cursor != '\0';) {
+    char* end = nullptr;
+    out.push_back(std::strtoull(cursor, &end, 10));
+    cursor = *end == ',' ? end + 1 : end;
+  }
+  return out;
+}
+
+Options parse_options(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* prefix) -> const char* {
+      return arg.compare(0, std::strlen(prefix), prefix) == 0
+                 ? arg.c_str() + std::strlen(prefix)
+                 : nullptr;
+    };
+    if (const char* employees = value("--employees=")) {
+      options.employees = std::strtoull(employees, nullptr, 10);
+    } else if (const char* updates = value("--updates=")) {
+      options.updates = std::strtoull(updates, nullptr, 10);
+    } else if (const char* sessions = value("--sessions=")) {
+      options.sessions = parse_csv(sessions);
+    } else if (const char* json = value("--json=")) {
+      options.json_path = json;
+    } else if (const char* speedup = value("--min-speedup=")) {
+      options.min_speedup = std::strtod(speedup, nullptr);
+    } else {
+      std::fprintf(stderr, "unknown argument %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+struct ModeResult {
+  std::string mode;
+  std::size_t sessions = 0;
+  double ns_per_change = 0.0;
+  double changes_per_sec = 0.0;
+  std::uint64_t candidates = 0;
+  std::uint64_t exhaustive = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fbdr;
+  const Options options = parse_options(argc, argv);
+
+  workload::EnterpriseDirectory dir = bench::default_directory(options.employees);
+  // One continuous churn stream across every run: reconstructing the
+  // generator would resurrect deleted employees.
+  workload::UpdateGenerator updates(dir, {});
+
+  // The distinct department numbers session filters draw from (40 divisions
+  // x 25 departments = 1000 values at the default shape).
+  std::vector<std::string> depts;
+  for (const auto& division : dir.division_depts) {
+    depts.insert(depts.end(), division.begin(), division.end());
+  }
+
+  bench::print_banner(
+      "master_scaling",
+      "pump() ns/change vs session count; modes legacy / compiled / routed");
+
+  const char* kModes[] = {"legacy", "compiled", "routed"};
+  std::vector<ModeResult> results;
+
+  for (const std::size_t session_count : options.sessions) {
+    for (const char* mode : kModes) {
+      resync::ReSyncMaster master(*dir.master);
+      const bool legacy = std::strcmp(mode, "legacy") == 0;
+      const bool routed = std::strcmp(mode, "routed") == 0;
+      master.set_change_routing(routed);
+
+      for (std::size_t i = 0; i < session_count; ++i) {
+        const ldap::Query query = ldap::Query::parse(
+            "o=ibm", ldap::Scope::Subtree,
+            "(departmentnumber=" + depts[i % depts.size()] + ")");
+        master.handle(query, {resync::Mode::Poll, ""});
+      }
+      // Flip after the initial fills so session setup does not pay the AST
+      // walker; only pump() is being compared.
+      master.set_legacy_eval(legacy);
+
+      const auto routing_before = master.routing_stats();
+      std::uint64_t pump_ns = 0;
+      std::size_t applied = 0;
+      const std::size_t batch = 100;
+      while (applied < options.updates) {
+        updates.apply(batch);
+        const auto start = Clock::now();
+        master.pump();
+        pump_ns += static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                 start)
+                .count());
+        applied += batch;
+      }
+
+      ModeResult result;
+      result.mode = mode;
+      result.sessions = session_count;
+      result.ns_per_change = static_cast<double>(pump_ns) /
+                             static_cast<double>(applied);
+      result.changes_per_sec =
+          1e9 * static_cast<double>(applied) / static_cast<double>(pump_ns);
+      result.candidates =
+          master.routing_stats().candidates - routing_before.candidates;
+      result.exhaustive =
+          master.routing_stats().exhaustive - routing_before.exhaustive;
+      results.push_back(result);
+
+      bench::print_row("pump_ns_per_change_" + result.mode,
+                       static_cast<double>(session_count),
+                       result.ns_per_change);
+    }
+  }
+
+  // Speedup rows (per session count, against the legacy baseline).
+  double speedup_at_max = 0.0;
+  std::size_t max_sessions = 0;
+  for (const std::size_t session_count : options.sessions) {
+    double legacy_ns = 0.0;
+    double routed_ns = 0.0;
+    for (const ModeResult& result : results) {
+      if (result.sessions != session_count) continue;
+      if (result.mode == "legacy") legacy_ns = result.ns_per_change;
+      if (result.mode == "routed") routed_ns = result.ns_per_change;
+    }
+    const double speedup = routed_ns > 0.0 ? legacy_ns / routed_ns : 0.0;
+    bench::print_row("routed_speedup_vs_legacy",
+                     static_cast<double>(session_count), speedup);
+    if (session_count >= max_sessions) {
+      max_sessions = session_count;
+      speedup_at_max = speedup;
+    }
+  }
+
+  bench::JsonValue report = bench::JsonValue::object();
+  report.set("bench", "master_scaling");
+  report.set("employees", static_cast<std::uint64_t>(options.employees));
+  report.set("updates_per_run", static_cast<std::uint64_t>(options.updates));
+  bench::JsonValue rows = bench::JsonValue::array();
+  for (const ModeResult& result : results) {
+    bench::JsonValue row = bench::JsonValue::object();
+    row.set("mode", result.mode);
+    row.set("sessions", static_cast<std::uint64_t>(result.sessions));
+    row.set("pump_ns_per_change", result.ns_per_change);
+    row.set("changes_per_sec", result.changes_per_sec);
+    if (result.mode == "routed") {
+      row.set("candidates", result.candidates);
+      row.set("exhaustive", result.exhaustive);
+    }
+    rows.push(std::move(row));
+  }
+  report.set("results", std::move(rows));
+  report.set("max_sessions", static_cast<std::uint64_t>(max_sessions));
+  report.set("routed_speedup_vs_legacy_at_max_sessions", speedup_at_max);
+  bench::write_json_report(options.json_path, report);
+
+  if (options.min_speedup > 0.0 && speedup_at_max < options.min_speedup) {
+    std::fprintf(stderr,
+                 "FAIL: routed pump speedup %.2fx at %zu sessions is below "
+                 "the required %.2fx\n",
+                 speedup_at_max, max_sessions, options.min_speedup);
+    return 1;
+  }
+  std::printf("# routed speedup at %zu sessions: %.2fx\n", max_sessions,
+              speedup_at_max);
+  return 0;
+}

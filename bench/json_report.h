@@ -1,0 +1,185 @@
+#pragma once
+
+// Machine-readable bench reports. Benches keep printing their CSV rows to
+// stdout for EXPERIMENTS.md, and additionally dump a BENCH_<name>.json file
+// that CI (scripts/bench_smoke.sh) and tooling can parse without scraping.
+//
+// The value model is the minimal JSON subset the benches need: numbers,
+// strings, booleans, ordered objects and arrays.
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace fbdr::bench {
+
+class JsonValue {
+ public:
+  static JsonValue number(double v) {
+    JsonValue out(Kind::Number);
+    out.number_ = v;
+    return out;
+  }
+  static JsonValue integer(std::uint64_t v) {
+    JsonValue out(Kind::Integer);
+    out.integer_ = v;
+    return out;
+  }
+  static JsonValue boolean(bool v) {
+    JsonValue out(Kind::Boolean);
+    out.boolean_ = v;
+    return out;
+  }
+  static JsonValue string(std::string v) {
+    JsonValue out(Kind::String);
+    out.string_ = std::move(v);
+    return out;
+  }
+  static JsonValue object() { return JsonValue(Kind::Object); }
+  static JsonValue array() { return JsonValue(Kind::Array); }
+
+  /// Object member (insertion order preserved). Returns *this for chaining.
+  JsonValue& set(const std::string& key, JsonValue value) {
+    members_.emplace_back(key, std::move(value));
+    return *this;
+  }
+  JsonValue& set(const std::string& key, double v) {
+    return set(key, number(v));
+  }
+  JsonValue& set(const std::string& key, std::uint64_t v) {
+    return set(key, integer(v));
+  }
+  JsonValue& set(const std::string& key, const std::string& v) {
+    return set(key, string(v));
+  }
+  JsonValue& set(const std::string& key, const char* v) {
+    return set(key, string(v));
+  }
+
+  /// Array element.
+  JsonValue& push(JsonValue value) {
+    elements_.push_back(std::move(value));
+    return *this;
+  }
+
+  std::string dump(int indent = 0) const {
+    std::string out;
+    write(out, indent);
+    return out;
+  }
+
+ private:
+  enum class Kind { Number, Integer, Boolean, String, Object, Array };
+
+  explicit JsonValue(Kind kind) : kind_(kind) {}
+
+  static void write_escaped(std::string& out, const std::string& text) {
+    out += '"';
+    for (const char c : text) {
+      switch (c) {
+        case '"':
+          out += "\\\"";
+          break;
+        case '\\':
+          out += "\\\\";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        case '\t':
+          out += "\\t";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    out += '"';
+  }
+
+  void write(std::string& out, int indent) const {
+    const std::string pad(static_cast<std::size_t>(indent), ' ');
+    const std::string inner_pad(static_cast<std::size_t>(indent) + 2, ' ');
+    switch (kind_) {
+      case Kind::Number: {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.6g", number_);
+        out += buf;
+        break;
+      }
+      case Kind::Integer:
+        out += std::to_string(integer_);
+        break;
+      case Kind::Boolean:
+        out += boolean_ ? "true" : "false";
+        break;
+      case Kind::String:
+        write_escaped(out, string_);
+        break;
+      case Kind::Object: {
+        if (members_.empty()) {
+          out += "{}";
+          break;
+        }
+        out += "{\n";
+        for (std::size_t i = 0; i < members_.size(); ++i) {
+          out += inner_pad;
+          write_escaped(out, members_[i].first);
+          out += ": ";
+          members_[i].second.write(out, indent + 2);
+          if (i + 1 < members_.size()) out += ",";
+          out += "\n";
+        }
+        out += pad + "}";
+        break;
+      }
+      case Kind::Array: {
+        if (elements_.empty()) {
+          out += "[]";
+          break;
+        }
+        out += "[\n";
+        for (std::size_t i = 0; i < elements_.size(); ++i) {
+          out += inner_pad;
+          elements_[i].write(out, indent + 2);
+          if (i + 1 < elements_.size()) out += ",";
+          out += "\n";
+        }
+        out += pad + "]";
+        break;
+      }
+    }
+  }
+
+  Kind kind_;
+  double number_ = 0.0;
+  std::uint64_t integer_ = 0;
+  bool boolean_ = false;
+  std::string string_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+  std::vector<JsonValue> elements_;
+};
+
+/// Writes `value` to `path` followed by a trailing newline. Returns false
+/// (and prints to stderr) when the file cannot be written.
+inline bool write_json_report(const std::string& path, const JsonValue& value) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (!file) {
+    std::fprintf(stderr, "cannot write JSON report to %s\n", path.c_str());
+    return false;
+  }
+  const std::string text = value.dump() + "\n";
+  std::fwrite(text.data(), 1, text.size(), file);
+  std::fclose(file);
+  return true;
+}
+
+}  // namespace fbdr::bench

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Bench smoke gate: builds the master-scaling bench at -O2 and fails loudly
+# when the routed pump() path loses its edge over the legacy exhaustive
+# fan-out. Small sizes keep it CI-fast; the full-size run (defaults of
+# bench_master_scaling) is for EXPERIMENTS.md numbers.
+#
+# Usage: scripts/bench_smoke.sh [--min-speedup=F]   (default 2.0)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+MIN_SPEEDUP=2.0
+for arg in "$@"; do
+  case "$arg" in
+    --min-speedup=*) MIN_SPEEDUP="${arg#--min-speedup=}" ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build build-bench -j"$(nproc)" --target bench_master_scaling >/dev/null
+
+./build-bench/bench/bench_master_scaling \
+  --employees=4000 --updates=1000 --sessions=200,1000 \
+  --json=build-bench/BENCH_master_scaling.json \
+  --min-speedup="$MIN_SPEEDUP"
+
+echo "bench smoke: OK (report at build-bench/BENCH_master_scaling.json)"

@@ -15,8 +15,11 @@ echo "== tier 1: sanitizer chaos run (ASan + UBSan) =="
 cmake -B build-asan -S . -DFBDR_SANITIZE=ON -DFBDR_BUILD_BENCHMARKS=OFF \
       -DFBDR_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-asan -j"$(nproc)" --target resync_chaos_test \
-      resync_recovery_test resync_protocol_test
+      resync_recovery_test resync_protocol_test routing_equivalence_test
 ctest --test-dir build-asan --output-on-failure -j"$(nproc)" \
-      -R 'ReSyncChaos|ServiceDegradation|Recovery|ReSync'
+      -R 'ReSyncChaos|ServiceDegradation|Recovery|ReSync|RoutingEquivalence'
+
+echo "== tier 1: bench smoke (routed pump must stay >2x legacy) =="
+scripts/bench_smoke.sh --min-speedup=2
 
 echo "tier 1: OK"

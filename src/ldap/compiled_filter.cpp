@@ -1,0 +1,219 @@
+#include "ldap/compiled_filter.h"
+
+#include <algorithm>
+
+namespace fbdr::ldap {
+
+namespace {
+
+const std::vector<std::string> kNoValues;
+
+/// True when `value` is in canonical integer form (optional '-', digits, no
+/// leading zeros). Schema::normalize emits exactly this form for valid
+/// integer literals under Integer syntax, and never emits a pure digit
+/// string for an invalid one, so this test recovers "was a valid integer"
+/// from the normalized spelling alone.
+bool is_canonical_int(std::string_view value) {
+  if (!value.empty() && value.front() == '-') value.remove_prefix(1);
+  if (value.empty()) return false;
+  if (value.size() > 1 && value.front() == '0') return false;
+  return std::all_of(value.begin(), value.end(),
+                     [](char c) { return c >= '0' && c <= '9'; });
+}
+
+}  // namespace
+
+const std::vector<std::string>& NormalizedValueCache::get(
+    const EntryPtr& entry, const std::string& attr, const Schema& schema) {
+  if (entries_.size() >= capacity_ &&
+      entries_.find(entry.get()) == entries_.end()) {
+    clear();
+  }
+  PerEntry& slot = entries_[entry.get()];
+  if (!slot.pin) slot.pin = entry;
+  const auto it = slot.attrs.find(attr);
+  if (it != slot.attrs.end()) {
+    ++hits_;
+    return it->second;
+  }
+  ++misses_;
+  std::vector<std::string>& normalized = slot.attrs[attr];
+  if (const std::vector<std::string>* raw = entry->get(attr)) {
+    normalized.reserve(raw->size());
+    for (const std::string& value : *raw) {
+      normalized.push_back(schema.normalize(attr, value));
+    }
+  }
+  return normalized;
+}
+
+void NormalizedValueCache::clear() { entries_.clear(); }
+
+CompiledFilter CompiledFilter::compile(const FilterPtr& filter,
+                                       const Schema& schema) {
+  if (!filter) {
+    CompiledFilter compiled;
+    compiled.schema_ = &schema;
+    return compiled;
+  }
+  return compile(*filter, schema);
+}
+
+CompiledFilter CompiledFilter::compile(const Filter& filter,
+                                       const Schema& schema) {
+  CompiledFilter compiled;
+  compiled.schema_ = &schema;
+  compiled.emit(filter);
+  compiled.collect_pins(filter);
+  return compiled;
+}
+
+std::uint32_t CompiledFilter::intern_attr(const std::string& attr) {
+  const auto it = std::find(attrs_.begin(), attrs_.end(), attr);
+  if (it != attrs_.end()) {
+    return static_cast<std::uint32_t>(it - attrs_.begin());
+  }
+  attrs_.push_back(attr);
+  return static_cast<std::uint32_t>(attrs_.size() - 1);
+}
+
+std::uint32_t CompiledFilter::emit(const Filter& filter) {
+  const std::uint32_t index = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[index].kind = filter.kind();
+  if (filter.is_composite()) {
+    for (const FilterPtr& child : filter.children()) emit(*child);
+  } else {
+    const std::string& attr = filter.attribute();
+    nodes_[index].attr = intern_attr(attr);
+    switch (filter.kind()) {
+      case FilterKind::Equality:
+      case FilterKind::GreaterEq:
+      case FilterKind::LessEq: {
+        std::string normalized = schema_->normalize(attr, filter.value());
+        nodes_[index].value_is_int = schema_->syntax_of(attr) == Syntax::Integer &&
+                                     is_canonical_int(normalized);
+        nodes_[index].norm_value = std::move(normalized);
+        break;
+      }
+      case FilterKind::Substring: {
+        SubstringPattern normalized;
+        normalized.initial =
+            schema_->normalize(attr, filter.substrings().initial);
+        normalized.final = schema_->normalize(attr, filter.substrings().final);
+        for (const std::string& part : filter.substrings().any) {
+          normalized.any.push_back(schema_->normalize(attr, part));
+        }
+        nodes_[index].pattern = std::move(normalized);
+        break;
+      }
+      default:
+        break;  // Present carries only the attribute
+    }
+  }
+  nodes_[index].skip = static_cast<std::uint32_t>(nodes_.size());
+  return index;
+}
+
+void CompiledFilter::collect_pins(const Filter& filter) {
+  if (filter.kind() == FilterKind::Equality) {
+    pins_.push_back(
+        {filter.attribute(), schema_->normalize(filter.attribute(), filter.value())});
+    return;
+  }
+  if (filter.kind() == FilterKind::And) {
+    for (const FilterPtr& child : filter.children()) collect_pins(*child);
+  }
+}
+
+bool CompiledFilter::matches(const Entry& entry) const {
+  if (nodes_.empty()) return true;
+  return eval(0, entry, nullptr, nullptr);
+}
+
+bool CompiledFilter::matches(const EntryPtr& entry,
+                             NormalizedValueCache* cache) const {
+  if (nodes_.empty()) return true;
+  return eval(0, *entry, &entry, cache);
+}
+
+bool CompiledFilter::eval(std::size_t index, const Entry& entry,
+                          const EntryPtr* pinned,
+                          NormalizedValueCache* cache) const {
+  const Node& node = nodes_[index];
+  switch (node.kind) {
+    case FilterKind::And:
+      for (std::size_t child = index + 1; child < node.skip;
+           child = nodes_[child].skip) {
+        if (!eval(child, entry, pinned, cache)) return false;
+      }
+      return true;
+    case FilterKind::Or:
+      for (std::size_t child = index + 1; child < node.skip;
+           child = nodes_[child].skip) {
+        if (eval(child, entry, pinned, cache)) return true;
+      }
+      return false;
+    case FilterKind::Not:
+      return !eval(index + 1, entry, pinned, cache);
+    default:
+      return eval_predicate(node, entry, pinned, cache);
+  }
+}
+
+bool CompiledFilter::eval_predicate(const Node& node, const Entry& entry,
+                                    const EntryPtr* pinned,
+                                    NormalizedValueCache* cache) const {
+  const std::string& attr = attrs_[node.attr];
+  if (node.kind == FilterKind::Present) {
+    const std::vector<std::string>* values = entry.get(attr);
+    return values != nullptr && !values->empty();
+  }
+
+  // Entry-side normalized values: from the cache when available, inline
+  // otherwise. The inline path still benefits from the pre-normalized
+  // assertion (one normalization per entry value instead of two per
+  // comparison in the AST walker).
+  const std::vector<std::string>* normalized = nullptr;
+  std::vector<std::string> scratch;
+  if (cache && pinned) {
+    normalized = &cache->get(*pinned, attr, *schema_);
+  } else if (const std::vector<std::string>* raw = entry.get(attr)) {
+    scratch.reserve(raw->size());
+    for (const std::string& value : *raw) {
+      scratch.push_back(schema_->normalize(attr, value));
+    }
+    normalized = &scratch;
+  } else {
+    normalized = &kNoValues;
+  }
+
+  switch (node.kind) {
+    case FilterKind::Equality:
+      return std::find(normalized->begin(), normalized->end(),
+                       node.norm_value) != normalized->end();
+    case FilterKind::GreaterEq:
+    case FilterKind::LessEq: {
+      for (const std::string& value : *normalized) {
+        int cmp;
+        if (node.value_is_int && is_canonical_int(value)) {
+          cmp = compare_canonical_integers(value, node.norm_value);
+        } else {
+          cmp = value.compare(node.norm_value);
+        }
+        if (node.kind == FilterKind::GreaterEq ? cmp >= 0 : cmp <= 0) {
+          return true;
+        }
+      }
+      return false;
+    }
+    case FilterKind::Substring:
+      return std::any_of(
+          normalized->begin(), normalized->end(),
+          [&](const std::string& value) { return node.pattern.matches(value); });
+    default:
+      return false;  // unreachable: composites handled in eval()
+  }
+}
+
+}  // namespace fbdr::ldap

@@ -1,0 +1,119 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ldap/entry.h"
+#include "ldap/filter.h"
+#include "ldap/schema.h"
+
+namespace fbdr::ldap {
+
+/// Memoizes schema-normalized attribute values per entry so that evaluating
+/// many filters against the same entry normalizes each attribute once, not
+/// once per comparison. Entries are immutable (`shared_ptr<const Entry>`),
+/// so pointer identity is a sound cache key; the cache pins each entry it
+/// has seen to keep that identity stable. A capacity bound (entries, not
+/// bytes) clears the cache wholesale when exceeded — epoch-style eviction is
+/// enough because the hot path revisits a small working set of snapshots.
+class NormalizedValueCache {
+ public:
+  explicit NormalizedValueCache(std::size_t max_entries = 4096)
+      : capacity_(max_entries) {}
+
+  /// Normalized values of `attr` on `entry` (empty when the attribute is
+  /// absent). The returned reference stays valid until the next get() that
+  /// triggers a capacity clear; callers must not hold it across inserts.
+  const std::vector<std::string>& get(const EntryPtr& entry,
+                                      const std::string& attr,
+                                      const Schema& schema);
+
+  void clear();
+  std::size_t entry_count() const noexcept { return entries_.size(); }
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+
+ private:
+  struct PerEntry {
+    EntryPtr pin;  // keeps the pointer key valid
+    std::unordered_map<std::string, std::vector<std::string>> attrs;
+  };
+
+  std::unordered_map<const Entry*, PerEntry> entries_;
+  std::size_t capacity_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// A filter AST flattened once into a contiguous predicate program with
+/// pre-normalized assertion values. Evaluation is a flat scan with subtree
+/// skip offsets instead of a pointer-chasing AST walk, and — unlike
+/// ldap::matches — never normalizes the assertion side at match time.
+/// Combined with a NormalizedValueCache for the entry side, a comparison is
+/// a plain string (or canonical-integer) compare.
+///
+/// Also exposes the routing metadata ChangeRouter indexes sessions by:
+/// the set of attributes the filter references and the equality assertions
+/// its top-level AND pins (conjuncts that every matching entry must satisfy).
+class CompiledFilter {
+ public:
+  /// An equality conjunct at the top level (possibly under nested ANDs):
+  /// every entry matching the filter holds `norm_value` for `attr`.
+  struct EqPin {
+    std::string attr;
+    std::string norm_value;
+  };
+
+  /// Compiles `filter` under `schema`. A null filter compiles to the
+  /// match-everything program (mirrors the `!query.filter ||` convention).
+  static CompiledFilter compile(const FilterPtr& filter, const Schema& schema);
+  static CompiledFilter compile(const Filter& filter, const Schema& schema);
+
+  /// Matches everything: compiled from a null filter.
+  CompiledFilter() = default;
+
+  bool match_all() const noexcept { return nodes_.empty(); }
+
+  /// Evaluates against `entry`, normalizing entry values inline.
+  bool matches(const Entry& entry) const;
+
+  /// Evaluates using `cache` for the entry-side normalized values; pass
+  /// nullptr to normalize inline.
+  bool matches(const EntryPtr& entry, NormalizedValueCache* cache) const;
+
+  /// Distinct attributes referenced by any predicate (lowercased). The
+  /// filter's verdict on an entry can only change when one of these does.
+  const std::vector<std::string>& attributes() const noexcept { return attrs_; }
+
+  /// Top-level AND equality pins (empty when none).
+  const std::vector<EqPin>& eq_pins() const noexcept { return pins_; }
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+
+ private:
+  struct Node {
+    FilterKind kind = FilterKind::Present;
+    std::uint32_t skip = 0;      // index one past this node's subtree
+    std::uint32_t attr = 0;      // predicate: index into attrs_
+    std::string norm_value;      // Equality/GreaterEq/LessEq, pre-normalized
+    bool value_is_int = false;   // integer syntax and norm_value is canonical
+    SubstringPattern pattern;    // Substring, pre-normalized
+  };
+
+  std::uint32_t intern_attr(const std::string& attr);
+  std::uint32_t emit(const Filter& filter);
+  void collect_pins(const Filter& filter);
+  bool eval(std::size_t index, const Entry& entry, const EntryPtr* pinned,
+            NormalizedValueCache* cache) const;
+  bool eval_predicate(const Node& node, const Entry& entry,
+                      const EntryPtr* pinned, NormalizedValueCache* cache) const;
+
+  std::vector<Node> nodes_;
+  std::vector<std::string> attrs_;  // interned predicate attributes
+  std::vector<EqPin> pins_;
+  const Schema* schema_ = nullptr;
+};
+
+}  // namespace fbdr::ldap

@@ -1,7 +1,7 @@
 #include "replica/filter_replica.h"
 
+#include "ldap/compiled_filter.h"
 #include "ldap/error.h"
-#include "ldap/filter_eval.h"
 #include "ldap/filter_simplify.h"
 #include "sync/content_tracker.h"
 
@@ -203,10 +203,13 @@ bool FilterReplica::holds_entry(const Dn& dn) const {
 
 std::vector<EntryPtr> FilterReplica::answer(const Query& query) const {
   std::vector<EntryPtr> out;
+  // Compile once per answered query instead of walking the AST per entry.
+  const ldap::CompiledFilter compiled = ldap::CompiledFilter::compile(
+      query.filter, ldap::Schema::default_instance());
   for (const auto& [key, entry_ref] : pool_) {
     const EntryPtr& entry = entry_ref.first;
     if (!query.region_covers(entry->dn())) continue;
-    if (query.filter && !ldap::matches(*query.filter, *entry)) continue;
+    if (!compiled.matches(*entry)) continue;
     out.push_back(server::project(entry, query.attrs));
   }
   return out;

@@ -7,7 +7,9 @@ namespace fbdr::resync {
 using ldap::ProtocolError;
 
 ReSyncMaster::ReSyncMaster(server::DirectoryServer& master)
-    : master_(&master), last_pumped_seq_(master.journal().last_seq()) {}
+    : master_(&master),
+      router_(master.schema()),
+      last_pumped_seq_(master.journal().last_seq()) {}
 
 std::string ReSyncMaster::new_session_id() {
   return "rs-" + std::to_string(++cookie_counter_);
@@ -26,6 +28,7 @@ ReSyncMaster::CookieParts ReSyncMaster::parse_cookie(const std::string& cookie) 
   } catch (const std::exception&) {
     throw ProtocolError("malformed resync cookie '" + cookie + "'");
   }
+  parts.has_seq = true;
   return parts;
 }
 
@@ -48,7 +51,10 @@ ReSyncResponse ReSyncMaster::handle(const ldap::Query& query,
   traffic_.count_round_trip();
 
   if (control.mode == Mode::SyncEnd) {
-    if (!control.initial()) sessions_.erase(parse_cookie(control.cookie).id);
+    if (!control.initial()) {
+      const auto it = sessions_.find(parse_cookie(control.cookie).id);
+      if (it != sessions_.end()) drop_session(it);
+    }
     return {};
   }
 
@@ -61,9 +67,19 @@ ReSyncResponse ReSyncMaster::handle(const ldap::Query& query,
     id = new_session_id();
     Session fresh;
     fresh.session = std::make_unique<sync::QuerySession>(query, master_->schema());
+    fresh.session->set_legacy_eval(legacy_eval_);
     fresh.mode = control.mode;
     session = &sessions_.emplace(id, std::move(fresh)).first->second;
     const sync::UpdateBatch batch = session->session->initial(master_->dit());
+    // Register with the change router and seed its holder mirror from the
+    // freshly computed content.
+    session->route = router_.add_session(
+        session->session->query(), &session->session->tracker().compiled_filter());
+    by_handle_[session->route] = session;
+    for (const auto& [key, entry] : session->session->tracker().content()) {
+      router_.note_enter(session->route, key);
+    }
+    expiry_.emplace(clock_.now(), id);
     response.pdus = to_pdus(batch);
     response.full_reload = true;
     response.cookie = make_cookie(id, session->next_seq);
@@ -71,6 +87,15 @@ ReSyncResponse ReSyncMaster::handle(const ldap::Query& query,
     // (ii) The cookie identifies the session and carries the poll sequence
     // number; send accumulated updates.
     const CookieParts parts = parse_cookie(control.cookie);
+    if (!parts.has_seq) {
+      // A '#'-less cookie predates replay-safe sequence numbering (or came
+      // from another server). Treating it as seq 0 would bypass the replay
+      // cache and then fail the sequence check with a confusing
+      // out-of-sequence error; reject it as stale so the replica falls back
+      // to a full reload.
+      throw ldap::StaleCookieError("legacy resync cookie '" + control.cookie +
+                                   "' has no sequence number");
+    }
     id = parts.id;
     const auto it = sessions_.find(id);
     if (it == sessions_.end()) {
@@ -114,16 +139,53 @@ ReSyncResponse ReSyncMaster::handle(const ldap::Query& query,
   return response;
 }
 
+void ReSyncMaster::apply_change(Session& session,
+                                const server::ChangeRecord& record,
+                                ldap::NormalizedValueCache* cache) {
+  const std::vector<sync::ContentEvent> events =
+      session.session->on_change(record, cache);
+  if (events.empty()) return;
+  session.dirty = true;
+  if (session.route == sync::ChangeRouter::kInvalidHandle) return;
+  for (const sync::ContentEvent& event : events) {
+    switch (event.transition) {
+      case sync::Transition::Enter:
+        router_.note_enter(session.route, event.dn.norm_key());
+        break;
+      case sync::Transition::Leave:
+        router_.note_leave(session.route, event.dn.norm_key());
+        break;
+      case sync::Transition::Update:
+        break;  // membership unchanged
+    }
+  }
+}
+
 void ReSyncMaster::pump() {
   const auto records = master_->journal().since(last_pumped_seq_);
+  std::vector<sync::ChangeRouter::Handle> candidates;
   for (const server::ChangeRecord* record : records) {
-    for (auto& [cookie, session] : sessions_) {
-      session.session->on_change(*record);
+    if (change_routing_) {
+      candidates.clear();
+      router_.route(*record, candidates, &cache_);
+      for (const sync::ChangeRouter::Handle handle : candidates) {
+        apply_change(*by_handle_.at(handle), *record, &cache_);
+      }
+    } else {
+      // Exhaustive fan-out (benchmark baseline / equivalence oracle). The
+      // router's holder mirror is still maintained by apply_change, so
+      // routing can be switched back on afterwards.
+      for (auto& [id, session] : sessions_) {
+        apply_change(session, *record, nullptr);
+      }
     }
     last_pumped_seq_ = record->seq;
   }
-  // Push accumulated updates on persist connections immediately.
+  // Push accumulated updates on persist connections immediately. Only
+  // sessions some record actually touched can have anything to push.
   for (auto& [id, session] : sessions_) {
+    if (!session.dirty) continue;
+    session.dirty = false;
     if (session.mode != Mode::Persist || !session.session->initialized()) continue;
     const sync::UpdateBatch batch = session.session->poll();
     if (batch.empty()) continue;
@@ -137,27 +199,73 @@ void ReSyncMaster::pump() {
 void ReSyncMaster::tick(std::uint64_t delta) {
   clock_.advance(delta);
   if (time_limit_ == 0) return;
-  // (v) Expire idle poll sessions past the admin time limit. Persist
-  // sessions hold an open connection and are not expired here.
-  for (auto it = sessions_.begin(); it != sessions_.end();) {
-    const bool idle = clock_.now() - it->second.last_active > time_limit_;
-    if (idle && it->second.mode == Mode::Poll) {
-      it = sessions_.erase(it);
-    } else {
-      ++it;
+  // (v) Expire idle poll sessions past the admin time limit. The expiry
+  // queue is ordered by last_active-at-insertion with lazy deletion: only
+  // the stalest sessions are examined, instead of scanning all of them.
+  while (!expiry_.empty()) {
+    const auto front = expiry_.begin();
+    if (clock_.now() - front->first <= time_limit_) break;  // rest is fresher
+    const auto it = sessions_.find(front->second);
+    if (it == sessions_.end()) {
+      expiry_.erase(front);  // dropped since insertion
+      continue;
     }
+    Session& session = it->second;
+    if (session.mode != Mode::Poll) {
+      // Persist sessions hold an open connection and are not expired here;
+      // requeue at the current time so they are revisited, not rescanned.
+      const std::string id = front->second;
+      expiry_.erase(front);
+      expiry_.emplace(clock_.now(), id);
+      continue;
+    }
+    if (session.last_active != front->first) {
+      // Touched since insertion: requeue at the true last-active time.
+      const std::uint64_t last_active = session.last_active;
+      const std::string id = front->second;
+      expiry_.erase(front);
+      expiry_.emplace(last_active, id);
+      continue;
+    }
+    drop_session(it);
+    expiry_.erase(front);
   }
+}
+
+void ReSyncMaster::drop_session(std::map<std::string, Session>::iterator it) {
+  Session& session = it->second;
+  if (session.route != sync::ChangeRouter::kInvalidHandle) {
+    for (const auto& [key, entry] : session.session->tracker().content()) {
+      router_.note_leave(session.route, key);
+    }
+    router_.remove_session(session.route);
+    by_handle_.erase(session.route);
+  }
+  sessions_.erase(it);
+  // Any expiry_ node for the session is discarded lazily by tick().
 }
 
 void ReSyncMaster::reset() {
   sessions_.clear();
+  router_.clear();
+  by_handle_.clear();
+  expiry_.clear();
+  cache_.clear();
   // The restarted master resumes journal consumption at the tail: sessions
   // created after the restart take their baseline from initial() anyway.
   last_pumped_seq_ = master_->journal().last_seq();
 }
 
+void ReSyncMaster::set_legacy_eval(bool legacy) {
+  legacy_eval_ = legacy;
+  for (auto& [id, session] : sessions_) {
+    session.session->set_legacy_eval(legacy);
+  }
+}
+
 void ReSyncMaster::abandon(const std::string& cookie) {
-  sessions_.erase(parse_cookie(cookie).id);
+  const auto it = sessions_.find(parse_cookie(cookie).id);
+  if (it != sessions_.end()) drop_session(it);
 }
 
 std::size_t ReSyncMaster::open_connections() const {

@@ -5,10 +5,13 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "net/stats.h"
 #include "resync/protocol.h"
 #include "server/directory_server.h"
+#include "sync/change_router.h"
 #include "sync/query_session.h"
 
 namespace fbdr::resync {
@@ -55,9 +58,27 @@ class ReSyncMaster {
   /// Handles one resync search request.
   ReSyncResponse handle(const ldap::Query& query, const ReSyncControl& control);
 
-  /// Feeds journal records appended since the last pump into every session;
-  /// persist sessions get their updates pushed through the sink immediately.
+  /// Feeds journal records appended since the last pump into the sessions
+  /// they can affect (per-record change routing instead of the former
+  /// per-record x per-session fan-out); persist sessions get their updates
+  /// pushed through the sink immediately.
   void pump();
+
+  /// Disables change routing: every record fans out to every session, as the
+  /// pre-routing master did. The router's holder mirror is still maintained,
+  /// so routing can be re-enabled at any time. Exists for benchmarks and the
+  /// routed-vs-exhaustive equivalence tests.
+  void set_change_routing(bool enabled) { change_routing_ = enabled; }
+
+  /// Sessions evaluate filters via the original AST walker instead of the
+  /// compiled program (benchmark baseline only; results are identical).
+  /// Applies to existing sessions and to ones created later.
+  void set_legacy_eval(bool legacy);
+
+  /// Candidate-set statistics from the change router.
+  const sync::ChangeRouter::Stats& routing_stats() const noexcept {
+    return router_.stats();
+  }
 
   /// Advances the logical clock and expires idle poll sessions.
   void tick(std::uint64_t delta = 1);
@@ -99,21 +120,42 @@ class ReSyncMaster {
     std::uint64_t last_seq = 0;    // sequence of the last answered poll
     ReSyncResponse last_response;  // replay cache for last_seq
     std::string current_cookie;    // most recently issued cookie
+    sync::ChangeRouter::Handle route = sync::ChangeRouter::kInvalidHandle;
+    bool dirty = false;            // touched by the current pump
   };
 
   /// Splits "rs-<id>#<seq>" into the session id and sequence number.
+  /// Cookies without a '#' are pre-sequence-number legacy cookies; the poll
+  /// path rejects them as stale rather than misreading them as seq 0.
   struct CookieParts {
     std::string id;
     std::uint64_t seq = 0;
+    bool has_seq = false;
   };
   static CookieParts parse_cookie(const std::string& cookie);
   static std::string make_cookie(const std::string& id, std::uint64_t seq);
 
   std::string new_session_id();
   void account(const std::vector<EntryPdu>& pdus);
+  /// Feeds one record into one session and mirrors the resulting content
+  /// events into the router's holder index.
+  void apply_change(Session& session, const server::ChangeRecord& record,
+                    ldap::NormalizedValueCache* cache);
+  /// Unregisters the session from the router (releasing holder entries) and
+  /// erases it. Used by sync_end, abandon and expiry.
+  void drop_session(std::map<std::string, Session>::iterator it);
 
   server::DirectoryServer* master_;
   std::map<std::string, Session> sessions_;
+  sync::ChangeRouter router_;
+  ldap::NormalizedValueCache cache_;
+  /// Router handle -> session (map nodes are pointer-stable).
+  std::unordered_map<sync::ChangeRouter::Handle, Session*> by_handle_;
+  /// last_active at insertion -> session id, with lazy deletion: a node whose
+  /// session was touched or dropped since insertion is discarded or
+  /// re-inserted when it reaches the front, so tick() no longer scans every
+  /// session.
+  std::multimap<std::uint64_t, std::string> expiry_;
   NotificationSink sink_;
   net::LogicalClock clock_;
   net::TrafficStats traffic_;
@@ -122,6 +164,8 @@ class ReSyncMaster {
   std::uint64_t cookie_counter_ = 0;
   std::uint64_t replays_ = 0;
   bool incomplete_history_ = false;
+  bool change_routing_ = true;
+  bool legacy_eval_ = false;
 };
 
 }  // namespace fbdr::resync

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 
+#include "ldap/compiled_filter.h"
 #include "ldap/error.h"
-#include "ldap/filter_eval.h"
 
 namespace fbdr::server {
 
@@ -49,6 +49,10 @@ EntryPtr project(const EntryPtr& entry, const ldap::AttributeSelection& attrs) {
 
 SearchResult DirectoryServer::search(const Query& query) const {
   SearchResult result;
+  // Compile the filter once per search: assertion values are normalized
+  // here instead of once per candidate comparison.
+  const ldap::CompiledFilter compiled =
+      ldap::CompiledFilter::compile(query.filter, *schema_);
   const NamingContext* holder = resolve(query.base);
   // The null base names the root DSE, which exists on every server: a
   // subtree search from it covers all held contexts (the shape of requests
@@ -84,9 +88,7 @@ SearchResult DirectoryServer::search(const Query& query) const {
     std::set<std::string> seen;
     for (const NamingContext& context : contexts_) {
       for (const EntryPtr& entry : dit_.subtree(context.suffix)) {
-        if (query.filter && !ldap::matches(*query.filter, *entry, *schema_)) {
-          continue;
-        }
+        if (!compiled.matches(*entry)) continue;
         if (!seen.insert(entry->dn().norm_key()).second) continue;
         result.entries.push_back(project(entry, query.attrs));
       }
@@ -102,7 +104,7 @@ SearchResult DirectoryServer::search(const Query& query) const {
     // Entries under a subordinate referral point are not part of this
     // context (they belong to the subordinate server); the DIT never stores
     // them on this server, so no filtering is needed here.
-    if (query.filter && !ldap::matches(*query.filter, *entry, *schema_)) continue;
+    if (!compiled.matches(*entry)) continue;
     result.entries.push_back(project(entry, query.attrs));
   }
 
@@ -135,9 +137,7 @@ SearchResult DirectoryServer::search(const Query& query) const {
       if (&context == holder) continue;
       if (query.base.is_ancestor_of(context.suffix)) {
         for (const EntryPtr& entry : dit_.subtree(context.suffix)) {
-          if (query.filter && !ldap::matches(*query.filter, *entry, *schema_)) {
-            continue;
-          }
+          if (!compiled.matches(*entry)) continue;
           if (!seen.insert(entry->dn().norm_key()).second) continue;
           result.entries.push_back(project(entry, query.attrs));
         }
@@ -178,9 +178,11 @@ const ldap::Filter* find_indexable(const ldap::Filter& filter, const Dit& dit) {
 
 std::vector<EntryPtr> DirectoryServer::evaluate(const Query& query) const {
   std::vector<EntryPtr> out;
+  const ldap::CompiledFilter compiled =
+      ldap::CompiledFilter::compile(query.filter, *schema_);
   auto consider = [&](const EntryPtr& entry) {
     if (!query.region_covers(entry->dn())) return;
-    if (query.filter && !ldap::matches(*query.filter, *entry, *schema_)) return;
+    if (!compiled.matches(*entry)) return;
     out.push_back(entry);
   };
 
@@ -188,7 +190,7 @@ std::vector<EntryPtr> DirectoryServer::evaluate(const Query& query) const {
       query.filter ? find_indexable(*query.filter, dit_) : nullptr;
   if (indexable) {
     if (indexable->kind() == ldap::FilterKind::Equality) {
-      if (const std::set<std::string>* keys =
+      if (const std::vector<std::string>* keys =
               dit_.index_lookup(indexable->attribute(), indexable->value())) {
         for (const std::string& key : *keys) {
           consider(dit_.find_by_key(key));

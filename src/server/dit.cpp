@@ -176,10 +176,16 @@ std::vector<EntryPtr> Dit::children(const Dn& dn) const {
 void Dit::collect_subtree(const Dn& base, std::vector<EntryPtr>& out) const {
   const EntryPtr entry = find(base);
   if (entry) out.push_back(entry);
-  const auto it = children_.find(base.norm_key());
+  collect_below(base.norm_key(), out);
+}
+
+void Dit::collect_below(const std::string& base_key,
+                        std::vector<EntryPtr>& out) const {
+  const auto it = children_.find(base_key);
   if (it == children_.end()) return;
   for (const std::string& key : it->second) {
-    collect_subtree(entries_.at(key)->dn(), out);
+    out.push_back(entries_.at(key));
+    collect_below(key, out);
   }
 }
 
@@ -207,6 +213,22 @@ void Dit::for_each(const std::function<void(const EntryPtr&)>& fn) const {
   for (const auto& [key, entry] : entries_) fn(entry);
 }
 
+namespace {
+
+/// Sorted-unique posting-list maintenance (vectors beat node-based sets on
+/// lookup-heavy index traffic: one allocation, contiguous scan).
+void posting_insert(std::vector<std::string>& list, const std::string& key) {
+  const auto it = std::lower_bound(list.begin(), list.end(), key);
+  if (it == list.end() || *it != key) list.insert(it, key);
+}
+
+void posting_erase(std::vector<std::string>& list, const std::string& key) {
+  const auto it = std::lower_bound(list.begin(), list.end(), key);
+  if (it != list.end() && *it == key) list.erase(it);
+}
+
+}  // namespace
+
 void Dit::add_index(std::string_view attr, const ldap::Schema& schema) {
   index_schema_ = &schema;
   auto [it, inserted] = indexes_.try_emplace(ldap::text::lower(attr));
@@ -215,7 +237,7 @@ void Dit::add_index(std::string_view attr, const ldap::Schema& schema) {
   for (const auto& [key, entry] : entries_) {
     if (const std::vector<std::string>* values = entry->get(it->first)) {
       for (const std::string& value : *values) {
-        it->second[schema.normalize(it->first, value)].insert(key);
+        posting_insert(it->second[schema.normalize(it->first, value)], key);
       }
     }
   }
@@ -225,12 +247,12 @@ bool Dit::has_index(std::string_view attr) const {
   return index_schema_ && indexes_.count(ldap::text::lower(attr)) > 0;
 }
 
-const std::set<std::string>* Dit::index_lookup(std::string_view attr,
-                                               std::string_view value) const {
+const std::vector<std::string>* Dit::index_lookup(std::string_view attr,
+                                                  std::string_view value) const {
   if (!index_schema_) return nullptr;
   const auto index = indexes_.find(ldap::text::lower(attr));
   if (index == indexes_.end()) return nullptr;
-  static const std::set<std::string> kEmpty;
+  static const std::vector<std::string> kEmpty;
   const auto it = index->second.find(index_schema_->normalize(index->first, value));
   return it == index->second.end() ? &kEmpty : &it->second;
 }
@@ -254,8 +276,8 @@ void Dit::index_entry(const ldap::Entry& entry) {
   for (auto& [attr, value_map] : indexes_) {
     if (const std::vector<std::string>* values = entry.get(attr)) {
       for (const std::string& value : *values) {
-        value_map[index_schema_->normalize(attr, value)].insert(
-            entry.dn().norm_key());
+        posting_insert(value_map[index_schema_->normalize(attr, value)],
+                       entry.dn().norm_key());
       }
     }
   }
@@ -267,7 +289,7 @@ void Dit::deindex_entry(const ldap::Entry& entry) {
       for (const std::string& value : *values) {
         const auto it = value_map.find(index_schema_->normalize(attr, value));
         if (it == value_map.end()) continue;
-        it->second.erase(entry.dn().norm_key());
+        posting_erase(it->second, entry.dn().norm_key());
         if (it->second.empty()) value_map.erase(it);
       }
     }

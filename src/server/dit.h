@@ -80,10 +80,11 @@ class Dit {
 
   bool has_index(std::string_view attr) const;
 
-  /// Entries holding `value` for the indexed attribute. Returns nullptr when
-  /// the attribute is not indexed; an empty set when no entry matches.
-  const std::set<std::string>* index_lookup(std::string_view attr,
-                                            std::string_view value) const;
+  /// Entries holding `value` for the indexed attribute, as a sorted vector
+  /// of entry keys. Returns nullptr when the attribute is not indexed; an
+  /// empty list when no entry matches.
+  const std::vector<std::string>* index_lookup(std::string_view attr,
+                                               std::string_view value) const;
 
   /// Entries whose indexed value starts with `prefix` (the value index is
   /// ordered, so this is a range scan). Precondition: has_index(attr).
@@ -94,14 +95,18 @@ class Dit {
   bool is_suffix_dn(const ldap::Dn& dn) const;
   void collect_subtree(const ldap::Dn& base,
                        std::vector<ldap::EntryPtr>& out) const;
+  /// Appends every entry strictly below `base_key`, recursing on the stored
+  /// normalized keys (no Dn re-derivation per hop).
+  void collect_below(const std::string& base_key,
+                     std::vector<ldap::EntryPtr>& out) const;
   void index_entry(const ldap::Entry& entry);
   void deindex_entry(const ldap::Entry& entry);
 
   std::map<std::string, ldap::EntryPtr> entries_;          // by norm key
   std::map<std::string, std::set<std::string>> children_;  // parent -> children
   std::vector<ldap::Dn> suffixes_;
-  /// attr -> normalized value -> entry keys.
-  std::map<std::string, std::map<std::string, std::set<std::string>>> indexes_;
+  /// attr -> normalized value -> sorted entry keys (posting list).
+  std::map<std::string, std::map<std::string, std::vector<std::string>>> indexes_;
   const ldap::Schema* index_schema_ = nullptr;
 };
 

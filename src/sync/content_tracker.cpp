@@ -24,7 +24,9 @@ std::string to_string(Transition transition) {
 }
 
 ContentTracker::ContentTracker(ldap::Query query, const ldap::Schema& schema)
-    : query_(std::move(query)), schema_(&schema) {}
+    : query_(std::move(query)),
+      schema_(&schema),
+      compiled_(ldap::CompiledFilter::compile(query_.filter, schema)) {}
 
 bool ContentTracker::in_region(const Dn& dn) const {
   switch (query_.scope) {
@@ -40,7 +42,19 @@ bool ContentTracker::in_region(const Dn& dn) const {
 
 bool ContentTracker::matches_query(const Entry& entry) const {
   if (!in_region(entry.dn())) return false;
-  return !query_.filter || ldap::matches(*query_.filter, entry, *schema_);
+  if (legacy_eval_) {
+    return !query_.filter || ldap::matches(*query_.filter, entry, *schema_);
+  }
+  return compiled_.matches(entry);
+}
+
+bool ContentTracker::matches_query(const EntryPtr& entry,
+                                   ldap::NormalizedValueCache* cache) const {
+  if (!in_region(entry->dn())) return false;
+  if (legacy_eval_) {
+    return !query_.filter || ldap::matches(*query_.filter, *entry, *schema_);
+  }
+  return compiled_.matches(entry, cache);
 }
 
 void ContentTracker::initialize(const server::Dit& dit) {
@@ -63,11 +77,12 @@ std::vector<std::string> ContentTracker::content_keys() const {
   return keys;
 }
 
-std::vector<ContentEvent> ContentTracker::on_change(const ChangeRecord& record) {
+std::vector<ContentEvent> ContentTracker::on_change(
+    const ChangeRecord& record, ldap::NormalizedValueCache* cache) {
   std::vector<ContentEvent> events;
   switch (record.type) {
     case ChangeType::Add: {
-      if (record.after && matches_query(*record.after)) {
+      if (record.after && matches_query(record.after, cache)) {
         content_[record.dn.norm_key()] = record.after;
         events.push_back({record.seq, Transition::Enter, record.dn, record.after});
       }
@@ -81,7 +96,7 @@ std::vector<ContentEvent> ContentTracker::on_change(const ChangeRecord& record) 
     }
     case ChangeType::Modify: {
       const bool was_in = in_content(record.dn);
-      const bool now_in = record.after && matches_query(*record.after);
+      const bool now_in = record.after && matches_query(record.after, cache);
       if (was_in && now_in) {
         content_[record.dn.norm_key()] = record.after;
         events.push_back({record.seq, Transition::Update, record.dn, record.after});
@@ -96,7 +111,7 @@ std::vector<ContentEvent> ContentTracker::on_change(const ChangeRecord& record) 
     }
     case ChangeType::ModifyDn: {
       const bool was_in = in_content(record.dn);
-      const bool now_in = record.after && matches_query(*record.after);
+      const bool now_in = record.after && matches_query(record.after, cache);
       if (was_in) {
         content_.erase(record.dn.norm_key());
         events.push_back({record.seq, Transition::Leave, record.dn, nullptr});

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "ldap/compiled_filter.h"
 #include "ldap/entry.h"
 #include "ldap/query.h"
 #include "ldap/schema.h"
@@ -46,8 +47,11 @@ class ContentTracker {
   void initialize(const server::Dit& dit);
 
   /// Classifies one change; updates the tracked content; returns the events
-  /// (0, 1, or 2 — a rename can produce Leave+Enter).
-  std::vector<ContentEvent> on_change(const server::ChangeRecord& record);
+  /// (0, 1, or 2 — a rename can produce Leave+Enter). `cache` (optional)
+  /// shares entry-side normalized values across trackers evaluating the
+  /// same change.
+  std::vector<ContentEvent> on_change(const server::ChangeRecord& record,
+                                      ldap::NormalizedValueCache* cache = nullptr);
 
   bool in_content(const ldap::Dn& dn) const;
   std::size_t content_size() const noexcept { return content_.size(); }
@@ -63,11 +67,28 @@ class ContentTracker {
   /// True when `entry` satisfies the query (region + filter).
   bool matches_query(const ldap::Entry& entry) const;
 
+  /// Cache-assisted variant used by the master's pump hot path.
+  bool matches_query(const ldap::EntryPtr& entry,
+                     ldap::NormalizedValueCache* cache) const;
+
+  /// The filter compiled once at construction; the ChangeRouter indexes
+  /// sessions by its referenced attributes and equality pins.
+  const ldap::CompiledFilter& compiled_filter() const noexcept {
+    return compiled_;
+  }
+
+  /// Evaluate via the original AST walker instead of the compiled program.
+  /// Exists so benchmarks can measure the pre-compilation cost; results are
+  /// identical (see tests/routing_equivalence_test.cpp).
+  void set_legacy_eval(bool legacy) { legacy_eval_ = legacy; }
+
  private:
   bool in_region(const ldap::Dn& dn) const;
 
   ldap::Query query_;
   const ldap::Schema* schema_;
+  ldap::CompiledFilter compiled_;
+  bool legacy_eval_ = false;
   std::map<std::string, ldap::EntryPtr> content_;  // norm key -> snapshot
 };
 

@@ -28,10 +28,11 @@ UpdateBatch QuerySession::initial(const server::Dit& dit) {
   return batch;
 }
 
-void QuerySession::on_change(const server::ChangeRecord& record) {
-  std::vector<ContentEvent> events = tracker_.on_change(record);
-  pending_.insert(pending_.end(), std::make_move_iterator(events.begin()),
-                  std::make_move_iterator(events.end()));
+std::vector<ContentEvent> QuerySession::on_change(
+    const server::ChangeRecord& record, ldap::NormalizedValueCache* cache) {
+  std::vector<ContentEvent> events = tracker_.on_change(record, cache);
+  pending_.insert(pending_.end(), events.begin(), events.end());
+  return events;
 }
 
 UpdateBatch QuerySession::poll() {

@@ -29,8 +29,12 @@ class QuerySession {
   /// Full initial content (clears history).
   UpdateBatch initial(const server::Dit& dit);
 
-  /// Feeds one journaled master change into the session history.
-  void on_change(const server::ChangeRecord& record);
+  /// Feeds one journaled master change into the session history. Returns the
+  /// content events the change produced (the master's ChangeRouter mirrors
+  /// its holder index from them). `cache` (optional) shares entry-side
+  /// normalized values across sessions evaluating the same change.
+  std::vector<ContentEvent> on_change(const server::ChangeRecord& record,
+                                      ldap::NormalizedValueCache* cache = nullptr);
 
   /// Minimal updates since the last poll (equation (2)); requires the
   /// session history fed via on_change.
@@ -43,6 +47,9 @@ class QuerySession {
 
   /// Pending (unpolled) events — the history size the master holds.
   std::size_t pending_events() const noexcept { return pending_.size(); }
+
+  /// Forwards to ContentTracker::set_legacy_eval (benchmark baseline only).
+  void set_legacy_eval(bool legacy) { tracker_.set_legacy_eval(legacy); }
 
  private:
   ContentTracker tracker_;

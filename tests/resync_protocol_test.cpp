@@ -93,6 +93,25 @@ TEST(ReSyncMaster, UnknownCookieIsRejected) {
   EXPECT_THROW(resync.handle(kQuery, {Mode::Poll, "rs-999"}), ldap::ProtocolError);
 }
 
+TEST(ReSyncMaster, LegacyCookieWithoutSequenceIsRejectedAsStale) {
+  auto master = make_master();
+  ReSyncMaster resync(*master);
+  const std::string cookie = resync.handle(kQuery, {Mode::Poll, ""}).cookie;
+  ASSERT_NE(cookie.find('#'), std::string::npos);
+
+  // A '#'-less cookie (pre-sequence-number format, or one mangled in
+  // transit) used to parse as sequence 0, bypass the replay cache, and die
+  // on the out-of-sequence check. It must be rejected as stale so the
+  // replica falls back to a full reload instead of retrying forever.
+  const std::string legacy = cookie.substr(0, cookie.find('#'));
+  EXPECT_THROW(resync.handle(kQuery, {Mode::Poll, legacy}),
+               ldap::StaleCookieError);
+
+  // The rejection leaves the session intact: the genuine cookie still works.
+  EXPECT_EQ(resync.session_count(), 1u);
+  EXPECT_NO_THROW(resync.handle(kQuery, {Mode::Poll, cookie}));
+}
+
 TEST(ReSyncMaster, SyncEndRemovesSession) {
   auto master = make_master();
   ReSyncMaster resync(*master);
