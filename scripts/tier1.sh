@@ -11,13 +11,17 @@ cmake -B build -S . >/dev/null
 cmake --build build -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)"
 
+echo "== tier 1: lint (non-fatal) =="
+scripts/lint.sh || echo "lint: reported issues (non-fatal)"
+
 echo "== tier 1: sanitizer chaos run (ASan + UBSan) =="
 cmake -B build-asan -S . -DFBDR_SANITIZE=ON -DFBDR_BUILD_BENCHMARKS=OFF \
       -DFBDR_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-asan -j"$(nproc)" --target resync_chaos_test \
-      resync_recovery_test resync_protocol_test routing_equivalence_test
+      resync_recovery_test resync_protocol_test routing_equivalence_test \
+      filter_ir_equivalence_test
 ctest --test-dir build-asan --output-on-failure -j"$(nproc)" \
-      -R 'ReSyncChaos|ServiceDegradation|Recovery|ReSync|RoutingEquivalence'
+      -R 'ReSyncChaos|ServiceDegradation|Recovery|ReSync|RoutingEquivalence|FilterIrEquivalence'
 
 echo "== tier 1: bench smoke (routed pump must stay >2x legacy) =="
 scripts/bench_smoke.sh --min-speedup=2

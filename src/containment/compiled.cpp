@@ -224,35 +224,34 @@ std::vector<SymConjunct> sym_dnf(const Filter& node, bool negated, Side side,
 using Resolved = std::optional<std::string>;
 
 Resolved resolve(const SymValue& v, const std::vector<std::string>& inner,
-                 const std::vector<std::string>& outer, const std::string& attr,
-                 const Schema& schema) {
-  std::string base;
+                 const std::vector<std::string>& outer) {
+  const std::string* base = nullptr;
   switch (v.kind) {
     case SymValue::Kind::Const:
-      base = v.constant;  // normalized at compile time
+      base = &v.constant;  // normalized at compile time
       break;
     case SymValue::Kind::InnerSlot:
       if (v.slot >= inner.size()) {
         throw ldap::ProtocolError("compiled containment: inner slot out of range");
       }
-      base = schema.normalize(attr, inner[v.slot]);
+      base = &inner[v.slot];  // pre-normalized (BoundTemplate::norm_slots)
       break;
     case SymValue::Kind::OuterSlot:
       if (v.slot >= outer.size()) {
         throw ldap::ProtocolError("compiled containment: outer slot out of range");
       }
-      base = schema.normalize(attr, outer[v.slot]);
+      base = &outer[v.slot];  // pre-normalized (BoundTemplate::norm_slots)
       break;
   }
-  if (!v.prefix_succ) return base;
-  return prefix_upper_bound(base);  // nullopt == +infinity
+  if (!v.prefix_succ) return *base;
+  return prefix_upper_bound(*base);  // nullopt == +infinity
 }
 
 /// Evaluates one atom: is the interval (lower, upper) empty?
 bool atom_holds(const Atom& atom, const std::vector<std::string>& inner,
                 const std::vector<std::string>& outer, const Schema& schema) {
-  const Resolved lower = resolve(atom.lower, inner, outer, atom.attr, schema);
-  const Resolved upper = resolve(atom.upper, inner, outer, atom.attr, schema);
+  const Resolved lower = resolve(atom.lower, inner, outer);
+  const Resolved upper = resolve(atom.upper, inner, outer);
   if (!lower) return true;   // lower bound +inf: nothing fits above it
   if (!upper) return false;  // upper bound +inf: never empty via this pair
   const int cmp = schema.compare(atom.attr, *upper, *lower);

@@ -55,9 +55,10 @@ class CompiledContainment {
       const ldap::FilterTemplate& inner, const ldap::FilterTemplate& outer,
       const ldap::Schema& schema = ldap::Schema::default_instance());
 
-  /// Evaluates the condition against concrete slot bindings (as produced by
-  /// FilterTemplate::match, schema-unnormalized — normalization happens
-  /// here).
+  /// Evaluates the condition against concrete slot bindings. Slot values
+  /// must be schema-normalized already (BoundTemplate::norm_slots carries
+  /// them in that form) — evaluation performs only comparisons, never
+  /// normalization.
   bool evaluate(const std::vector<std::string>& inner_slots,
                 const std::vector<std::string>& outer_slots,
                 const ldap::Schema& schema = ldap::Schema::default_instance()) const;

@@ -8,6 +8,7 @@
 
 #include "containment/value_range.h"
 #include "ldap/filter.h"
+#include "ldap/filter_ir.h"
 #include "ldap/schema.h"
 
 namespace fbdr::containment {
@@ -59,9 +60,25 @@ Conjunct merge_conjuncts(const Conjunct& a, const Conjunct& b,
 ///   NOT (a=..S..) -> absent(a) OR not-pattern(a, S)          [otherwise]
 ///
 /// Throws DnfLimitExceeded when the expansion exceeds `max_conjuncts`.
+///
+/// The primary overload expands canonical IR: assertion values are already
+/// normalized on the nodes and the typed-range facet decides the prefix
+/// cases, so expansion performs no normalization. The Filter overload
+/// interns first (a hash-cons lookup for filters seen before) and delegates.
+std::vector<Conjunct> to_dnf(const ldap::FilterIr& filter, bool negated,
+                             const ldap::Schema& schema,
+                             std::size_t max_conjuncts = 4096);
 std::vector<Conjunct> to_dnf(const ldap::Filter& filter, bool negated,
                              const ldap::Schema& schema,
                              std::size_t max_conjuncts = 4096);
+
+/// The pre-IR expansion: walks the raw AST and normalizes every assertion
+/// value inline. Kept only as the benchmark baseline and the equivalence
+/// suite's oracle (like ContentTracker::set_legacy_eval); production paths
+/// go through the IR overload.
+std::vector<Conjunct> legacy_to_dnf(const ldap::Filter& filter, bool negated,
+                                    const ldap::Schema& schema,
+                                    std::size_t max_conjuncts = 4096);
 
 /// Decides whether a conjunct is provably unsatisfiable (paper §4.1: "the
 /// predicates in Bi should impose an empty range for at least one of the

@@ -1,9 +1,13 @@
 #include "containment/engine.h"
 
+#include "ldap/filter_ir.h"
+
 namespace fbdr::containment {
 
 using ldap::BoundTemplate;
 using ldap::Filter;
+using ldap::FilterInterner;
+using ldap::FilterIrPtr;
 using ldap::Query;
 using ldap::TemplateRegistry;
 
@@ -36,23 +40,32 @@ bool ContainmentEngine::filter_contained(
     const Filter& inner, const std::optional<BoundTemplate>& inner_binding,
     const Filter& outer, const std::optional<BoundTemplate>& outer_binding) {
   ++stats_.checks;
+  FilterInterner& interner = FilterInterner::for_schema(*schema_);
+  const FilterIrPtr inner_ir = interner.intern(inner);
+  const FilterIrPtr outer_ir = interner.intern(outer);
   if (inner_binding && outer_binding) {
     if (inner_binding->template_id == outer_binding->template_id) {
-      ++stats_.same_template;
-      return same_template_contained(inner, outer, *schema_);
-    }
-    if (const CompiledContainment* condition = compiled_for(
-            inner_binding->template_id, outer_binding->template_id)) {
+      // Proposition 3 over canonical IR. Canonicalization can collapse the
+      // two instances into different shapes (duplicate children dedup); the
+      // lockstep walk then reports nullopt and we fall through to the
+      // general check instead of answering unsoundly.
+      if (const auto verdict =
+              same_template_contained(*inner_ir, *outer_ir, *schema_)) {
+        ++stats_.same_template;
+        return *verdict;
+      }
+    } else if (const CompiledContainment* condition = compiled_for(
+                   inner_binding->template_id, outer_binding->template_id)) {
       ++stats_.compiled;
       if (condition->trivially_true() || condition->trivially_false()) {
         ++stats_.compiled_trivial;
       }
-      return condition->evaluate(inner_binding->slots, outer_binding->slots,
-                                 *schema_);
+      return condition->evaluate(inner_binding->norm_slots,
+                                 outer_binding->norm_slots, *schema_);
     }
   }
   ++stats_.general;
-  return containment::filter_contained(inner, outer, *schema_);
+  return containment::filter_contained(*inner_ir, *outer_ir, *schema_);
 }
 
 bool ContainmentEngine::query_contained(

@@ -8,23 +8,16 @@ namespace {
 
 const std::vector<std::string> kNoValues;
 
-/// True when `value` is in canonical integer form (optional '-', digits, no
-/// leading zeros). Schema::normalize emits exactly this form for valid
-/// integer literals under Integer syntax, and never emits a pure digit
-/// string for an invalid one, so this test recovers "was a valid integer"
-/// from the normalized spelling alone.
-bool is_canonical_int(std::string_view value) {
-  if (!value.empty() && value.front() == '-') value.remove_prefix(1);
-  if (value.empty()) return false;
-  if (value.size() > 1 && value.front() == '0') return false;
-  return std::all_of(value.begin(), value.end(),
-                     [](char c) { return c >= '0' && c <= '9'; });
-}
-
 }  // namespace
 
 const std::vector<std::string>& NormalizedValueCache::get(
     const EntryPtr& entry, const std::string& attr, const Schema& schema) {
+  return get(entry, FilterInterner::for_schema(schema).attrs().intern(attr),
+             FilterInterner::for_schema(schema).attrs());
+}
+
+const std::vector<std::string>& NormalizedValueCache::get(
+    const EntryPtr& entry, AttrId attr, const AttrInterner& attrs) {
   if (entries_.size() >= capacity_ &&
       entries_.find(entry.get()) == entries_.end()) {
     clear();
@@ -38,10 +31,11 @@ const std::vector<std::string>& NormalizedValueCache::get(
   }
   ++misses_;
   std::vector<std::string>& normalized = slot.attrs[attr];
-  if (const std::vector<std::string>* raw = entry->get(attr)) {
+  const std::string& name = attrs.name(attr);
+  if (const std::vector<std::string>* raw = entry->get(name)) {
     normalized.reserve(raw->size());
     for (const std::string& value : *raw) {
-      normalized.push_back(schema.normalize(attr, value));
+      normalized.push_back(attrs.schema().normalize(name, value));
     }
   }
   return normalized;
@@ -51,78 +45,63 @@ void NormalizedValueCache::clear() { entries_.clear(); }
 
 CompiledFilter CompiledFilter::compile(const FilterPtr& filter,
                                        const Schema& schema) {
-  if (!filter) {
-    CompiledFilter compiled;
-    compiled.schema_ = &schema;
-    return compiled;
-  }
-  return compile(*filter, schema);
+  FilterInterner& interner = FilterInterner::for_schema(schema);
+  return compile(interner.intern(filter), interner);
 }
 
 CompiledFilter CompiledFilter::compile(const Filter& filter,
                                        const Schema& schema) {
+  FilterInterner& interner = FilterInterner::for_schema(schema);
+  return compile(interner.intern(filter), interner);
+}
+
+CompiledFilter CompiledFilter::compile(const FilterIrPtr& ir,
+                                       const FilterInterner& interner) {
   CompiledFilter compiled;
-  compiled.schema_ = &schema;
-  compiled.emit(filter);
-  compiled.collect_pins(filter);
+  compiled.schema_ = &interner.schema();
+  compiled.interner_ = &interner.attrs();
+  compiled.ir_ = ir;
+  if (!ir) return compiled;  // match-everything program
+  compiled.emit(*ir);
+  compiled.collect_pins(*ir);
   return compiled;
 }
 
-std::uint32_t CompiledFilter::intern_attr(const std::string& attr) {
-  const auto it = std::find(attrs_.begin(), attrs_.end(), attr);
-  if (it != attrs_.end()) {
-    return static_cast<std::uint32_t>(it - attrs_.begin());
+std::uint32_t CompiledFilter::intern_attr(AttrId id) {
+  const auto it = std::find(attr_ids_.begin(), attr_ids_.end(), id);
+  if (it != attr_ids_.end()) {
+    return static_cast<std::uint32_t>(it - attr_ids_.begin());
   }
-  attrs_.push_back(attr);
-  return static_cast<std::uint32_t>(attrs_.size() - 1);
+  attr_ids_.push_back(id);
+  attrs_.push_back(interner_->name(id));
+  return static_cast<std::uint32_t>(attr_ids_.size() - 1);
 }
 
-std::uint32_t CompiledFilter::emit(const Filter& filter) {
+std::uint32_t CompiledFilter::emit(const FilterIr& ir) {
   const std::uint32_t index = static_cast<std::uint32_t>(nodes_.size());
   nodes_.emplace_back();
-  nodes_[index].kind = filter.kind();
-  if (filter.is_composite()) {
-    for (const FilterPtr& child : filter.children()) emit(*child);
+  nodes_[index].kind = ir.kind();
+  if (ir.is_composite()) {
+    for (const FilterIrPtr& child : ir.children()) emit(*child);
   } else {
-    const std::string& attr = filter.attribute();
-    nodes_[index].attr = intern_attr(attr);
-    switch (filter.kind()) {
-      case FilterKind::Equality:
-      case FilterKind::GreaterEq:
-      case FilterKind::LessEq: {
-        std::string normalized = schema_->normalize(attr, filter.value());
-        nodes_[index].value_is_int = schema_->syntax_of(attr) == Syntax::Integer &&
-                                     is_canonical_int(normalized);
-        nodes_[index].norm_value = std::move(normalized);
-        break;
-      }
-      case FilterKind::Substring: {
-        SubstringPattern normalized;
-        normalized.initial =
-            schema_->normalize(attr, filter.substrings().initial);
-        normalized.final = schema_->normalize(attr, filter.substrings().final);
-        for (const std::string& part : filter.substrings().any) {
-          normalized.any.push_back(schema_->normalize(attr, part));
-        }
-        nodes_[index].pattern = std::move(normalized);
-        break;
-      }
-      default:
-        break;  // Present carries only the attribute
-    }
+    // Assertion values were normalized once when the IR was interned; the
+    // program copies them verbatim.
+    nodes_[index].attr = intern_attr(ir.attr_id());
+    nodes_[index].norm_value = ir.norm_value();
+    nodes_[index].value_is_int = ir.value_is_int();
+    nodes_[index].pattern = ir.pattern();
   }
   nodes_[index].skip = static_cast<std::uint32_t>(nodes_.size());
   return index;
 }
 
-void CompiledFilter::collect_pins(const Filter& filter) {
-  if (filter.kind() == FilterKind::Equality) {
-    pins_.push_back(
-        {filter.attribute(), schema_->normalize(filter.attribute(), filter.value())});
+void CompiledFilter::collect_pins(const FilterIr& ir) {
+  if (ir.kind() == FilterKind::Equality) {
+    pins_.push_back({ir.attribute(), ir.attr_id(), ir.norm_value()});
     return;
   }
-  if (filter.kind() == FilterKind::And) {
-    for (const FilterPtr& child : filter.children()) collect_pins(*child);
+  if (ir.kind() == FilterKind::And) {
+    for (const FilterIrPtr& child : ir.children()) collect_pins(*child);
   }
 }
 
@@ -177,7 +156,7 @@ bool CompiledFilter::eval_predicate(const Node& node, const Entry& entry,
   const std::vector<std::string>* normalized = nullptr;
   std::vector<std::string> scratch;
   if (cache && pinned) {
-    normalized = &cache->get(*pinned, attr, *schema_);
+    normalized = &cache->get(*pinned, attr_ids_[node.attr], *interner_);
   } else if (const std::vector<std::string>* raw = entry.get(attr)) {
     scratch.reserve(raw->size());
     for (const std::string& value : *raw) {
@@ -196,7 +175,7 @@ bool CompiledFilter::eval_predicate(const Node& node, const Entry& entry,
     case FilterKind::LessEq: {
       for (const std::string& value : *normalized) {
         int cmp;
-        if (node.value_is_int && is_canonical_int(value)) {
+        if (node.value_is_int && is_canonical_integer(value)) {
           cmp = compare_canonical_integers(value, node.norm_value);
         } else {
           cmp = value.compare(node.norm_value);

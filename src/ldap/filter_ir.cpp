@@ -1,0 +1,299 @@
+#include "ldap/filter_ir.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "ldap/text.h"
+
+namespace fbdr::ldap {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  return h;
+}
+
+std::uint64_t hash_bytes(std::uint64_t h, std::string_view s) {
+  // FNV-1a over the bytes, folded into the running mix.
+  std::uint64_t fnv = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    fnv ^= static_cast<unsigned char>(c);
+    fnv *= 0x100000001b3ULL;
+  }
+  return mix(h, fnv);
+}
+
+/// Canonical-form equality of two nodes whose children (if any) are already
+/// interned, so child comparison is pointer comparison.
+bool nodes_equal(const FilterIr& a, const FilterIr& b) {
+  if (a.kind() != b.kind()) return false;
+  if (a.is_predicate()) {
+    return a.attr_id() == b.attr_id() && a.norm_value() == b.norm_value() &&
+           a.pattern() == b.pattern();
+  }
+  if (a.children().size() != b.children().size()) return false;
+  for (std::size_t i = 0; i < a.children().size(); ++i) {
+    if (a.children()[i].get() != b.children()[i].get()) return false;
+  }
+  return true;
+}
+
+char composite_tag(FilterKind kind) {
+  switch (kind) {
+    case FilterKind::And:
+      return '&';
+    case FilterKind::Or:
+      return '|';
+    default:
+      return '!';
+  }
+}
+
+}  // namespace
+
+AttrId AttrInterner::intern(std::string_view name) {
+  std::string lowered = text::lower(name);
+  const auto it = ids_.find(lowered);
+  if (it != ids_.end()) return it->second;
+  Info info;
+  info.name = lowered;
+  info.syntax = schema_->syntax_of(lowered);
+  if (const AttributeType* type = schema_->find(lowered)) {
+    info.required = type->required;
+  }
+  const AttrId id = static_cast<AttrId>(infos_.size());
+  infos_.push_back(std::move(info));
+  ids_.emplace(std::move(lowered), id);
+  return id;
+}
+
+std::optional<AttrId> AttrInterner::find(std::string_view name) const {
+  const auto it = ids_.find(text::lower(name));
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+FilterPtr FilterIr::to_filter() const {
+  switch (kind_) {
+    case FilterKind::And:
+    case FilterKind::Or: {
+      std::vector<FilterPtr> children;
+      children.reserve(children_.size());
+      for (const FilterIrPtr& child : children_) {
+        children.push_back(child->to_filter());
+      }
+      return kind_ == FilterKind::And ? Filter::make_and(std::move(children))
+                                      : Filter::make_or(std::move(children));
+    }
+    case FilterKind::Not:
+      return Filter::make_not(children_.front()->to_filter());
+    case FilterKind::Equality:
+      return Filter::equality(attribute_, norm_value_);
+    case FilterKind::GreaterEq:
+      return Filter::greater_eq(attribute_, norm_value_);
+    case FilterKind::LessEq:
+      return Filter::less_eq(attribute_, norm_value_);
+    case FilterKind::Present:
+      return Filter::present(attribute_);
+    case FilterKind::Substring:
+      return Filter::substring(attribute_, pattern_);
+  }
+  return Filter::match_all();
+}
+
+FilterInterner& FilterInterner::for_schema(const Schema& schema) {
+  // Heap-allocated and never destroyed: interners hand out pointers
+  // (CompiledFilter attr ids, ChangeRouter buckets) that must stay valid for
+  // the process lifetime regardless of static destruction order.
+  using SlotList =
+      std::vector<std::pair<std::uint64_t, std::unique_ptr<FilterInterner>>>;
+  static auto* interners = new std::unordered_map<const Schema*, SlotList>();
+  SlotList& slots = (*interners)[&schema];
+  for (auto& [revision, interner] : slots) {
+    if (revision == schema.revision()) return *interner;
+  }
+  slots.emplace_back(schema.revision(),
+                     std::make_unique<FilterInterner>(schema));
+  return *slots.back().second;
+}
+
+FilterIrPtr FilterInterner::intern(const FilterPtr& filter) {
+  if (!filter) return nullptr;
+  return intern_node(*filter);
+}
+
+FilterIrPtr FilterInterner::intern(const Filter& filter) {
+  return intern_node(filter);
+}
+
+FilterIrPtr FilterInterner::intern_node(const Filter& filter) {
+  switch (filter.kind()) {
+    case FilterKind::Not: {
+      FilterIrPtr child = intern_node(*filter.children().front());
+      if (child->kind() == FilterKind::Not) {
+        return child->children().front();  // double negation cancels
+      }
+      return make_composite(FilterKind::Not, {std::move(child)});
+    }
+    case FilterKind::And:
+    case FilterKind::Or: {
+      std::vector<FilterIrPtr> children;
+      children.reserve(filter.children().size());
+      for (const FilterPtr& raw : filter.children()) {
+        FilterIrPtr child = intern_node(*raw);
+        if (child->kind() == filter.kind()) {
+          // Same-kind composites flatten; the child is already canonical.
+          children.insert(children.end(), child->children().begin(),
+                          child->children().end());
+        } else {
+          children.push_back(std::move(child));
+        }
+      }
+      // Canonical order: sort by key (hash breaks rare key collisions
+      // deterministically), then drop duplicates — hash-consing makes
+      // structural duplicates pointer-equal.
+      std::stable_sort(children.begin(), children.end(),
+                       [](const FilterIrPtr& a, const FilterIrPtr& b) {
+                         if (a->key() != b->key()) return a->key() < b->key();
+                         return a->hash() < b->hash();
+                       });
+      children.erase(std::unique(children.begin(), children.end(),
+                                 [](const FilterIrPtr& a, const FilterIrPtr& b) {
+                                   return a.get() == b.get();
+                                 }),
+                     children.end());
+      if (children.size() == 1) return children.front();
+      return make_composite(filter.kind(), std::move(children));
+    }
+    case FilterKind::Equality:
+    case FilterKind::GreaterEq:
+    case FilterKind::LessEq:
+      return make_predicate(filter.kind(), filter.attribute(),
+                            schema_->normalize(filter.attribute(), filter.value()),
+                            {});
+    case FilterKind::Present:
+      return make_predicate(FilterKind::Present, filter.attribute(), {}, {});
+    case FilterKind::Substring: {
+      SubstringPattern normalized;
+      normalized.initial =
+          schema_->normalize(filter.attribute(), filter.substrings().initial);
+      normalized.final =
+          schema_->normalize(filter.attribute(), filter.substrings().final);
+      normalized.any.reserve(filter.substrings().any.size());
+      for (const std::string& part : filter.substrings().any) {
+        normalized.any.push_back(schema_->normalize(filter.attribute(), part));
+      }
+      return make_predicate(FilterKind::Substring, filter.attribute(), {},
+                            std::move(normalized));
+    }
+  }
+  return make_predicate(FilterKind::Present, filter.attribute(), {}, {});
+}
+
+FilterIrPtr FilterInterner::make_composite(FilterKind kind,
+                                           std::vector<FilterIrPtr> children) {
+  auto node = std::shared_ptr<FilterIr>(new FilterIr());
+  node->kind_ = kind;
+  node->children_ = std::move(children);
+  node->positive_ = kind != FilterKind::Not;
+  node->predicate_count_ = 0;
+  std::uint64_t h = mix(0, static_cast<std::uint64_t>(kind) + 1);
+  std::string key{'(', composite_tag(kind)};
+  for (const FilterIrPtr& child : node->children_) {
+    node->positive_ = node->positive_ && child->positive_;
+    node->predicate_count_ += child->predicate_count_;
+    h = mix(h, child->hash_);
+    key += child->key_;
+  }
+  key += ')';
+  node->hash_ = h;
+  node->key_ = std::move(key);
+  return hash_cons(std::move(node));
+}
+
+FilterIrPtr FilterInterner::make_predicate(FilterKind kind,
+                                           const std::string& attr,
+                                           std::string norm_value,
+                                           SubstringPattern pattern) {
+  if (kind == FilterKind::Substring && pattern.initial.empty() &&
+      pattern.any.empty() && pattern.final.empty()) {
+    // Normalization emptied every component: "(attr=*)" is a presence test,
+    // mirroring Filter::substring's convention.
+    kind = FilterKind::Present;
+  }
+  auto node = std::shared_ptr<FilterIr>(new FilterIr());
+  node->kind_ = kind;
+  node->attr_id_ = attrs_.intern(attr);
+  node->attribute_ = attrs_.name(node->attr_id_);
+  node->norm_value_ = std::move(norm_value);
+  node->pattern_ = std::move(pattern);
+  node->predicate_count_ = 1;
+  const Syntax syntax = attrs_.syntax(node->attr_id_);
+  switch (kind) {
+    case FilterKind::Equality:
+      node->facet_ = RangeFacet::Point;
+      break;
+    case FilterKind::GreaterEq:
+      node->facet_ = RangeFacet::AtLeast;
+      break;
+    case FilterKind::LessEq:
+      node->facet_ = RangeFacet::AtMost;
+      break;
+    case FilterKind::Substring:
+      // Prefix patterns on string-ordered attributes are half-open ranges;
+      // integer ordering is numeric, which does not agree with prefix order.
+      if (node->pattern_.is_prefix_only() && syntax != Syntax::Integer) {
+        node->facet_ = RangeFacet::Prefix;
+      }
+      break;
+    default:
+      break;
+  }
+  node->value_is_int_ =
+      syntax == Syntax::Integer && is_canonical_integer(node->norm_value_);
+
+  std::uint64_t h = mix(0, static_cast<std::uint64_t>(kind) + 1);
+  h = mix(h, node->attr_id_);
+  h = hash_bytes(h, node->norm_value_);
+  h = hash_bytes(h, node->pattern_.initial);
+  for (const std::string& part : node->pattern_.any) h = hash_bytes(h, part);
+  h = hash_bytes(h, node->pattern_.final);
+  node->hash_ = h;
+
+  switch (kind) {
+    case FilterKind::Equality:
+      node->key_ = "(" + node->attribute_ + "=" + node->norm_value_ + ")";
+      break;
+    case FilterKind::GreaterEq:
+      node->key_ = "(" + node->attribute_ + ">=" + node->norm_value_ + ")";
+      break;
+    case FilterKind::LessEq:
+      node->key_ = "(" + node->attribute_ + "<=" + node->norm_value_ + ")";
+      break;
+    case FilterKind::Present:
+      node->key_ = "(" + node->attribute_ + "=*)";
+      break;
+    case FilterKind::Substring:
+      node->key_ = "(" + node->attribute_ + "=" + node->pattern_.to_string() + ")";
+      break;
+    default:
+      break;
+  }
+  return hash_cons(std::move(node));
+}
+
+FilterIrPtr FilterInterner::hash_cons(std::shared_ptr<FilterIr> node) {
+  std::vector<FilterIrPtr>& bucket = table_[node->hash_];
+  for (const FilterIrPtr& existing : bucket) {
+    if (nodes_equal(*existing, *node)) {
+      ++stats_.hits;
+      return existing;
+    }
+  }
+  ++stats_.nodes;
+  bucket.push_back(std::move(node));
+  return bucket.back();
+}
+
+}  // namespace fbdr::ldap

@@ -1,0 +1,179 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "ldap/filter.h"
+#include "ldap/schema.h"
+
+namespace fbdr::ldap {
+
+/// Dense id of an interned attribute name. Ids are meaningful relative to
+/// one AttrInterner instance only; layers that exchange ids (CompiledFilter
+/// pins and the ChangeRouter's buckets) must share the interner, which
+/// FilterInterner::for_schema guarantees per schema.
+using AttrId = std::uint32_t;
+
+/// Interns lowercased attribute names to dense ids and caches the schema
+/// facts (syntax, required) every consumer used to re-look-up per check.
+class AttrInterner {
+ public:
+  explicit AttrInterner(const Schema& schema) : schema_(&schema) {}
+
+  /// Id of `name` (lowercased), interning it on first sight.
+  AttrId intern(std::string_view name);
+
+  /// Id of `name` if already interned; never inserts. The router's modify
+  /// path uses this: an attribute no filter references has no bucket.
+  std::optional<AttrId> find(std::string_view name) const;
+
+  const std::string& name(AttrId id) const { return infos_[id].name; }
+  Syntax syntax(AttrId id) const { return infos_[id].syntax; }
+  bool required(AttrId id) const { return infos_[id].required; }
+  std::size_t size() const noexcept { return infos_.size(); }
+  const Schema& schema() const noexcept { return *schema_; }
+
+ private:
+  struct Info {
+    std::string name;
+    Syntax syntax = Syntax::CaseIgnoreString;
+    bool required = false;
+  };
+
+  const Schema* schema_;
+  std::vector<Info> infos_;
+  std::unordered_map<std::string, AttrId> ids_;
+};
+
+class FilterIr;
+using FilterIrPtr = std::shared_ptr<const FilterIr>;
+
+/// Typed-range interpretation of a predicate node, attached at build time so
+/// containment reads ranges straight off the IR instead of re-deriving them
+/// from strings. Prefix applies to prefix-only substring patterns on
+/// string-ordered attributes (integer ordering is numeric, which does not
+/// agree with prefix order).
+enum class RangeFacet {
+  None,     // Present, opaque substring, composites
+  Point,    // (a=v): [v, v]
+  AtLeast,  // (a>=v): [v, +inf)
+  AtMost,   // (a<=v): (-inf, v]
+  Prefix,   // (a=p*): [p, succ(p))
+};
+
+/// Canonical, immutable, interned filter node. Compared to the parse-level
+/// Filter AST:
+///   - assertion values and substring components are schema-normalized
+///     exactly once, here;
+///   - attributes are resolved to AttrIds (names kept for entry lookup);
+///   - AND/OR children are flattened, deduplicated and sorted by canonical
+///     key, double negation cancels and single-child composites collapse
+///     (subsuming ldap::simplify);
+///   - a structural hash and a canonical key string are precomputed.
+/// Nodes are hash-consed by their FilterInterner: structural equality of
+/// canonical forms is pointer equality.
+class FilterIr {
+ public:
+  FilterKind kind() const noexcept { return kind_; }
+
+  // Composite access. Empty for predicate nodes.
+  const std::vector<FilterIrPtr>& children() const noexcept { return children_; }
+
+  // Predicate access.
+  AttrId attr_id() const noexcept { return attr_id_; }
+  const std::string& attribute() const noexcept { return attribute_; }
+  /// Normalized assertion value (Equality/GreaterEq/LessEq).
+  const std::string& norm_value() const noexcept { return norm_value_; }
+  /// True when the attribute has Integer syntax and norm_value is a
+  /// canonical integer spelling (compare numerically).
+  bool value_is_int() const noexcept { return value_is_int_; }
+  /// Normalized substring pattern (Substring).
+  const SubstringPattern& pattern() const noexcept { return pattern_; }
+  RangeFacet range_facet() const noexcept { return facet_; }
+
+  bool is_composite() const noexcept {
+    return kind_ == FilterKind::And || kind_ == FilterKind::Or ||
+           kind_ == FilterKind::Not;
+  }
+  bool is_predicate() const noexcept { return !is_composite(); }
+  bool is_positive() const noexcept { return positive_; }
+  std::size_t predicate_count() const noexcept { return predicate_count_; }
+
+  /// Canonical RFC 2254 string over normalized values. Equal canonical
+  /// forms print equal keys; Query::key() and FilterReplica dedup use this.
+  const std::string& key() const noexcept { return key_; }
+  std::uint64_t hash() const noexcept { return hash_; }
+
+  /// Rebuilds a parse-level Filter AST in canonical form (normalized
+  /// values, canonical child order). The public Filter surface stays the
+  /// lingua franca of parsing/printing; this is the bridge back.
+  FilterPtr to_filter() const;
+
+ private:
+  friend class FilterInterner;
+  FilterIr() = default;
+
+  FilterKind kind_ = FilterKind::Present;
+  std::vector<FilterIrPtr> children_;
+  AttrId attr_id_ = 0;
+  std::string attribute_;
+  std::string norm_value_;
+  bool value_is_int_ = false;
+  SubstringPattern pattern_;
+  RangeFacet facet_ = RangeFacet::None;
+  bool positive_ = true;
+  std::size_t predicate_count_ = 0;
+  std::uint64_t hash_ = 0;
+  std::string key_;
+};
+
+/// Builds and hash-conses canonical FilterIr nodes for one schema. Interning
+/// the same filter (or any structurally equivalent spelling) twice returns
+/// the same node, so canonical equality is pointer equality and repeated
+/// interning on hot paths is a hash lookup, not a rebuild.
+class FilterInterner {
+ public:
+  explicit FilterInterner(const Schema& schema)
+      : schema_(&schema), attrs_(schema) {}
+
+  /// The process-wide interner for `schema`. Instances are created on first
+  /// use, keyed by (address, revision), and kept alive for the process
+  /// lifetime, so pointers into them (CompiledFilter, ChangeRouter) never
+  /// dangle; mutating a schema after interning simply starts a fresh
+  /// interner at the new revision.
+  static FilterInterner& for_schema(const Schema& schema);
+
+  /// Interns `filter` into canonical form. Null interns to null (the
+  /// match-everything convention of Query).
+  FilterIrPtr intern(const FilterPtr& filter);
+  FilterIrPtr intern(const Filter& filter);
+
+  AttrInterner& attrs() noexcept { return attrs_; }
+  const AttrInterner& attrs() const noexcept { return attrs_; }
+  const Schema& schema() const noexcept { return *schema_; }
+
+  struct Stats {
+    std::uint64_t nodes = 0;  // distinct canonical nodes built
+    std::uint64_t hits = 0;   // intern calls answered from the table
+  };
+  const Stats& stats() const noexcept { return stats_; }
+
+ private:
+  FilterIrPtr intern_node(const Filter& filter);
+  FilterIrPtr make_composite(FilterKind kind, std::vector<FilterIrPtr> children);
+  FilterIrPtr make_predicate(FilterKind kind, const std::string& attr,
+                             std::string norm_value, SubstringPattern pattern);
+  FilterIrPtr hash_cons(std::shared_ptr<FilterIr> node);
+
+  const Schema* schema_;
+  AttrInterner attrs_;
+  std::unordered_map<std::uint64_t, std::vector<FilterIrPtr>> table_;
+  Stats stats_;
+};
+
+}  // namespace fbdr::ldap

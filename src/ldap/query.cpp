@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "ldap/error.h"
+#include "ldap/filter_ir.h"
 #include "ldap/filter_parser.h"
 #include "ldap/text.h"
 
@@ -81,8 +82,13 @@ std::string Query::to_string() const {
 }
 
 std::string Query::key() const {
+  // The filter component is the canonical IR key, so spellings that differ
+  // only in AND/OR child order, duplicate children, nesting or value case
+  // produce the same key and dedup to one stored query.
+  const FilterIrPtr ir =
+      FilterInterner::for_schema(Schema::default_instance()).intern(filter);
   return base.norm_key() + "|" + std::to_string(static_cast<int>(scope)) + "|" +
-         (filter ? filter->to_string() : "") + "|" + attrs.to_string();
+         (ir ? ir->key() : "") + "|" + attrs.to_string();
 }
 
 bool operator==(const Query& a, const Query& b) {

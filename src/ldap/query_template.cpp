@@ -11,30 +11,72 @@ namespace {
 
 bool is_placeholder(std::string_view value) { return value == kPlaceholder; }
 
-/// Counts `_` placeholders in a skeleton, pre-order.
-std::size_t count_slots(const Filter& skeleton) {
-  std::size_t count = 0;
+/// Collects the attribute of each `_` placeholder in a skeleton, pre-order
+/// (the slot numbering FilterTemplate::match produces bindings in).
+std::vector<std::string> collect_slot_attrs(const Filter& skeleton) {
+  std::vector<std::string> attrs;
   skeleton.for_each_predicate([&](const Filter& p) {
     switch (p.kind()) {
       case FilterKind::Equality:
       case FilterKind::GreaterEq:
       case FilterKind::LessEq:
-        if (is_placeholder(p.value())) ++count;
+        if (is_placeholder(p.value())) attrs.push_back(p.attribute());
         break;
       case FilterKind::Substring: {
         const SubstringPattern& pat = p.substrings();
-        if (is_placeholder(pat.initial)) ++count;
+        if (is_placeholder(pat.initial)) attrs.push_back(p.attribute());
         for (const std::string& part : pat.any) {
-          if (is_placeholder(part)) ++count;
+          if (is_placeholder(part)) attrs.push_back(p.attribute());
         }
-        if (is_placeholder(pat.final)) ++count;
+        if (is_placeholder(pat.final)) attrs.push_back(p.attribute());
         break;
       }
       default:
         break;
     }
   });
-  return count;
+  return attrs;
+}
+
+void append_shape(const Filter& f, std::string& out) {
+  switch (f.kind()) {
+    case FilterKind::And:
+    case FilterKind::Or: {
+      out += f.kind() == FilterKind::And ? "(&" : "(|";
+      for (const FilterPtr& child : f.children()) append_shape(*child, out);
+      out += ')';
+      return;
+    }
+    case FilterKind::Not:
+      out += "(!";
+      append_shape(*f.children().front(), out);
+      out += ')';
+      return;
+    case FilterKind::Equality:
+      out += "(" + f.attribute() + "=_)";
+      return;
+    case FilterKind::GreaterEq:
+      out += "(" + f.attribute() + ">=_)";
+      return;
+    case FilterKind::LessEq:
+      out += "(" + f.attribute() + "<=_)";
+      return;
+    case FilterKind::Present:
+      out += "(" + f.attribute() + "=*)";
+      return;
+    case FilterKind::Substring: {
+      // Component *presence* is part of the shape (unify requires the
+      // template and filter to agree on it); component text is not.
+      const SubstringPattern& pat = f.substrings();
+      out += "(" + f.attribute() + "=";
+      if (!pat.initial.empty()) out += '_';
+      out += '*';
+      for (std::size_t i = 0; i < pat.any.size(); ++i) out += "_*";
+      if (!pat.final.empty()) out += '_';
+      out += ')';
+      return;
+    }
+  }
 }
 
 /// Recursive structural unification of a concrete filter against a skeleton.
@@ -191,7 +233,9 @@ FilterTemplate FilterTemplate::from_skeleton(FilterPtr skeleton) {
   FilterTemplate tmpl;
   tmpl.skeleton_ = std::move(skeleton);
   tmpl.key_ = tmpl.skeleton_->to_string();
-  tmpl.slot_count_ = count_slots(*tmpl.skeleton_);
+  tmpl.shape_ = filter_shape_key(*tmpl.skeleton_);
+  tmpl.slot_attrs_ = collect_slot_attrs(*tmpl.skeleton_);
+  tmpl.slot_count_ = tmpl.slot_attrs_.size();
   return tmpl;
 }
 
@@ -217,12 +261,20 @@ FilterPtr FilterTemplate::instantiate(const std::vector<std::string>& slots) con
   return bind(*skeleton_, slots, next);
 }
 
+std::string filter_shape_key(const Filter& filter) {
+  std::string out;
+  append_shape(filter, out);
+  return out;
+}
+
 std::size_t TemplateRegistry::add(FilterTemplate tmpl) {
   for (std::size_t i = 0; i < templates_.size(); ++i) {
     if (templates_[i].key() == tmpl.key()) return i;
   }
   templates_.push_back(std::move(tmpl));
-  return templates_.size() - 1;
+  const std::size_t id = templates_.size() - 1;
+  by_shape_[templates_[id].shape()].push_back(id);
+  return id;
 }
 
 std::size_t TemplateRegistry::add(std::string_view template_text) {
@@ -231,10 +283,18 @@ std::size_t TemplateRegistry::add(std::string_view template_text) {
 
 std::optional<BoundTemplate> TemplateRegistry::match(const Filter& filter,
                                                      const Schema& schema) const {
-  for (std::size_t i = 0; i < templates_.size(); ++i) {
-    if (auto slots = templates_[i].match(filter, schema)) {
-      return BoundTemplate{i, templates_[i].key(), std::move(*slots)};
+  const auto bucket = by_shape_.find(filter_shape_key(filter));
+  if (bucket == by_shape_.end()) return std::nullopt;
+  for (const std::size_t i : bucket->second) {
+    auto slots = templates_[i].match(filter, schema);
+    if (!slots) continue;
+    BoundTemplate bound{i, templates_[i].key(), std::move(*slots), {}};
+    const std::vector<std::string>& attrs = templates_[i].slot_attrs();
+    bound.norm_slots.reserve(bound.slots.size());
+    for (std::size_t s = 0; s < bound.slots.size(); ++s) {
+      bound.norm_slots.push_back(schema.normalize(attrs[s], bound.slots[s]));
     }
+    return bound;
   }
   return std::nullopt;
 }

@@ -3,6 +3,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "ldap/filter.h"
@@ -35,8 +36,19 @@ class FilterTemplate {
   /// Canonical key, the skeleton's RFC 2254 string (lowercased attributes).
   const std::string& key() const noexcept { return key_; }
 
+  /// The skeleton's shape key (every assertion value wildcarded, see
+  /// filter_shape_key). Two filters can only unify when their shapes are
+  /// byte-equal, which is what lets TemplateRegistry bucket templates.
+  const std::string& shape() const noexcept { return shape_; }
+
   /// Number of `_` placeholders.
   std::size_t slot_count() const noexcept { return slot_count_; }
+
+  /// Attribute of each placeholder slot, in slot (pre-order) order. Slot
+  /// values bound by match() normalize under these attributes.
+  const std::vector<std::string>& slot_attrs() const noexcept {
+    return slot_attrs_;
+  }
 
   /// Attempts to match `filter` against this template. On success returns the
   /// placeholder bindings in slot order; constants must match under the
@@ -58,17 +70,30 @@ class FilterTemplate {
 
   FilterPtr skeleton_;
   std::string key_;
+  std::string shape_;
   std::size_t slot_count_ = 0;
+  std::vector<std::string> slot_attrs_;
 };
+
+/// Structural shape of a filter: its RFC 2254 print with every assertion
+/// value (and every non-empty substring component) replaced by `_`,
+/// preserving child order and substring component presence. Template
+/// unification is order-sensitive, so a successful FilterTemplate::match
+/// implies shape(filter) == shape(skeleton); the registry uses this as an
+/// exact prefilter index.
+std::string filter_shape_key(const Filter& filter);
 
 /// The placeholder marker used in templates.
 inline constexpr std::string_view kPlaceholder = "_";
 
 /// A filter matched against a registry: which template and which bindings.
+/// `norm_slots` carries the slot values normalized under each slot's
+/// attribute, so containment conditions compare them without re-normalizing.
 struct BoundTemplate {
   std::size_t template_id = 0;
   std::string template_key;
   std::vector<std::string> slots;
+  std::vector<std::string> norm_slots;
 };
 
 /// A set of admissible templates. The paper's replicas answer and replicate
@@ -85,8 +110,10 @@ class TemplateRegistry {
   std::size_t size() const noexcept { return templates_.size(); }
   const FilterTemplate& at(std::size_t id) const { return templates_.at(id); }
 
-  /// Finds the first registered template matching `filter`. Templates are
-  /// tried in registration order, so register more specific templates (with
+  /// Finds the first registered template matching `filter`. Only templates
+  /// whose shape key equals the filter's are tried (an exact prefilter —
+  /// unification success implies shape equality), in registration order
+  /// within the shape bucket, so register more specific templates (with
   /// constants) before fully wildcarded ones.
   std::optional<BoundTemplate> match(
       const Filter& filter, const Schema& schema = Schema::default_instance()) const;
@@ -96,6 +123,8 @@ class TemplateRegistry {
 
  private:
   std::vector<FilterTemplate> templates_;
+  /// shape key -> template ids with that shape, in registration order.
+  std::unordered_map<std::string, std::vector<std::size_t>> by_shape_;
 };
 
 }  // namespace fbdr::ldap

@@ -52,6 +52,16 @@ int compare_canonical_integers(std::string_view a, std::string_view b) {
   return na ? -magnitude : magnitude;
 }
 
+bool is_canonical_integer(std::string_view value) {
+  if (!value.empty() && value.front() == '-') value.remove_prefix(1);
+  if (value.empty()) return false;
+  if (value.size() > 1 && value.front() == '0') return false;
+  for (char c : value) {
+    if (c < '0' || c > '9') return false;
+  }
+  return true;
+}
+
 Schema::Schema() {
   // Core naming / structural attributes.
   for (const char* name : {"cn", "sn", "givenname", "ou", "o",
@@ -86,6 +96,8 @@ const Schema& Schema::default_instance() {
 void Schema::add(AttributeType type) {
   type.name = text::lower(type.name);
   types_[type.name] = std::move(type);
+  static std::uint64_t global_revision = 0;
+  revision_ = ++global_revision;
 }
 
 const AttributeType* Schema::find(std::string_view name) const {

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -67,8 +68,15 @@ class Schema {
     return compare(attr, a, b) == 0;
   }
 
+  /// Monotonically increasing stamp bumped by every add(). Two Schema
+  /// objects never share a (address, revision) pair even across address
+  /// reuse, so FilterInterner::for_schema can key its per-schema interners
+  /// safely and drop cached normalizations when a schema mutates.
+  std::uint64_t revision() const noexcept { return revision_; }
+
  private:
   std::unordered_map<std::string, AttributeType> types_;
+  std::uint64_t revision_ = 0;
 };
 
 /// Canonical integer form: optional '-', no leading zeros ("007" -> "7",
@@ -78,5 +86,12 @@ std::optional<std::string> canonical_integer(std::string_view value);
 
 /// Numeric comparison of two canonical integer strings.
 int compare_canonical_integers(std::string_view a, std::string_view b);
+
+/// True when `value` is already in canonical integer form (optional '-',
+/// digits, no leading zeros). Schema::normalize emits exactly this form for
+/// valid integer literals under Integer syntax, and never emits a pure digit
+/// string for an invalid one, so this test recovers "was a valid integer"
+/// from the normalized spelling alone.
+bool is_canonical_integer(std::string_view value);
 
 }  // namespace fbdr::ldap

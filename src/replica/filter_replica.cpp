@@ -2,7 +2,7 @@
 
 #include "ldap/compiled_filter.h"
 #include "ldap/error.h"
-#include "ldap/filter_simplify.h"
+#include "ldap/filter_ir.h"
 #include "sync/content_tracker.h"
 
 namespace fbdr::replica {
@@ -13,7 +13,7 @@ using ldap::Query;
 
 FilterReplica::FilterReplica(const ldap::Schema& schema,
                              std::shared_ptr<ldap::TemplateRegistry> registry)
-    : engine_(schema, std::move(registry)) {}
+    : schema_(&schema), engine_(schema, std::move(registry)) {}
 
 void FilterReplica::pool_add(const EntryPtr& entry, std::vector<std::string>& keys) {
   const std::string& key = entry->dn().norm_key();
@@ -33,6 +33,12 @@ void FilterReplica::pool_release(const std::vector<std::string>& keys) {
 
 std::size_t FilterReplica::add_query(const Query& query,
                                      std::size_t estimated_entries) {
+  // Canonical-key dedup: spelling variants (child order, duplicates, value
+  // case) of an already stored query map to the same key and reuse its slot.
+  const std::string key = query.key();
+  for (std::size_t i = 0; i < stored_.size(); ++i) {
+    if (stored_[i].active && stored_[i].query.key() == key) return i;
+  }
   StoredQuery stored;
   stored.query = query;
   stored.binding = query.filter ? engine_.bind(*query.filter) : std::nullopt;
@@ -145,10 +151,14 @@ void FilterReplica::cache_user_query(const Query& query,
 Decision FilterReplica::handle(const Query& raw_query) {
   ++stats_.queries;
   Decision decision;
-  // Normalize the incoming filter so differently spelled but structurally
-  // equal queries unify with templates and cached queries.
+  // Canonicalize the incoming filter (interned IR round trip: flattening,
+  // child sorting, dedup, double-negation) so differently spelled but
+  // structurally equal queries unify with templates and cached queries.
   Query query = raw_query;
-  query.filter = ldap::simplify(query.filter);
+  if (query.filter) {
+    query.filter =
+        ldap::FilterInterner::for_schema(*schema_).intern(query.filter)->to_filter();
+  }
   const auto binding = query.filter ? engine_.bind(*query.filter) : std::nullopt;
   const std::uint64_t checks_before = engine_.stats().checks;
 
@@ -204,8 +214,8 @@ bool FilterReplica::holds_entry(const Dn& dn) const {
 std::vector<EntryPtr> FilterReplica::answer(const Query& query) const {
   std::vector<EntryPtr> out;
   // Compile once per answered query instead of walking the AST per entry.
-  const ldap::CompiledFilter compiled = ldap::CompiledFilter::compile(
-      query.filter, ldap::Schema::default_instance());
+  const ldap::CompiledFilter compiled =
+      ldap::CompiledFilter::compile(query.filter, *schema_);
   for (const auto& [key, entry_ref] : pool_) {
     const EntryPtr& entry = entry_ref.first;
     if (!query.region_covers(entry->dn())) continue;

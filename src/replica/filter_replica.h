@@ -35,7 +35,10 @@ class FilterReplica : public Replica {
   // --- stored (generalized) queries ---
 
   /// Adds a replicated query; returns its id. `estimated_entries` seeds the
-  /// size accounting when content is not materialized.
+  /// size accounting when content is not materialized. Queries whose
+  /// canonical key (Query::key) equals an active stored query's are
+  /// deduplicated: the existing id is returned and no new slot is consumed,
+  /// so spelling variants of one query never double-store content.
   std::size_t add_query(const ldap::Query& query, std::size_t estimated_entries = 0);
 
   /// Removes a stored query and releases its pooled entries.
@@ -104,6 +107,7 @@ class FilterReplica : public Replica {
   void pool_add(const ldap::EntryPtr& entry, std::vector<std::string>& keys);
   void pool_release(const std::vector<std::string>& keys);
 
+  const ldap::Schema* schema_;
   containment::ContainmentEngine engine_;
   std::vector<StoredQuery> stored_;
   std::deque<CachedQuery> cache_;

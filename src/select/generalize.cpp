@@ -1,5 +1,7 @@
 #include "select/generalize.h"
 
+#include "ldap/filter_ir.h"
+
 namespace fbdr::select {
 
 using ldap::FilterTemplate;
@@ -15,14 +17,24 @@ void Generalizer::add_rule(std::string_view user_template,
 
 std::optional<Query> Generalizer::generalize(const Query& query) const {
   if (!query.filter) return std::nullopt;
-  for (const Rule& rule : rules_) {
-    const auto slots = rule.user_template.match(*query.filter, *schema_);
-    if (!slots) continue;
-    Query candidate = query;
-    candidate.filter = rule.candidate_template.instantiate(rule.transform(*slots));
-    return candidate;
-  }
-  return std::nullopt;
+  auto try_rules = [&](const ldap::Filter& filter) -> std::optional<Query> {
+    for (const Rule& rule : rules_) {
+      const auto slots = rule.user_template.match(filter, *schema_);
+      if (!slots) continue;
+      Query candidate = query;
+      candidate.filter = rule.candidate_template.instantiate(rule.transform(*slots));
+      return candidate;
+    }
+    return std::nullopt;
+  };
+  if (auto candidate = try_rules(*query.filter)) return candidate;
+  // Retry against the canonical IR rewrite: rules written for the canonical
+  // spelling then also cover re-ordered or duplicated variants.
+  const ldap::FilterIrPtr ir =
+      ldap::FilterInterner::for_schema(*schema_).intern(query.filter);
+  const ldap::FilterPtr canonical = ir->to_filter();
+  if (ldap::filters_equal(*canonical, *query.filter)) return std::nullopt;
+  return try_rules(*canonical);
 }
 
 Generalizer::SlotTransform prefix_transform(std::size_t len) {

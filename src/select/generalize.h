@@ -44,6 +44,9 @@ class Generalizer {
 
   /// Generalizes one user query; the candidate keeps the user query's base,
   /// scope and attribute selection. Returns nullopt when no rule matches.
+  /// When no rule matches the filter as written, the canonical IR rewrite of
+  /// the filter (flattened, child-sorted, deduplicated) is tried against the
+  /// rules too, so spelling variants of a covered query still generalize.
   std::optional<ldap::Query> generalize(const ldap::Query& query) const;
 
   std::size_t rule_count() const noexcept { return rules_.size(); }

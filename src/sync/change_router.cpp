@@ -13,7 +13,11 @@ ChangeRouter::Handle ChangeRouter::add_session(
     const ldap::Query& query, const ldap::CompiledFilter* compiled) {
   SessionInfo info;
   info.alive = true;
-  info.fallback = compiled == nullptr;
+  // A compiled filter with a foreign attribute-id space (different schema
+  // interner) is unindexable here: degrade to the fallback class rather
+  // than compare incomparable ids.
+  info.fallback = compiled == nullptr ||
+                  compiled->attr_interner() != &interner_->attrs();
   info.base = query.base;
   info.scope = query.scope;
   info.compiled = compiled;
@@ -37,12 +41,12 @@ ChangeRouter::Handle ChangeRouter::add_session(
     fallback_.push_back(handle);
     return handle;
   }
-  for (const std::string& attr : compiled->attributes()) {
+  for (const ldap::AttrId attr : compiled->attr_ids()) {
     bucket_insert(by_attr_[attr], handle);
   }
   if (!compiled->eq_pins().empty()) {
     const ldap::CompiledFilter::EqPin& pin = compiled->eq_pins().front();
-    bucket_insert(by_pin_[pin.attr][pin.norm_value], handle);
+    bucket_insert(by_pin_[pin.attr_id][pin.norm_value], handle);
   } else {
     switch (stored.scope) {
       case ldap::Scope::Base:
@@ -65,7 +69,7 @@ void ChangeRouter::remove_session(Handle handle) {
   if (info.fallback) {
     bucket_erase(fallback_, handle);
   } else {
-    for (const std::string& attr : info.compiled->attributes()) {
+    for (const ldap::AttrId attr : info.compiled->attr_ids()) {
       const auto it = by_attr_.find(attr);
       if (it != by_attr_.end()) {
         bucket_erase(it->second, handle);
@@ -74,7 +78,7 @@ void ChangeRouter::remove_session(Handle handle) {
     }
     if (!info.compiled->eq_pins().empty()) {
       const ldap::CompiledFilter::EqPin& pin = info.compiled->eq_pins().front();
-      const auto attr_it = by_pin_.find(pin.attr);
+      const auto attr_it = by_pin_.find(pin.attr_id);
       if (attr_it != by_pin_.end()) {
         const auto value_it = attr_it->second.find(pin.norm_value);
         if (value_it != attr_it->second.end()) {
@@ -137,11 +141,13 @@ bool ChangeRouter::pins_satisfied(const SessionInfo& info,
                                   const EntryPtr& after,
                                   ldap::NormalizedValueCache* cache) const {
   if (!info.compiled || !after) return true;
+  // Only indexed sessions reach this check, so the pins' attribute ids are
+  // guaranteed to come from the router's interner.
   for (const ldap::CompiledFilter::EqPin& pin : info.compiled->eq_pins()) {
     bool found = false;
     if (cache) {
       const std::vector<std::string>& values =
-          cache->get(after, pin.attr, *schema_);
+          cache->get(after, pin.attr_id, interner_->attrs());
       found = std::find(values.begin(), values.end(), pin.norm_value) !=
               values.end();
     } else if (const std::vector<std::string>* raw = after->get(pin.attr)) {
@@ -209,11 +215,12 @@ void ChangeRouter::add_enter_candidates(const Dn& dn, const EntryPtr& after,
 
   // Pinned sessions, by the new snapshot's values for each pinned attribute.
   if (!after) return;
-  for (const auto& [attr, value_map] : by_pin_) {
+  for (const auto& [attr_id, value_map] : by_pin_) {
     const std::vector<std::string>* values = nullptr;
     std::vector<std::string> scratch;
+    const std::string& attr = interner_->attrs().name(attr_id);
     if (cache) {
-      values = &cache->get(after, attr, *schema_);
+      values = &cache->get(after, attr_id, interner_->attrs());
     } else if (const std::vector<std::string>* raw = after->get(attr)) {
       scratch.reserve(raw->size());
       for (const std::string& value : *raw) {
@@ -267,7 +274,11 @@ void ChangeRouter::route(const ChangeRecord& record, std::vector<Handle>& out,
       const auto& before_attrs = record.before->attributes();
       const auto& after_attrs = record.after->attributes();
       auto consider_attr = [&](const std::string& attr) {
-        const auto it = by_attr_.find(attr);
+        // find() does not insert: an attribute no tracked filter references
+        // has no id, and provably hits no bucket.
+        const std::optional<ldap::AttrId> id = interner_->attrs().find(attr);
+        if (!id) return;
+        const auto it = by_attr_.find(*id);
         if (it == by_attr_.end()) return;
         for (Handle handle : it->second) {
           const SessionInfo& info = sessions_[handle];

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "ldap/compiled_filter.h"
+#include "ldap/filter_ir.h"
 #include "ldap/query.h"
 #include "server/change.h"
 
@@ -50,12 +51,16 @@ class ChangeRouter {
 
   explicit ChangeRouter(
       const ldap::Schema& schema = ldap::Schema::default_instance())
-      : schema_(&schema) {}
+      : schema_(&schema),
+        interner_(&ldap::FilterInterner::for_schema(schema)) {}
 
-  /// Registers a session. `compiled` supplies the referenced-attribute set
+  /// Registers a session. `compiled` supplies the referenced attribute ids
   /// and equality pins; it must outlive the registration (the master's
   /// ContentTracker owns it). Pass nullptr for an unindexable session
-  /// (routed via the region fallback on every entering change).
+  /// (routed via the region fallback on every entering change). A compiled
+  /// filter whose attribute-id space comes from a different interner than
+  /// the router's schema also degrades to the fallback class — its ids
+  /// would not be comparable with the router's buckets.
   Handle add_session(const ldap::Query& query,
                      const ldap::CompiledFilter* compiled);
 
@@ -110,16 +115,20 @@ class ChangeRouter {
   static void bucket_erase(std::vector<Handle>& bucket, Handle handle);
 
   const ldap::Schema* schema_;
+  ldap::FilterInterner* interner_;
   std::vector<SessionInfo> sessions_;
   std::size_t live_count_ = 0;
   std::uint64_t generation_ = 0;
 
   /// norm DN key -> sessions holding the entry in content (exact mirror).
   std::unordered_map<std::string, std::vector<Handle>> holders_;
-  /// referenced attribute -> indexable sessions (Modify enter routing).
-  std::unordered_map<std::string, std::vector<Handle>> by_attr_;
-  /// pin attr -> pin value -> pinned sessions (Add/ModifyDn enter routing).
-  std::unordered_map<std::string,
+  /// referenced attribute id -> indexable sessions (Modify enter routing).
+  /// Ids come from the router schema's interner; a Modify naming an
+  /// attribute the interner has never seen cannot hit any bucket.
+  std::unordered_map<ldap::AttrId, std::vector<Handle>> by_attr_;
+  /// pin attr id -> pin value -> pinned sessions (Add/ModifyDn enter
+  /// routing). Pin values are pre-normalized on the compiled filter.
+  std::unordered_map<ldap::AttrId,
                      std::unordered_map<std::string, std::vector<Handle>>>
       by_pin_;
   /// base norm key -> unpinned sessions, per scope (enter routing).

@@ -26,7 +26,9 @@ std::string to_string(Transition transition) {
 ContentTracker::ContentTracker(ldap::Query query, const ldap::Schema& schema)
     : query_(std::move(query)),
       schema_(&schema),
-      compiled_(ldap::CompiledFilter::compile(query_.filter, schema)) {}
+      ir_(ldap::FilterInterner::for_schema(schema).intern(query_.filter)),
+      compiled_(ldap::CompiledFilter::compile(
+          ir_, ldap::FilterInterner::for_schema(schema))) {}
 
 bool ContentTracker::in_region(const Dn& dn) const {
   switch (query_.scope) {

@@ -7,6 +7,7 @@
 
 #include "ldap/compiled_filter.h"
 #include "ldap/entry.h"
+#include "ldap/filter_ir.h"
 #include "ldap/query.h"
 #include "ldap/schema.h"
 #include "server/change.h"
@@ -72,10 +73,14 @@ class ContentTracker {
                      ldap::NormalizedValueCache* cache) const;
 
   /// The filter compiled once at construction; the ChangeRouter indexes
-  /// sessions by its referenced attributes and equality pins.
+  /// sessions by its referenced attribute ids and equality pins.
   const ldap::CompiledFilter& compiled_filter() const noexcept {
     return compiled_;
   }
+
+  /// The query filter's canonical IR, interned once at construction (null
+  /// for a filterless query). Shared with the compiled program.
+  const ldap::FilterIrPtr& ir() const noexcept { return ir_; }
 
   /// Evaluate via the original AST walker instead of the compiled program.
   /// Exists so benchmarks can measure the pre-compilation cost; results are
@@ -87,6 +92,7 @@ class ContentTracker {
 
   ldap::Query query_;
   const ldap::Schema* schema_;
+  ldap::FilterIrPtr ir_;
   ldap::CompiledFilter compiled_;
   bool legacy_eval_ = false;
   std::map<std::string, ldap::EntryPtr> content_;  // norm key -> snapshot

@@ -31,7 +31,10 @@ TEST(Compiled, EqualityIntoEquality) {
   const auto condition = compile("(uid=_)", "(uid=_)");
   ASSERT_TRUE(condition.has_value());
   EXPECT_TRUE(condition->evaluate({"jdoe"}, {"jdoe"}));
-  EXPECT_TRUE(condition->evaluate({"jdoe"}, {"JDOE"}));  // matching rule
+  // evaluate() takes pre-normalized slots (BoundTemplate::norm_slots); the
+  // matching rule is applied when the binding is produced, not here.
+  const auto& schema = ldap::Schema::default_instance();
+  EXPECT_TRUE(condition->evaluate({"jdoe"}, {schema.normalize("uid", "JDOE")}));
   EXPECT_FALSE(condition->evaluate({"jdoe"}, {"jsmith"}));
 }
 

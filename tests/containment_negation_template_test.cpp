@@ -45,16 +45,20 @@ TEST(NegationTemplates, EngineDispatchesNegatedStoredTemplate) {
   EXPECT_GE(engine.stats().compiled, 2u);
 }
 
-TEST(NegationTemplates, SameNegatedTemplateFallsToConservativeAnswer) {
-  // Proposition 3 addresses positive filters only; identical negated
-  // templates answer false (sound, a referral at worst).
+TEST(NegationTemplates, SameNegatedTemplateFallsBackToGeneralCheck) {
+  // Proposition 3 addresses positive filters only: the lockstep walk reports
+  // "not applicable" on a NOT node and the engine falls back to the exact
+  // Proposition 1 check instead of a conservative false, so an identical
+  // negated pair is (correctly) contained.
   auto registry = std::make_shared<TemplateRegistry>();
   registry->add("(!(dept=_))");
   ContainmentEngine engine(ldap::Schema::default_instance(), registry);
   const FilterPtr a = parse_filter("(!(dept=2406))");
-  EXPECT_FALSE(
+  EXPECT_TRUE(
       engine.filter_contained(*a, engine.bind(*a), *a, engine.bind(*a)));
-  // The general engine decides the same pair exactly.
+  EXPECT_EQ(engine.stats().same_template, 0u);
+  EXPECT_EQ(engine.stats().general, 1u);
+  // Matching the general engine's exact answer on the same pair.
   EXPECT_TRUE(filter_contained(*a, *a));
 }
 

@@ -75,6 +75,28 @@ TEST(Query, KeyIsStableAcrossCaseDifferences) {
   EXPECT_EQ(a.key(), b.key());
 }
 
+TEST(Query, KeyCanonicalizesFilterSpelling) {
+  // The filter component of the key is the canonical IR key: AND/OR child
+  // order, duplicate children, redundant nesting, double negation and value
+  // case are invisible to it.
+  const Query a = Query::parse("o=xyz", Scope::Subtree, "(&(sn=Doe)(ou=research))");
+  const Query b = Query::parse("o=xyz", Scope::Subtree, "(&(ou=research)(sn=Doe))");
+  const Query c =
+      Query::parse("o=xyz", Scope::Subtree, "(&(sn=Doe)(ou=research)(sn=Doe))");
+  const Query d = Query::parse("o=xyz", Scope::Subtree,
+                               "(&(sn=DOE)(&(ou=Research)))");
+  const Query e = Query::parse("o=xyz", Scope::Subtree,
+                               "(!(!(&(sn=Doe)(ou=research))))");
+  EXPECT_EQ(a.key(), b.key());
+  EXPECT_EQ(a.key(), c.key());
+  EXPECT_EQ(a.key(), d.key());
+  EXPECT_EQ(a.key(), e.key());
+
+  const Query different =
+      Query::parse("o=xyz", Scope::Subtree, "(|(sn=Doe)(ou=research))");
+  EXPECT_NE(a.key(), different.key());
+}
+
 TEST(Query, KeyDistinguishesScopeAndFilter) {
   const Query a = Query::parse("o=xyz", Scope::Subtree, "(sn=Doe)");
   const Query b = Query::parse("o=xyz", Scope::OneLevel, "(sn=Doe)");

@@ -161,6 +161,35 @@ TEST_F(FilterReplicaTest, ContainmentChecksAreCounted) {
   EXPECT_GE(replica.stats().containment_checks, 6u);
 }
 
+TEST_F(FilterReplicaTest, AddQueryDedupsCanonicallyEqualSpellings) {
+  // Spelling variants of one query (child order, duplicates, nesting, value
+  // case) share a canonical key and must collapse to one stored query.
+  FilterReplica replica(ldap::Schema::default_instance(), registry_);
+  const std::size_t id = replica.add_query(Query::parse(
+      "", Scope::Subtree, "(&(serialNumber=04*)(objectclass=inetOrgPerson))"));
+  replica.load_content(id, master_);
+  EXPECT_EQ(replica.query_count(), 1u);
+  EXPECT_EQ(replica.stored_entries(), 10u);
+
+  EXPECT_EQ(replica.add_query(Query::parse(
+                "", Scope::Subtree,
+                "(&(objectclass=inetOrgPerson)(serialNumber=04*))")),
+            id);
+  EXPECT_EQ(replica.add_query(Query::parse(
+                "", Scope::Subtree,
+                "(&(serialnumber=04*)(&(OBJECTCLASS=inetorgperson))"
+                "(serialNumber=04*))")),
+            id);
+  EXPECT_EQ(replica.query_count(), 1u);
+  EXPECT_EQ(replica.stored_entries(), 10u);  // no double-stored content
+
+  // A genuinely different query still gets its own slot.
+  const std::size_t other = replica.add_query(
+      Query::parse("", Scope::Subtree, "(serialNumber=05*)"));
+  EXPECT_NE(other, id);
+  EXPECT_EQ(replica.query_count(), 2u);
+}
+
 TEST_F(FilterReplicaTest, SetContentReplacesEntries) {
   FilterReplica replica(ldap::Schema::default_instance(), registry_);
   const std::size_t id =
