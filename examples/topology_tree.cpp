@@ -1,0 +1,109 @@
+// Cascaded replication quickstart: a depth-2 relay tree over the synthetic
+// enterprise directory. Four relay masters each replicate one division's
+// serial prefix from the root and serve as masters for their own leaves, so
+// the root answers 4 poll sessions instead of 8. A distributed client search
+// that misses a leaf's filter set chases referrals up the cascade.
+//
+//   1. build root -> 4 relays -> 8 leaves (filters nested by serial prefix)
+//   2. install: every node opens its upstream ReSync session
+//   3. churn the root, tick the tree, watch changes ripple 1 hop/tick
+//   4. crash one relay: the runtime re-parents its orphaned leaves to the
+//      root, and an epoch bump invalidates their cookies on its restart
+//   5. print the per-hop health table and run a referral-chased search
+
+#include <cstdio>
+
+#include "server/distributed.h"
+#include "topology/runtime.h"
+#include "workload/directory_gen.h"
+#include "workload/update_gen.h"
+
+using namespace fbdr;
+
+namespace {
+
+ldap::Query serial_query(const std::string& prefix) {
+  return ldap::Query::parse("", ldap::Scope::Subtree,
+                            "(serialnumber=" + prefix + "*)");
+}
+
+void show(const char* moment, const topology::TopologyRuntime& runtime) {
+  std::printf("[%s]\n", moment);
+  std::printf("  %-10s %-10s %5s %5s %6s %6s %8s %9s\n", "node", "parent",
+              "depth", "lag", "down", "epoch", "sessions", "reparents");
+  for (const topology::NodeHealth& health : runtime.health()) {
+    std::printf("  %-10s %-10s %5zu %5llu %6s %6llu %8zu %9llu\n",
+                health.name.c_str(),
+                health.parent.empty() ? "(root)" : health.parent.c_str(),
+                health.depth, static_cast<unsigned long long>(health.lag_ticks),
+                health.down ? "yes" : "no",
+                static_cast<unsigned long long>(health.epoch),
+                health.downstream_sessions,
+                static_cast<unsigned long long>(health.reparents));
+  }
+}
+
+}  // namespace
+
+int main() {
+  workload::DirectoryConfig config;
+  config.employees = 4000;
+  config.countries = 2;
+  config.geo_countries = 1;
+  config.divisions = 4;
+  config.depts_per_division = 4;
+  config.locations = 4;
+  workload::EnterpriseDirectory dir = workload::generate_directory(config);
+
+  topology::TopologyRuntime::Options options;
+  options.reparent_after = 2;  // orphaned leaves re-home after 2 dead rounds
+  topology::TopologyRuntime runtime(dir.master, options);
+
+  // Serial prefixes nest: (serialnumber=0001*) ⊆ (serialnumber=00*), so each
+  // relay provably contains its leaves' filters and admits their sessions.
+  for (const std::string division : {"00", "01", "02", "03"}) {
+    runtime.add_node("relay-" + division, "", {serial_query(division)});
+    runtime.add_node("leaf-" + division + "0", "relay-" + division,
+                     {serial_query(division + "000")});
+    runtime.add_node("leaf-" + division + "1", "relay-" + division,
+                     {serial_query(division + "001")});
+  }
+  if (!runtime.install()) {
+    std::fprintf(stderr, "install failed\n");
+    return 1;
+  }
+  std::printf("root sessions: %zu (4 relays; 8 leaves poll the relays)\n\n",
+              runtime.root_master().session_count());
+
+  // Changes ripple one hop per tick down the cascade.
+  workload::UpdateGenerator updates(dir, {});
+  for (int round = 0; round < 3; ++round) {
+    updates.apply(40);
+    runtime.tick();
+  }
+  show("steady state: lag == depth", runtime);
+
+  // A relay dies; its leaves fail `reparent_after` rounds, then the runtime
+  // adopts them at the grandparent — here the root itself.
+  runtime.crash_node("relay-01");
+  runtime.run(4);
+  show("relay-01 down: leaves re-parented to the root", runtime);
+
+  runtime.restart_node("relay-01");
+  runtime.run(2);
+  show("relay-01 restarted with a bumped epoch", runtime);
+
+  // Distributed search: a leaf answers its own prefix locally and refers
+  // everything else up the tree for the client to chase.
+  server::ServerMap servers = runtime.server_map();
+  server::DistributedClient client(servers);
+  const workload::EmployeeInfo& somebody =
+      dir.employees[dir.division_members[2][0]];
+  const auto found =
+      client.search("ldap://leaf-000", serial_query(somebody.serial));
+  std::printf("\nsearch for serial %s from leaf-000: %zu result(s), "
+              "%llu referral hop(s)\n",
+              somebody.serial.c_str(), found.size(),
+              static_cast<unsigned long long>(client.stats().referrals));
+  return 0;
+}

@@ -1,27 +1,43 @@
 #!/usr/bin/env bash
-# Bench smoke gate: builds the master-scaling bench at -O2 and fails loudly
-# when the routed pump() path loses its edge over the legacy exhaustive
-# fan-out. Small sizes keep it CI-fast; the full-size run (defaults of
-# bench_master_scaling) is for EXPERIMENTS.md numbers.
+# Bench smoke gate: builds the CI-gated benches at -O2 and fails loudly when
+# a reproduced headline regresses.
 #
-# Usage: scripts/bench_smoke.sh [--min-speedup=F]   (default 2.0)
+#   bench_master_scaling   routed pump() must keep its edge over the legacy
+#                          exhaustive fan-out (--min-speedup, default 2.0)
+#   bench_topology_fanout  a fan-out-4 depth-2 relay tree must cut root
+#                          master sessions/poll round trips vs the flat 1xN
+#                          deployment (--min-factor, default 2.0, at 16+
+#                          leaves)
+#
+# Small sizes keep it CI-fast; the full-size runs (the benches' defaults)
+# are for EXPERIMENTS.md numbers.
+#
+# Usage: scripts/bench_smoke.sh [--min-speedup=F] [--min-factor=F]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 MIN_SPEEDUP=2.0
+MIN_FACTOR=2.0
 for arg in "$@"; do
   case "$arg" in
     --min-speedup=*) MIN_SPEEDUP="${arg#--min-speedup=}" ;;
+    --min-factor=*) MIN_FACTOR="${arg#--min-factor=}" ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
 
 cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
-cmake --build build-bench -j"$(nproc)" --target bench_master_scaling >/dev/null
+cmake --build build-bench -j"$(nproc)" --target bench_master_scaling \
+      bench_topology_fanout >/dev/null
 
 ./build-bench/bench/bench_master_scaling \
   --employees=4000 --updates=1000 --sessions=200,1000 \
   --json=build-bench/BENCH_master_scaling.json \
   --min-speedup="$MIN_SPEEDUP"
 
-echo "bench smoke: OK (report at build-bench/BENCH_master_scaling.json)"
+./build-bench/bench/bench_topology_fanout \
+  --employees=2000 --updates-per-round=50 --rounds=10 --leaves=8,16 \
+  --json=build-bench/BENCH_topology.json \
+  --min-factor="$MIN_FACTOR"
+
+echo "bench smoke: OK (reports at build-bench/BENCH_*.json)"

@@ -1,15 +1,30 @@
 #!/usr/bin/env bash
-# Static analysis over src/ with the checked-in .clang-tidy profile
-# (bugprone / modernize / performance). Runs against the compile commands
-# of the plain build; configure it first if build/ is missing.
+# Style + static analysis gate.
 #
-# The container image does not always ship clang-tidy: in that case this
-# script prints a notice and exits 0, so the tier-1 lint stage degrades to
-# a no-op instead of failing the gate.
+# Stage 1: clang-format --dry-run --Werror over src/ tests/ bench/ — fails
+# on any formatting drift from the checked-in .clang-format.
+# Stage 2: clang-tidy over src/ with the checked-in .clang-tidy profile
+# (bugprone / modernize / performance), against the compile commands of the
+# plain build; configure it first if build/ is missing.
+#
+# The container image does not always ship clang-format or clang-tidy: a
+# missing tool prints a notice and its stage degrades to a no-op instead of
+# failing the gate.
 #
 # Usage: scripts/lint.sh [extra clang-tidy args...]
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+FORMAT="${CLANG_FORMAT:-clang-format}"
+if command -v "$FORMAT" >/dev/null 2>&1; then
+  mapfile -t format_sources \
+    < <(find src tests bench -name '*.cpp' -o -name '*.h' | sort)
+  echo "lint: $FORMAT --dry-run --Werror over ${#format_sources[@]} files"
+  "$FORMAT" --dry-run --Werror "${format_sources[@]}"
+  echo "lint: format OK"
+else
+  echo "lint: $FORMAT not found; skipping format check"
+fi
 
 TIDY="${CLANG_TIDY:-clang-tidy}"
 if ! command -v "$TIDY" >/dev/null 2>&1; then

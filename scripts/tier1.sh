@@ -19,11 +19,12 @@ cmake -B build-asan -S . -DFBDR_SANITIZE=ON -DFBDR_BUILD_BENCHMARKS=OFF \
       -DFBDR_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-asan -j"$(nproc)" --target resync_chaos_test \
       resync_recovery_test resync_protocol_test routing_equivalence_test \
-      filter_ir_equivalence_test
+      filter_ir_equivalence_test topology_chaos_test \
+      server_ldif_roundtrip_test
 ctest --test-dir build-asan --output-on-failure -j"$(nproc)" \
-      -R 'ReSyncChaos|ServiceDegradation|Recovery|ReSync|RoutingEquivalence|FilterIrEquivalence'
+      -R 'ReSyncChaos|ServiceDegradation|Recovery|ReSync|RoutingEquivalence|FilterIrEquivalence|TopologyChaos|ServerLdifRoundTrip'
 
-echo "== tier 1: bench smoke (routed pump must stay >2x legacy) =="
-scripts/bench_smoke.sh --min-speedup=2
+echo "== tier 1: bench smoke (routed pump >2x legacy; relay tree >=2x root relief) =="
+scripts/bench_smoke.sh --min-speedup=2 --min-factor=2
 
 echo "tier 1: OK"

@@ -2,18 +2,20 @@
 
 #include <algorithm>
 
-#include "resync/master.h"
+#include "resync/endpoint.h"
 
 namespace fbdr::net {
 
 resync::ReSyncResponse DirectChannel::exchange(const ldap::Query& query,
                                                const resync::ReSyncControl& control) {
-  return master_->handle(query, control);
+  return endpoint_->handle(query, control);
 }
 
-void DirectChannel::abandon(const std::string& cookie) { master_->abandon(cookie); }
+void DirectChannel::abandon(const std::string& cookie) {
+  endpoint_->abandon(cookie);
+}
 
-void DirectChannel::elapse(std::uint64_t ticks) { master_->tick(ticks); }
+void DirectChannel::elapse(std::uint64_t ticks) { endpoint_->tick(ticks); }
 
 namespace {
 

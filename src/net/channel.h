@@ -8,7 +8,7 @@
 #include "resync/protocol.h"
 
 namespace fbdr::resync {
-class ReSyncMaster;
+class ReSyncEndpoint;
 }
 
 namespace fbdr::net {
@@ -24,7 +24,8 @@ class TransportError : public std::runtime_error {
   explicit TransportError(const std::string& what) : std::runtime_error(what) {}
 };
 
-/// The transport seam between a ReSync replica and its master: one
+/// The transport seam between a ReSync replica and its upstream endpoint —
+/// the enterprise master or a relay replica re-serving its content — one
 /// request/response exchange of the protocol. DirectChannel preserves the
 /// historical infallible in-process call; FaultyChannel (fault_injector.h)
 /// injects deterministic loss, duplication, reordering, delay and master
@@ -47,11 +48,12 @@ class Channel {
   virtual void elapse(std::uint64_t ticks) = 0;
 };
 
-/// The in-process channel: requests reach the master unconditionally, in
+/// The in-process channel: requests reach the endpoint unconditionally, in
 /// order, exactly once — today's behavior, now behind the seam.
 class DirectChannel final : public Channel {
  public:
-  explicit DirectChannel(resync::ReSyncMaster& master) : master_(&master) {}
+  explicit DirectChannel(resync::ReSyncEndpoint& endpoint)
+      : endpoint_(&endpoint) {}
 
   resync::ReSyncResponse exchange(const ldap::Query& query,
                                   const resync::ReSyncControl& control) override;
@@ -59,7 +61,7 @@ class DirectChannel final : public Channel {
   void elapse(std::uint64_t ticks) override;
 
  private:
-  resync::ReSyncMaster* master_;
+  resync::ReSyncEndpoint* endpoint_;
 };
 
 /// Client-side retry discipline for transport failures: up to max_attempts

@@ -3,12 +3,12 @@
 #include <algorithm>
 
 #include "ldap/error.h"
-#include "resync/master.h"
+#include "resync/endpoint.h"
 
 namespace fbdr::net {
 
-FaultyChannel::FaultyChannel(resync::ReSyncMaster& master, FaultConfig config)
-    : master_(&master), config_(config), rng_(config.seed) {}
+FaultyChannel::FaultyChannel(resync::ReSyncEndpoint& endpoint, FaultConfig config)
+    : endpoint_(&endpoint), config_(config), rng_(config.seed) {}
 
 bool FaultyChannel::chance(double probability) {
   if (probability <= 0.0) {
@@ -24,7 +24,7 @@ void FaultyChannel::deliver_one_replay() {
   try {
     // The response to a stray duplicate goes nowhere; the master's replay
     // cache (or its out-of-sequence rejection) keeps the session unharmed.
-    master_->handle(query, control);
+    endpoint_->handle(query, control);
   } catch (const ldap::ProtocolError&) {
   }
 }
@@ -43,7 +43,7 @@ resync::ReSyncResponse FaultyChannel::exchange(const ldap::Query& query,
   if (chance(config_.delay)) {
     ++counters_.delayed;
     const std::uint64_t span = std::max<std::uint64_t>(config_.max_delay_ticks, 1);
-    master_->tick(1 + rng_() % span);
+    endpoint_->tick(1 + rng_() % span);
   }
   if (chance(config_.drop_request)) {
     ++counters_.dropped_requests;
@@ -53,7 +53,7 @@ resync::ReSyncResponse FaultyChannel::exchange(const ldap::Query& query,
     ++counters_.duplicated;
     in_flight_.emplace_back(query, control);
   }
-  resync::ReSyncResponse response = master_->handle(query, control);
+  resync::ReSyncResponse response = endpoint_->handle(query, control);
   if (chance(config_.reset)) {
     ++counters_.resets;
     throw TransportError("connection reset");
@@ -67,15 +67,15 @@ resync::ReSyncResponse FaultyChannel::exchange(const ldap::Query& query,
 
 void FaultyChannel::abandon(const std::string& cookie) {
   if (down_) return;  // best effort: nothing to deliver to
-  master_->abandon(cookie);
+  endpoint_->abandon(cookie);
 }
 
-void FaultyChannel::elapse(std::uint64_t ticks) { master_->tick(ticks); }
+void FaultyChannel::elapse(std::uint64_t ticks) { endpoint_->tick(ticks); }
 
 void FaultyChannel::crash_master() {
   down_ = true;
   in_flight_.clear();  // requests addressed to the dead master are gone
-  master_->reset();
+  endpoint_->reset();
 }
 
 void FaultyChannel::restart_master() { down_ = false; }

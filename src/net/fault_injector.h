@@ -42,25 +42,27 @@ struct FaultCounters {
   }
 };
 
-/// A lossy, duplicating, reordering, delaying link to a ReSync master, plus
-/// a crash/restart hook that wipes the master's session state to model the
-/// "master restarted" case of §5.2. Deterministic under a fixed seed.
+/// A lossy, duplicating, reordering, delaying link to a ReSync endpoint
+/// (the enterprise master or a relay), plus a crash/restart hook that wipes
+/// the endpoint's session state to model the "master restarted" case of
+/// §5.2. Deterministic under a fixed seed.
 ///
 /// Duplication is modelled the way it bites an RPC protocol: the duplicated
-/// request is queued and re-delivered to the master *later* (possibly after
-/// newer requests — reordering), where only the replay-safe cookie sequence
-/// numbers prevent it from consuming session history twice.
+/// request is queued and re-delivered to the endpoint *later* (possibly
+/// after newer requests — reordering), where only the replay-safe cookie
+/// sequence numbers prevent it from consuming session history twice.
 class FaultyChannel final : public Channel {
  public:
-  FaultyChannel(resync::ReSyncMaster& master, FaultConfig config);
+  FaultyChannel(resync::ReSyncEndpoint& endpoint, FaultConfig config);
 
   resync::ReSyncResponse exchange(const ldap::Query& query,
                                   const resync::ReSyncControl& control) override;
   void abandon(const std::string& cookie) override;
   void elapse(std::uint64_t ticks) override;
 
-  /// Master crash: session state is wiped, in-flight requests are lost, and
-  /// every exchange fails with TransportError until restart_master().
+  /// Endpoint crash: session state is wiped (ReSyncEndpoint::reset — on a
+  /// relay this also bumps its cookie epoch), in-flight requests are lost,
+  /// and every exchange fails with TransportError until restart_master().
   void crash_master();
   void restart_master();
   bool master_down() const noexcept { return down_; }
@@ -79,7 +81,7 @@ class FaultyChannel final : public Channel {
   bool chance(double probability);
   void deliver_one_replay();
 
-  resync::ReSyncMaster* master_;
+  resync::ReSyncEndpoint* endpoint_;
   FaultConfig config_;
   std::mt19937_64 rng_;
   std::deque<std::pair<ldap::Query, resync::ReSyncControl>> in_flight_;

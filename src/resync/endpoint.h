@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "ldap/query.h"
+#include "resync/protocol.h"
+
+namespace fbdr::resync {
+
+/// Anything a replica can run a ReSync update session against: the
+/// enterprise master (ReSyncMaster over a DirectoryServer) or a relay
+/// replica re-serving its locally replicated content downstream
+/// (topology::RelayNode). net::Channel implementations carry exchanges to
+/// an endpoint without knowing which of the two answers, which is what
+/// lets sessions be stacked into multi-hop distribution trees.
+class ReSyncEndpoint {
+ public:
+  virtual ~ReSyncEndpoint() = default;
+
+  /// Handles one resync search request (§5.2 modes poll/persist/sync_end).
+  virtual ReSyncResponse handle(const ldap::Query& query,
+                                const ReSyncControl& control) = 0;
+
+  /// Client-initiated abandon of a persistent search.
+  virtual void abandon(const std::string& cookie) = 0;
+
+  /// Advances the endpoint's logical clock (session admin limits keep
+  /// running while clients back off on the link).
+  virtual void tick(std::uint64_t delta = 1) = 0;
+
+  /// Models a crash/restart losing all in-memory session state. On a relay
+  /// this also bumps the cookie epoch so descendants fall back to full
+  /// reloads instead of resuming against a torn store.
+  virtual void reset() = 0;
+
+  /// Address of this endpoint ("ldap://master", "relay://site-3"), used as
+  /// the referral target when a downstream query is not admitted.
+  virtual const std::string& url() const = 0;
+};
+
+}  // namespace fbdr::resync

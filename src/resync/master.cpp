@@ -133,6 +133,10 @@ ReSyncResponse ReSyncMaster::handle(const ldap::Query& query,
 
   // (iii) Persist: the connection stays open for pushed notifications.
   // (iv) Poll: the returned cookie resumes the session.
+  // The root of a distribution tree is its own origin: the shipped state is
+  // current as of this master's clock. Relays overwrite the stamp with the
+  // root time learned on their last upstream sync.
+  response.origin_time = clock_.now();
   response.persistent = control.mode == Mode::Persist;
   session->current_cookie = response.cookie;
   session->last_response = response;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "net/stats.h"
+#include "resync/endpoint.h"
 #include "resync/protocol.h"
 #include "server/directory_server.h"
 #include "sync/change_router.h"
@@ -38,7 +39,7 @@ namespace fbdr::resync {
 /// cache without touching session history, so lossy transports can retry
 /// idempotently; an out-of-sequence poll is rejected. reset() models a
 /// master restart that loses all session state (§5.2).
-class ReSyncMaster {
+class ReSyncMaster : public ReSyncEndpoint {
  public:
   /// Sink receiving pushed notifications for persist-mode sessions.
   using NotificationSink =
@@ -50,13 +51,21 @@ class ReSyncMaster {
   /// enumerations instead of minimal deltas. Default: complete history.
   void set_incomplete_history(bool incomplete) { incomplete_history_ = incomplete; }
 
-  /// Admin time limit for idle sessions (logical ticks; 0 disables).
+  /// Admin time limit for idle poll sessions, in logical ticks: a session
+  /// whose last activity is more than `ticks` ticks ago is dropped by
+  /// tick(), and its cookie becomes stale. A limit of 0 — the default —
+  /// disables expiry entirely: idle sessions survive any number of ticks
+  /// and are only removed by sync_end, abandon or reset().
   void set_session_time_limit(std::uint64_t ticks) { time_limit_ = ticks; }
 
   void set_notification_sink(NotificationSink sink) { sink_ = std::move(sink); }
 
   /// Handles one resync search request.
-  ReSyncResponse handle(const ldap::Query& query, const ReSyncControl& control);
+  ReSyncResponse handle(const ldap::Query& query,
+                        const ReSyncControl& control) override;
+
+  /// Address of the directory server this master serves from.
+  const std::string& url() const override { return master_->url(); }
 
   /// Feeds journal records appended since the last pump into the sessions
   /// they can affect (per-record change routing instead of the former
@@ -81,7 +90,7 @@ class ReSyncMaster {
   }
 
   /// Advances the logical clock and expires idle poll sessions.
-  void tick(std::uint64_t delta = 1);
+  void tick(std::uint64_t delta = 1) override;
 
   /// Current logical time at the master.
   std::uint64_t now() const noexcept { return clock_.now(); }
@@ -89,10 +98,10 @@ class ReSyncMaster {
   /// Models a master restart: every session (and its replay cache) is lost;
   /// outstanding cookies become unknown and replicas must recover with a
   /// full reload. The clock and cumulative counters survive.
-  void reset();
+  void reset() override;
 
   /// Client-initiated abandon of a persistent search.
-  void abandon(const std::string& cookie);
+  void abandon(const std::string& cookie) override;
 
   /// Duplicated/retried polls answered from the replay cache instead of
   /// consuming session history a second time.

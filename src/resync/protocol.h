@@ -58,6 +58,18 @@ struct ReSyncResponse {
   /// Equation (3) responses enumerate the whole content; unmentioned entries
   /// must be discarded by the replica.
   bool complete_enumeration = false;
+  /// Non-empty when the server did not admit the session: the query is not
+  /// contained in the endpoint's replicated set, and the client should
+  /// re-target the session at this URL (the relay's parent, mirroring the
+  /// default-referral bounce of §2.3). No session was created.
+  std::string referral_url;
+  /// Logical time at the tree root that the shipped content reflects, as far
+  /// as the answering endpoint knows: the root master stamps its own clock;
+  /// a relay forwards the root time learned on its last upstream sync. The
+  /// difference against the root clock is the per-hop staleness lag.
+  std::uint64_t origin_time = 0;
+
+  bool referred() const noexcept { return !referral_url.empty(); }
 
   std::size_t entries_sent() const;
   std::size_t dns_sent() const;

@@ -1,0 +1,410 @@
+#include "topology/relay_node.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "ldap/error.h"
+#include "ldap/filter_eval.h"
+
+namespace fbdr::topology {
+
+using ldap::EntryPtr;
+using ldap::Query;
+
+RelayNode::RelayNode(Config config, const ldap::Schema& schema,
+                     std::shared_ptr<ldap::TemplateRegistry> registry)
+    : schema_(&schema),
+      config_(std::move(config)),
+      url_("ldap://" + config_.name),
+      replica_(schema, std::move(registry)),
+      mirror_(url_ + "/mirror", schema),
+      downstream_(mirror_) {
+  mirror_.add_context({config_.suffix, {}});
+  downstream_.set_session_time_limit(config_.session_time_limit);
+}
+
+void RelayNode::connect(std::shared_ptr<net::Channel> channel,
+                        std::string parent_url) {
+  channel_ = std::move(channel);
+  parent_url_ = std::move(parent_url);
+}
+
+void RelayNode::add_filter(const Query& query) {
+  const std::string key = query.key();
+  for (const UpstreamFilter& filter : filters_) {
+    if (filter.query.key() == key) return;
+  }
+  UpstreamFilter filter;
+  filter.query = query;
+  filter.replica_id = replica_.add_query(query);
+  filters_.push_back(std::move(filter));
+}
+
+resync::ReSyncResponse RelayNode::request(UpstreamFilter& filter,
+                                          const resync::ReSyncControl& control) {
+  return net::exchange_with_retry(*channel_, filter.query, control,
+                                  config_.retry, &filter.retries);
+}
+
+bool RelayNode::install_all() {
+  if (down_ || channel_ == nullptr) return false;
+  bool all = true;
+  for (std::size_t i = 0; i < filters_.size(); ++i) {
+    UpstreamFilter& filter = filters_[i];
+    if (!filter.cookie.empty()) continue;
+    if (refetch(i, /*recovery=*/false)) {
+      filter.degraded = false;
+    } else {
+      all = false;
+      if (!referred_to_.empty()) break;  // runtime must re-target first
+      ++filter.failed_syncs;
+      filter.degraded = true;  // heals through the sync() recovery path
+    }
+  }
+  return all && referred_to_.empty();
+}
+
+void RelayNode::sync() {
+  if (down_) return;
+  epoch_bumped_this_round_ = false;
+  bool attempted = false;
+  bool transport_ok = false;
+  for (std::size_t i = 0; i < filters_.size() && channel_ != nullptr; ++i) {
+    if (!referred_to_.empty()) break;  // stop pumping a parent that refused us
+    UpstreamFilter& filter = filters_[i];
+    attempted = true;
+    if (filter.cookie.empty() || filter.degraded) {
+      // Session never established (post-restart/rewire) or down past the
+      // retry budget: re-establish with a full reload.
+      if (refetch(i, /*recovery=*/filter.degraded)) {
+        transport_ok = true;
+        filter.degraded = false;
+      } else if (!referred_to_.empty()) {
+        transport_ok = true;  // the parent answered — with a bounce
+      } else {
+        ++filter.failed_syncs;
+        filter.degraded = true;
+      }
+      continue;
+    }
+    try {
+      const resync::ReSyncResponse response =
+          request(filter, {resync::Mode::Poll, filter.cookie});
+      filter.cookie = response.cookie;
+      filter.last_origin = response.origin_time;
+      filter.last_synced = downstream_.now();
+      apply_response(i, response);
+      transport_ok = true;
+    } catch (const ldap::StaleCookieError&) {
+      // The parent expired or lost the session (restart, epoch bump):
+      // recover with a full reload — and cascade the bump to descendants.
+      if (refetch(i, /*recovery=*/true)) {
+        transport_ok = true;
+      } else if (!referred_to_.empty()) {
+        transport_ok = true;
+      } else {
+        ++filter.failed_syncs;
+        filter.degraded = true;
+      }
+    } catch (const net::TransportError&) {
+      ++filter.failed_syncs;
+      filter.degraded = true;
+    }
+  }
+  if (attempted) failed_streak_ = transport_ok ? 0 : failed_streak_ + 1;
+
+  // The relay's content is only as fresh as its stalest session.
+  if (!filters_.empty()) {
+    std::uint64_t oldest = filters_.front().last_origin;
+    for (const UpstreamFilter& filter : filters_) {
+      oldest = std::min(oldest, filter.last_origin);
+    }
+    root_time_ = oldest;
+  }
+
+  downstream_.pump();
+  downstream_.tick(1);
+}
+
+bool RelayNode::refetch(std::size_t index, bool recovery) {
+  UpstreamFilter& filter = filters_[index];
+  try {
+    const resync::ReSyncResponse response =
+        request(filter, {resync::Mode::Poll, ""});
+    if (response.referred()) {
+      referred_to_ = response.referral_url;
+      return false;
+    }
+    filter.cookie = response.cookie;
+    filter.last_origin = response.origin_time;
+    filter.last_synced = downstream_.now();
+    // Diff the enumerated content into the mirror: upsert everything
+    // shipped, then drop what this filter previously claimed but the parent
+    // no longer lists. Diffing (rather than clearing and reloading) keeps
+    // the journal minimal, so descendants receive only real changes.
+    std::set<std::string> shipped;
+    for (const resync::EntryPdu& pdu : response.pdus) {
+      if (!pdu.entry) continue;
+      shipped.insert(pdu.dn.norm_key());
+      upsert(pdu.entry);
+    }
+    for (const EntryPtr& held : mirror_.evaluate(filter.query)) {
+      if (shipped.find(held->dn().norm_key()) == shipped.end()) {
+        erase_unless_claimed(held->dn(), index);
+      }
+    }
+    if (recovery) {
+      ++filter.recoveries;
+      ++recoveries_;
+      if (!epoch_bumped_this_round_) bump_epoch();
+    }
+    return true;
+  } catch (const net::TransportError&) {
+    return false;
+  }
+}
+
+void RelayNode::apply_response(std::size_t index,
+                               const resync::ReSyncResponse& response) {
+  const UpstreamFilter& filter = filters_[index];
+  std::set<std::string> mentioned;
+  for (const resync::EntryPdu& pdu : response.pdus) {
+    if (response.complete_enumeration) mentioned.insert(pdu.dn.norm_key());
+    switch (pdu.action) {
+      case resync::Action::Add:
+      case resync::Action::Modify:
+        upsert(pdu.entry);
+        break;
+      case resync::Action::Delete:
+        erase_unless_claimed(pdu.dn, index);
+        break;
+      case resync::Action::Retain:
+        break;  // membership confirmation only
+    }
+  }
+  if (response.complete_enumeration) {
+    // Equation (3): unmentioned entries are gone from the parent.
+    for (const EntryPtr& held : mirror_.evaluate(filter.query)) {
+      if (mentioned.find(held->dn().norm_key()) == mentioned.end()) {
+        erase_unless_claimed(held->dn(), index);
+      }
+    }
+  }
+}
+
+void RelayNode::ensure_parents(const ldap::Dn& dn) {
+  if (dn.is_root() || dn.norm_key() == config_.suffix.norm_key()) return;
+  std::vector<ldap::Dn> missing;
+  ldap::Dn cursor = dn.parent();
+  while (!cursor.is_root() && !mirror_.dit().contains(cursor)) {
+    missing.push_back(cursor);
+    if (cursor.norm_key() == config_.suffix.norm_key()) break;
+    cursor = cursor.parent();
+  }
+  for (auto it = missing.rbegin(); it != missing.rend(); ++it) {
+    mirror_.add(std::make_shared<ldap::Entry>(*it));
+  }
+}
+
+void RelayNode::upsert(const EntryPtr& entry) {
+  const EntryPtr existing = mirror_.dit().find(entry->dn());
+  if (existing) {
+    if (*existing == *entry) return;  // re-delivery; keep the journal quiet
+    std::vector<server::Modification> mods;
+    for (const auto& [attr, values] : entry->attributes()) {
+      mods.push_back({server::Modification::Op::Replace, attr, values});
+    }
+    for (const auto& [attr, values] : existing->attributes()) {
+      if (!entry->has_attribute(attr)) {
+        mods.push_back({server::Modification::Op::Replace, attr, {}});
+      }
+    }
+    mirror_.modify(entry->dn(), std::move(mods));
+    return;
+  }
+  ensure_parents(entry->dn());
+  mirror_.add(entry);
+}
+
+void RelayNode::erase_unless_claimed(const ldap::Dn& dn, std::size_t source) {
+  const EntryPtr entry = mirror_.dit().find(dn);
+  if (!entry) return;  // shared delete already applied via another filter
+  for (std::size_t i = 0; i < filters_.size(); ++i) {
+    if (i == source) continue;
+    const UpstreamFilter& other = filters_[i];
+    if (other.query.region_covers(dn) &&
+        ldap::matches(*other.query.filter, *entry, *schema_)) {
+      return;  // still replicated here under another filter
+    }
+  }
+  try {
+    mirror_.remove(dn);
+  } catch (const ldap::OperationError& error) {
+    if (error.code() != ldap::ResultCode::NotAllowedOnNonLeaf) throw;
+    // Its children are replicated content: downgrade to attribute-less
+    // glue so the tree shape survives. Downstream filters stop matching,
+    // so sessions see the entry leave — the semantic delete.
+    std::vector<server::Modification> mods;
+    for (const std::string& attr : entry->attribute_names()) {
+      mods.push_back({server::Modification::Op::Replace, attr, {}});
+    }
+    if (!mods.empty()) mirror_.modify(dn, std::move(mods));
+  }
+}
+
+void RelayNode::rewire(std::shared_ptr<net::Channel> channel,
+                       std::string parent_url) {
+  for (UpstreamFilter& filter : filters_) {
+    if (!filter.cookie.empty() && channel_ != nullptr) {
+      try {
+        channel_->exchange(filter.query,
+                           {resync::Mode::SyncEnd, filter.cookie});
+      } catch (const net::TransportError&) {
+        // Old parent unreachable (likely why we are re-parenting); its
+        // orphaned session expires under the admin time limit.
+      } catch (const ldap::ProtocolError&) {
+      }
+    }
+    filter.cookie.clear();
+    filter.degraded = false;
+  }
+  channel_ = std::move(channel);
+  parent_url_ = std::move(parent_url);
+  referred_to_.clear();
+  failed_streak_ = 0;
+  ++reparents_;
+  // Sessions rebuild wholesale at the new parent; descendants must not
+  // resume against the mid-rebuild mirror.
+  bump_epoch();
+}
+
+void RelayNode::crash() { down_ = true; }
+
+void RelayNode::restart() {
+  down_ = false;
+  bump_epoch();  // downstream session state died with the process
+  for (UpstreamFilter& filter : filters_) {
+    filter.cookie.clear();  // upstream sessions must be re-established
+    filter.degraded = false;
+  }
+}
+
+void RelayNode::reset() { restart(); }
+
+void RelayNode::bump_epoch() {
+  ++epoch_;
+  downstream_.reset();
+  epoch_bumped_this_round_ = true;
+}
+
+std::string RelayNode::wrap_cookie(const std::string& inner) const {
+  std::string cookie = "e";
+  cookie += std::to_string(epoch_);
+  cookie += '!';
+  cookie += inner;
+  return cookie;
+}
+
+std::string RelayNode::unwrap_cookie(const std::string& cookie) const {
+  const std::size_t bang = cookie.find('!');
+  if (cookie.empty() || cookie.front() != 'e' || bang == std::string::npos) {
+    throw ldap::ProtocolError("malformed relay cookie '" + cookie + "'");
+  }
+  std::uint64_t epoch = 0;
+  try {
+    epoch = std::stoull(cookie.substr(1, bang - 1));
+  } catch (const std::exception&) {
+    throw ldap::ProtocolError("malformed relay cookie epoch '" + cookie + "'");
+  }
+  if (epoch != epoch_) {
+    throw ldap::StaleCookieError(
+        "relay " + url_ + " rebuilt its content (epoch " +
+        std::to_string(epoch_) + ", cookie has " + std::to_string(epoch) + ")");
+  }
+  return cookie.substr(bang + 1);
+}
+
+bool RelayNode::admit(const Query& query) { return replica_.handle(query).hit; }
+
+resync::ReSyncResponse RelayNode::handle(const Query& query,
+                                         const resync::ReSyncControl& control) {
+  if (down_) throw net::TransportError(url_ + ": relay down");
+  if (control.mode == resync::Mode::SyncEnd) {
+    if (control.initial()) return {};
+    try {
+      return downstream_.handle(query,
+                                {control.mode, unwrap_cookie(control.cookie)});
+    } catch (const ldap::StaleCookieError&) {
+      return {};  // ending an already-invalidated session is a no-op
+    }
+  }
+  resync::ReSyncResponse response;
+  if (control.initial()) {
+    if (!admit(query)) {
+      // Not contained in the replicated set: bounce to the parent, the
+      // default-referral rule of §2.3 applied to update sessions.
+      ++admission_rejects_;
+      response.referral_url = parent_url_;
+      return response;
+    }
+    response = downstream_.handle(query, control);
+  } else {
+    response = downstream_.handle(query,
+                                  {control.mode, unwrap_cookie(control.cookie)});
+  }
+  response.cookie = wrap_cookie(response.cookie);
+  response.origin_time = root_time_;
+  return response;
+}
+
+void RelayNode::abandon(const std::string& cookie) {
+  if (down_) return;  // best effort, like the wire operation
+  try {
+    downstream_.abandon(unwrap_cookie(cookie));
+  } catch (const ldap::ProtocolError&) {
+    // Stale epoch or malformed: the session it named no longer exists.
+  }
+}
+
+void RelayNode::tick(std::uint64_t delta) { downstream_.tick(delta); }
+
+server::SearchResult RelayNode::process_search(const Query& query) {
+  if (down_) throw net::TransportError(url_ + ": relay down");
+  server::SearchResult result;
+  if (admit(query)) {
+    // Containment guarantees the mirror holds the complete answer (§3).
+    result.base_resolved = true;
+    for (const EntryPtr& entry : mirror_.evaluate(query)) {
+      result.entries.push_back(server::project(entry, query.attrs));
+    }
+  } else {
+    result.referrals.push_back({parent_url_, query.base, query.scope});
+  }
+  return result;
+}
+
+net::HealthStats RelayNode::upstream_health() const {
+  net::HealthStats stats;
+  const std::uint64_t now = downstream_.now();
+  for (const UpstreamFilter& filter : filters_) {
+    net::FilterHealth health;
+    health.degraded = filter.degraded;
+    health.ticks_behind =
+        now > filter.last_synced ? now - filter.last_synced : 0;
+    health.retries = filter.retries;
+    health.recoveries = filter.recoveries;
+    health.failed_syncs = filter.failed_syncs;
+    stats.filters.emplace(filter.query.key(), health);
+  }
+  return stats;
+}
+
+bool RelayNode::any_degraded() const {
+  for (const UpstreamFilter& filter : filters_) {
+    if (filter.degraded) return true;
+  }
+  return false;
+}
+
+}  // namespace fbdr::topology

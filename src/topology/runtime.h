@@ -1,0 +1,157 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/channel.h"
+#include "net/fault_injector.h"
+#include "resync/master.h"
+#include "server/directory_server.h"
+#include "server/distributed.h"
+#include "topology/relay_node.h"
+
+namespace fbdr::topology {
+
+/// One row of the per-hop health report: where the node sits, how far its
+/// content trails the root, and what its sessions have been through.
+struct NodeHealth {
+  std::string name;
+  std::string parent;               // "" for children of the root master
+  std::size_t depth = 0;            // hops from the root (root itself = 0)
+  std::uint64_t lag_ticks = 0;      // root clock now - node's root_time()
+  bool down = false;
+  bool degraded = false;            // any upstream session degraded
+  std::uint64_t epoch = 0;
+  std::size_t downstream_sessions = 0;
+  std::uint64_t admission_rejects = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t reparents = 0;
+  std::uint64_t failed_streak = 0;
+};
+
+/// Builds and drives an N-node replication tree rooted at one enterprise
+/// master: relay nodes (and leaves, which are simply relays nobody syncs
+/// from) wired over DirectChannel or — when a FaultConfig is given —
+/// per-link FaultyChannels with distinct deterministic seeds.
+///
+/// tick() runs one logical round deepest-first: every node polls the content
+/// its parent holds *now*, then the parent refreshes from its own parent,
+/// and the root pumps and advances last. The measured staleness is therefore
+/// one tick per hop — the latency cost a cascade trades for fan-out relief
+/// at the root, which is exactly what bench_topology_fanout quantifies.
+///
+/// The runtime also owns the two control-plane reactions of the design:
+///   - referral chasing: a parent that does not admit a node's filter set
+///     answers with a referral; the runtime re-wires the node to the
+///     referred URL (walking up ancestor by ancestor, terminating at the
+///     root, which admits everything);
+///   - re-parenting: a node whose upstream link has failed for
+///     `reparent_after` consecutive sync rounds is re-wired to its
+///     grandparent, adopting the orphaned subtree below it unchanged.
+class TopologyRuntime {
+ public:
+  struct Options {
+    /// Retry discipline for every upstream link.
+    net::RetryPolicy retry;
+    /// Admin idle limit for relay downstream sessions (0 = never expire).
+    /// The root master's limit is configured on root_master() directly.
+    std::uint64_t session_time_limit = 0;
+    /// Consecutive failed sync rounds before a node is re-wired to its
+    /// grandparent (0 disables re-parenting).
+    std::uint64_t reparent_after = 0;
+    /// When set, every link is a FaultyChannel seeded from this config
+    /// (seed + link index), so one schedule replays deterministically.
+    std::optional<net::FaultConfig> faults;
+  };
+
+  TopologyRuntime(std::shared_ptr<server::DirectoryServer> root,
+                  Options options);
+
+  /// Adds a node named `name` under `parent` ("" = the root master) with
+  /// the given replicated filter set. Parents must be added before their
+  /// children. Content is not fetched until install() or the first tick().
+  RelayNode& add_node(const std::string& name, const std::string& parent,
+                      const std::vector<ldap::Query>& filters);
+
+  /// Opens every node's upstream sessions top-down, chasing referrals
+  /// (nodes whose parent does not admit them are re-wired up the ancestor
+  /// chain). Returns true when every session is established.
+  bool install();
+
+  /// One logical round over the whole tree (see class comment).
+  void tick();
+
+  /// Runs `rounds` ticks.
+  void run(std::uint64_t rounds);
+
+  // --- failure injection (chaos tests) ---
+
+  void crash_node(const std::string& name);
+  void restart_node(const std::string& name);
+
+  /// The FaultyChannel carrying `name`'s upstream link; null under
+  /// DirectChannel wiring. Reconfigure it to shape per-link fault phases.
+  net::FaultyChannel* fault_channel(const std::string& name);
+
+  // --- introspection ---
+
+  RelayNode& node(const std::string& name);
+  const RelayNode& node(const std::string& name) const;
+  bool has_node(const std::string& name) const;
+  std::vector<std::string> node_names() const;
+
+  /// Current parent of `name`: "" when wired to the root master.
+  const std::string& parent_of(const std::string& name) const;
+  std::size_t depth_of(const std::string& name) const;
+
+  server::DirectoryServer& root() noexcept { return *root_; }
+  resync::ReSyncMaster& root_master() noexcept { return root_endpoint_; }
+
+  /// Per-node health, root's children first, deepest last.
+  std::vector<NodeHealth> health() const;
+
+  /// Every endpoint (root master + all nodes) addressable by URL, for
+  /// server::DistributedClient referral chasing across the tree.
+  server::ServerMap server_map() const;
+
+ private:
+  struct Node {
+    std::string name;
+    std::string parent;  // "" = root
+    std::unique_ptr<RelayNode> relay;
+  };
+
+  Node& find_node(const std::string& name);
+  const Node& find_node(const std::string& name) const;
+  std::size_t depth_of(const Node& node) const;
+
+  /// The ReSync endpoint serving `url`: the root master or a node.
+  resync::ReSyncEndpoint* endpoint_at(const std::string& url);
+
+  /// A fresh channel to `endpoint` (faulty when Options::faults is set).
+  std::shared_ptr<net::Channel> make_channel(resync::ReSyncEndpoint& endpoint,
+                                             const std::string& node_name);
+
+  /// Re-wires `node` to the endpoint at `url` (referral chase target or
+  /// grandparent). Falls back to the root when the URL is unknown.
+  void rewire_to(Node& node, const std::string& url);
+
+  /// Node names ordered deepest-first (the tick order).
+  std::vector<const Node*> by_depth_desc() const;
+
+  /// Referral chase + re-parent policy for one node, after its sync round.
+  void react(Node& node);
+
+  std::shared_ptr<server::DirectoryServer> root_;
+  Options options_;
+  resync::ReSyncMaster root_endpoint_;
+  std::vector<std::unique_ptr<Node>> nodes_;  // insertion order
+  std::map<std::string, net::FaultyChannel*> fault_channels_;
+  std::uint64_t link_counter_ = 0;
+};
+
+}  // namespace fbdr::topology

@@ -174,6 +174,27 @@ TEST(ReSyncMaster, IdlePollSessionsTimeOut) {
                ldap::ProtocolError);
 }
 
+TEST(ReSyncMaster, ZeroTimeLimitDisablesExpiry) {
+  // An administrative time limit of 0 (the default) means sessions never
+  // expire, no matter how far the clock advances between polls.
+  auto master = make_master();
+  ReSyncMaster resync(*master);
+  const std::string cookie = resync.handle(kQuery, {Mode::Poll, ""}).cookie;
+  ASSERT_EQ(resync.session_count(), 1u);
+
+  resync.tick(1'000'000);
+  EXPECT_EQ(resync.session_count(), 1u) << "idle session expired at limit 0";
+  const ReSyncResponse after = resync.handle(kQuery, {Mode::Poll, cookie});
+  EXPECT_TRUE(after.pdus.empty());
+
+  // Setting the limit back to 0 after a non-zero value disables expiry again.
+  resync.set_session_time_limit(10);
+  resync.set_session_time_limit(0);
+  resync.tick(1'000'000);
+  EXPECT_EQ(resync.session_count(), 1u);
+  EXPECT_NO_THROW(resync.handle(kQuery, {Mode::Poll, after.cookie}));
+}
+
 TEST(ReSyncMaster, ModeSwitchFromPollToPersist) {
   // Figure 3's session switches from poll to persist with the same cookie.
   auto master = make_master();

@@ -1,0 +1,111 @@
+// LDIF persistence round-trip: randomized directories — multi-valued
+// attributes, DN-escaped special characters, empty and punctuation-laden
+// values — must survive dump -> load -> dump with byte-identical text and
+// deep entry equality. Runs under ASan/UBSan in tier-1.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "ldap/entry.h"
+#include "server/directory_server.h"
+#include "server/ldif_io.h"
+
+namespace fbdr::server {
+namespace {
+
+using ldap::Dn;
+using ldap::Entry;
+using ldap::EntryPtr;
+using ldap::make_entry;
+
+std::unique_ptr<DirectoryServer> make_server(const std::string& url) {
+  auto server = std::make_unique<DirectoryServer>(url);
+  server->add_context({Dn::parse("o=test"), {}});
+  return server;
+}
+
+/// A value safe under the LDIF subset (no newlines; parse trims line ends,
+/// so no leading/trailing whitespace) but otherwise nasty: internal spaces,
+/// commas, colons, '#', '=', parens, backslashes.
+std::string random_value(std::mt19937& rng, int tag) {
+  static const std::vector<std::string> kPieces = {
+      "plain", "with space", "comma,inside", "colon:inside", "hash#mark",
+      "equals=sign", "(paren)", "back\\slash", "plus+sign", "semi;colon"};
+  std::string value = kPieces[rng() % kPieces.size()];
+  if (rng() % 3 == 0) value += " " + kPieces[rng() % kPieces.size()];
+  return value + " #" + std::to_string(tag);  // unique => no value collapse
+}
+
+TEST(ServerLdifRoundTrip, RandomizedEntriesSurviveTwoRoundTrips) {
+  std::mt19937 rng(20050601u);
+  auto original = make_server("ldap://original");
+  original->load(make_entry("o=test", {{"objectclass", "organization"}}));
+
+  // Containers whose RDN values need DN escaping (RFC 2253 specials).
+  const std::vector<std::string> kContainers = {
+      "ou=plain,o=test",
+      "ou=Acme\\, Inc,o=test",
+      "ou=a\\+b,o=test",
+      "ou=back\\\\slash,o=test",
+      "ou=sharp#1,o=test",
+  };
+  for (const std::string& dn : kContainers) {
+    original->load(make_entry(dn, {{"objectclass", "organizationalunit"}}));
+  }
+
+  static const std::vector<std::string> kAttrs = {"cn", "sn", "mail", "member",
+                                                  "description"};
+  int tag = 0;
+  for (int i = 0; i < 60; ++i) {
+    const std::string& parent = kContainers[rng() % kContainers.size()];
+    auto entry = std::make_shared<Entry>(
+        Dn::parse("cn=e" + std::to_string(i) + "," + parent));
+    entry->add_value("objectclass", "person");
+    const std::size_t attr_count = 1 + rng() % 4;
+    for (std::size_t a = 0; a < attr_count; ++a) {
+      const std::string& attr = kAttrs[rng() % kAttrs.size()];
+      const std::size_t value_count = 1 + rng() % 3;  // multi-valued
+      for (std::size_t v = 0; v < value_count; ++v) {
+        entry->add_value(attr, random_value(rng, ++tag));
+      }
+    }
+    if (rng() % 4 == 0) entry->add_value("note", "");  // empty value
+    original->load(entry);
+  }
+
+  const std::string first = dump_ldif(*original);
+
+  auto reparsed = make_server("ldap://reparsed");
+  ASSERT_EQ(load_ldif(*reparsed, first), original->dit().size());
+  const std::string second = dump_ldif(*reparsed);
+  EXPECT_EQ(first, second) << "LDIF text is not a fixed point";
+
+  // Deep equality, both directions.
+  ASSERT_EQ(reparsed->dit().size(), original->dit().size());
+  original->dit().for_each([&](const EntryPtr& entry) {
+    const EntryPtr twin = reparsed->dit().find(entry->dn());
+    ASSERT_NE(twin, nullptr) << "missing " << entry->dn().to_string();
+    EXPECT_EQ(*twin, *entry) << "mismatch at " << entry->dn().to_string();
+  });
+}
+
+TEST(ServerLdifRoundTrip, EscapedDnsParseBackToTheSameKeys) {
+  auto server = make_server("ldap://escapes");
+  server->load(make_entry("o=test", {{"objectclass", "organization"}}));
+  server->load(make_entry("cn=Doe\\, John,o=test",
+                          {{"objectclass", "person"}, {"cn", "Doe, John"}}));
+
+  const std::string text = dump_ldif(*server);
+  auto reparsed = make_server("ldap://reparsed");
+  ASSERT_EQ(load_ldif(*reparsed, text), 2u);
+  const EntryPtr found = reparsed->dit().find(Dn::parse("cn=Doe\\, John,o=test"));
+  ASSERT_NE(found, nullptr);
+  EXPECT_TRUE(found->has_value("cn", "Doe, John"));
+  EXPECT_EQ(dump_ldif(*reparsed), text);
+}
+
+}  // namespace
+}  // namespace fbdr::server

@@ -1,0 +1,263 @@
+// Depth-3 cascade chaos test: a root master feeding two depth-1 relays,
+// four depth-2 relays and eight leaves, every link a seeded FaultyChannel
+// (drop, duplicate, reorder, delay, reset), with a mid-tree relay crash and
+// restart in the schedule. A fault-free twin tree receives the identical
+// mutation stream over DirectChannels. After quiescence every node's
+// replicated content must equal the twin's and the master truth exactly —
+// multi-hop cookie lineage (epoch bumps cascading StaleCookieError down the
+// tree) is what makes that convergence possible.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "ldap/error.h"
+#include "sync/content_tracker.h"
+#include "topology/runtime.h"
+#include "workload/directory_gen.h"
+
+namespace fbdr::topology {
+namespace {
+
+using ldap::Dn;
+using ldap::make_entry;
+using ldap::Query;
+using ldap::Scope;
+using server::Modification;
+
+// Serials are 3 bits + 2 free digits: bit prefixes give a balanced binary
+// containment tree ((serialnumber=000*) ⊆ (serialnumber=00*) ⊆
+// (serialnumber=0*)) with 8 leaf groups.
+const std::vector<std::string> kBits1 = {"0", "1"};
+const std::vector<std::string> kBits2 = {"00", "01", "10", "11"};
+const std::vector<std::string> kBits3 = {"000", "001", "010", "011",
+                                         "100", "101", "110", "111"};
+
+std::string serial_of(int group, int rank) {
+  return kBits3[static_cast<std::size_t>(group)] +
+         (rank < 10 ? "0" : "") + std::to_string(rank);
+}
+
+std::shared_ptr<server::DirectoryServer> make_master(const std::string& url) {
+  auto master = std::make_shared<server::DirectoryServer>(url);
+  master->add_context({Dn::parse("o=xyz"), {}});
+  master->load(make_entry("o=xyz", {{"objectclass", "organization"}}));
+  for (int group = 0; group < 8; ++group) {
+    for (int rank = 0; rank < 6; ++rank) {
+      const std::string serial = serial_of(group, rank);
+      master->load(make_entry("cn=e" + serial + ",o=xyz",
+                              {{"objectclass", "person"},
+                               {"serialnumber", serial},
+                               {"mail", "e" + serial + "@xyz.com"}}));
+    }
+  }
+  return master;
+}
+
+Query serial_query(const std::string& prefix) {
+  return Query::parse("o=xyz", Scope::Subtree,
+                      "(serialnumber=" + prefix + "*)");
+}
+
+/// root -> d1-<b> -> d2-<bb> -> leaf-<bbb>, one filter per node.
+void build_tree(TopologyRuntime& runtime) {
+  for (const std::string& bits : kBits1) {
+    runtime.add_node("d1-" + bits, "", {serial_query(bits)});
+  }
+  for (const std::string& bits : kBits2) {
+    runtime.add_node("d2-" + bits, "d1-" + bits.substr(0, 1),
+                     {serial_query(bits)});
+  }
+  for (const std::string& bits : kBits3) {
+    runtime.add_node("leaf-" + bits, "d2-" + bits.substr(0, 2),
+                     {serial_query(bits)});
+  }
+}
+
+/// One operation applied identically to both masters.
+void mutate_both(std::mt19937& rng, int& next_rank,
+                 server::DirectoryServer& faulty, server::DirectoryServer& twin) {
+  const int op = std::uniform_int_distribution<int>(0, 99)(rng);
+  const int group = std::uniform_int_distribution<int>(0, 7)(rng);
+  const int rank = std::uniform_int_distribution<int>(0, 59)(rng);
+  const std::string serial = serial_of(group, rank % 100);
+  const Dn target = Dn::parse("cn=e" + serial + ",o=xyz");
+  const auto apply = [&](server::DirectoryServer& master) {
+    try {
+      if (op < 30) {
+        const std::string fresh = serial_of(group, 6 + next_rank % 94);
+        master.add(make_entry("cn=e" + fresh + ",o=xyz",
+                              {{"objectclass", "person"},
+                               {"serialnumber", fresh},
+                               {"mail", "e" + fresh + "@xyz.com"}}));
+      } else if (op < 55) {
+        master.remove(target);
+      } else {
+        master.modify(target, {{Modification::Op::Replace,
+                                "mail",
+                                {"m" + std::to_string(next_rank) + "@x.com"}}});
+      }
+    } catch (const ldap::OperationError&) {
+      // Missing/duplicate random target: identical noise on both masters.
+    }
+  };
+  apply(faulty);
+  apply(twin);
+  ++next_rank;
+}
+
+std::vector<std::string> master_truth(const server::DirectoryServer& master,
+                                      const Query& query) {
+  sync::ContentTracker tracker(query);
+  tracker.initialize(master.dit());
+  return tracker.content_keys();
+}
+
+std::vector<std::string> mirror_keys(const RelayNode& node, const Query& query) {
+  std::vector<std::string> keys;
+  for (const ldap::EntryPtr& entry : node.mirror().evaluate(query)) {
+    keys.push_back(entry->dn().norm_key());
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+struct ChaosSchedule {
+  std::uint64_t seed;
+  net::FaultConfig faults;
+  std::string crash_node;  // mid-tree relay crashed at crash_step
+  int crash_step;
+  int restart_step;
+};
+
+class TopologyChaos : public ::testing::TestWithParam<ChaosSchedule> {};
+
+TEST_P(TopologyChaos, Depth3TreeConvergesToFaultFreeTwin) {
+  const ChaosSchedule schedule = GetParam();
+
+  auto faulty_master = make_master("ldap://root");
+  auto twin_master = make_master("ldap://root");
+
+  TopologyRuntime::Options faulty_options;
+  faulty_options.faults = schedule.faults;
+  faulty_options.retry.max_attempts = 4;
+  faulty_options.retry.base_backoff_ticks = 1;
+  faulty_options.retry.max_backoff_ticks = 6;
+  faulty_options.retry.jitter_seed = schedule.seed;
+  faulty_options.session_time_limit = 60;
+  TopologyRuntime faulty(faulty_master, faulty_options);
+  faulty.root_master().set_session_time_limit(60);
+
+  TopologyRuntime::Options twin_options;
+  twin_options.session_time_limit = 60;
+  TopologyRuntime twin(twin_master, twin_options);
+  twin.root_master().set_session_time_limit(60);
+
+  build_tree(faulty);
+  build_tree(twin);
+  // Lossy install is allowed to leave sessions degraded; they must heal
+  // during the run. The twin installs cleanly by construction.
+  faulty.install();
+  ASSERT_TRUE(twin.install());
+
+  const std::uint64_t epoch_before =
+      schedule.crash_step >= 0 ? faulty.node(schedule.crash_node).epoch() : 0;
+
+  std::mt19937 rng(static_cast<unsigned>(schedule.seed));
+  int next_rank = 0;
+  for (int step = 0; step < 200; ++step) {
+    mutate_both(rng, next_rank, *faulty_master, *twin_master);
+    if (step == schedule.crash_step) faulty.crash_node(schedule.crash_node);
+    if (step == schedule.restart_step) faulty.restart_node(schedule.crash_node);
+    faulty.tick();
+    twin.tick();
+  }
+
+  // Quiescence: links go clean, stray in-flight duplicates drain, the tree
+  // runs enough clean rounds for every recovery to cascade to the leaves.
+  net::FaultConfig clean;
+  clean.seed = schedule.faults.seed;
+  for (const std::string& name : faulty.node_names()) {
+    if (net::FaultyChannel* channel = faulty.fault_channel(name)) {
+      channel->set_config(clean);
+      channel->flush_replays();
+    }
+  }
+  for (int round = 0; round < 12; ++round) {
+    faulty.tick();
+    twin.tick();
+  }
+
+  // Exact convergence, every node against the twin and the master truth.
+  std::uint64_t faults_seen = 0;
+  for (const std::string& name : faulty.node_names()) {
+    const RelayNode& node = faulty.node(name);
+    const RelayNode& twin_node = twin.node(name);
+    ASSERT_EQ(node.filter_count(), 1u);
+    const Query& query = node.filter_replica().query_at(0);
+    const auto faulty_keys = mirror_keys(node, query);
+    EXPECT_EQ(faulty_keys, master_truth(*faulty_master, query))
+        << name << " diverged from master truth (seed " << schedule.seed << ")";
+    EXPECT_EQ(faulty_keys, mirror_keys(twin_node, query))
+        << name << " diverged from its fault-free twin (seed " << schedule.seed
+        << ")";
+    if (const net::FaultyChannel* channel = faulty.fault_channel(name)) {
+      faults_seen += channel->counters().faults();
+    }
+  }
+
+  // The schedule must actually have hurt.
+  EXPECT_GT(faults_seen, 0u) << "fault schedule was a no-op";
+  for (const NodeHealth& health : faulty.health()) {
+    EXPECT_FALSE(health.down) << health.name;
+    EXPECT_FALSE(health.degraded) << health.name << " still degraded";
+  }
+  if (schedule.crash_step >= 0) {
+    // The restarted relay advanced its epoch, and the stale-cookie cascade
+    // forced full-reload recoveries below it.
+    EXPECT_GT(faulty.node(schedule.crash_node).epoch(), epoch_before)
+        << "restart must bump the relay epoch";
+    std::uint64_t downstream_recoveries = 0;
+    for (const std::string& name : faulty.node_names()) {
+      if (faulty.parent_of(name) == schedule.crash_node) {
+        downstream_recoveries += faulty.node(name).recoveries();
+      }
+    }
+    EXPECT_GT(downstream_recoveries, 0u)
+        << "children of the restarted relay never recovered";
+  }
+}
+
+net::FaultConfig lossy(std::uint64_t seed) {
+  net::FaultConfig config;
+  config.seed = seed;
+  config.drop_request = 0.08;
+  config.drop_response = 0.08;
+  config.duplicate = 0.15;
+  config.reorder = 0.40;
+  config.reset = 0.08;
+  config.delay = 0.10;
+  config.max_delay_ticks = 3;
+  return config;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedules, TopologyChaos,
+    ::testing::Values(
+        // depth-1 relay crashes mid-run: half the tree re-converges
+        ChaosSchedule{20050501, lossy(20050501), "d1-0", 70, 90},
+        // depth-2 relay crashes: the stale-cookie cascade stops at its leaves
+        ChaosSchedule{31337, lossy(31337), "d2-10", 110, 135},
+        // pure link chaos, no crash
+        ChaosSchedule{777, lossy(777), "d1-1", -1, -1},
+        // crash with a long outage late in the run
+        ChaosSchedule{424242, lossy(424242), "d2-01", 140, 180}),
+    [](const ::testing::TestParamInfo<ChaosSchedule>& param_info) {
+      return "seed" + std::to_string(param_info.param.seed);
+    });
+
+}  // namespace
+}  // namespace fbdr::topology
