@@ -49,7 +49,12 @@ std::vector<std::size_t> parse_csv(const char* text) {
   std::vector<std::size_t> out;
   for (const char* cursor = text; *cursor != '\0';) {
     char* end = nullptr;
-    out.push_back(std::strtoull(cursor, &end, 10));
+    const std::size_t value = std::strtoull(cursor, &end, 10);
+    if (end == cursor) {  // no digits consumed: stop instead of spinning
+      std::fprintf(stderr, "ignoring non-numeric list value in '%s'\n", text);
+      break;
+    }
+    out.push_back(value);
     cursor = *end == ',' ? end + 1 : end;
   }
   return out;

@@ -110,6 +110,12 @@ ReSyncResponse ReSyncMaster::handle(const ldap::Query& query,
       ++replays_;
       session->last_active = clock_.now();
       account(session->last_response.pdus);  // retransmission is wire traffic
+      // Re-stamp the origin: handing back the stamp of the original
+      // exchange would roll a downstream relay's root-time view backwards
+      // and inflate its reported lag. The replay consumed no history, so a
+      // fresh stamp is safe — anything newer still sits in the session
+      // history and ships on the next genuine poll.
+      session->last_response.origin_time = clock_.now();
       return session->last_response;
     }
     if (parts.seq != session->next_seq) {

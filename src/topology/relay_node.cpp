@@ -1,11 +1,11 @@
 #include "topology/relay_node.h"
 
 #include <algorithm>
+#include <map>
 #include <set>
 #include <utility>
 
 #include "ldap/error.h"
-#include "ldap/filter_eval.h"
 
 namespace fbdr::topology {
 
@@ -14,8 +14,7 @@ using ldap::Query;
 
 RelayNode::RelayNode(Config config, const ldap::Schema& schema,
                      std::shared_ptr<ldap::TemplateRegistry> registry)
-    : schema_(&schema),
-      config_(std::move(config)),
+    : config_(std::move(config)),
       url_("ldap://" + config_.name),
       replica_(schema, std::move(registry)),
       mirror_(url_ + "/mirror", schema),
@@ -92,7 +91,9 @@ void RelayNode::sync() {
       const resync::ReSyncResponse response =
           request(filter, {resync::Mode::Poll, filter.cookie});
       filter.cookie = response.cookie;
-      filter.last_origin = response.origin_time;
+      // max(): a replayed poll (duplicate retried through a FaultyChannel)
+      // may carry an older stamp; root time must never roll backwards.
+      filter.last_origin = std::max(filter.last_origin, response.origin_time);
       filter.last_synced = downstream_.now();
       apply_response(i, response);
       transport_ok = true;
@@ -137,21 +138,23 @@ bool RelayNode::refetch(std::size_t index, bool recovery) {
       return false;
     }
     filter.cookie = response.cookie;
-    filter.last_origin = response.origin_time;
+    filter.last_origin = std::max(filter.last_origin, response.origin_time);
     filter.last_synced = downstream_.now();
     // Diff the enumerated content into the mirror: upsert everything
     // shipped, then drop what this filter previously claimed but the parent
     // no longer lists. Diffing (rather than clearing and reloading) keeps
     // the journal minimal, so descendants receive only real changes.
-    std::set<std::string> shipped;
+    std::map<std::string, ldap::Dn> shipped;
     for (const resync::EntryPdu& pdu : response.pdus) {
       if (!pdu.entry) continue;
-      shipped.insert(pdu.dn.norm_key());
+      shipped.emplace(pdu.dn.norm_key(), pdu.dn);
       upsert(pdu.entry);
     }
-    for (const EntryPtr& held : mirror_.evaluate(filter.query)) {
-      if (shipped.find(held->dn().norm_key()) == shipped.end()) {
-        erase_unless_claimed(held->dn(), index);
+    const std::map<std::string, ldap::Dn> previous =
+        std::exchange(filter.members, std::move(shipped));
+    for (const auto& [key, dn] : previous) {
+      if (filter.members.find(key) == filter.members.end()) {
+        erase_unless_claimed(dn, index);
       }
     }
     if (recovery) {
@@ -167,28 +170,35 @@ bool RelayNode::refetch(std::size_t index, bool recovery) {
 
 void RelayNode::apply_response(std::size_t index,
                                const resync::ReSyncResponse& response) {
-  const UpstreamFilter& filter = filters_[index];
+  UpstreamFilter& filter = filters_[index];
   std::set<std::string> mentioned;
   for (const resync::EntryPdu& pdu : response.pdus) {
-    if (response.complete_enumeration) mentioned.insert(pdu.dn.norm_key());
+    const std::string key = pdu.dn.norm_key();
+    if (response.complete_enumeration) mentioned.insert(key);
     switch (pdu.action) {
       case resync::Action::Add:
       case resync::Action::Modify:
+        filter.members.insert_or_assign(key, pdu.dn);
         upsert(pdu.entry);
         break;
       case resync::Action::Delete:
+        filter.members.erase(key);
         erase_unless_claimed(pdu.dn, index);
         break;
       case resync::Action::Retain:
-        break;  // membership confirmation only
+        filter.members.insert_or_assign(key, pdu.dn);  // membership confirmed
+        break;
     }
   }
   if (response.complete_enumeration) {
     // Equation (3): unmentioned entries are gone from the parent.
-    for (const EntryPtr& held : mirror_.evaluate(filter.query)) {
-      if (mentioned.find(held->dn().norm_key()) == mentioned.end()) {
-        erase_unless_claimed(held->dn(), index);
-      }
+    std::vector<std::pair<std::string, ldap::Dn>> stale;
+    for (const auto& [key, dn] : filter.members) {
+      if (mentioned.find(key) == mentioned.end()) stale.emplace_back(key, dn);
+    }
+    for (const auto& [key, dn] : stale) {
+      filter.members.erase(key);
+      erase_unless_claimed(dn, index);
     }
   }
 }
@@ -230,12 +240,16 @@ void RelayNode::upsert(const EntryPtr& entry) {
 void RelayNode::erase_unless_claimed(const ldap::Dn& dn, std::size_t source) {
   const EntryPtr entry = mirror_.dit().find(dn);
   if (!entry) return;  // shared delete already applied via another filter
+  // Consult what each session's parent actually lists, never the mirror
+  // copy: a truly deleted shared entry keeps matching every overlapping
+  // filter through its stale attributes, so re-matching would make each
+  // filter's Delete defer to the others forever.
+  const std::string key = dn.norm_key();
   for (std::size_t i = 0; i < filters_.size(); ++i) {
     if (i == source) continue;
     const UpstreamFilter& other = filters_[i];
-    if (other.query.region_covers(dn) &&
-        ldap::matches(*other.query.filter, *entry, *schema_)) {
-      return;  // still replicated here under another filter
+    if (other.members.find(key) != other.members.end()) {
+      return;  // still replicated here under another session
     }
   }
   try {

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -160,6 +161,13 @@ class RelayNode final : public resync::ReSyncEndpoint,
     std::uint64_t retries = 0;
     std::uint64_t recoveries = 0;
     std::uint64_t failed_syncs = 0;
+    /// DNs the parent currently lists for this filter (norm key -> DN),
+    /// maintained from Add/Delete PDUs and full/complete enumerations.
+    /// Claim checks consult these sets, never the mirror copy: after a
+    /// shared entry is deleted upstream, the stale mirror attributes still
+    /// match every overlapping filter, so re-matching would let each
+    /// filter's Delete defer to the other and the ghost entry never die.
+    std::map<std::string, ldap::Dn> members;
   };
 
   /// Splits "e<epoch>!<inner>"; throws StaleCookieError on a non-current
@@ -179,9 +187,10 @@ class RelayNode final : public resync::ReSyncEndpoint,
   /// downstream). Equal re-deliveries are skipped without a journal record.
   void upsert(const ldap::EntryPtr& entry);
 
-  /// Removes `dn` from the mirror unless another replicated filter still
-  /// claims the entry. A non-leaf (its children are replicated content) is
-  /// downgraded to glue instead of removed, preserving tree shape.
+  /// Removes `dn` from the mirror unless another filter's upstream
+  /// membership set still claims the entry. A non-leaf (its children are
+  /// replicated content) is downgraded to glue instead of removed,
+  /// preserving tree shape.
   void erase_unless_claimed(const ldap::Dn& dn, std::size_t source);
 
   /// Journals glue entries for every missing ancestor of `dn` above the
@@ -201,7 +210,6 @@ class RelayNode final : public resync::ReSyncEndpoint,
   /// Content rebuilt wholesale: invalidate every descendant cookie.
   void bump_epoch();
 
-  const ldap::Schema* schema_;
   Config config_;
   std::string url_;
   replica::FilterReplica replica_;   // admission/meta set (unmaterialized)

@@ -263,6 +263,14 @@ TEST(ReSyncMaster, DuplicatedPollIsAnsweredFromReplayCache) {
   EXPECT_EQ(replay.entries_sent(), first.entries_sent());
   EXPECT_EQ(replay.cookie, first.cookie);
 
+  // A replay after the clock advanced is stamped with the CURRENT origin
+  // time: handing back the original exchange's stamp would roll a
+  // downstream relay's root-time view backwards and inflate its lag.
+  resync.tick(3);
+  const ReSyncResponse late = resync.handle(kQuery, {Mode::Poll, cookie});
+  EXPECT_EQ(resync.replays_suppressed(), 2u);
+  EXPECT_EQ(late.origin_time, first.origin_time + 3);
+
   // The next fresh poll carries only what happened since — the E2 add was
   // not dropped from history by the replay.
   master->add(person("E3", "42"));

@@ -228,6 +228,44 @@ TEST(TopologyRelay, SharedEntriesSurviveSingleFilterDeletes) {
   EXPECT_TRUE(kept->has_value("mail", "e000@xyz.com"));
 }
 
+TEST(TopologyRelay, SharedEntriesDieWhenDeletedUpstream) {
+  Relayed world = make_relayed();
+  // Two overlapping filters both claim e000.
+  world.relay->add_filter(
+      Query::parse("o=xyz", Scope::Subtree, "(mail=e000@xyz.com)"));
+  ASSERT_TRUE(world.relay->install_all());
+  const Dn shared = Dn::parse("cn=e000,ou=eng,o=xyz");
+  ASSERT_NE(world.relay->mirror().dit().find(shared), nullptr);
+
+  // A true upstream delete ships a Delete to BOTH sessions. The stale
+  // mirror copy still matches both filters, so a claim check that
+  // re-matched filters would make each Delete defer to the other and the
+  // ghost entry would be served downstream forever; the per-filter
+  // membership sets know the parent lists it for neither.
+  world.master->remove(shared);
+  world.root->pump();
+  world.relay->sync();
+  EXPECT_EQ(world.relay->mirror().dit().find(shared), nullptr)
+      << "upstream delete of a shared entry left a permanent ghost";
+}
+
+TEST(TopologyRelay, SharedDeletesHealThroughFullReload) {
+  Relayed world = make_relayed();
+  world.relay->add_filter(
+      Query::parse("o=xyz", Scope::Subtree, "(mail=e000@xyz.com)"));
+  ASSERT_TRUE(world.relay->install_all());
+  const Dn shared = Dn::parse("cn=e000,ou=eng,o=xyz");
+
+  // The relay restarts and misses the delete entirely: recovery is a full
+  // reload whose enumeration diff must prune the shared entry even though
+  // its stale mirror copy still matches both filters.
+  world.relay->restart();
+  world.master->remove(shared);
+  world.relay->sync();
+  EXPECT_EQ(world.relay->mirror().dit().find(shared), nullptr)
+      << "full-reload diff kept a ghost of a shared entry deleted upstream";
+}
+
 TEST(TopologyRelay, SearchEndpointAnswersHitsAndRefersMisses) {
   Relayed world = make_relayed();
   ASSERT_TRUE(world.relay->install_all());
