@@ -8,27 +8,34 @@
 #                          master sessions/poll round trips vs the flat 1xN
 #                          deployment (--min-factor, default 2.0, at 16+
 #                          leaves)
+#   bench_overload         a governed master under a slow-consumer storm must
+#                          keep its peak history/replay/journal footprint
+#                          within budget and below the ungoverned baseline
+#                          (--min-overload-factor, default 4.0)
 #
 # Small sizes keep it CI-fast; the full-size runs (the benches' defaults)
 # are for EXPERIMENTS.md numbers.
 #
 # Usage: scripts/bench_smoke.sh [--min-speedup=F] [--min-factor=F]
+#                               [--min-overload-factor=F]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 MIN_SPEEDUP=2.0
 MIN_FACTOR=2.0
+MIN_OVERLOAD_FACTOR=4.0
 for arg in "$@"; do
   case "$arg" in
     --min-speedup=*) MIN_SPEEDUP="${arg#--min-speedup=}" ;;
     --min-factor=*) MIN_FACTOR="${arg#--min-factor=}" ;;
+    --min-overload-factor=*) MIN_OVERLOAD_FACTOR="${arg#--min-overload-factor=}" ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
 
 cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-bench -j"$(nproc)" --target bench_master_scaling \
-      bench_topology_fanout >/dev/null
+      bench_topology_fanout bench_overload >/dev/null
 
 ./build-bench/bench/bench_master_scaling \
   --employees=4000 --updates=1000 --sessions=200,1000 \
@@ -39,5 +46,10 @@ cmake --build build-bench -j"$(nproc)" --target bench_master_scaling \
   --employees=2000 --updates-per-round=50 --rounds=10 --leaves=8,16 \
   --json=build-bench/BENCH_topology.json \
   --min-factor="$MIN_FACTOR"
+
+./build-bench/bench/bench_overload \
+  --employees=1000 --ticks=2000 --leaves=4 \
+  --json=build-bench/BENCH_overload.json \
+  --min-factor="$MIN_OVERLOAD_FACTOR"
 
 echo "bench smoke: OK (reports at build-bench/BENCH_*.json)"

@@ -14,15 +14,16 @@ ctest --test-dir build --output-on-failure -j"$(nproc)"
 echo "== tier 1: lint (non-fatal) =="
 scripts/lint.sh || echo "lint: reported issues (non-fatal)"
 
-echo "== tier 1: sanitizer chaos run (ASan + UBSan) =="
+echo "== tier 1: sanitizer chaos + overload-soak run (ASan + UBSan) =="
 cmake -B build-asan -S . -DFBDR_SANITIZE=ON -DFBDR_BUILD_BENCHMARKS=OFF \
       -DFBDR_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-asan -j"$(nproc)" --target resync_chaos_test \
       resync_recovery_test resync_protocol_test routing_equivalence_test \
       filter_ir_equivalence_test topology_chaos_test \
-      server_ldif_roundtrip_test
+      server_ldif_roundtrip_test resync_governor_test sync_compaction_test \
+      resync_overload_test
 ctest --test-dir build-asan --output-on-failure -j"$(nproc)" \
-      -R 'ReSyncChaos|ServiceDegradation|Recovery|ReSync|RoutingEquivalence|FilterIrEquivalence|TopologyChaos|ServerLdifRoundTrip'
+      -R 'ReSyncChaos|ServiceDegradation|Recovery|ReSync|RoutingEquivalence|FilterIrEquivalence|TopologyChaos|ServerLdifRoundTrip|Governor|SyncCompaction|ResyncOverload|TopologyOverload'
 
 echo "== tier 1: bench smoke (routed pump >2x legacy; relay tree >=2x root relief) =="
 scripts/bench_smoke.sh --min-speedup=2 --min-factor=2

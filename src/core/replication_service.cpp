@@ -1,6 +1,7 @@
 #include "core/replication_service.h"
 
 #include <map>
+#include <set>
 
 #include "ldap/error.h"
 #include "sync/content_tracker.h"
@@ -63,12 +64,39 @@ resync::ReSyncResponse FilterReplicationService::request(
                                   config_.retry, &installed.retries);
 }
 
+resync::ReSyncResponse FilterReplicationService::collect_pages(
+    InstalledFilter& installed, resync::ReSyncResponse first) {
+  // This service applies a poll transactionally (set_content with the folded
+  // result), so pages are combined before applying. A transport failure
+  // mid-drain propagates to the caller, which degrades the filter and later
+  // heals through refetch() with a fresh session — the half-fetched batch is
+  // simply discarded, never half-applied.
+  while (first.more) {
+    resync::ReSyncResponse page =
+        request(installed, {resync::Mode::Poll, first.cookie});
+    ++installed.paged_polls;
+    first.cookie = page.cookie;
+    first.more = page.more;
+    first.complete_enumeration |= page.complete_enumeration;
+    first.full_reload |= page.full_reload;
+    first.pdus.insert(first.pdus.end(), page.pdus.begin(), page.pdus.end());
+  }
+  return first;
+}
+
 bool FilterReplicationService::refetch(InstalledFilter& installed) {
   try {
     // Full-reload recovery: a fresh session's initial response carries the
-    // whole content.
-    const resync::ReSyncResponse response =
+    // whole content (possibly paged).
+    resync::ReSyncResponse response =
         request(installed, {resync::Mode::Poll, ""});
+    if (response.busy) {
+      // Master at capacity: no session was created. Stay degraded and try
+      // again on a later sync round — the local content keeps serving.
+      ++installed.busy_rejections;
+      return false;
+    }
+    response = collect_pages(installed, std::move(response));
     installed.cookie = response.cookie;
     std::vector<EntryPtr> entries;
     entries.reserve(response.pdus.size());
@@ -92,11 +120,17 @@ void FilterReplicationService::install(const Query& query, SyncPolicy policy) {
   installed.replica_id = replica_.add_query(query);
   // Open a ReSync session; the initial response carries the whole content
   // and is accounted as fetch/update traffic by the master. A transport
-  // failure past the retry budget propagates: a filter must never start
-  // serving before it has content.
+  // failure past the retry budget (or a busy rejection) propagates: a filter
+  // must never start serving before it has content.
   try {
-    const resync::ReSyncResponse response =
+    resync::ReSyncResponse response =
         request(installed, {resync::Mode::Poll, ""});
+    if (response.busy) {
+      replica_.remove_query(installed.replica_id);
+      throw ldap::BusyError("install of '" + query.to_string() +
+                            "' rejected: master at session capacity");
+    }
+    response = collect_pages(installed, std::move(response));
     installed.cookie = response.cookie;
     std::vector<EntryPtr> entries;
     entries.reserve(response.pdus.size());
@@ -176,16 +210,18 @@ ServeOutcome FilterReplicationService::serve(const Query& query) {
   return outcome;
 }
 
-void FilterReplicationService::apply_delta(InstalledFilter& installed,
-                                           const resync::ReSyncResponse& response) {
-  if (response.pdus.empty()) return;
+void FilterReplicationService::apply_delta(
+    InstalledFilter& installed, const std::vector<resync::EntryPdu>& pdus,
+    bool complete_enumeration) {
+  if (pdus.empty() && !complete_enumeration) return;
   // Rebuild this query's content from the delta: adds/mods upsert, deletes
   // drop. set_content needs the full list, so fold into a map first.
   std::map<std::string, EntryPtr> content;
   for (const EntryPtr& entry : replica_.query_content(installed.replica_id)) {
     content[entry->dn().norm_key()] = entry;
   }
-  for (const resync::EntryPdu& pdu : response.pdus) {
+  std::set<std::string> mentioned;
+  for (const resync::EntryPdu& pdu : pdus) {
     switch (pdu.action) {
       case resync::Action::Add:
       case resync::Action::Modify:
@@ -196,6 +232,21 @@ void FilterReplicationService::apply_delta(InstalledFilter& installed,
         break;
       case resync::Action::Retain:
         break;
+    }
+    if (complete_enumeration && pdu.action != resync::Action::Delete) {
+      mentioned.insert(pdu.dn.norm_key());
+    }
+  }
+  if (complete_enumeration) {
+    // Equation (3): the poll enumerated the whole content — anything it did
+    // not mention has left the filter and must be dropped, or the replica
+    // would serve ghost entries after a degraded (history-less) poll.
+    for (auto it = content.begin(); it != content.end();) {
+      if (mentioned.count(it->first) == 0) {
+        it = content.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
   std::vector<EntryPtr> entries;
@@ -222,11 +273,13 @@ void FilterReplicationService::sync() {
       continue;
     }
     try {
-      const resync::ReSyncResponse response =
+      resync::ReSyncResponse response =
           request(installed, {resync::Mode::Poll, installed.cookie});
+      response = collect_pages(installed, std::move(response));
       installed.cookie = response.cookie;
       installed.last_synced_tick = resync_.now();
-      apply_delta(installed, response);
+      if (response.complete_enumeration) ++installed.degraded_polls;
+      apply_delta(installed, response.pdus, response.complete_enumeration);
     } catch (const ldap::StaleCookieError&) {
       // Session expired or the master restarted: recover with a full
       // reload, or degrade if the link is down too.
@@ -257,6 +310,9 @@ net::HealthStats FilterReplicationService::health() const {
     health.retries = installed.retries;
     health.recoveries = installed.recoveries;
     health.failed_syncs = installed.failed_syncs;
+    health.busy_rejections = installed.busy_rejections;
+    health.degraded_polls = installed.degraded_polls;
+    health.paged_polls = installed.paged_polls;
     stats.filters.emplace(installed.query.key(), health);
   }
   return stats;
@@ -289,6 +345,14 @@ ServeOutcome SubtreeReplicationService::serve(const Query& query) {
 }
 
 void SubtreeReplicationService::sync() {
+  if (master_->journal().trimmed_up_to() > last_seq_) {
+    // Journal compaction dropped changes this replica never shipped: the
+    // per-change stream cannot be reconstructed, so reload the configured
+    // contexts wholesale (the subtree analogue of the eq.(3) heal).
+    load();
+    traffic_.count_round_trip();
+    return;
+  }
   for (const server::ChangeRecord* record : master_->journal().since(last_seq_)) {
     last_seq_ = record->seq;
     // Every change inside a replicated subtree must be shipped: full entry

@@ -116,16 +116,27 @@ class FilterReplicationService {
     std::uint64_t retries = 0;
     std::uint64_t recoveries = 0;
     std::uint64_t failed_syncs = 0;
+    std::uint64_t busy_rejections = 0;  // refetches bounced at capacity
+    std::uint64_t degraded_polls = 0;   // eq.(3) enumerations received
+    std::uint64_t paged_polls = 0;      // continuation pages fetched
   };
 
   void apply_revolution(const select::FilterSelector::Revolution& revolution);
   InstalledFilter* find_installed(const std::string& key);
   resync::ReSyncResponse request(InstalledFilter& installed,
                                  const resync::ReSyncControl& control);
+  /// Applies the (page-combined) PDUs of one poll. A complete enumeration
+  /// (equation (3), from a degraded session) drops unmentioned entries.
   void apply_delta(InstalledFilter& installed,
-                   const resync::ReSyncResponse& response);
+                   const std::vector<resync::EntryPdu>& pdus,
+                   bool complete_enumeration);
+  /// Fetches the remaining pages of a paged response, appending their PDUs.
+  /// The final flags are merged into the returned response.
+  resync::ReSyncResponse collect_pages(InstalledFilter& installed,
+                                       resync::ReSyncResponse first);
   /// Opens a fresh session and reloads the filter's full content. Returns
-  /// false (leaving the filter as it was) when the transport stays down.
+  /// false (leaving the filter as it was) when the transport stays down or
+  /// the master is at capacity (busy).
   bool refetch(InstalledFilter& installed);
 
   std::shared_ptr<server::DirectoryServer> master_;

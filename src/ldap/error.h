@@ -59,4 +59,13 @@ class StaleCookieError : public ProtocolError {
   explicit StaleCookieError(const std::string& what) : ProtocolError(what) {}
 };
 
+/// The server refused to admit a new update session because it is at its
+/// configured session capacity (LDAP busy, RFC 2251 §4.1.10). Transient by
+/// definition: the client should retry the initial request with backoff
+/// rather than treat the replica as failed.
+class BusyError : public ProtocolError {
+ public:
+  explicit BusyError(const std::string& what) : ProtocolError(what) {}
+};
+
 }  // namespace fbdr::ldap

@@ -32,9 +32,23 @@ void FaultyChannel::deliver_one_replay() {
 resync::ReSyncResponse FaultyChannel::exchange(const ldap::Query& query,
                                                const resync::ReSyncControl& control) {
   ++counters_.exchanges;
+  ++local_now_;
   if (down_) {
     ++counters_.rejected_while_down;
     throw TransportError("master is down");
+  }
+  // Memory-pressure outage: inside a window the endpoint sheds every
+  // exchange; a fresh draw may open a new window.
+  if (local_now_ < outage_until_) {
+    ++counters_.outages;
+    throw TransportError("memory pressure: endpoint shedding load");
+  }
+  if (chance(config_.outage)) {
+    const std::uint64_t span =
+        std::max<std::uint64_t>(config_.max_outage_ticks, 1);
+    outage_until_ = local_now_ + 1 + rng_() % span;
+    ++counters_.outages;
+    throw TransportError("memory pressure: endpoint shedding load");
   }
   // A duplicate from an earlier exchange may overtake this request.
   if (!in_flight_.empty() && chance(config_.reorder)) {
@@ -70,7 +84,10 @@ void FaultyChannel::abandon(const std::string& cookie) {
   endpoint_->abandon(cookie);
 }
 
-void FaultyChannel::elapse(std::uint64_t ticks) { endpoint_->tick(ticks); }
+void FaultyChannel::elapse(std::uint64_t ticks) {
+  local_now_ += ticks;  // backing off can outlast an outage window
+  endpoint_->tick(ticks);
+}
 
 void FaultyChannel::crash_master() {
   down_ = true;

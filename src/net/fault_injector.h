@@ -22,6 +22,14 @@ struct FaultConfig {
   double reset = 0.0;          // connection reset after processing
   double delay = 0.0;          // link delay (master clock advances)
   std::uint64_t max_delay_ticks = 4;
+  /// Memory-pressure outage: with this probability an exchange opens an
+  /// outage window of up to max_outage_ticks local ticks (elapse() and each
+  /// exchange advance local time) during which every exchange fails with
+  /// TransportError — the endpoint shedding load wholesale, as distinct from
+  /// per-message loss. Models the overload regime the ResourceGovernor's
+  /// budgets exist to survive.
+  double outage = 0.0;
+  std::uint64_t max_outage_ticks = 4;
 };
 
 /// What the injector actually did — for asserting that a chaos schedule
@@ -35,10 +43,11 @@ struct FaultCounters {
   std::uint64_t delayed = 0;
   std::uint64_t resets = 0;
   std::uint64_t rejected_while_down = 0;
+  std::uint64_t outages = 0;  // exchanges refused inside outage windows
 
   std::uint64_t faults() const {
     return dropped_requests + dropped_responses + duplicated + replayed +
-           delayed + resets + rejected_while_down;
+           delayed + resets + rejected_while_down + outages;
   }
 };
 
@@ -87,6 +96,8 @@ class FaultyChannel final : public Channel {
   std::deque<std::pair<ldap::Query, resync::ReSyncControl>> in_flight_;
   FaultCounters counters_;
   bool down_ = false;
+  std::uint64_t local_now_ = 0;     // elapse() + one per exchange
+  std::uint64_t outage_until_ = 0;  // local tick the current outage ends
 };
 
 }  // namespace fbdr::net

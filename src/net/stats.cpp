@@ -38,12 +38,33 @@ std::uint64_t HealthStats::total_recoveries() const {
   return total;
 }
 
+std::uint64_t HealthStats::total_busy_rejections() const {
+  std::uint64_t total = 0;
+  for (const auto& [key, health] : filters) total += health.busy_rejections;
+  return total;
+}
+
+std::uint64_t HealthStats::total_degraded_polls() const {
+  std::uint64_t total = 0;
+  for (const auto& [key, health] : filters) total += health.degraded_polls;
+  return total;
+}
+
+std::uint64_t HealthStats::total_paged_polls() const {
+  std::uint64_t total = 0;
+  for (const auto& [key, health] : filters) total += health.paged_polls;
+  return total;
+}
+
 std::string HealthStats::to_string() const {
   std::string out = "filters=" + std::to_string(filters.size()) +
                     " degraded=" + std::to_string(degraded_count()) +
                     " max_ticks_behind=" + std::to_string(max_ticks_behind()) +
                     " retries=" + std::to_string(total_retries()) +
-                    " recoveries=" + std::to_string(total_recoveries());
+                    " recoveries=" + std::to_string(total_recoveries()) +
+                    " busy=" + std::to_string(total_busy_rejections()) +
+                    " degraded_polls=" + std::to_string(total_degraded_polls()) +
+                    " paged_polls=" + std::to_string(total_paged_polls());
   for (const auto& [key, health] : filters) {
     if (!health.degraded) continue;
     out += "\n  degraded: " + key +

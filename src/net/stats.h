@@ -63,6 +63,9 @@ struct FilterHealth {
   std::uint64_t retries = 0;        // transport retries spent on this filter
   std::uint64_t recoveries = 0;     // full-reload session recoveries
   std::uint64_t failed_syncs = 0;   // sync rounds lost to transport faults
+  std::uint64_t busy_rejections = 0;  // initial requests bounced at capacity
+  std::uint64_t degraded_polls = 0;   // eq.(3) complete enumerations received
+  std::uint64_t paged_polls = 0;      // continuation pages fetched
 };
 
 /// Per-filter health of a replica site, the robustness counterpart of
@@ -75,6 +78,9 @@ struct HealthStats {
   std::uint64_t max_ticks_behind() const;
   std::uint64_t total_retries() const;
   std::uint64_t total_recoveries() const;
+  std::uint64_t total_busy_rejections() const;
+  std::uint64_t total_degraded_polls() const;
+  std::uint64_t total_paged_polls() const;
 
   std::string to_string() const;
 };

@@ -1,0 +1,15 @@
+#include "resync/governor.h"
+
+namespace fbdr::resync {
+
+std::string GovernorStats::to_string() const {
+  return "busy=" + std::to_string(sessions_rejected_busy) +
+         " degraded=" + std::to_string(sessions_degraded) +
+         " collapsed=" + std::to_string(histories_collapsed) +
+         " evicted=" + std::to_string(sessions_evicted) +
+         " pages=" + std::to_string(pages_served) +
+         " replay_strips=" + std::to_string(replay_caches_stripped) +
+         " rebases=" + std::to_string(compaction_rebases);
+}
+
+}  // namespace fbdr::resync

@@ -1,5 +1,7 @@
 #include "resync/master.h"
 
+#include <algorithm>
+
 #include "ldap/error.h"
 
 namespace fbdr::resync {
@@ -63,6 +65,15 @@ ReSyncResponse ReSyncMaster::handle(const ldap::Query& query,
   Session* session = nullptr;
 
   if (control.initial()) {
+    // Admission control: past the session cap no session is created; the
+    // client sees a protocol-level busy result and retries with backoff.
+    if (!governor_.admits(sessions_.size())) {
+      ++governor_.stats().sessions_rejected_busy;
+      ReSyncResponse busy;
+      busy.busy = true;
+      busy.origin_time = clock_.now();
+      return busy;
+    }
     // (i) Initial request: create the session and send the whole content.
     id = new_session_id();
     Session fresh;
@@ -80,8 +91,8 @@ ReSyncResponse ReSyncMaster::handle(const ldap::Query& query,
       router_.note_enter(session->route, key);
     }
     expiry_.emplace(clock_.now(), id);
-    response.pdus = to_pdus(batch);
-    response.full_reload = true;
+    paginate(*session, to_pdus(batch), /*full_reload=*/true,
+             /*complete_enumeration=*/false, response);
     response.cookie = make_cookie(id, session->next_seq);
   } else {
     // (ii) The cookie identifies the session and carries the poll sequence
@@ -109,14 +120,31 @@ ReSyncResponse ReSyncMaster::handle(const ldap::Query& query,
       // second time into the replica's future nor lost.
       ++replays_;
       session->last_active = clock_.now();
-      account(session->last_response.pdus);  // retransmission is wire traffic
-      // Re-stamp the origin: handing back the stamp of the original
-      // exchange would roll a downstream relay's root-time view backwards
-      // and inflate its reported lag. The replay consumed no history, so a
-      // fresh stamp is safe — anything newer still sits in the session
-      // history and ships on the next genuine poll.
-      session->last_response.origin_time = clock_.now();
-      return session->last_response;
+      if (!session->replay_stripped) {
+        account(session->last_response.pdus);  // retransmission is wire traffic
+        // Re-stamp the origin: handing back the stamp of the original
+        // exchange would roll a downstream relay's root-time view backwards
+        // and inflate its reported lag. The replay consumed no history, so a
+        // fresh stamp is safe — anything newer still sits in the session
+        // history and ships on the next genuine poll.
+        session->last_response.origin_time = clock_.now();
+        return session->last_response;
+      }
+      // The cached bodies were stripped under the replay-byte budget, so a
+      // verbatim replay is impossible. A complete enumeration of the current
+      // content converges the replica instead, whether or not it applied the
+      // original response (any newer change still sits in the session
+      // history and ships as an idempotent delta on the next genuine poll).
+      // Sequence state is untouched: this re-answers the same seq.
+      ReSyncResponse fresh2;
+      paginate(*session, to_pdus(session->session->snapshot_enumeration()),
+               /*full_reload=*/false, /*complete_enumeration=*/true, fresh2);
+      fresh2.cookie = make_cookie(id, session->next_seq);
+      fresh2.persistent = session->mode == Mode::Persist;
+      fresh2.origin_time = clock_.now();
+      account(fresh2.pdus);
+      cache_response(*session, fresh2);
+      return fresh2;
     }
     if (parts.seq != session->next_seq) {
       throw ProtocolError("out-of-sequence resync cookie '" + control.cookie +
@@ -124,11 +152,18 @@ ReSyncResponse ReSyncMaster::handle(const ldap::Query& query,
                           ")");
     }
     session->mode = control.mode;
-    const sync::UpdateBatch batch = incomplete_history_
-                                        ? session->session->poll_with_retains()
-                                        : session->session->poll();
-    response.pdus = to_pdus(batch);
-    response.complete_enumeration = batch.complete_enumeration;
+    if (session->overflow_pos < session->overflow.size()) {
+      // Drain the continuation pages of the previous logical batch before
+      // computing anything new.
+      serve_overflow(*session, response);
+    } else {
+      const sync::UpdateBatch batch =
+          (incomplete_history_ || session->session->degraded())
+              ? session->session->poll_with_retains()
+              : session->session->poll();
+      paginate(*session, to_pdus(batch), /*full_reload=*/false,
+               batch.complete_enumeration, response);
+    }
     session->last_seq = parts.seq;
     session->next_seq = parts.seq + 1;
     response.cookie = make_cookie(id, session->next_seq);
@@ -145,8 +180,95 @@ ReSyncResponse ReSyncMaster::handle(const ldap::Query& query,
   response.origin_time = clock_.now();
   response.persistent = control.mode == Mode::Persist;
   session->current_cookie = response.cookie;
-  session->last_response = response;
+  cache_response(*session, response);
   return response;
+}
+
+void ReSyncMaster::paginate(Session& session, std::vector<EntryPdu> pdus,
+                            bool full_reload, bool complete_enumeration,
+                            ReSyncResponse& response) {
+  response.full_reload = full_reload;
+  response.complete_enumeration = complete_enumeration;
+  const std::size_t page = governor_.page_size();
+  if (page == 0 || pdus.size() <= page) {
+    response.pdus = std::move(pdus);
+    return;
+  }
+  // Spill the tail into the session's overflow queue; later polls drain it
+  // page by page under the ordinary replay-safe cookie sequence. The
+  // completeness flags ride along on every page; appliers act on them only
+  // once the final page (`more == false`) arrived.
+  session.overflow.assign(pdus.begin() + static_cast<std::ptrdiff_t>(page),
+                          pdus.end());
+  session.overflow_pos = 0;
+  session.overflow_enum = complete_enumeration;
+  session.overflow_reload = full_reload;
+  pdus.resize(page);
+  response.pdus = std::move(pdus);
+  response.more = true;
+  ++governor_.stats().pages_served;
+}
+
+void ReSyncMaster::serve_overflow(Session& session, ReSyncResponse& response) {
+  const std::size_t page = governor_.page_size();
+  const std::size_t remaining = session.overflow.size() - session.overflow_pos;
+  const std::size_t take = page == 0 ? remaining : std::min(page, remaining);
+  const auto first = session.overflow.begin() +
+                     static_cast<std::ptrdiff_t>(session.overflow_pos);
+  response.pdus.assign(first, first + static_cast<std::ptrdiff_t>(take));
+  session.overflow_pos += take;
+  response.continued = true;
+  response.full_reload = session.overflow_reload;
+  response.complete_enumeration = session.overflow_enum;
+  if (session.overflow_pos < session.overflow.size()) {
+    response.more = true;
+  } else {
+    session.overflow.clear();
+    session.overflow.shrink_to_fit();
+    session.overflow_pos = 0;
+  }
+  ++governor_.stats().pages_served;
+}
+
+void ReSyncMaster::cache_response(Session& session,
+                                  const ReSyncResponse& response) {
+  session.last_response = response;
+  session.replay_stripped = false;
+  session.replay_bytes = 0;
+  for (const EntryPdu& pdu : response.pdus) {
+    if (pdu.entry) session.replay_bytes += pdu.approx_bytes();
+  }
+  // Retain/delete PDUs carry no bodies and always stay cached; only entry
+  // bodies past the budget are stripped (a stripped replay is answered with
+  // a fresh snapshot enumeration instead). A batch mid-pagination is never
+  // stripped — with paging on, every cached page is page-size-bounded.
+  if (governor_.over_replay_bytes(session.replay_bytes) &&
+      session.overflow_pos >= session.overflow.size()) {
+    session.last_response.pdus.clear();
+    session.last_response.pdus.shrink_to_fit();
+    session.replay_bytes = 0;
+    session.replay_stripped = true;
+    ++governor_.stats().replay_caches_stripped;
+  }
+}
+
+void ReSyncMaster::set_incomplete_history(bool incomplete) {
+  incomplete_history_ = incomplete;
+  if (!incomplete) return;
+  // Shim semantics: drop every current poll session's event history on the
+  // spot, exactly as the governor does to an over-budget session. Persist
+  // sessions are exempt — their history drains through the push sink, which
+  // has no complete-enumeration channel.
+  for (auto& [id, session] : sessions_) {
+    if (session.mode != Mode::Poll || session.session->degraded()) continue;
+    session.session->degrade();
+    ++governor_.stats().sessions_degraded;
+  }
+}
+
+void ReSyncMaster::set_resource_limits(const ResourceLimits& limits) {
+  governor_.set_limits(limits);
+  master_->journal().set_retention(limits.journal_retention_records);
 }
 
 void ReSyncMaster::apply_change(Session& session,
@@ -156,6 +278,12 @@ void ReSyncMaster::apply_change(Session& session,
       session.session->on_change(record, cache);
   if (events.empty()) return;
   session.dirty = true;
+  mirror_events(session, events);
+  enforce_session_history(session);
+}
+
+void ReSyncMaster::mirror_events(Session& session,
+                                 const std::vector<sync::ContentEvent>& events) {
   if (session.route == sync::ChangeRouter::kInvalidHandle) return;
   for (const sync::ContentEvent& event : events) {
     switch (event.transition) {
@@ -171,25 +299,96 @@ void ReSyncMaster::apply_change(Session& session,
   }
 }
 
-void ReSyncMaster::pump() {
-  const auto records = master_->journal().since(last_pumped_seq_);
-  std::vector<sync::ChangeRouter::Handle> candidates;
-  for (const server::ChangeRecord* record : records) {
-    if (change_routing_) {
-      candidates.clear();
-      router_.route(*record, candidates, &cache_);
-      for (const sync::ChangeRouter::Handle handle : candidates) {
-        apply_change(*by_handle_.at(handle), *record, &cache_);
-      }
-    } else {
-      // Exhaustive fan-out (benchmark baseline / equivalence oracle). The
-      // router's holder mirror is still maintained by apply_change, so
-      // routing can be switched back on afterwards.
-      for (auto& [id, session] : sessions_) {
-        apply_change(session, *record, nullptr);
-      }
+void ReSyncMaster::enforce_session_history(Session& session) {
+  // Persist sessions drain their history on every pump; only poll-session
+  // histories accumulate, so only they are degraded. (The push sink also has
+  // no complete-enumeration channel, so a degraded persist session could not
+  // be answered exactly.)
+  if (session.mode != Mode::Poll) return;
+  if (!governor_.over_session_history(session.session->history_units())) return;
+  if (!session.session->degraded()) {
+    session.session->degrade();
+    ++governor_.stats().sessions_degraded;
+  }
+  // degrade() dedups events into touched keys; if even those blow the
+  // budget, collapse to ship-everything mode (zero history cost).
+  if (governor_.over_session_history(session.session->history_units()) &&
+      !session.session->history_collapsed()) {
+    session.session->collapse_history();
+    ++governor_.stats().histories_collapsed;
+  }
+}
+
+void ReSyncMaster::enforce_global_history() {
+  std::size_t total = history_units();
+  if (!governor_.over_total_history(total)) return;
+  std::vector<Session*> victims;
+  for (auto& [id, session] : sessions_) {
+    if (session.mode == Mode::Poll && session.session->history_units() > 0) {
+      victims.push_back(&session);
     }
-    last_pumped_seq_ = record->seq;
+  }
+  std::sort(victims.begin(), victims.end(), [](Session* a, Session* b) {
+    return a->session->history_units() > b->session->history_units();
+  });
+  for (Session* victim : victims) {
+    if (!governor_.over_total_history(total)) break;
+    std::size_t units = victim->session->history_units();
+    if (!victim->session->degraded()) {
+      victim->session->degrade();
+      ++governor_.stats().sessions_degraded;
+      total = total - units + victim->session->history_units();
+      units = victim->session->history_units();
+    }
+    if (governor_.over_total_history(total) &&
+        !victim->session->history_collapsed()) {
+      victim->session->collapse_history();
+      ++governor_.stats().histories_collapsed;
+      total -= units;
+    }
+  }
+}
+
+void ReSyncMaster::rebase_sessions() {
+  for (auto& [id, session] : sessions_) {
+    const std::vector<sync::ContentEvent> events =
+        session.session->rebase(master_->dit());
+    ++governor_.stats().compaction_rebases;
+    if (events.empty()) continue;
+    session.dirty = true;
+    mirror_events(session, events);
+    enforce_session_history(session);
+  }
+  last_pumped_seq_ = master_->journal().last_seq();
+}
+
+void ReSyncMaster::pump() {
+  if (master_->journal().trimmed_up_to() > last_pumped_seq_) {
+    // Journal compaction dropped records we never replayed: the gap cannot
+    // be reconstructed from the log, so re-anchor every session on the
+    // current DIT. The synthesized diff events flow through the normal
+    // history/budget/router paths.
+    rebase_sessions();
+  } else {
+    const auto records = master_->journal().since(last_pumped_seq_);
+    std::vector<sync::ChangeRouter::Handle> candidates;
+    for (const server::ChangeRecord* record : records) {
+      if (change_routing_) {
+        candidates.clear();
+        router_.route(*record, candidates, &cache_);
+        for (const sync::ChangeRouter::Handle handle : candidates) {
+          apply_change(*by_handle_.at(handle), *record, &cache_);
+        }
+      } else {
+        // Exhaustive fan-out (benchmark baseline / equivalence oracle). The
+        // router's holder mirror is still maintained by apply_change, so
+        // routing can be switched back on afterwards.
+        for (auto& [id, session] : sessions_) {
+          apply_change(session, *record, nullptr);
+        }
+      }
+      last_pumped_seq_ = record->seq;
+    }
   }
   // Push accumulated updates on persist connections immediately. Only
   // sessions some record actually touched can have anything to push.
@@ -204,17 +403,21 @@ void ReSyncMaster::pump() {
     session.last_active = clock_.now();
     if (sink_) sink_(session.current_cookie, pdus);
   }
+  // Poll sessions kept accumulating: re-check the global budget.
+  enforce_global_history();
 }
 
 void ReSyncMaster::tick(std::uint64_t delta) {
   clock_.advance(delta);
-  if (time_limit_ == 0) return;
-  // (v) Expire idle poll sessions past the admin time limit. The expiry
-  // queue is ordered by last_active-at-insertion with lazy deletion: only
-  // the stalest sessions are examined, instead of scanning all of them.
+  const std::uint64_t limit = governor_.effective_deadline(time_limit_);
+  if (limit == 0) return;
+  // (v) Expire idle poll sessions past the admin time limit (or the
+  // governor's tighter slow-poller deadline). The expiry queue is ordered by
+  // last_active-at-insertion with lazy deletion: only the stalest sessions
+  // are examined, instead of scanning all of them.
   while (!expiry_.empty()) {
     const auto front = expiry_.begin();
-    if (clock_.now() - front->first <= time_limit_) break;  // rest is fresher
+    if (clock_.now() - front->first <= limit) break;  // rest is fresher
     const auto it = sessions_.find(front->second);
     if (it == sessions_.end()) {
       expiry_.erase(front);  // dropped since insertion
@@ -236,6 +439,10 @@ void ReSyncMaster::tick(std::uint64_t delta) {
       expiry_.erase(front);
       expiry_.emplace(last_active, id);
       continue;
+    }
+    const std::uint64_t deadline = governor_.limits().poll_deadline_ticks;
+    if (deadline != 0 && clock_.now() - front->first > deadline) {
+      ++governor_.stats().sessions_evicted;  // governor-caused, not admin
     }
     drop_session(it);
     expiry_.erase(front);
@@ -292,6 +499,30 @@ std::size_t ReSyncMaster::history_size() const {
     total += session.session->pending_events();
   }
   return total;
+}
+
+std::size_t ReSyncMaster::history_units() const {
+  std::size_t total = 0;
+  for (const auto& [cookie, session] : sessions_) {
+    total += session.session->history_units();
+  }
+  return total;
+}
+
+std::size_t ReSyncMaster::replay_cache_bytes() const {
+  std::size_t total = 0;
+  for (const auto& [cookie, session] : sessions_) {
+    total += session.replay_bytes;
+  }
+  return total;
+}
+
+std::size_t ReSyncMaster::degraded_sessions() const {
+  std::size_t count = 0;
+  for (const auto& [cookie, session] : sessions_) {
+    if (session.session->degraded()) ++count;
+  }
+  return count;
 }
 
 }  // namespace fbdr::resync

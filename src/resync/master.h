@@ -10,6 +10,7 @@
 
 #include "net/stats.h"
 #include "resync/endpoint.h"
+#include "resync/governor.h"
 #include "resync/protocol.h"
 #include "server/directory_server.h"
 #include "sync/change_router.h"
@@ -47,9 +48,26 @@ class ReSyncMaster : public ReSyncEndpoint {
 
   explicit ReSyncMaster(server::DirectoryServer& master);
 
-  /// Keep incomplete history: polls answer with equation (3) retain-based
-  /// enumerations instead of minimal deltas. Default: complete history.
-  void set_incomplete_history(bool incomplete) { incomplete_history_ = incomplete; }
+  /// DEPRECATED: prefer set_resource_limits() — the ResourceGovernor
+  /// degrades individual over-budget sessions to equation (3) instead of
+  /// flipping every poll globally. Kept as a thin shim: `true` force-
+  /// degrades all current poll sessions (dropping their event history) and
+  /// keeps answering later polls with retain-based enumerations until reset
+  /// to `false`.
+  void set_incomplete_history(bool incomplete);
+
+  /// Installs the resource budgets (see ResourceLimits; all-zero = the
+  /// ungoverned default). The journal retention horizon is applied to the
+  /// served directory's change journal immediately.
+  void set_resource_limits(const ResourceLimits& limits);
+  const ResourceLimits& resource_limits() const noexcept {
+    return governor_.limits();
+  }
+
+  /// What the governor did so far (cumulative; survives reset()).
+  const GovernorStats& governor_stats() const noexcept {
+    return governor_.stats();
+  }
 
   /// Admin time limit for idle poll sessions, in logical ticks: a session
   /// whose last activity is more than `ticks` ticks ago is dropped by
@@ -116,6 +134,16 @@ class ReSyncMaster : public ReSyncEndpoint {
   /// Total pending history events held across sessions.
   std::size_t history_size() const;
 
+  /// Governed history accounting units across sessions: pending events for
+  /// complete-history sessions plus touched keys for degraded ones.
+  std::size_t history_units() const;
+
+  /// Approximate entry-body bytes currently held by replay caches.
+  std::size_t replay_cache_bytes() const;
+
+  /// Poll sessions currently degraded to equation (3).
+  std::size_t degraded_sessions() const;
+
   /// Traffic shipped to replicas so far (entries/DNs/bytes).
   const net::TrafficStats& traffic() const noexcept { return traffic_; }
   void reset_traffic() { traffic_.reset(); }
@@ -128,9 +156,17 @@ class ReSyncMaster : public ReSyncEndpoint {
     std::uint64_t next_seq = 1;    // sequence the next fresh poll must carry
     std::uint64_t last_seq = 0;    // sequence of the last answered poll
     ReSyncResponse last_response;  // replay cache for last_seq
+    std::size_t replay_bytes = 0;  // entry-body bytes held by the cache
+    bool replay_stripped = false;  // bodies dropped: replays re-enumerate
     std::string current_cookie;    // most recently issued cookie
     sync::ChangeRouter::Handle route = sync::ChangeRouter::kInvalidHandle;
     bool dirty = false;            // touched by the current pump
+    /// Continuation pages of a paged logical batch, drained by later polls
+    /// before any new batch is computed.
+    std::vector<EntryPdu> overflow;
+    std::size_t overflow_pos = 0;
+    bool overflow_enum = false;    // completeness flags of the paged batch
+    bool overflow_reload = false;
   };
 
   /// Splits "rs-<id>#<seq>" into the session id and sequence number.
@@ -150,6 +186,26 @@ class ReSyncMaster : public ReSyncEndpoint {
   /// events into the router's holder index.
   void apply_change(Session& session, const server::ChangeRecord& record,
                     ldap::NormalizedValueCache* cache);
+  /// Mirrors content events into the router's holder index.
+  void mirror_events(Session& session,
+                     const std::vector<sync::ContentEvent>& events);
+  /// Degrades (and if necessary collapses) an over-budget poll session.
+  void enforce_session_history(Session& session);
+  /// Degrades/collapses the largest poll sessions until the total history
+  /// fits the global budget.
+  void enforce_global_history();
+  /// Rebases every session from the DIT after journal compaction left a gap
+  /// that cannot be replayed; advances last_pumped_seq_ to the journal tail.
+  void rebase_sessions();
+  /// Fills the response from freshly computed PDUs, spilling anything past
+  /// the page size into the session's overflow queue (`more` set).
+  void paginate(Session& session, std::vector<EntryPdu> pdus, bool full_reload,
+                bool complete_enumeration, ReSyncResponse& response);
+  /// Serves the next continuation page from the overflow queue.
+  void serve_overflow(Session& session, ReSyncResponse& response);
+  /// Caches the response for replays, accounting (and if over budget
+  /// stripping) its entry bodies.
+  void cache_response(Session& session, const ReSyncResponse& response);
   /// Unregisters the session from the router (releasing holder entries) and
   /// erases it. Used by sync_end, abandon and expiry.
   void drop_session(std::map<std::string, Session>::iterator it);
@@ -168,6 +224,7 @@ class ReSyncMaster : public ReSyncEndpoint {
   NotificationSink sink_;
   net::LogicalClock clock_;
   net::TrafficStats traffic_;
+  ResourceGovernor governor_;
   std::uint64_t last_pumped_seq_ = 0;
   std::uint64_t time_limit_ = 0;
   std::uint64_t cookie_counter_ = 0;

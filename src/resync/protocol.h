@@ -58,6 +58,15 @@ struct ReSyncResponse {
   /// Equation (3) responses enumerate the whole content; unmentioned entries
   /// must be discarded by the replica.
   bool complete_enumeration = false;
+  /// Admission control: the server is at its session cap and created no
+  /// session. The cookie is unchanged; the client retries with backoff.
+  bool busy = false;
+  /// Paged responses: `more` means further pages of the SAME logical batch
+  /// follow (the replica must not act on completeness semantics — full_reload
+  /// clearing is done on the first page, complete-enumeration drops only
+  /// after the last); `continued` marks pages 2..n of a paged batch.
+  bool more = false;
+  bool continued = false;
   /// Non-empty when the server did not admit the session: the query is not
   /// contained in the endpoint's replicated set, and the client should
   /// re-target the session at this URL (the relay's parent, mirroring the
@@ -78,8 +87,14 @@ struct ReSyncResponse {
 /// Converts a sync::UpdateBatch into the wire PDUs.
 std::vector<EntryPdu> to_pdus(const sync::UpdateBatch& batch);
 
-/// Applies wire PDUs back into an UpdateBatch shape (replica side).
+/// Applies wire PDUs back into an UpdateBatch shape (replica side). The
+/// paging flags default to an unpaged (single, final page) batch.
 sync::UpdateBatch from_pdus(const std::vector<EntryPdu>& pdus, bool full_reload,
-                            bool complete_enumeration);
+                            bool complete_enumeration, bool more = false,
+                            bool continued = false);
+
+/// Replica-side view of one response as an applyable batch, paging flags
+/// included.
+sync::UpdateBatch to_batch(const ReSyncResponse& response);
 
 }  // namespace fbdr::resync

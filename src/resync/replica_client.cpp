@@ -1,5 +1,7 @@
 #include "resync/replica_client.h"
 
+#include <algorithm>
+
 #include "ldap/error.h"
 
 namespace fbdr::resync {
@@ -17,16 +19,47 @@ ReSyncResponse ReSyncReplica::request(const ReSyncControl& control) {
 }
 
 void ReSyncReplica::apply(const ReSyncResponse& response) {
-  content_.apply(from_pdus(response.pdus, response.full_reload,
-                           response.complete_enumeration));
+  if (response.complete_enumeration && !response.continued) ++degraded_polls_;
+  content_.apply(to_batch(response));
+}
+
+void ReSyncReplica::drain_pages(const ReSyncResponse& first, Mode mode) {
+  // Each page is applied as it arrives and advances the cookie, so the
+  // client never holds more than one page and a mid-drain transport failure
+  // resumes at the next unfetched page (the last page replays from the
+  // master's cache if the loss hit the response).
+  bool more = first.more;
+  while (more) {
+    const ReSyncResponse page = request({mode, cookie_});
+    cookie_ = page.cookie;
+    ++pages_fetched_;
+    content_.apply(to_batch(page));
+    more = page.more;
+  }
 }
 
 void ReSyncReplica::start(Mode mode) {
   mode_ = mode;
-  const ReSyncResponse response = request({mode, ""});
+  ReSyncResponse response = request({mode, ""});
+  // Admission control: a governed master at its session cap answers busy
+  // without creating a session. Retry the initial request under the same
+  // backoff schedule as transport retries.
+  std::size_t attempt = 0;
+  while (response.busy) {
+    if (attempt + 1 >= std::max<std::size_t>(retry_.max_attempts, 1)) {
+      throw ldap::BusyError("master at session capacity; " +
+                            std::to_string(attempt + 1) +
+                            " initial request(s) rejected busy");
+    }
+    channel_->elapse(retry_.backoff(attempt));
+    ++attempt;
+    ++busy_rejections_;
+    response = request({mode, ""});
+  }
   cookie_ = response.cookie;
   active_ = true;
   apply(response);
+  drain_pages(response, mode);
 }
 
 void ReSyncReplica::poll() {
@@ -37,6 +70,7 @@ void ReSyncReplica::poll() {
     const ReSyncResponse response = request({Mode::Poll, cookie_});
     cookie_ = response.cookie;
     apply(response);
+    drain_pages(response, Mode::Poll);
   } catch (const ldap::StaleCookieError&) {
     // Session lost at the master (expiry or restart): start over. The
     // initial response is a full reload, so convergence is preserved at the

@@ -26,16 +26,24 @@ class ReSyncReplica {
   /// Session over an explicit (possibly faulty) channel.
   ReSyncReplica(net::Channel& channel, ldap::Query query);
 
-  /// Retry discipline for transport failures. Default: no retries.
+  /// Retry discipline for transport failures. Default: no retries. The same
+  /// attempt/backoff schedule paces retries of busy-rejected initial
+  /// requests (admission control at a governed master).
   void set_retry_policy(net::RetryPolicy policy) { retry_ = policy; }
 
-  /// Sends the initial request (null cookie) in the given mode.
+  /// Sends the initial request (null cookie) in the given mode. A busy
+  /// rejection (master at its session cap) is retried with backoff under the
+  /// retry policy; ldap::BusyError propagates once attempts run out.
   void start(Mode mode = Mode::Poll);
 
   /// Poll-mode pull of accumulated updates. Throws ldap::StaleCookieError
   /// when the session is unknown/expired at the master (unless recovery is
   /// enabled) and net::TransportError when the link fails past the retry
   /// budget; other protocol errors always propagate.
+  ///
+  /// A paged response (`more`) is followed up immediately: each page is
+  /// applied and advances the cookie, so a transport failure mid-drain
+  /// resumes at the next unfetched page after the retry.
   void poll();
 
   /// When enabled, a poll whose cookie the master no longer recognizes
@@ -50,6 +58,16 @@ class ReSyncReplica {
 
   /// Transport retries spent across all exchanges.
   std::uint64_t retries() const noexcept { return retries_; }
+
+  /// Busy rejections absorbed by start() before a session was admitted.
+  std::uint64_t busy_rejections() const noexcept { return busy_rejections_; }
+
+  /// Continuation pages fetched beyond the first response of a poll/start.
+  std::uint64_t pages_fetched() const noexcept { return pages_fetched_; }
+
+  /// Responses that carried a complete enumeration — the master answered
+  /// from a degraded (equation (3)) session or healed a stripped replay.
+  std::uint64_t degraded_polls() const noexcept { return degraded_polls_; }
 
   /// Ends the session (mode sync_end).
   void sync_end();
@@ -68,6 +86,8 @@ class ReSyncReplica {
  private:
   ReSyncResponse request(const ReSyncControl& control);
   void apply(const ReSyncResponse& response);
+  /// Fetches and applies continuation pages until the final one.
+  void drain_pages(const ReSyncResponse& first, Mode mode);
 
   std::unique_ptr<net::Channel> owned_channel_;
   net::Channel* channel_;
@@ -80,6 +100,9 @@ class ReSyncReplica {
   bool auto_recover_ = false;
   std::uint64_t recoveries_ = 0;
   std::uint64_t retries_ = 0;
+  std::uint64_t busy_rejections_ = 0;
+  std::uint64_t pages_fetched_ = 0;
+  std::uint64_t degraded_polls_ = 0;
 };
 
 /// Routes persist-mode notifications from one master to the replicas that

@@ -28,7 +28,9 @@ std::string ChangeRecord::to_string() const {
 std::uint64_t ChangeJournal::append(ChangeRecord record) {
   record.seq = next_seq_++;
   records_.push_back(std::move(record));
-  return records_.back().seq;
+  const std::uint64_t seq = records_.back().seq;
+  compact();
+  return seq;
 }
 
 std::vector<const ChangeRecord*> ChangeJournal::since(std::uint64_t after_seq) const {
@@ -44,11 +46,28 @@ std::vector<const ChangeRecord*> ChangeJournal::since(std::uint64_t after_seq) c
 }
 
 void ChangeJournal::trim(std::uint64_t up_to_seq) {
-  const auto it = std::upper_bound(records_.begin(), records_.end(), up_to_seq,
-                                   [](std::uint64_t seq, const ChangeRecord& r) {
-                                     return seq < r.seq;
-                                   });
-  records_.erase(records_.begin(), it);
+  while (!records_.empty() && records_.front().seq <= up_to_seq) {
+    trimmed_up_to_ = records_.front().seq;
+    records_.pop_front();
+  }
+  // Trimming a fully drained range still moves the horizon forward.
+  if (records_.empty() && up_to_seq >= trimmed_up_to_ &&
+      up_to_seq <= last_seq()) {
+    trimmed_up_to_ = up_to_seq;
+  }
+}
+
+void ChangeJournal::set_retention(std::size_t max_records) {
+  retention_ = max_records;
+  compact();
+}
+
+void ChangeJournal::compact() {
+  if (retention_ == 0) return;
+  while (records_.size() > retention_) {
+    trimmed_up_to_ = records_.front().seq;
+    records_.pop_front();
+  }
 }
 
 }  // namespace fbdr::server

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -42,12 +44,20 @@ struct ChangeRecord {
 /// Append-only journal of updates applied at a master server, with monotonic
 /// sequence numbers. Sequence numbers double as the protocol's logical
 /// update timeline.
+///
+/// With a retention horizon set (set_retention) the journal self-compacts:
+/// each append drops the oldest records past the horizon. Consumers that fall
+/// behind the horizon detect the gap via trimmed_up_to() and must rebase from
+/// the DIT (see ReSyncMaster::pump) instead of replaying records.
 class ChangeJournal {
  public:
-  /// Appends a record; assigns and returns its sequence number.
+  /// Appends a record; assigns and returns its sequence number. Compacts the
+  /// front past the retention horizon.
   std::uint64_t append(ChangeRecord record);
 
-  /// Records with seq > `after_seq`, in order.
+  /// Records with seq > `after_seq`, in order. Precondition for completeness:
+  /// after_seq >= trimmed_up_to(), otherwise the gap records are simply
+  /// missing from the result — check trimmed_up_to() first.
   std::vector<const ChangeRecord*> since(std::uint64_t after_seq) const;
 
   std::uint64_t last_seq() const noexcept { return next_seq_ - 1; }
@@ -57,9 +67,24 @@ class ChangeJournal {
   /// Drops records with seq <= `up_to_seq` (log trimming).
   void trim(std::uint64_t up_to_seq);
 
+  /// Retention horizon in records; 0 keeps everything. Applies immediately
+  /// and on every subsequent append.
+  void set_retention(std::size_t max_records);
+  std::size_t retention() const noexcept { return retention_; }
+
+  /// Highest sequence number ever dropped by trim/compaction (0 = nothing
+  /// was ever dropped; all history since seq 1 is still replayable).
+  std::uint64_t trimmed_up_to() const noexcept { return trimmed_up_to_; }
+
  private:
-  std::vector<ChangeRecord> records_;
+  void compact();
+
+  // Deque: O(1) front-pops under retention, and stable references for the
+  // pointers handed out by since() while only appends happen.
+  std::deque<ChangeRecord> records_;
   std::uint64_t next_seq_ = 1;
+  std::size_t retention_ = 0;
+  std::uint64_t trimmed_up_to_ = 0;
 };
 
 }  // namespace fbdr::server

@@ -2,6 +2,7 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "server/dit.h"
@@ -43,19 +44,59 @@ class QuerySession {
   /// Retain-based updates (equation (3)): changed in-content entries as
   /// add/mod plus retain DNs for unchanged ones; the replica drops anything
   /// unmentioned. Used when the server keeps no per-session leave history.
+  /// Answering heals a degraded session back to complete-history tracking
+  /// (the enumeration re-established the replica's exact view).
   UpdateBatch poll_with_retains();
+
+  /// Drops the event history under resource pressure, keeping only the
+  /// compact set of touched DN keys (no entry bodies, no per-event records).
+  /// The next poll must use poll_with_retains(): touched keys ship as mods,
+  /// unchanged content as retains, so the replica stays exact even though
+  /// the leave history is gone (equation (3) degradation).
+  void degrade();
+  bool degraded() const noexcept { return degraded_; }
+
+  /// Second-stage degradation: even the touched-key set is dropped; the next
+  /// poll_with_retains() ships every content entry in full (no retains).
+  /// Session history cost becomes zero at the price of one full enumeration.
+  void collapse_history();
+  bool history_collapsed() const noexcept { return full_bodies_; }
 
   /// Pending (unpolled) events — the history size the master holds.
   std::size_t pending_events() const noexcept { return pending_.size(); }
+
+  /// History accounting units the governor budgets: pending events while
+  /// complete, touched keys while degraded, zero once collapsed.
+  std::size_t history_units() const noexcept {
+    return pending_.size() + touched_.size();
+  }
+
+  /// The entire current content as one complete enumeration with full bodies
+  /// (adds only). Touches no session state — used to answer a duplicated
+  /// poll whose cached response had its entry bodies stripped: applying it
+  /// converges the replica whether or not the original response was applied.
+  UpdateBatch snapshot_enumeration() const;
+
+  /// Re-anchors the session after journal compaction left a gap it cannot
+  /// replay: recomputes the content from the DIT and synthesizes the
+  /// Enter/Update/Leave events for every difference, feeding them through
+  /// the normal history path. Returns the events so the master can re-mirror
+  /// its routing index.
+  std::vector<ContentEvent> rebase(const server::Dit& dit);
 
   /// Forwards to ContentTracker::set_legacy_eval (benchmark baseline only).
   void set_legacy_eval(bool legacy) { tracker_.set_legacy_eval(legacy); }
 
  private:
+  void note_events(const std::vector<ContentEvent>& events);
+
   ContentTracker tracker_;
   std::vector<ContentEvent> pending_;
+  std::set<std::string> touched_;  // degraded history: touched DN keys only
   std::map<std::string, ldap::Dn> acked_;  // replica's last known DNs
   bool initialized_ = false;
+  bool degraded_ = false;
+  bool full_bodies_ = false;  // collapsed: next eq(3) poll ships everything
 };
 
 }  // namespace fbdr::sync

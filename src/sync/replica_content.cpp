@@ -8,7 +8,13 @@ using ldap::Dn;
 using ldap::EntryPtr;
 
 void ReplicaContent::apply(const UpdateBatch& batch) {
-  if (batch.full_reload) entries_.clear();
+  if (!batch.continued) {
+    // First (or only) page of a logical batch: any unfinished paged
+    // enumeration was aborted and its partial mentioned set is stale.
+    enum_mentioned_.clear();
+    enum_pending_ = false;
+    if (batch.full_reload) entries_.clear();
+  }
   for (const EntryPtr& entry : batch.adds) {
     entries_[entry->dn().norm_key()] = entry;
   }
@@ -19,17 +25,28 @@ void ReplicaContent::apply(const UpdateBatch& batch) {
     entries_.erase(dn.norm_key());
   }
   if (batch.complete_enumeration) {
-    // Equation (3): anything the batch did not mention has left the content.
-    std::set<std::string> mentioned;
-    for (const EntryPtr& entry : batch.adds) mentioned.insert(entry->dn().norm_key());
-    for (const EntryPtr& entry : batch.mods) mentioned.insert(entry->dn().norm_key());
-    for (const Dn& dn : batch.retains) mentioned.insert(dn.norm_key());
-    for (auto it = entries_.begin(); it != entries_.end();) {
-      if (mentioned.count(it->first) == 0) {
-        it = entries_.erase(it);
-      } else {
-        ++it;
+    // Equation (3): anything the enumeration did not mention has left the
+    // content. Across a paged enumeration the mentioned set accumulates;
+    // the drop waits for the final page.
+    for (const EntryPtr& entry : batch.adds) {
+      enum_mentioned_.insert(entry->dn().norm_key());
+    }
+    for (const EntryPtr& entry : batch.mods) {
+      enum_mentioned_.insert(entry->dn().norm_key());
+    }
+    for (const Dn& dn : batch.retains) enum_mentioned_.insert(dn.norm_key());
+    if (batch.more) {
+      enum_pending_ = true;
+    } else {
+      for (auto it = entries_.begin(); it != entries_.end();) {
+        if (enum_mentioned_.count(it->first) == 0) {
+          it = entries_.erase(it);
+        } else {
+          ++it;
+        }
       }
+      enum_mentioned_.clear();
+      enum_pending_ = false;
     }
   }
 }

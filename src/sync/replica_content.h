@@ -1,6 +1,7 @@
 #pragma once
 
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,12 @@ class ReplicaContent {
   /// equation (2) and the retain-based complete enumeration of equation (3).
   /// Deletes of unknown DNs (the conservative notifications of the baseline
   /// protocols) are ignored.
+  ///
+  /// Paged batches (`more`/`continued`) are applied incrementally: a full
+  /// reload clears only on the first page, and a complete enumeration's
+  /// mentioned set accumulates across pages so unmentioned entries are
+  /// dropped only once the final page arrived. A non-continued batch
+  /// supersedes any unfinished paged one (aborted pagination).
   void apply(const UpdateBatch& batch);
 
   bool contains(const ldap::Dn& dn) const;
@@ -32,10 +39,17 @@ class ReplicaContent {
   /// Total approximate bytes stored.
   std::size_t bytes(std::size_t entry_padding = 0) const;
 
-  void clear() { entries_.clear(); }
+  void clear() {
+    entries_.clear();
+    enum_mentioned_.clear();
+    enum_pending_ = false;
+  }
 
  private:
   std::map<std::string, ldap::EntryPtr> entries_;
+  /// DNs mentioned so far by an in-flight paged complete enumeration.
+  std::set<std::string> enum_mentioned_;
+  bool enum_pending_ = false;
 };
 
 }  // namespace fbdr::sync

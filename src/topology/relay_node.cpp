@@ -1,6 +1,7 @@
 #include "topology/relay_node.h"
 
 #include <algorithm>
+#include <iterator>
 #include <map>
 #include <set>
 #include <utility>
@@ -21,6 +22,7 @@ RelayNode::RelayNode(Config config, const ldap::Schema& schema,
       downstream_(mirror_) {
   mirror_.add_context({config_.suffix, {}});
   downstream_.set_session_time_limit(config_.session_time_limit);
+  downstream_.set_resource_limits(config_.downstream_limits);
 }
 
 void RelayNode::connect(std::shared_ptr<net::Channel> channel,
@@ -44,6 +46,25 @@ resync::ReSyncResponse RelayNode::request(UpstreamFilter& filter,
                                           const resync::ReSyncControl& control) {
   return net::exchange_with_retry(*channel_, filter.query, control,
                                   config_.retry, &filter.retries);
+}
+
+resync::ReSyncResponse RelayNode::collect_pages(UpstreamFilter& filter,
+                                                resync::ReSyncResponse first) {
+  while (first.more) {
+    resync::ReSyncResponse page =
+        request(filter, {resync::Mode::Poll, filter.cookie});
+    filter.cookie = page.cookie;
+    ++filter.paged_polls;
+    first.more = page.more;
+    first.full_reload = first.full_reload || page.full_reload;
+    first.complete_enumeration =
+        first.complete_enumeration || page.complete_enumeration;
+    first.origin_time = std::max(first.origin_time, page.origin_time);
+    first.pdus.insert(first.pdus.end(),
+                      std::make_move_iterator(page.pdus.begin()),
+                      std::make_move_iterator(page.pdus.end()));
+  }
+  return first;
 }
 
 bool RelayNode::install_all() {
@@ -88,9 +109,11 @@ void RelayNode::sync() {
       continue;
     }
     try {
-      const resync::ReSyncResponse response =
+      resync::ReSyncResponse response =
           request(filter, {resync::Mode::Poll, filter.cookie});
       filter.cookie = response.cookie;
+      response = collect_pages(filter, std::move(response));
+      if (response.complete_enumeration) ++filter.degraded_polls;
       // max(): a replayed poll (duplicate retried through a FaultyChannel)
       // may carry an older stamp; root time must never roll backwards.
       filter.last_origin = std::max(filter.last_origin, response.origin_time);
@@ -131,13 +154,20 @@ void RelayNode::sync() {
 bool RelayNode::refetch(std::size_t index, bool recovery) {
   UpstreamFilter& filter = filters_[index];
   try {
-    const resync::ReSyncResponse response =
-        request(filter, {resync::Mode::Poll, ""});
+    resync::ReSyncResponse response = request(filter, {resync::Mode::Poll, ""});
     if (response.referred()) {
       referred_to_ = response.referral_url;
       return false;
     }
+    if (response.busy) {
+      // The parent is at session capacity: stay degraded (serving the
+      // possibly-stale mirror) and try again on a later sync round, once
+      // another descendant's session has drained or been evicted.
+      ++filter.busy_rejections;
+      return false;
+    }
     filter.cookie = response.cookie;
+    response = collect_pages(filter, std::move(response));
     filter.last_origin = std::max(filter.last_origin, response.origin_time);
     filter.last_synced = downstream_.now();
     // Diff the enumerated content into the mirror: upsert everything
@@ -363,6 +393,13 @@ resync::ReSyncResponse RelayNode::handle(const Query& query,
       return response;
     }
     response = downstream_.handle(query, control);
+    if (response.busy) {
+      // Downstream master at its session cap: pass the busy result through
+      // unwrapped (no session was created, so there is no cookie to epoch-
+      // stamp); the descendant retries with backoff like any busy client.
+      response.origin_time = root_time_;
+      return response;
+    }
   } else {
     response = downstream_.handle(query,
                                   {control.mode, unwrap_cookie(control.cookie)});
@@ -409,6 +446,9 @@ net::HealthStats RelayNode::upstream_health() const {
     health.retries = filter.retries;
     health.recoveries = filter.recoveries;
     health.failed_syncs = filter.failed_syncs;
+    health.busy_rejections = filter.busy_rejections;
+    health.degraded_polls = filter.degraded_polls;
+    health.paged_polls = filter.paged_polls;
     stats.filters.emplace(filter.query.key(), health);
   }
   return stats;

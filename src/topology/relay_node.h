@@ -50,6 +50,12 @@ class RelayNode final : public resync::ReSyncEndpoint,
     net::RetryPolicy retry;    // upstream transport retry discipline
     /// Admin idle limit for downstream sessions (0 = never expire).
     std::uint64_t session_time_limit = 0;
+    /// Resource budgets for the downstream-facing master (all-zero = the
+    /// ungoverned default). journal_retention_records applies to the local
+    /// mirror's change journal; the other limits govern descendant sessions
+    /// exactly as on the root master (busy admission, eq.(3) degradation,
+    /// paging, replay stripping, poll-deadline eviction).
+    resync::ResourceLimits downstream_limits;
   };
 
   explicit RelayNode(Config config,
@@ -149,6 +155,9 @@ class RelayNode final : public resync::ReSyncEndpoint,
   server::DirectoryServer& mirror() noexcept { return mirror_; }
   const server::DirectoryServer& mirror() const noexcept { return mirror_; }
   resync::ReSyncMaster& downstream_master() noexcept { return downstream_; }
+  const resync::ReSyncMaster& downstream_master() const noexcept {
+    return downstream_;
+  }
 
  private:
   struct UpstreamFilter {
@@ -161,6 +170,9 @@ class RelayNode final : public resync::ReSyncEndpoint,
     std::uint64_t retries = 0;
     std::uint64_t recoveries = 0;
     std::uint64_t failed_syncs = 0;
+    std::uint64_t busy_rejections = 0;  // refetches bounced at parent capacity
+    std::uint64_t degraded_polls = 0;   // eq.(3) enumerations from the parent
+    std::uint64_t paged_polls = 0;      // continuation pages fetched
     /// DNs the parent currently lists for this filter (norm key -> DN),
     /// maintained from Add/Delete PDUs and full/complete enumerations.
     /// Claim checks consult these sets, never the mirror copy: after a
@@ -180,6 +192,15 @@ class RelayNode final : public resync::ReSyncEndpoint,
 
   resync::ReSyncResponse request(UpstreamFilter& filter,
                                  const resync::ReSyncControl& control);
+
+  /// Fetches the remaining pages of a paged response, appending their PDUs
+  /// onto `first` and advancing the session cookie page by page. Collect-
+  /// then-apply: a transport failure mid-drain propagates before anything
+  /// touched the mirror, the filter degrades, and the next sync() refetches
+  /// a fresh full-reload session — so a torn pagination never leaves a
+  /// partial eq.(3) drop in the mirror.
+  resync::ReSyncResponse collect_pages(UpstreamFilter& filter,
+                                       resync::ReSyncResponse first);
 
   /// Add-or-replace in the mirror, journaled. Creates attribute-less glue
   /// ancestors up to the suffix when the entry's parent chain is not

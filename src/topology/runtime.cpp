@@ -111,6 +111,7 @@ RelayNode& TopologyRuntime::add_node(const std::string& name,
   }
   config.retry = options_.retry;
   config.session_time_limit = options_.session_time_limit;
+  config.downstream_limits = options_.relay_limits;
 
   auto node = std::make_unique<Node>();
   node->name = name;
@@ -252,6 +253,13 @@ std::vector<NodeHealth> TopologyRuntime::health() const {
     health.recoveries = node->relay->recoveries();
     health.reparents = node->relay->reparents();
     health.failed_streak = node->relay->failed_streak();
+    const resync::ReSyncMaster& downstream = node->relay->downstream_master();
+    health.degraded_sessions = downstream.degraded_sessions();
+    health.busy_rejections = downstream.governor_stats().sessions_rejected_busy;
+    health.evicted_sessions = downstream.governor_stats().sessions_evicted;
+    health.history_units = downstream.history_units();
+    health.replay_bytes = downstream.replay_cache_bytes();
+    health.upstream_busy = node->relay->upstream_health().total_busy_rejections();
     report.push_back(std::move(health));
   }
   return report;

@@ -31,6 +31,14 @@ struct NodeHealth {
   std::uint64_t recoveries = 0;
   std::uint64_t reparents = 0;
   std::uint64_t failed_streak = 0;
+  // Budget health of this hop's downstream-facing master (ResourceGovernor
+  // view): what overload enforcement has done and what the node holds now.
+  std::size_t degraded_sessions = 0;   // poll sessions degraded to eq.(3)
+  std::uint64_t busy_rejections = 0;   // initials bounced at session capacity
+  std::uint64_t evicted_sessions = 0;  // sessions dropped past the poll deadline
+  std::uint64_t history_units = 0;     // current history accounting units held
+  std::uint64_t replay_bytes = 0;      // current replay-cache body bytes held
+  std::uint64_t upstream_busy = 0;     // this node's refetches bounced by parent
 };
 
 /// Builds and drives an N-node replication tree rooted at one enterprise
@@ -63,6 +71,10 @@ class TopologyRuntime {
     /// Consecutive failed sync rounds before a node is re-wired to its
     /// grandparent (0 disables re-parenting).
     std::uint64_t reparent_after = 0;
+    /// Resource budgets installed on every relay's downstream-facing master
+    /// (all-zero = ungoverned). The root master is governed separately via
+    /// root_master().set_resource_limits().
+    resync::ResourceLimits relay_limits;
     /// When set, every link is a FaultyChannel seeded from this config
     /// (seed + link index), so one schedule replays deterministically.
     std::optional<net::FaultConfig> faults;
