@@ -44,16 +44,6 @@ struct Options {
   double min_speedup = 0.0;
 };
 
-std::vector<std::size_t> parse_csv(const char* text) {
-  std::vector<std::size_t> out;
-  for (const char* cursor = text; *cursor != '\0';) {
-    char* end = nullptr;
-    out.push_back(std::strtoull(cursor, &end, 10));
-    cursor = *end == ',' ? end + 1 : end;
-  }
-  return out;
-}
-
 Options parse_options(int argc, char** argv) {
   Options options;
   for (int i = 1; i < argc; ++i) {
@@ -68,7 +58,7 @@ Options parse_options(int argc, char** argv) {
     } else if (const char* updates = value("--updates=")) {
       options.updates = std::strtoull(updates, nullptr, 10);
     } else if (const char* sessions = value("--sessions=")) {
-      options.sessions = parse_csv(sessions);
+      options.sessions = fbdr::bench::parse_csv(sessions);
     } else if (const char* json = value("--json=")) {
       options.json_path = json;
     } else if (const char* speedup = value("--min-speedup=")) {

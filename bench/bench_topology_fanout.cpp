@@ -45,21 +45,6 @@ struct Options {
   double min_factor = 0.0;
 };
 
-std::vector<std::size_t> parse_csv(const char* text) {
-  std::vector<std::size_t> out;
-  for (const char* cursor = text; *cursor != '\0';) {
-    char* end = nullptr;
-    const std::size_t value = std::strtoull(cursor, &end, 10);
-    if (end == cursor) {  // no digits consumed: stop instead of spinning
-      std::fprintf(stderr, "ignoring non-numeric list value in '%s'\n", text);
-      break;
-    }
-    out.push_back(value);
-    cursor = *end == ',' ? end + 1 : end;
-  }
-  return out;
-}
-
 Options parse_options(int argc, char** argv) {
   Options options;
   for (int i = 1; i < argc; ++i) {
@@ -76,7 +61,7 @@ Options parse_options(int argc, char** argv) {
     } else if (const char* rounds = value("--rounds=")) {
       options.rounds = std::strtoull(rounds, nullptr, 10);
     } else if (const char* leaves = value("--leaves=")) {
-      options.leaves = parse_csv(leaves);
+      options.leaves = fbdr::bench::parse_csv(leaves);
     } else if (const char* json = value("--json=")) {
       options.json_path = json;
     } else if (const char* factor = value("--min-factor=")) {

@@ -4,6 +4,7 @@
 // rows "series,x,y" so EXPERIMENTS.md can quote them directly.
 
 #include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
@@ -70,6 +71,25 @@ inline workload::EnterpriseDirectory default_directory(
   config.depts_per_division = 25;
   config.locations = 45;
   return workload::generate_directory(config);
+}
+
+/// Parses a comma-separated list of sizes ("1,8,64") as passed to sweep
+/// arguments like --sessions= / --leaves=. A token with no digits stops the
+/// parse (with a note on stderr) rather than looping forever on the same
+/// unconsumed character.
+inline std::vector<std::size_t> parse_csv(const char* text) {
+  std::vector<std::size_t> out;
+  for (const char* cursor = text; *cursor != '\0';) {
+    char* end = nullptr;
+    const std::size_t value = std::strtoull(cursor, &end, 10);
+    if (end == cursor) {  // no digits consumed: stop instead of spinning
+      std::fprintf(stderr, "ignoring non-numeric list value in '%s'\n", text);
+      break;
+    }
+    out.push_back(value);
+    cursor = *end == ',' ? end + 1 : end;
+  }
+  return out;
 }
 
 inline void print_banner(const std::string& title, const std::string& note) {

@@ -1,13 +1,13 @@
 // Walks the failure model end to end: a replica site keeps a filter
 // consistent through a faulty link, the master crashes, the degraded filter
 // keeps answering containment hits from its (stale) local content, and a
-// full-reload recovery heals it after the restart.
+// reconciliation walk heals it after the restart (DESIGN.md §12).
 //
 //   1. install (serialnumber=00*) through a lossy FaultyChannel
 //   2. lose some polls — retries under the backoff policy cover them
 //   3. crash the master mid-update — sync() degrades the filter
 //   4. serve the filter's query anyway: hit, marked stale
-//   5. restart the master — next sync() reloads and heals
+//   5. restart the master — next sync() reconciles the diff and heals
 
 #include <cstdio>
 
@@ -81,12 +81,13 @@ int main() {
   service.sync();
   show("still down — staleness accumulating", service);
 
-  // Restart: the old cookie is unknown, so recovery reloads the content
-  // under a fresh session and the filter heals.
+  // Restart: the old cookie is unknown, so recovery offers the local
+  // content's digests and only the missed updates ship (the pre-
+  // reconciliation path reloaded everything here).
   channel->restart_master();
   service.resync().pump();
   service.sync();
-  show("master restarted, filter healed by full reload", service);
+  show("master restarted, filter healed by a reconcile walk", service);
 
   const core::ServeOutcome healed = service.serve(block);
   std::printf("serve(%s): hit=%d stale=%d\n", block.to_string().c_str(),

@@ -12,30 +12,36 @@
 #                          keep its peak history/replay/journal footprint
 #                          within budget and below the ungoverned baseline
 #                          (--min-overload-factor, default 4.0)
+#   bench_reconcile        a recovery at 1% staleness must ship at least
+#                          --min-reconcile-savings (default 4.0) times fewer
+#                          bytes through the digest walk than a full reload
 #
 # Small sizes keep it CI-fast; the full-size runs (the benches' defaults)
 # are for EXPERIMENTS.md numbers.
 #
 # Usage: scripts/bench_smoke.sh [--min-speedup=F] [--min-factor=F]
 #                               [--min-overload-factor=F]
+#                               [--min-reconcile-savings=F]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 MIN_SPEEDUP=2.0
 MIN_FACTOR=2.0
 MIN_OVERLOAD_FACTOR=4.0
+MIN_RECONCILE_SAVINGS=4.0
 for arg in "$@"; do
   case "$arg" in
     --min-speedup=*) MIN_SPEEDUP="${arg#--min-speedup=}" ;;
     --min-factor=*) MIN_FACTOR="${arg#--min-factor=}" ;;
     --min-overload-factor=*) MIN_OVERLOAD_FACTOR="${arg#--min-overload-factor=}" ;;
+    --min-reconcile-savings=*) MIN_RECONCILE_SAVINGS="${arg#--min-reconcile-savings=}" ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
 
 cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-bench -j"$(nproc)" --target bench_master_scaling \
-      bench_topology_fanout bench_overload >/dev/null
+      bench_topology_fanout bench_overload bench_reconcile >/dev/null
 
 ./build-bench/bench/bench_master_scaling \
   --employees=4000 --updates=1000 --sessions=200,1000 \
@@ -51,5 +57,10 @@ cmake --build build-bench -j"$(nproc)" --target bench_master_scaling \
   --employees=1000 --ticks=2000 --leaves=4 \
   --json=build-bench/BENCH_overload.json \
   --min-factor="$MIN_OVERLOAD_FACTOR"
+
+./build-bench/bench/bench_reconcile \
+  --employees=2000 \
+  --json=build-bench/BENCH_reconcile.json \
+  --min-savings="$MIN_RECONCILE_SAVINGS"
 
 echo "bench smoke: OK (reports at build-bench/BENCH_*.json)"

@@ -21,9 +21,9 @@ cmake --build build-asan -j"$(nproc)" --target resync_chaos_test \
       resync_recovery_test resync_protocol_test routing_equivalence_test \
       filter_ir_equivalence_test topology_chaos_test \
       server_ldif_roundtrip_test resync_governor_test sync_compaction_test \
-      resync_overload_test
+      resync_overload_test resync_reconcile_test bench_common_test
 ctest --test-dir build-asan --output-on-failure -j"$(nproc)" \
-      -R 'ReSyncChaos|ServiceDegradation|Recovery|ReSync|RoutingEquivalence|FilterIrEquivalence|TopologyChaos|ServerLdifRoundTrip|Governor|SyncCompaction|ResyncOverload|TopologyOverload'
+      -R 'ReSyncChaos|ServiceDegradation|Recovery|ReSync|RoutingEquivalence|FilterIrEquivalence|TopologyChaos|ServerLdifRoundTrip|Governor|SyncCompaction|ResyncOverload|TopologyOverload|Reconcile|BenchCommon'
 
 echo "== tier 1: bench smoke (routed pump >2x legacy; relay tree >=2x root relief) =="
 scripts/bench_smoke.sh --min-speedup=2 --min-factor=2

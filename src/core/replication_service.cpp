@@ -4,6 +4,7 @@
 #include <set>
 
 #include "ldap/error.h"
+#include "sync/content_digest.h"
 #include "sync/content_tracker.h"
 
 namespace fbdr::core {
@@ -84,8 +85,92 @@ resync::ReSyncResponse FilterReplicationService::collect_pages(
   return first;
 }
 
+bool FilterReplicationService::adopt_full(InstalledFilter& installed,
+                                          resync::ReSyncResponse response) {
+  response = collect_pages(installed, std::move(response));
+  installed.cookie = response.cookie;
+  std::vector<EntryPtr> entries;
+  entries.reserve(response.pdus.size());
+  for (const resync::EntryPdu& pdu : response.pdus) {
+    if (pdu.entry) entries.push_back(pdu.entry);
+  }
+  replica_.set_content(installed.replica_id, entries);
+  installed.last_synced_tick = resync_.now();
+  ++installed.full_reloads;
+  return true;
+}
+
 bool FilterReplicationService::refetch(InstalledFilter& installed) {
   try {
+    if (config_.reconcile) {
+      const std::vector<EntryPtr> local =
+          replica_.query_content(installed.replica_id);
+      if (!local.empty()) {
+        // Offer digests of the local content instead of accepting a full
+        // reload (DESIGN.md §12).
+        std::map<std::string, EntryPtr> snapshot;
+        sync::ContentDigest digest;
+        for (const EntryPtr& entry : local) {
+          const std::string key = entry->dn().norm_key();
+          snapshot.emplace(key, entry);
+          digest.upsert(key, *entry);
+        }
+        auto offer = std::make_shared<resync::ReconcileRequest>();
+        offer->round = 1;
+        offer->root_digest = digest.root();
+        offer->entry_count = digest.entry_count();
+        offer->buckets = digest.bucket_digests();
+        resync::ReSyncControl control{resync::Mode::Poll, ""};
+        control.reconcile = std::move(offer);
+        resync::ReSyncResponse response = request(installed, control);
+        if (response.busy) {
+          ++installed.busy_rejections;
+          return false;
+        }
+        installed.cookie = response.cookie;
+        if (response.reconcile && !response.reconcile->fallback) {
+          try {
+            if (response.reconcile->in_sync) {
+              // Local content already exact: nothing shipped.
+              installed.last_synced_tick = resync_.now();
+              ++installed.reconciles;
+              return true;
+            }
+            // Round 2: fingerprints for the divergent buckets; the answer
+            // is the exact diff.
+            auto upload = std::make_shared<resync::ReconcileRequest>();
+            upload->round = 2;
+            std::set<std::uint32_t> wanted(
+                response.reconcile->need_buckets.begin(),
+                response.reconcile->need_buckets.end());
+            for (const auto& [key, entry] : snapshot) {
+              if (wanted.count(sync::ContentDigest::bucket_of(key)) == 0) {
+                continue;
+              }
+              upload->fingerprints.push_back(
+                  {entry->dn(), sync::ContentDigest::hash_entry(*entry)});
+            }
+            resync::ReSyncControl round2{resync::Mode::Poll, installed.cookie};
+            round2.reconcile = std::move(upload);
+            resync::ReSyncResponse diff = request(installed, round2);
+            diff = collect_pages(installed, std::move(diff));
+            installed.cookie = diff.cookie;
+            installed.reconcile_entries_shipped += diff.pdus.size();
+            apply_delta(installed, diff.pdus, /*complete_enumeration=*/false);
+            installed.last_synced_tick = resync_.now();
+            ++installed.reconciles;
+            return true;
+          } catch (const ldap::StaleCookieError&) {
+            // Walk expired between rounds: plain reload below.
+            installed.cookie.clear();
+          }
+        } else {
+          // Walk fallback or a master that does not speak reconciliation:
+          // the response body is the full content.
+          return adopt_full(installed, std::move(response));
+        }
+      }
+    }
     // Full-reload recovery: a fresh session's initial response carries the
     // whole content (possibly paged).
     resync::ReSyncResponse response =
@@ -96,16 +181,7 @@ bool FilterReplicationService::refetch(InstalledFilter& installed) {
       ++installed.busy_rejections;
       return false;
     }
-    response = collect_pages(installed, std::move(response));
-    installed.cookie = response.cookie;
-    std::vector<EntryPtr> entries;
-    entries.reserve(response.pdus.size());
-    for (const resync::EntryPdu& pdu : response.pdus) {
-      if (pdu.entry) entries.push_back(pdu.entry);
-    }
-    replica_.set_content(installed.replica_id, entries);
-    installed.last_synced_tick = resync_.now();
-    return true;
+    return adopt_full(installed, std::move(response));
   } catch (const net::TransportError&) {
     return false;
   }
@@ -313,6 +389,9 @@ net::HealthStats FilterReplicationService::health() const {
     health.busy_rejections = installed.busy_rejections;
     health.degraded_polls = installed.degraded_polls;
     health.paged_polls = installed.paged_polls;
+    health.full_reloads = installed.full_reloads;
+    health.reconciles = installed.reconciles;
+    health.reconcile_entries_shipped = installed.reconcile_entries_shipped;
     stats.filters.emplace(installed.query.key(), health);
   }
   return stats;

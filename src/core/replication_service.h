@@ -50,6 +50,10 @@ class FilterReplicationService {
     /// Retry discipline for ReSync exchanges that fail at the transport
     /// level. Default: a single attempt (faults surface immediately).
     net::RetryPolicy retry;
+    /// Recovery offers digests of the local content first so only divergent
+    /// entries ship; false restores the old always-full-reload recovery
+    /// (DESIGN.md §12).
+    bool reconcile = true;
   };
 
   FilterReplicationService(
@@ -119,6 +123,9 @@ class FilterReplicationService {
     std::uint64_t busy_rejections = 0;  // refetches bounced at capacity
     std::uint64_t degraded_polls = 0;   // eq.(3) enumerations received
     std::uint64_t paged_polls = 0;      // continuation pages fetched
+    std::uint64_t full_reloads = 0;     // recoveries that reshipped everything
+    std::uint64_t reconciles = 0;       // recoveries healed by a digest walk
+    std::uint64_t reconcile_entries_shipped = 0;  // diff PDUs those walks cost
   };
 
   void apply_revolution(const select::FilterSelector::Revolution& revolution);
@@ -134,10 +141,15 @@ class FilterReplicationService {
   /// The final flags are merged into the returned response.
   resync::ReSyncResponse collect_pages(InstalledFilter& installed,
                                        resync::ReSyncResponse first);
-  /// Opens a fresh session and reloads the filter's full content. Returns
-  /// false (leaving the filter as it was) when the transport stays down or
-  /// the master is at capacity (busy).
+  /// Opens a fresh session to recover the filter. With Config::reconcile on
+  /// and local content present, a digest walk is offered first so only the
+  /// divergent entries ship; otherwise (or on walk fallback / an old master)
+  /// the full content reloads. Returns false (leaving the filter as it was)
+  /// when the transport stays down or the master is at capacity (busy).
   bool refetch(InstalledFilter& installed);
+  /// Adopts a full-content initial response (collects pages, replaces the
+  /// filter's content).
+  bool adopt_full(InstalledFilter& installed, resync::ReSyncResponse response);
 
   std::shared_ptr<server::DirectoryServer> master_;
   Config config_;

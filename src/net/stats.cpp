@@ -56,6 +56,26 @@ std::uint64_t HealthStats::total_paged_polls() const {
   return total;
 }
 
+std::uint64_t HealthStats::total_full_reloads() const {
+  std::uint64_t total = 0;
+  for (const auto& [key, health] : filters) total += health.full_reloads;
+  return total;
+}
+
+std::uint64_t HealthStats::total_reconciles() const {
+  std::uint64_t total = 0;
+  for (const auto& [key, health] : filters) total += health.reconciles;
+  return total;
+}
+
+std::uint64_t HealthStats::total_reconcile_entries_shipped() const {
+  std::uint64_t total = 0;
+  for (const auto& [key, health] : filters) {
+    total += health.reconcile_entries_shipped;
+  }
+  return total;
+}
+
 std::string HealthStats::to_string() const {
   std::string out = "filters=" + std::to_string(filters.size()) +
                     " degraded=" + std::to_string(degraded_count()) +
@@ -64,7 +84,11 @@ std::string HealthStats::to_string() const {
                     " recoveries=" + std::to_string(total_recoveries()) +
                     " busy=" + std::to_string(total_busy_rejections()) +
                     " degraded_polls=" + std::to_string(total_degraded_polls()) +
-                    " paged_polls=" + std::to_string(total_paged_polls());
+                    " paged_polls=" + std::to_string(total_paged_polls()) +
+                    " full_reloads=" + std::to_string(total_full_reloads()) +
+                    " reconciles=" + std::to_string(total_reconciles()) +
+                    " reconcile_shipped=" +
+                    std::to_string(total_reconcile_entries_shipped());
   for (const auto& [key, health] : filters) {
     if (!health.degraded) continue;
     out += "\n  degraded: " + key +

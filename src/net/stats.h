@@ -61,11 +61,14 @@ struct FilterHealth {
   bool degraded = false;
   std::uint64_t ticks_behind = 0;   // master clock now - last successful sync
   std::uint64_t retries = 0;        // transport retries spent on this filter
-  std::uint64_t recoveries = 0;     // full-reload session recoveries
+  std::uint64_t recoveries = 0;     // session recoveries (reload + reconcile)
   std::uint64_t failed_syncs = 0;   // sync rounds lost to transport faults
   std::uint64_t busy_rejections = 0;  // initial requests bounced at capacity
   std::uint64_t degraded_polls = 0;   // eq.(3) complete enumerations received
   std::uint64_t paged_polls = 0;      // continuation pages fetched
+  std::uint64_t full_reloads = 0;     // recoveries that reshipped everything
+  std::uint64_t reconciles = 0;       // recoveries healed by a digest walk
+  std::uint64_t reconcile_entries_shipped = 0;  // diff PDUs those walks cost
 };
 
 /// Per-filter health of a replica site, the robustness counterpart of
@@ -81,6 +84,9 @@ struct HealthStats {
   std::uint64_t total_busy_rejections() const;
   std::uint64_t total_degraded_polls() const;
   std::uint64_t total_paged_polls() const;
+  std::uint64_t total_full_reloads() const;
+  std::uint64_t total_reconciles() const;
+  std::uint64_t total_reconcile_entries_shipped() const;
 
   std::string to_string() const;
 };

@@ -9,7 +9,11 @@ std::string GovernorStats::to_string() const {
          " evicted=" + std::to_string(sessions_evicted) +
          " pages=" + std::to_string(pages_served) +
          " replay_strips=" + std::to_string(replay_caches_stripped) +
-         " rebases=" + std::to_string(compaction_rebases);
+         " rebases=" + std::to_string(compaction_rebases) +
+         " reconcile_walks=" + std::to_string(reconcile_walks) +
+         " reconciled=" + std::to_string(reconciles_completed) +
+         " reconcile_fallbacks=" + std::to_string(reconcile_fallbacks) +
+         " reconcile_shipped=" + std::to_string(reconcile_entries_shipped);
 }
 
 }  // namespace fbdr::resync

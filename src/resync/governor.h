@@ -54,12 +54,17 @@ struct ResourceLimits {
   /// ReSyncMaster::pump). 0 = keep everything.
   std::size_t journal_retention_records = 0;
 
+  /// Cap on concurrent in-flight reconciliation walks (round 1 answered,
+  /// round 2 pending). An offer beyond the cap is answered with a fallback
+  /// full reload instead of holding more provisional state. 0 = unlimited.
+  std::size_t max_pending_reconciles = 0;
+
   /// True when any limit is set (the master runs governed).
   bool any() const noexcept {
     return max_sessions != 0 || max_session_history != 0 ||
            max_total_history != 0 || max_replay_bytes != 0 ||
            max_page_entries != 0 || poll_deadline_ticks != 0 ||
-           journal_retention_records != 0;
+           journal_retention_records != 0 || max_pending_reconciles != 0;
   }
 };
 
@@ -73,6 +78,10 @@ struct GovernorStats {
   std::uint64_t pages_served = 0;            // continuation pages shipped
   std::uint64_t replay_caches_stripped = 0;  // replay bodies dropped
   std::uint64_t compaction_rebases = 0;      // sessions rebased after a journal gap
+  std::uint64_t reconcile_walks = 0;          // round-1 walks answered
+  std::uint64_t reconciles_completed = 0;     // healed via digest diff/in-sync
+  std::uint64_t reconcile_fallbacks = 0;      // diverged/capped -> full reload
+  std::uint64_t reconcile_entries_shipped = 0;  // diff PDUs shipped by walks
 
   std::string to_string() const;
 };

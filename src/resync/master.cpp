@@ -54,7 +54,13 @@ ReSyncResponse ReSyncMaster::handle(const ldap::Query& query,
 
   if (control.mode == Mode::SyncEnd) {
     if (!control.initial()) {
-      const auto it = sessions_.find(parse_cookie(control.cookie).id);
+      const CookieParts parts = parse_cookie(control.cookie);
+      const auto pit = pending_reconciles_.find(parts.id);
+      if (pit != pending_reconciles_.end()) {
+        pending_reconciles_.erase(pit);
+        return {};
+      }
+      const auto it = sessions_.find(parts.id);
       if (it != sessions_.end()) drop_session(it);
     }
     return {};
@@ -65,9 +71,17 @@ ReSyncResponse ReSyncMaster::handle(const ldap::Query& query,
   Session* session = nullptr;
 
   if (control.initial()) {
+    if (control.reconcile && reconcile_enabled_ &&
+        control.reconcile->round == 1) {
+      // The replica offers digests instead of accepting a full reload.
+      return handle_reconcile_round1(query, control);
+    }
     // Admission control: past the session cap no session is created; the
     // client sees a protocol-level busy result and retries with backoff.
-    if (!governor_.admits(sessions_.size())) {
+    // (A master with reconciliation disabled lands here even for reconcile
+    // offers: the response carries no reconcile field, which tells the
+    // client the peer does not speak reconciliation.)
+    if (!governor_.admits(sessions_.size() + pending_reconciles())) {
       ++governor_.stats().sessions_rejected_busy;
       ReSyncResponse busy;
       busy.busy = true;
@@ -75,22 +89,11 @@ ReSyncResponse ReSyncMaster::handle(const ldap::Query& query,
       return busy;
     }
     // (i) Initial request: create the session and send the whole content.
+    auto qs = std::make_unique<sync::QuerySession>(query, master_->schema());
+    qs->set_legacy_eval(legacy_eval_);
+    const sync::UpdateBatch batch = qs->initial(master_->dit());
     id = new_session_id();
-    Session fresh;
-    fresh.session = std::make_unique<sync::QuerySession>(query, master_->schema());
-    fresh.session->set_legacy_eval(legacy_eval_);
-    fresh.mode = control.mode;
-    session = &sessions_.emplace(id, std::move(fresh)).first->second;
-    const sync::UpdateBatch batch = session->session->initial(master_->dit());
-    // Register with the change router and seed its holder mirror from the
-    // freshly computed content.
-    session->route = router_.add_session(
-        session->session->query(), &session->session->tracker().compiled_filter());
-    by_handle_[session->route] = session;
-    for (const auto& [key, entry] : session->session->tracker().content()) {
-      router_.note_enter(session->route, key);
-    }
-    expiry_.emplace(clock_.now(), id);
+    session = &adopt_session(id, std::move(qs), control.mode);
     paginate(*session, to_pdus(batch), /*full_reload=*/true,
              /*complete_enumeration=*/false, response);
     response.cookie = make_cookie(id, session->next_seq);
@@ -108,6 +111,12 @@ ReSyncResponse ReSyncMaster::handle(const ldap::Query& query,
                                    "' has no sequence number");
     }
     id = parts.id;
+    // Reconciliation walk cookies ("rc-<n>#<seq>") live in their own
+    // namespace and never collide with session ids.
+    const auto pit = pending_reconciles_.find(id);
+    if (pit != pending_reconciles_.end()) {
+      return handle_reconcile_round2(pit->second, parts, control);
+    }
     const auto it = sessions_.find(id);
     if (it == sessions_.end()) {
       throw ldap::StaleCookieError("unknown or expired resync cookie '" +
@@ -169,18 +178,205 @@ ReSyncResponse ReSyncMaster::handle(const ldap::Query& query,
     response.cookie = make_cookie(id, session->next_seq);
   }
 
-  session->last_active = clock_.now();
-  account(response.pdus);
-
   // (iii) Persist: the connection stays open for pushed notifications.
   // (iv) Poll: the returned cookie resumes the session.
+  finalize(*session, control, response);
+  return response;
+}
+
+void ReSyncMaster::finalize(Session& session, const ReSyncControl& control,
+                            ReSyncResponse& response) {
+  session.last_active = clock_.now();
+  account(response.pdus);
   // The root of a distribution tree is its own origin: the shipped state is
   // current as of this master's clock. Relays overwrite the stamp with the
   // root time learned on their last upstream sync.
   response.origin_time = clock_.now();
   response.persistent = control.mode == Mode::Persist;
-  session->current_cookie = response.cookie;
-  cache_response(*session, response);
+  session.current_cookie = response.cookie;
+  cache_response(session, response);
+}
+
+ReSyncMaster::Session& ReSyncMaster::adopt_session(
+    const std::string& id, std::unique_ptr<sync::QuerySession> query_session,
+    Mode mode) {
+  Session fresh;
+  fresh.session = std::move(query_session);
+  fresh.mode = mode;
+  Session& session = sessions_.emplace(id, std::move(fresh)).first->second;
+  // Register with the change router and seed its holder mirror from the
+  // tracked content.
+  session.route = router_.add_session(
+      session.session->query(), &session.session->tracker().compiled_filter());
+  by_handle_[session.route] = &session;
+  for (const auto& [key, entry] : session.session->tracker().content()) {
+    router_.note_enter(session.route, key);
+  }
+  expiry_.emplace(clock_.now(), id);
+  return session;
+}
+
+std::size_t ReSyncMaster::pending_reconciles() const {
+  std::size_t live = 0;
+  for (const auto& [id, pending] : pending_reconciles_) {
+    if (!pending.completed) ++live;
+  }
+  return live;
+}
+
+ReSyncResponse ReSyncMaster::reconcile_fallback(
+    std::unique_ptr<sync::QuerySession> qs, const ReSyncControl& control) {
+  ++governor_.stats().reconcile_fallbacks;
+  const sync::UpdateBatch batch = qs->full_content_batch();
+  const std::string id = new_session_id();
+  Session& session = adopt_session(id, std::move(qs), control.mode);
+  ReSyncResponse response;
+  auto rec = std::make_shared<ReconcileResponse>();
+  rec->fallback = true;
+  response.reconcile = std::move(rec);
+  paginate(session, to_pdus(batch), /*full_reload=*/true,
+           /*complete_enumeration=*/false, response);
+  response.cookie = make_cookie(id, session.next_seq);
+  finalize(session, control, response);
+  return response;
+}
+
+ReSyncResponse ReSyncMaster::handle_reconcile_round1(
+    const ldap::Query& query, const ReSyncControl& control) {
+  // A live (incomplete) walk holds a provisional session's worth of state;
+  // it counts against the session cap like a session would.
+  if (!governor_.admits(sessions_.size() + pending_reconciles())) {
+    ++governor_.stats().sessions_rejected_busy;
+    ReSyncResponse busy;
+    busy.busy = true;
+    busy.origin_time = clock_.now();
+    return busy;
+  }
+  ++governor_.stats().reconcile_walks;
+  auto qs = std::make_unique<sync::QuerySession>(query, master_->schema());
+  qs->set_legacy_eval(legacy_eval_);
+  qs->prepare(master_->dit());
+  const ReconcileRequest& offer = *control.reconcile;
+
+  // Walk cap: rather than holding more provisional state, ship it all.
+  const std::size_t walk_cap = governor_.limits().max_pending_reconciles;
+  if (walk_cap != 0 && pending_reconciles() >= walk_cap) {
+    return reconcile_fallback(std::move(qs), control);
+  }
+
+  const sync::ContentDigest& mine = qs->tracker().digest();
+  if (offer.root_digest == mine.root() &&
+      offer.entry_count == mine.entry_count()) {
+    // Roots match: the replica already holds the exact content.
+    ++governor_.stats().reconciles_completed;
+    qs->ack_content();
+    const std::string id = new_session_id();
+    Session& session = adopt_session(id, std::move(qs), control.mode);
+    ReSyncResponse response;
+    auto rec = std::make_shared<ReconcileResponse>();
+    rec->in_sync = true;
+    response.reconcile = std::move(rec);
+    response.cookie = make_cookie(id, session.next_seq);
+    finalize(session, control, response);
+    return response;
+  }
+
+  // Compare per-bucket digests; every mismatched or one-sided bucket is
+  // divergent. The entry counts bound how much round 2 could ship.
+  std::map<std::uint32_t, DigestPdu> theirs;
+  for (const DigestPdu& bucket : offer.buckets) theirs[bucket.bucket] = bucket;
+  std::vector<std::uint32_t> need;
+  std::uint64_t estimate = 0;
+  for (const DigestPdu& bucket : mine.bucket_digests()) {
+    const auto it = theirs.find(bucket.bucket);
+    if (it == theirs.end()) {
+      need.push_back(bucket.bucket);
+      estimate += bucket.count;
+      continue;
+    }
+    if (it->second.digest != bucket.digest) {
+      need.push_back(bucket.bucket);
+      estimate += std::max(bucket.count, it->second.count);
+    }
+    theirs.erase(it);
+  }
+  for (const auto& [index, bucket] : theirs) {
+    need.push_back(index);
+    estimate += bucket.count;
+  }
+  std::sort(need.begin(), need.end());
+
+  // Divergence threshold (DESIGN.md §12): past it, the walk would ship
+  // digests plus most of the content anyway — fall back to the reload.
+  const std::uint64_t total =
+      std::max<std::uint64_t>(std::max<std::uint64_t>(mine.entry_count(),
+                                                      offer.entry_count),
+                              1);
+  if (static_cast<double>(estimate) >
+      reconcile_fallback_fraction_ * static_cast<double>(total)) {
+    return reconcile_fallback(std::move(qs), control);
+  }
+
+  // Hold the walk; round 2 brings fingerprints for exactly these buckets.
+  const std::string rcid = "rc-" + std::to_string(++reconcile_counter_);
+  PendingReconcile pending;
+  pending.session = std::move(qs);
+  pending.mode = control.mode;
+  pending.need_buckets = need;
+  pending.last_active = clock_.now();
+  ReSyncResponse response;
+  auto rec = std::make_shared<ReconcileResponse>();
+  rec->need_buckets = std::move(need);
+  response.reconcile = std::move(rec);
+  response.cookie = make_cookie(rcid, pending.expected_seq);
+  response.origin_time = clock_.now();
+  pending.last_response = response;
+  pending_reconciles_.emplace(rcid, std::move(pending));
+  return response;
+}
+
+ReSyncResponse ReSyncMaster::handle_reconcile_round2(
+    PendingReconcile& pending, const CookieParts& parts,
+    const ReSyncControl& control) {
+  if (parts.seq != 0 && parts.seq == pending.last_seq) {
+    // Duplicated/retried round-2 request: re-answer from the walk's replay
+    // cache. The promoted session's state is untouched, so the walk cannot
+    // be corrupted by retransmissions.
+    ++replays_;
+    pending.last_active = clock_.now();
+    account(pending.last_response.pdus);
+    pending.last_response.origin_time = clock_.now();
+    return pending.last_response;
+  }
+  if (pending.completed || parts.seq != pending.expected_seq) {
+    throw ProtocolError("out-of-sequence reconcile cookie '" + control.cookie +
+                        "' (expected seq " +
+                        std::to_string(pending.expected_seq) + ")");
+  }
+  if (!control.reconcile || control.reconcile->round != 2) {
+    throw ProtocolError("reconcile cookie '" + control.cookie +
+                        "' requires round-2 fingerprints");
+  }
+  const sync::UpdateBatch diff = pending.session->diff_batch(
+      control.reconcile->fingerprints, pending.need_buckets);
+  const std::size_t shipped =
+      diff.adds.size() + diff.mods.size() + diff.deletes.size();
+  const std::string id = new_session_id();
+  Session& session = adopt_session(id, std::move(pending.session), pending.mode);
+  session.mode = control.mode;
+  ReSyncResponse response;
+  // An all-false reconcile field marks "here is your diff".
+  response.reconcile = std::make_shared<ReconcileResponse>();
+  paginate(session, to_pdus(diff), /*full_reload=*/false,
+           /*complete_enumeration=*/false, response);
+  response.cookie = make_cookie(id, session.next_seq);
+  finalize(session, control, response);
+  ++governor_.stats().reconciles_completed;
+  governor_.stats().reconcile_entries_shipped += shipped;
+  pending.last_seq = parts.seq;
+  pending.completed = true;
+  pending.last_response = response;
+  pending.last_active = clock_.now();
   return response;
 }
 
@@ -411,6 +607,16 @@ void ReSyncMaster::tick(std::uint64_t delta) {
   clock_.advance(delta);
   const std::uint64_t limit = governor_.effective_deadline(time_limit_);
   if (limit == 0) return;
+  // Reconciliation walks whose round 2 never arrived (or whose replay window
+  // lapsed) are dropped; the walk cookie goes stale like a session cookie.
+  for (auto it = pending_reconciles_.begin();
+       it != pending_reconciles_.end();) {
+    if (clock_.now() - it->second.last_active > limit) {
+      it = pending_reconciles_.erase(it);
+    } else {
+      ++it;
+    }
+  }
   // (v) Expire idle poll sessions past the admin time limit (or the
   // governor's tighter slow-poller deadline). The expiry queue is ordered by
   // last_active-at-insertion with lazy deletion: only the stalest sessions
@@ -464,6 +670,7 @@ void ReSyncMaster::drop_session(std::map<std::string, Session>::iterator it) {
 
 void ReSyncMaster::reset() {
   sessions_.clear();
+  pending_reconciles_.clear();
   router_.clear();
   by_handle_.clear();
   expiry_.clear();

@@ -69,6 +69,22 @@ class ReSyncMaster : public ReSyncEndpoint {
     return governor_.stats();
   }
 
+  /// Enables/disables reconciliation-based recovery (DESIGN.md §12). When
+  /// disabled the master ignores reconcile offers entirely and answers plain
+  /// initial full reloads — modelling an old master for version-gating tests.
+  void set_reconcile_enabled(bool enabled) { reconcile_enabled_ = enabled; }
+
+  /// Divergence threshold: when the estimated number of divergent entries
+  /// exceeds this fraction of the content size, the walk falls back to a
+  /// full reload (shipping digests plus most of the content would cost more
+  /// than the reload alone). Default 0.5.
+  void set_reconcile_fallback_fraction(double fraction) {
+    reconcile_fallback_fraction_ = fraction;
+  }
+
+  /// In-flight reconciliation walks (round 1 answered, round 2 pending).
+  std::size_t pending_reconciles() const;
+
   /// Admin time limit for idle poll sessions, in logical ticks: a session
   /// whose last activity is more than `ticks` ticks ago is dropped by
   /// tick(), and its cookie becomes stale. A limit of 0 — the default —
@@ -169,6 +185,23 @@ class ReSyncMaster : public ReSyncEndpoint {
     bool overflow_reload = false;
   };
 
+  /// One in-flight reconciliation walk: round 1 answered with the divergent
+  /// bucket list, round 2 (fingerprints -> diff) pending. The provisional
+  /// QuerySession is promoted to a real session when the walk completes.
+  /// Walk cookies ("rc-<n>#<seq>") follow the same replay discipline as
+  /// session cookies: a duplicated round-2 request is re-answered from
+  /// last_response without re-running the diff.
+  struct PendingReconcile {
+    std::unique_ptr<sync::QuerySession> session;
+    Mode mode = Mode::Poll;
+    std::vector<std::uint32_t> need_buckets;
+    std::uint64_t last_active = 0;
+    std::uint64_t expected_seq = 2;
+    std::uint64_t last_seq = 0;
+    ReSyncResponse last_response;  // replay cache for last_seq
+    bool completed = false;        // session promoted; only replays remain
+  };
+
   /// Splits "rs-<id>#<seq>" into the session id and sequence number.
   /// Cookies without a '#' are pre-sequence-number legacy cookies; the poll
   /// path rejects them as stale rather than misreading them as seq 0.
@@ -209,9 +242,31 @@ class ReSyncMaster : public ReSyncEndpoint {
   /// Unregisters the session from the router (releasing holder entries) and
   /// erases it. Used by sync_end, abandon and expiry.
   void drop_session(std::map<std::string, Session>::iterator it);
+  /// Installs an initialized QuerySession as a live session under `id`:
+  /// registers the router route, seeds the holder mirror from the tracked
+  /// content and queues the expiry node.
+  Session& adopt_session(const std::string& id,
+                         std::unique_ptr<sync::QuerySession> query_session,
+                         Mode mode);
+  /// Common response tail: activity stamp, traffic accounting, origin time,
+  /// persistence flag and the replay cache.
+  void finalize(Session& session, const ReSyncControl& control,
+                ReSyncResponse& response);
+  /// Round 1 of a reconciliation walk: compare offered digests, answer
+  /// in_sync / need_buckets / fallback (DESIGN.md §12).
+  ReSyncResponse handle_reconcile_round1(const ldap::Query& query,
+                                         const ReSyncControl& control);
+  /// Round 2: fingerprints -> exact diff; promotes the provisional session.
+  ReSyncResponse handle_reconcile_round2(PendingReconcile& pending,
+                                         const CookieParts& parts,
+                                         const ReSyncControl& control);
+  /// Ships the full content instead of walking (cap hit or diverged too far).
+  ReSyncResponse reconcile_fallback(std::unique_ptr<sync::QuerySession> qs,
+                                    const ReSyncControl& control);
 
   server::DirectoryServer* master_;
   std::map<std::string, Session> sessions_;
+  std::map<std::string, PendingReconcile> pending_reconciles_;
   sync::ChangeRouter router_;
   ldap::NormalizedValueCache cache_;
   /// Router handle -> session (map nodes are pointer-stable).
@@ -228,7 +283,10 @@ class ReSyncMaster : public ReSyncEndpoint {
   std::uint64_t last_pumped_seq_ = 0;
   std::uint64_t time_limit_ = 0;
   std::uint64_t cookie_counter_ = 0;
+  std::uint64_t reconcile_counter_ = 0;
   std::uint64_t replays_ = 0;
+  bool reconcile_enabled_ = true;
+  double reconcile_fallback_fraction_ = 0.5;
   bool incomplete_history_ = false;
   bool change_routing_ = true;
   bool legacy_eval_ = false;

@@ -16,7 +16,23 @@ std::string to_string(Mode mode) {
 
 std::string ReSyncControl::to_string() const {
   return "(" + resync::to_string(mode) + ", " +
-         (cookie.empty() ? "null" : cookie) + ")";
+         (cookie.empty() ? "null" : cookie) +
+         (reconcile ? ", reconcile r" + std::to_string(reconcile->round) : "") +
+         ")";
+}
+
+std::size_t ReconcileRequest::approx_bytes() const {
+  // Fixed header: round + root digest + entry count.
+  std::size_t total = 20;
+  total += buckets.size() * 20;  // bucket index + digest + count
+  for (const sync::EntryFingerprint& fp : fingerprints) {
+    total += fp.dn.to_string().size() + 8;
+  }
+  return total;
+}
+
+std::size_t ReconcileResponse::approx_bytes() const {
+  return 8 + need_buckets.size() * 4;
 }
 
 std::string to_string(Action action) {

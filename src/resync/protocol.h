@@ -1,11 +1,14 @@
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "ldap/dn.h"
 #include "ldap/entry.h"
 #include "ldap/query.h"
+#include "sync/content_digest.h"
 #include "sync/update_batch.h"
 
 namespace fbdr::resync {
@@ -20,12 +23,52 @@ enum class Mode {
 
 std::string to_string(Mode mode);
 
+/// One digest PDU of a reconciliation walk: a bucket's additive fingerprint
+/// plus the entry count it covers (DESIGN.md §12).
+using DigestPdu = sync::BucketDigest;
+
+/// Reconciliation offer attached to a request instead of accepting a full
+/// reload. Round 1 carries the replica's root digest and per-bucket digests;
+/// round 2 carries per-entry fingerprints for the buckets the master flagged
+/// as divergent. Version-gated: a master that does not speak reconciliation
+/// ignores the field and answers a plain initial full reload.
+struct ReconcileRequest {
+  int round = 1;
+  std::uint64_t root_digest = 0;
+  std::uint64_t entry_count = 0;
+  std::vector<DigestPdu> buckets;                     // round 1
+  std::vector<sync::EntryFingerprint> fingerprints;   // round 2
+
+  std::size_t approx_bytes() const;
+};
+
+/// Master's answer to a reconciliation round.
+struct ReconcileResponse {
+  /// Root digests matched: the replica already holds the exact content;
+  /// no entries ship at all.
+  bool in_sync = false;
+  /// Divergence too large (or reconciliation not admitted): the response
+  /// carries a plain full reload instead of a diff.
+  bool fallback = false;
+  /// Round-1 answer: bucket indices whose digests diverged; the replica
+  /// must send fingerprints for exactly these in round 2.
+  std::vector<std::uint32_t> need_buckets;
+
+  std::size_t approx_bytes() const;
+};
+
 /// The resync control attached to a search request:
 ///   reSyncControl = (mode, cookie).
 /// An empty cookie marks the initial request of an update session.
 struct ReSyncControl {
   Mode mode = Mode::Poll;
   std::string cookie;
+  /// Non-null on an initial request offering digests instead of accepting a
+  /// full reload, and on the round-2 fingerprint upload.
+  std::shared_ptr<const ReconcileRequest> reconcile;
+
+  ReSyncControl() = default;
+  ReSyncControl(Mode m, std::string c) : mode(m), cookie(std::move(c)) {}
 
   bool initial() const noexcept { return cookie.empty(); }
   std::string to_string() const;
@@ -77,6 +120,10 @@ struct ReSyncResponse {
   /// a relay forwards the root time learned on its last upstream sync. The
   /// difference against the root clock is the per-hop staleness lag.
   std::uint64_t origin_time = 0;
+  /// Non-null when the server answered a reconciliation round. Its absence on
+  /// a response to a reconcile-offering request means the peer does not speak
+  /// reconciliation (old master): the response body is a plain full reload.
+  std::shared_ptr<const ReconcileResponse> reconcile;
 
   bool referred() const noexcept { return !referral_url.empty(); }
 

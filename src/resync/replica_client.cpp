@@ -23,24 +23,29 @@ void ReSyncReplica::apply(const ReSyncResponse& response) {
   content_.apply(to_batch(response));
 }
 
-void ReSyncReplica::drain_pages(const ReSyncResponse& first, Mode mode) {
+std::size_t ReSyncReplica::drain_pages(const ReSyncResponse& first, Mode mode) {
   // Each page is applied as it arrives and advances the cookie, so the
   // client never holds more than one page and a mid-drain transport failure
   // resumes at the next unfetched page (the last page replays from the
   // master's cache if the loss hit the response).
   bool more = first.more;
+  std::size_t applied = 0;
   while (more) {
     const ReSyncResponse page = request({mode, cookie_});
     cookie_ = page.cookie;
     ++pages_fetched_;
+    applied += page.pdus.size();
     content_.apply(to_batch(page));
     more = page.more;
   }
+  return applied;
 }
 
-void ReSyncReplica::start(Mode mode) {
-  mode_ = mode;
-  ReSyncResponse response = request({mode, ""});
+ReSyncResponse ReSyncReplica::initial_exchange(
+    Mode mode, const std::shared_ptr<const ReconcileRequest>& reconcile) {
+  ReSyncControl control{mode, ""};
+  control.reconcile = reconcile;
+  ReSyncResponse response = request(control);
   // Admission control: a governed master at its session cap answers busy
   // without creating a session. Retry the initial request under the same
   // backoff schedule as transport retries.
@@ -54,12 +59,89 @@ void ReSyncReplica::start(Mode mode) {
     channel_->elapse(retry_.backoff(attempt));
     ++attempt;
     ++busy_rejections_;
-    response = request({mode, ""});
+    response = request(control);
   }
+  return response;
+}
+
+void ReSyncReplica::start(Mode mode) {
+  mode_ = mode;
+  const ReSyncResponse response = initial_exchange(mode, nullptr);
   cookie_ = response.cookie;
   active_ = true;
   apply(response);
   drain_pages(response, mode);
+}
+
+void ReSyncReplica::adopt_reload(const ReSyncResponse& response) {
+  cookie_ = response.cookie;
+  active_ = true;
+  apply(response);
+  drain_pages(response, Mode::Poll);
+}
+
+void ReSyncReplica::recover() {
+  ++recoveries_;
+  if (!reconcile_ || content_.size() == 0) {
+    // Reconciliation disabled, or nothing local to reconcile against: the
+    // full reload IS the diff.
+    ++full_reloads_;
+    start(Mode::Poll);
+    return;
+  }
+  // Round 1: offer the local content's digests instead of accepting a full
+  // reload (DESIGN.md §12).
+  auto offer = std::make_shared<ReconcileRequest>();
+  offer->round = 1;
+  offer->root_digest = content_.digest().root();
+  offer->entry_count = content_.digest().entry_count();
+  offer->buckets = content_.digest().bucket_digests();
+  reconcile_overhead_bytes_ += offer->approx_bytes();
+  const ReSyncResponse response = initial_exchange(Mode::Poll, offer);
+  if (!response.reconcile) {
+    // The peer does not speak reconciliation: the offer was ignored and a
+    // plain initial full reload came back (version gating).
+    ++full_reloads_;
+    adopt_reload(response);
+    return;
+  }
+  if (response.reconcile->fallback) {
+    // Diverged too far (or walk cap): the master shipped the content.
+    ++full_reloads_;
+    ++reconcile_fallbacks_;
+    adopt_reload(response);
+    return;
+  }
+  if (response.reconcile->in_sync) {
+    // Roots matched: nothing shipped at all; resume polling.
+    ++reconciles_;
+    cookie_ = response.cookie;
+    active_ = true;
+    return;
+  }
+  // Round 2: upload fingerprints for the divergent buckets; the answer is
+  // the exact diff (plus continuation pages when the master paginates).
+  auto upload = std::make_shared<ReconcileRequest>();
+  upload->round = 2;
+  upload->fingerprints =
+      content_.fingerprints_for(response.reconcile->need_buckets);
+  reconcile_overhead_bytes_ += upload->approx_bytes();
+  try {
+    ReSyncControl control{Mode::Poll, response.cookie};
+    control.reconcile = upload;
+    const ReSyncResponse diff = request(control);
+    cookie_ = diff.cookie;
+    active_ = true;
+    std::size_t shipped = diff.pdus.size();
+    apply(diff);
+    shipped += drain_pages(diff, Mode::Poll);
+    reconcile_entries_shipped_ += shipped;
+    ++reconciles_;
+  } catch (const ldap::StaleCookieError&) {
+    // The walk expired between rounds: the plain reload path always works.
+    ++full_reloads_;
+    start(Mode::Poll);
+  }
 }
 
 void ReSyncReplica::poll() {
@@ -72,14 +154,12 @@ void ReSyncReplica::poll() {
     apply(response);
     drain_pages(response, Mode::Poll);
   } catch (const ldap::StaleCookieError&) {
-    // Session lost at the master (expiry or restart): start over. The
-    // initial response is a full reload, so convergence is preserved at the
-    // cost of the content retransmission — the trade-off the cookie
-    // mechanism exists to avoid. Any other protocol error is a client or
-    // protocol bug and propagates.
+    // Session lost at the master (expiry or restart): recover. With
+    // reconciliation, only the divergent entries ship; without it, the
+    // initial response is a full reload — convergence either way. Any other
+    // protocol error is a client or protocol bug and propagates.
     if (!auto_recover_) throw;
-    ++recoveries_;
-    start(Mode::Poll);
+    recover();
   }
 }
 

@@ -48,13 +48,45 @@ class ReSyncReplica {
 
   /// When enabled, a poll whose cookie the master no longer recognizes
   /// (session timed out, master restarted) transparently re-starts the
-  /// session: the master replies with the full content, the replica reloads,
-  /// and polling resumes under the fresh cookie. Only stale-cookie errors
+  /// session and polling resumes under the fresh cookie. With reconciliation
+  /// on (the default) the restart first offers the local content's digests
+  /// so only the divergent entries ship; otherwise (or when the master does
+  /// not speak reconciliation, or the walk falls back) the master replies
+  /// with the full content and the replica reloads. Only stale-cookie errors
   /// recover; every other protocol error propagates.
   void set_auto_recover(bool enabled) { auto_recover_ = enabled; }
 
-  /// Number of full-reload recoveries performed.
+  /// Disables the digest offer on recovery: every recovery is a full reload,
+  /// as before reconciliation existed (DESIGN.md §12).
+  void set_reconcile(bool enabled) { reconcile_ = enabled; }
+
+  /// Number of recoveries performed. Always equals
+  /// full_reloads() + reconciles().
   std::uint64_t recoveries() const noexcept { return recoveries_; }
+
+  /// Recoveries (or starts after a recovery fallback) that reloaded the
+  /// entire content.
+  std::uint64_t full_reloads() const noexcept { return full_reloads_; }
+
+  /// Recoveries healed by a reconciliation walk (in-sync or diff).
+  std::uint64_t reconciles() const noexcept { return reconciles_; }
+
+  /// Walks the master refused (divergence/cap) — a subset of full_reloads().
+  std::uint64_t reconcile_fallbacks() const noexcept {
+    return reconcile_fallbacks_;
+  }
+
+  /// Diff PDUs received by completed walks — the O(diff) shipping the
+  /// chaos suites assert on.
+  std::uint64_t reconcile_entries_shipped() const noexcept {
+    return reconcile_entries_shipped_;
+  }
+
+  /// Approximate bytes of digests/fingerprints the client uploaded for
+  /// walks — the reconciliation overhead side of the savings ledger.
+  std::uint64_t reconcile_overhead_bytes() const noexcept {
+    return reconcile_overhead_bytes_;
+  }
 
   /// Transport retries spent across all exchanges.
   std::uint64_t retries() const noexcept { return retries_; }
@@ -86,8 +118,16 @@ class ReSyncReplica {
  private:
   ReSyncResponse request(const ReSyncControl& control);
   void apply(const ReSyncResponse& response);
-  /// Fetches and applies continuation pages until the final one.
-  void drain_pages(const ReSyncResponse& first, Mode mode);
+  /// Fetches and applies continuation pages until the final one. Returns the
+  /// number of PDUs applied from the continuation pages.
+  std::size_t drain_pages(const ReSyncResponse& first, Mode mode);
+  /// Initial request (busy-retried); `reconcile` rides along when non-null.
+  ReSyncResponse initial_exchange(
+      Mode mode, const std::shared_ptr<const ReconcileRequest>& reconcile);
+  /// Stale-cookie recovery: digest walk when possible, full reload otherwise.
+  void recover();
+  /// Adopts a full-reload recovery response (cookie, content, pages).
+  void adopt_reload(const ReSyncResponse& response);
 
   std::unique_ptr<net::Channel> owned_channel_;
   net::Channel* channel_;
@@ -98,7 +138,13 @@ class ReSyncReplica {
   Mode mode_ = Mode::Poll;
   bool active_ = false;
   bool auto_recover_ = false;
+  bool reconcile_ = true;
   std::uint64_t recoveries_ = 0;
+  std::uint64_t full_reloads_ = 0;
+  std::uint64_t reconciles_ = 0;
+  std::uint64_t reconcile_fallbacks_ = 0;
+  std::uint64_t reconcile_entries_shipped_ = 0;
+  std::uint64_t reconcile_overhead_bytes_ = 0;
   std::uint64_t retries_ = 0;
   std::uint64_t busy_rejections_ = 0;
   std::uint64_t pages_fetched_ = 0;

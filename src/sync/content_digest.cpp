@@ -1,0 +1,118 @@
+#include "sync/content_digest.h"
+
+namespace fbdr::sync {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv1a(std::uint64_t seed, const std::string& text) {
+  std::uint64_t hash = seed;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+/// Separator folded between fields so "ab"+"c" and "a"+"bc" differ.
+std::uint64_t fnv1a_sep(std::uint64_t hash) {
+  hash ^= 0x1f;
+  hash *= kFnvPrime;
+  return hash;
+}
+
+}  // namespace
+
+std::uint64_t ContentDigest::hash_key(const std::string& key) {
+  return fnv1a(kFnvOffset, key);
+}
+
+std::uint64_t ContentDigest::hash_entry(const ldap::Entry& entry) {
+  std::uint64_t hash = fnv1a(kFnvOffset, entry.dn().norm_key());
+  for (const auto& [attr, values] : entry.attributes()) {
+    hash = fnv1a_sep(hash);
+    hash = fnv1a(hash, attr);
+    for (const std::string& value : values) {
+      hash = fnv1a_sep(hash);
+      hash = fnv1a(hash, value);
+    }
+  }
+  return hash;
+}
+
+std::uint32_t ContentDigest::bucket_of(const std::string& key) {
+  return static_cast<std::uint32_t>(hash_key(key) >> 56);
+}
+
+std::uint64_t ContentDigest::contribution(std::uint64_t key_hash,
+                                          std::uint64_t entry_hash) {
+  // splitmix64-style finalizer over the pair: the addition in the bucket
+  // fold is commutative, so each pair must contribute a well-mixed value or
+  // correlated entries could cancel.
+  std::uint64_t mixed = key_hash ^ (entry_hash + 0x9e3779b97f4a7c15ull +
+                                    (key_hash << 6) + (key_hash >> 2));
+  mixed ^= mixed >> 30;
+  mixed *= 0xbf58476d1ce4e5b9ull;
+  mixed ^= mixed >> 27;
+  mixed *= 0x94d049bb133111ebull;
+  mixed ^= mixed >> 31;
+  return mixed;
+}
+
+void ContentDigest::subtract(const std::string& key, std::uint64_t entry_hash) {
+  const std::uint64_t key_hash = hash_key(key);
+  const std::uint64_t value = contribution(key_hash, entry_hash);
+  Bucket& bucket = buckets_[static_cast<std::uint32_t>(key_hash >> 56)];
+  bucket.digest -= value;
+  --bucket.count;
+  root_ -= value;
+}
+
+void ContentDigest::upsert(const std::string& key, const ldap::Entry& entry) {
+  const std::uint64_t entry_hash = hash_entry(entry);
+  const auto it = hashes_.find(key);
+  if (it != hashes_.end()) {
+    if (it->second == entry_hash) return;
+    subtract(key, it->second);
+    it->second = entry_hash;
+  } else {
+    hashes_.emplace(key, entry_hash);
+  }
+  const std::uint64_t key_hash = hash_key(key);
+  const std::uint64_t value = contribution(key_hash, entry_hash);
+  Bucket& bucket = buckets_[static_cast<std::uint32_t>(key_hash >> 56)];
+  bucket.digest += value;
+  ++bucket.count;
+  root_ += value;
+}
+
+void ContentDigest::erase(const std::string& key) {
+  const auto it = hashes_.find(key);
+  if (it == hashes_.end()) return;
+  subtract(key, it->second);
+  hashes_.erase(it);
+}
+
+void ContentDigest::clear() {
+  buckets_.assign(kBuckets, Bucket{});
+  hashes_.clear();
+  root_ = 0;
+}
+
+std::vector<BucketDigest> ContentDigest::bucket_digests() const {
+  std::vector<BucketDigest> out;
+  for (std::uint32_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i].count == 0) continue;
+    out.push_back({i, buckets_[i].digest, buckets_[i].count});
+  }
+  return out;
+}
+
+std::uint64_t ContentDigest::hash_of(const std::string& key) const {
+  const auto it = hashes_.find(key);
+  return it == hashes_.end() ? 0 : it->second;
+}
+
+}  // namespace fbdr::sync

@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ldap/dn.h"
+#include "ldap/entry.h"
+
+namespace fbdr::sync {
+
+/// Digest of one DN-hash bucket: the commutative fold of the entry hashes
+/// whose normalized DN keys land in the bucket, plus the entry count. Two
+/// stores whose bucket digest and count agree hold (up to hash collision)
+/// identical entries in that bucket.
+struct BucketDigest {
+  std::uint32_t bucket = 0;
+  std::uint64_t digest = 0;
+  std::uint64_t count = 0;
+};
+
+/// Per-entry fingerprint shipped during the round-2 bucket walk: the full DN
+/// (so the peer can synthesize deletes) and the canonical entry hash.
+struct EntryFingerprint {
+  ldap::Dn dn;
+  std::uint64_t hash = 0;
+};
+
+/// Incrementally maintained two-level digest tree over a content store
+/// (master-side ContentTracker or replica-side ReplicaContent): a root
+/// digest/count summarizing everything, and kBuckets bucket digests keyed by
+/// the top bits of the DN-key hash. Entry hashes cover (DN, normalized
+/// attrs); bucket digests fold them with a keyed mix under addition mod
+/// 2^64, so upsert/erase are O(log n) and never require a rescan.
+///
+/// Reconciliation (DESIGN.md §12) compares roots, then bucket digests, then
+/// per-entry fingerprints of the mismatched buckets — recovery work
+/// proportional to the symmetric difference instead of the content size.
+class ContentDigest {
+ public:
+  static constexpr std::uint32_t kBuckets = 256;
+
+  /// FNV-1a 64 over an arbitrary string.
+  static std::uint64_t hash_key(const std::string& key);
+
+  /// Canonical entry hash over the normalized DN key plus every attribute
+  /// name and value in stored (sorted, lowercased-name) order.
+  static std::uint64_t hash_entry(const ldap::Entry& entry);
+
+  /// Bucket index of a normalized DN key (top 8 bits of its key hash).
+  static std::uint32_t bucket_of(const std::string& key);
+
+  void upsert(const std::string& key, const ldap::Entry& entry);
+  void erase(const std::string& key);
+  void clear();
+
+  std::uint64_t root() const noexcept { return root_; }
+  std::uint64_t entry_count() const noexcept { return hashes_.size(); }
+
+  /// Non-empty buckets only (the sparse wire form of round 1).
+  std::vector<BucketDigest> bucket_digests() const;
+
+  /// Stored entry hash for a key; 0 when the key is absent.
+  std::uint64_t hash_of(const std::string& key) const;
+
+ private:
+  struct Bucket {
+    std::uint64_t digest = 0;
+    std::uint64_t count = 0;
+  };
+
+  /// Keyed contribution of one (key, entry-hash) pair to its bucket digest.
+  static std::uint64_t contribution(std::uint64_t key_hash,
+                                    std::uint64_t entry_hash);
+
+  void subtract(const std::string& key, std::uint64_t entry_hash);
+
+  std::vector<Bucket> buckets_ = std::vector<Bucket>(kBuckets);
+  std::map<std::string, std::uint64_t> hashes_;  // key -> entry hash
+  std::uint64_t root_ = 0;
+};
+
+}  // namespace fbdr::sync

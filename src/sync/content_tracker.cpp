@@ -61,9 +61,12 @@ bool ContentTracker::matches_query(const EntryPtr& entry,
 
 void ContentTracker::initialize(const server::Dit& dit) {
   content_.clear();
+  digest_.clear();
   dit.for_each([&](const EntryPtr& entry) {
     if (matches_query(*entry)) {
-      content_[entry->dn().norm_key()] = entry;
+      const std::string key = entry->dn().norm_key();
+      content_[key] = entry;
+      digest_.upsert(key, *entry);
     }
   });
 }
@@ -85,13 +88,17 @@ std::vector<ContentEvent> ContentTracker::on_change(
   switch (record.type) {
     case ChangeType::Add: {
       if (record.after && matches_query(record.after, cache)) {
-        content_[record.dn.norm_key()] = record.after;
+        const std::string key = record.dn.norm_key();
+        content_[key] = record.after;
+        digest_.upsert(key, *record.after);
         events.push_back({record.seq, Transition::Enter, record.dn, record.after});
       }
       break;
     }
     case ChangeType::Delete: {
-      if (content_.erase(record.dn.norm_key()) > 0) {
+      const std::string key = record.dn.norm_key();
+      if (content_.erase(key) > 0) {
+        digest_.erase(key);
         events.push_back({record.seq, Transition::Leave, record.dn, nullptr});
       }
       break;
@@ -99,14 +106,18 @@ std::vector<ContentEvent> ContentTracker::on_change(
     case ChangeType::Modify: {
       const bool was_in = in_content(record.dn);
       const bool now_in = record.after && matches_query(record.after, cache);
+      const std::string key = record.dn.norm_key();
       if (was_in && now_in) {
-        content_[record.dn.norm_key()] = record.after;
+        content_[key] = record.after;
+        digest_.upsert(key, *record.after);
         events.push_back({record.seq, Transition::Update, record.dn, record.after});
       } else if (was_in && !now_in) {
-        content_.erase(record.dn.norm_key());
+        content_.erase(key);
+        digest_.erase(key);
         events.push_back({record.seq, Transition::Leave, record.dn, nullptr});
       } else if (!was_in && now_in) {
-        content_[record.dn.norm_key()] = record.after;
+        content_[key] = record.after;
+        digest_.upsert(key, *record.after);
         events.push_back({record.seq, Transition::Enter, record.dn, record.after});
       }
       break;
@@ -115,11 +126,15 @@ std::vector<ContentEvent> ContentTracker::on_change(
       const bool was_in = in_content(record.dn);
       const bool now_in = record.after && matches_query(record.after, cache);
       if (was_in) {
-        content_.erase(record.dn.norm_key());
+        const std::string key = record.dn.norm_key();
+        content_.erase(key);
+        digest_.erase(key);
         events.push_back({record.seq, Transition::Leave, record.dn, nullptr});
       }
       if (now_in) {
-        content_[record.new_dn.norm_key()] = record.after;
+        const std::string key = record.new_dn.norm_key();
+        content_[key] = record.after;
+        digest_.upsert(key, *record.after);
         events.push_back(
             {record.seq, Transition::Enter, record.new_dn, record.after});
       }

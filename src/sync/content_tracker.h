@@ -12,6 +12,7 @@
 #include "ldap/schema.h"
 #include "server/change.h"
 #include "server/dit.h"
+#include "sync/content_digest.h"
 
 namespace fbdr::sync {
 
@@ -65,6 +66,12 @@ class ContentTracker {
     return content_;
   }
 
+  /// Digest tree over the tracked content, maintained incrementally at every
+  /// membership mutation. The master compares it against a recovering
+  /// replica's offered digests to ship only the divergent entries
+  /// (DESIGN.md §12).
+  const ContentDigest& digest() const noexcept { return digest_; }
+
   /// True when `entry` satisfies the query (region + filter).
   bool matches_query(const ldap::Entry& entry) const;
 
@@ -96,6 +103,7 @@ class ContentTracker {
   ldap::CompiledFilter compiled_;
   bool legacy_eval_ = false;
   std::map<std::string, ldap::EntryPtr> content_;  // norm key -> snapshot
+  ContentDigest digest_;
 };
 
 }  // namespace fbdr::sync

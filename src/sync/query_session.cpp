@@ -31,6 +31,60 @@ UpdateBatch QuerySession::initial(const server::Dit& dit) {
   return batch;
 }
 
+void QuerySession::prepare(const server::Dit& dit) {
+  tracker_.initialize(dit);
+  pending_.clear();
+  touched_.clear();
+  acked_.clear();
+  degraded_ = false;
+  full_bodies_ = false;
+  initialized_ = true;
+}
+
+void QuerySession::ack_content() {
+  acked_.clear();
+  for (const auto& [key, entry] : tracker_.content()) {
+    acked_.emplace(key, entry->dn());
+  }
+}
+
+UpdateBatch QuerySession::full_content_batch() {
+  UpdateBatch batch;
+  batch.full_reload = true;
+  for (const auto& [key, entry] : tracker_.content()) {
+    batch.adds.push_back(entry);
+  }
+  ack_content();
+  return batch;
+}
+
+UpdateBatch QuerySession::diff_batch(
+    const std::vector<EntryFingerprint>& fingerprints,
+    const std::vector<std::uint32_t>& buckets) {
+  std::set<std::uint32_t> wanted(buckets.begin(), buckets.end());
+  std::map<std::string, const EntryFingerprint*> offered;
+  for (const EntryFingerprint& fp : fingerprints) {
+    offered[fp.dn.norm_key()] = &fp;
+  }
+  UpdateBatch batch;
+  for (const auto& [key, entry] : tracker_.content()) {
+    if (wanted.count(ContentDigest::bucket_of(key)) == 0) continue;
+    const auto it = offered.find(key);
+    if (it != offered.end() &&
+        it->second->hash == tracker_.digest().hash_of(key)) {
+      offered.erase(it);  // identical on both sides
+      continue;
+    }
+    batch.adds.push_back(entry);  // missing or mismatched replica-side
+    if (it != offered.end()) offered.erase(it);
+  }
+  for (const auto& [key, fp] : offered) {
+    batch.deletes.push_back(fp->dn);  // replica holds it, content does not
+  }
+  ack_content();
+  return batch;
+}
+
 std::vector<ContentEvent> QuerySession::on_change(
     const server::ChangeRecord& record, ldap::NormalizedValueCache* cache) {
   std::vector<ContentEvent> events = tracker_.on_change(record, cache);

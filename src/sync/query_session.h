@@ -30,6 +30,28 @@ class QuerySession {
   /// Full initial content (clears history).
   UpdateBatch initial(const server::Dit& dit);
 
+  /// Initializes the tracker and clears history WITHOUT building the initial
+  /// batch or acking anything. Used for provisional sessions created while a
+  /// reconciliation walk decides what (if anything) the replica needs.
+  void prepare(const server::Dit& dit);
+
+  /// Marks the entire current content as acknowledged by the replica. Called
+  /// when a reconciliation walk proves the replica already holds the exact
+  /// content (in-sync short-circuit).
+  void ack_content();
+
+  /// The entire current content as a full-reload batch; acks everything.
+  /// Used when a reconciliation walk falls back to shipping it all.
+  UpdateBatch full_content_batch();
+
+  /// Reconciliation round 2: given the replica's fingerprints for the
+  /// divergent `buckets`, builds the exact diff — content entries missing or
+  /// mismatched replica-side ship as adds, fingerprinted entries absent from
+  /// the content ship as deletes. Acks the full content afterwards so the
+  /// session continues with complete-history polls (DESIGN.md §12).
+  UpdateBatch diff_batch(const std::vector<EntryFingerprint>& fingerprints,
+                         const std::vector<std::uint32_t>& buckets);
+
   /// Feeds one journaled master change into the session history. Returns the
   /// content events the change produced (the master's ChangeRouter mirrors
   /// its holder index from them). `cache` (optional) shares entry-side

@@ -13,16 +13,25 @@ void ReplicaContent::apply(const UpdateBatch& batch) {
     // enumeration was aborted and its partial mentioned set is stale.
     enum_mentioned_.clear();
     enum_pending_ = false;
-    if (batch.full_reload) entries_.clear();
+    if (batch.full_reload) {
+      entries_.clear();
+      digest_.clear();
+    }
   }
   for (const EntryPtr& entry : batch.adds) {
-    entries_[entry->dn().norm_key()] = entry;
+    const std::string key = entry->dn().norm_key();
+    entries_[key] = entry;
+    digest_.upsert(key, *entry);
   }
   for (const EntryPtr& entry : batch.mods) {
-    entries_[entry->dn().norm_key()] = entry;
+    const std::string key = entry->dn().norm_key();
+    entries_[key] = entry;
+    digest_.upsert(key, *entry);
   }
   for (const Dn& dn : batch.deletes) {
-    entries_.erase(dn.norm_key());
+    const std::string key = dn.norm_key();
+    entries_.erase(key);
+    digest_.erase(key);
   }
   if (batch.complete_enumeration) {
     // Equation (3): anything the enumeration did not mention has left the
@@ -40,6 +49,7 @@ void ReplicaContent::apply(const UpdateBatch& batch) {
     } else {
       for (auto it = entries_.begin(); it != entries_.end();) {
         if (enum_mentioned_.count(it->first) == 0) {
+          digest_.erase(it->first);
           it = entries_.erase(it);
         } else {
           ++it;
@@ -71,6 +81,17 @@ std::vector<EntryPtr> ReplicaContent::entries() const {
   std::vector<EntryPtr> out;
   out.reserve(entries_.size());
   for (const auto& [key, entry] : entries_) out.push_back(entry);
+  return out;
+}
+
+std::vector<EntryFingerprint> ReplicaContent::fingerprints_for(
+    const std::vector<std::uint32_t>& buckets) const {
+  std::set<std::uint32_t> wanted(buckets.begin(), buckets.end());
+  std::vector<EntryFingerprint> out;
+  for (const auto& [key, entry] : entries_) {
+    if (wanted.count(ContentDigest::bucket_of(key)) == 0) continue;
+    out.push_back({entry->dn(), digest_.hash_of(key)});
+  }
   return out;
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "ldap/entry.h"
+#include "sync/content_digest.h"
 #include "sync/update_batch.h"
 
 namespace fbdr::sync {
@@ -39,14 +40,26 @@ class ReplicaContent {
   /// Total approximate bytes stored.
   std::size_t bytes(std::size_t entry_padding = 0) const;
 
+  /// Digest tree over the stored entries, maintained incrementally by
+  /// apply(). A recovering client offers its root/bucket digests to the
+  /// master instead of accepting a full reload (DESIGN.md §12).
+  const ContentDigest& digest() const noexcept { return digest_; }
+
+  /// Fingerprints of the stored entries whose DN keys fall in `buckets`
+  /// (the round-2 payload of a reconciliation walk).
+  std::vector<EntryFingerprint> fingerprints_for(
+      const std::vector<std::uint32_t>& buckets) const;
+
   void clear() {
     entries_.clear();
     enum_mentioned_.clear();
     enum_pending_ = false;
+    digest_.clear();
   }
 
  private:
   std::map<std::string, ldap::EntryPtr> entries_;
+  ContentDigest digest_;
   /// DNs mentioned so far by an in-flight paged complete enumeration.
   std::set<std::string> enum_mentioned_;
   bool enum_pending_ = false;

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "ldap/error.h"
+#include "sync/content_digest.h"
 
 namespace fbdr::topology {
 
@@ -154,6 +155,49 @@ void RelayNode::sync() {
 bool RelayNode::refetch(std::size_t index, bool recovery) {
   UpstreamFilter& filter = filters_[index];
   try {
+    if (config_.reconcile && !filter.members.empty()) {
+      // The mirror already holds this filter's view (restart, rewire or a
+      // degradation heal — the membership set survives all of them): offer
+      // its digests instead of accepting a full content enumeration.
+      std::map<std::string, ldap::EntryPtr> snapshot;
+      auto offer = std::make_shared<resync::ReconcileRequest>();
+      offer->round = 1;
+      sync::ContentDigest digest;
+      for (const auto& [key, dn] : filter.members) {
+        const EntryPtr entry = mirror_.dit().find(dn);
+        if (!entry) continue;
+        snapshot.emplace(key, entry);
+        digest.upsert(key, *entry);
+      }
+      offer->root_digest = digest.root();
+      offer->entry_count = digest.entry_count();
+      offer->buckets = digest.bucket_digests();
+      resync::ReSyncControl control{resync::Mode::Poll, ""};
+      control.reconcile = std::move(offer);
+      resync::ReSyncResponse response = request(filter, control);
+      if (response.referred()) {
+        referred_to_ = response.referral_url;
+        return false;
+      }
+      if (response.busy) {
+        ++filter.busy_rejections;
+        return false;
+      }
+      filter.cookie = response.cookie;
+      if (response.reconcile && !response.reconcile->fallback) {
+        try {
+          return reconcile_refetch(index, std::move(response), snapshot,
+                                   recovery);
+        } catch (const ldap::StaleCookieError&) {
+          // The walk expired between rounds: plain reload below.
+          filter.cookie.clear();
+        }
+      } else {
+        // Walk fallback (diverged too far / cap) or a parent that does not
+        // speak reconciliation: the response body is the full content.
+        return apply_full(index, std::move(response), recovery);
+      }
+    }
     resync::ReSyncResponse response = request(filter, {resync::Mode::Poll, ""});
     if (response.referred()) {
       referred_to_ = response.referral_url;
@@ -166,36 +210,88 @@ bool RelayNode::refetch(std::size_t index, bool recovery) {
       ++filter.busy_rejections;
       return false;
     }
-    filter.cookie = response.cookie;
-    response = collect_pages(filter, std::move(response));
-    filter.last_origin = std::max(filter.last_origin, response.origin_time);
-    filter.last_synced = downstream_.now();
-    // Diff the enumerated content into the mirror: upsert everything
-    // shipped, then drop what this filter previously claimed but the parent
-    // no longer lists. Diffing (rather than clearing and reloading) keeps
-    // the journal minimal, so descendants receive only real changes.
-    std::map<std::string, ldap::Dn> shipped;
-    for (const resync::EntryPdu& pdu : response.pdus) {
-      if (!pdu.entry) continue;
-      shipped.emplace(pdu.dn.norm_key(), pdu.dn);
-      upsert(pdu.entry);
-    }
-    const std::map<std::string, ldap::Dn> previous =
-        std::exchange(filter.members, std::move(shipped));
-    for (const auto& [key, dn] : previous) {
-      if (filter.members.find(key) == filter.members.end()) {
-        erase_unless_claimed(dn, index);
-      }
-    }
-    if (recovery) {
-      ++filter.recoveries;
-      ++recoveries_;
-      if (!epoch_bumped_this_round_) bump_epoch();
-    }
-    return true;
+    return apply_full(index, std::move(response), recovery);
   } catch (const net::TransportError&) {
     return false;
   }
+}
+
+bool RelayNode::apply_full(std::size_t index, resync::ReSyncResponse response,
+                           bool recovery) {
+  UpstreamFilter& filter = filters_[index];
+  filter.cookie = response.cookie;
+  response = collect_pages(filter, std::move(response));
+  filter.last_origin = std::max(filter.last_origin, response.origin_time);
+  filter.last_synced = downstream_.now();
+  ++filter.full_reloads;
+  // Diff the enumerated content into the mirror: upsert everything
+  // shipped, then drop what this filter previously claimed but the parent
+  // no longer lists. Diffing (rather than clearing and reloading) keeps
+  // the journal minimal, so descendants receive only real changes.
+  std::map<std::string, ldap::Dn> shipped;
+  for (const resync::EntryPdu& pdu : response.pdus) {
+    if (!pdu.entry) continue;
+    shipped.emplace(pdu.dn.norm_key(), pdu.dn);
+    upsert(pdu.entry);
+  }
+  const std::map<std::string, ldap::Dn> previous =
+      std::exchange(filter.members, std::move(shipped));
+  for (const auto& [key, dn] : previous) {
+    if (filter.members.find(key) == filter.members.end()) {
+      erase_unless_claimed(dn, index);
+    }
+  }
+  if (recovery) {
+    ++filter.recoveries;
+    ++recoveries_;
+    if (!epoch_bumped_this_round_) bump_epoch();
+  }
+  return true;
+}
+
+bool RelayNode::reconcile_refetch(
+    std::size_t index, resync::ReSyncResponse round1,
+    const std::map<std::string, ldap::EntryPtr>& snapshot, bool recovery) {
+  UpstreamFilter& filter = filters_[index];
+  if (round1.reconcile->in_sync) {
+    // Roots matched: the mirror's view is already exact; nothing shipped.
+    filter.last_origin = std::max(filter.last_origin, round1.origin_time);
+    filter.last_synced = downstream_.now();
+    ++filter.reconciles;
+    if (recovery) {
+      ++filter.recoveries;
+      ++recoveries_;
+    }
+    return true;
+  }
+  // Round 2: upload fingerprints for the divergent buckets; the answer is
+  // the exact diff, applied through the ordinary delta path so the mirror
+  // journals it and descendant sessions ride through (no epoch bump —
+  // that is the cascading saving).
+  auto upload = std::make_shared<resync::ReconcileRequest>();
+  upload->round = 2;
+  std::set<std::uint32_t> wanted(round1.reconcile->need_buckets.begin(),
+                                 round1.reconcile->need_buckets.end());
+  for (const auto& [key, entry] : snapshot) {
+    if (wanted.count(sync::ContentDigest::bucket_of(key)) == 0) continue;
+    upload->fingerprints.push_back(
+        {entry->dn(), sync::ContentDigest::hash_entry(*entry)});
+  }
+  resync::ReSyncControl control{resync::Mode::Poll, filter.cookie};
+  control.reconcile = std::move(upload);
+  resync::ReSyncResponse diff = request(filter, control);
+  filter.cookie = diff.cookie;
+  diff = collect_pages(filter, std::move(diff));
+  filter.last_origin = std::max(filter.last_origin, diff.origin_time);
+  filter.last_synced = downstream_.now();
+  filter.reconcile_entries_shipped += diff.pdus.size();
+  apply_response(index, diff);
+  ++filter.reconciles;
+  if (recovery) {
+    ++filter.recoveries;
+    ++recoveries_;
+  }
+  return true;
 }
 
 void RelayNode::apply_response(std::size_t index,
@@ -401,8 +497,11 @@ resync::ReSyncResponse RelayNode::handle(const Query& query,
       return response;
     }
   } else {
-    response = downstream_.handle(query,
-                                  {control.mode, unwrap_cookie(control.cookie)});
+    // Copy the control so the reconcile payload (a round-2 fingerprint
+    // upload through this relay) survives the cookie unwrap.
+    resync::ReSyncControl inner = control;
+    inner.cookie = unwrap_cookie(control.cookie);
+    response = downstream_.handle(query, inner);
   }
   response.cookie = wrap_cookie(response.cookie);
   response.origin_time = root_time_;
@@ -449,6 +548,9 @@ net::HealthStats RelayNode::upstream_health() const {
     health.busy_rejections = filter.busy_rejections;
     health.degraded_polls = filter.degraded_polls;
     health.paged_polls = filter.paged_polls;
+    health.full_reloads = filter.full_reloads;
+    health.reconciles = filter.reconciles;
+    health.reconcile_entries_shipped = filter.reconcile_entries_shipped;
     stats.filters.emplace(filter.query.key(), health);
   }
   return stats;

@@ -56,6 +56,11 @@ class RelayNode final : public resync::ReSyncEndpoint,
     /// exactly as on the root master (busy admission, eq.(3) degradation,
     /// paging, replay stripping, poll-deadline eviction).
     resync::ResourceLimits downstream_limits;
+    /// Re-establishing an upstream session first offers digests of the
+    /// mirror's view so only divergent entries ship (DESIGN.md §12). A
+    /// successful walk journals the diff as ordinary changes, so descendant
+    /// sessions ride through without an epoch bump — the savings cascade.
+    bool reconcile = true;
   };
 
   explicit RelayNode(Config config,
@@ -173,6 +178,9 @@ class RelayNode final : public resync::ReSyncEndpoint,
     std::uint64_t busy_rejections = 0;  // refetches bounced at parent capacity
     std::uint64_t degraded_polls = 0;   // eq.(3) enumerations from the parent
     std::uint64_t paged_polls = 0;      // continuation pages fetched
+    std::uint64_t full_reloads = 0;     // full-content loads (incl. install)
+    std::uint64_t reconciles = 0;       // sessions healed by a digest walk
+    std::uint64_t reconcile_entries_shipped = 0;  // diff PDUs those walks cost
     /// DNs the parent currently lists for this filter (norm key -> DN),
     /// maintained from Add/Delete PDUs and full/complete enumerations.
     /// Claim checks consult these sets, never the mirror copy: after a
@@ -221,12 +229,32 @@ class RelayNode final : public resync::ReSyncEndpoint,
   /// Applies one poll/initial response for filters_[index] to the mirror.
   void apply_response(std::size_t index, const resync::ReSyncResponse& response);
 
-  /// Opens a fresh session for filters_[index] and diffs the enumerated
-  /// full content into the mirror. `recovery` marks a session re-established
-  /// after established state was lost (stale cookie, degradation heal): it
-  /// counts as a recovery and bumps the epoch. Returns false when the link
-  /// stays down or the parent referred elsewhere (referred_to() set).
+  /// Opens a fresh session for filters_[index]. When the mirror already
+  /// holds content for the filter (and Config::reconcile is on), a digest
+  /// walk is offered first so only the divergent entries ship; otherwise —
+  /// or when the parent does not speak reconciliation or the walk falls
+  /// back — the enumerated full content is diffed into the mirror.
+  /// `recovery` marks a session re-established after established state was
+  /// lost (stale cookie, degradation heal): it counts as a recovery and, on
+  /// the full-reload path, bumps the epoch (a reconciled heal journals its
+  /// diff as ordinary changes, so descendants ride through). Returns false
+  /// when the link stays down or the parent referred elsewhere
+  /// (referred_to() set).
   bool refetch(std::size_t index, bool recovery);
+
+  /// Completes a reconciliation walk whose round-1 answer is `round1`:
+  /// in-sync short-circuit or fingerprint upload + diff application.
+  /// `snapshot` is the mirror's view of the filter the offer was built
+  /// from. Throws StaleCookieError when the walk expired between rounds.
+  bool reconcile_refetch(
+      std::size_t index, resync::ReSyncResponse round1,
+      const std::map<std::string, ldap::EntryPtr>& snapshot, bool recovery);
+
+  /// Applies a full-content initial response: collects pages, diffs the
+  /// enumeration into the mirror, swaps the membership set and (for
+  /// recoveries) bumps the epoch.
+  bool apply_full(std::size_t index, resync::ReSyncResponse response,
+                  bool recovery);
 
   /// Content rebuilt wholesale: invalidate every descendant cookie.
   void bump_epoch();

@@ -39,6 +39,11 @@ struct NodeHealth {
   std::uint64_t history_units = 0;     // current history accounting units held
   std::uint64_t replay_bytes = 0;      // current replay-cache body bytes held
   std::uint64_t upstream_busy = 0;     // this node's refetches bounced by parent
+  // Recovery-mode split (DESIGN.md §12): how this node's upstream sessions
+  // healed, and what the digest walks cost in diff PDUs.
+  std::uint64_t full_reloads = 0;
+  std::uint64_t reconciles = 0;
+  std::uint64_t reconcile_entries_shipped = 0;
 };
 
 /// Builds and drives an N-node replication tree rooted at one enterprise

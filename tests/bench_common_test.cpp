@@ -1,0 +1,36 @@
+// Unit tests for the bench driver helpers shared through bench/common.h —
+// chiefly parse_csv, whose per-driver copies once diverged: one variant
+// looped forever when strtoull consumed no digits. The shared helper must
+// stop on the first non-numeric token instead of spinning.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common.h"
+
+namespace fbdr::bench {
+namespace {
+
+TEST(BenchCommon, ParseCsvReadsNumericLists) {
+  EXPECT_EQ(parse_csv("100,250,500,1000"),
+            (std::vector<std::size_t>{100, 250, 500, 1000}));
+  EXPECT_EQ(parse_csv("8"), (std::vector<std::size_t>{8}));
+  EXPECT_EQ(parse_csv("0,0"), (std::vector<std::size_t>{0, 0}));
+}
+
+TEST(BenchCommon, ParseCsvOfEmptyStringIsEmpty) {
+  EXPECT_TRUE(parse_csv("").empty());
+}
+
+TEST(BenchCommon, ParseCsvStopsAtNonNumericToken) {
+  // The regression this guards: "abc" consumes no digits, so a naive loop
+  // re-reads the same cursor forever. The helper must terminate and keep
+  // the values parsed so far.
+  EXPECT_TRUE(parse_csv("abc").empty());
+  EXPECT_EQ(parse_csv("8,x,16"), (std::vector<std::size_t>{8}));
+  EXPECT_EQ(parse_csv("8,16,"), (std::vector<std::size_t>{8, 16}));
+}
+
+}  // namespace
+}  // namespace fbdr::bench

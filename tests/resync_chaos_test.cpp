@@ -207,6 +207,15 @@ TEST_P(ReSyncChaos, ConvergesToFaultFreeTwinAfterQuiescence) {
     }
     EXPECT_GT(recoveries, 0u) << "master restart forced no recoveries";
   }
+  // Every recovery is accounted as exactly one heal mode (DESIGN.md §12):
+  // a digest-walk reconcile or a full reload (version gate, divergence
+  // fallback, or an empty local content).
+  for (const auto& replica : faulty_replicas) {
+    EXPECT_EQ(replica->recoveries(),
+              replica->full_reloads() + replica->reconciles())
+        << "recovery split drifted (seed " << schedule.seed << ")";
+    EXPECT_LE(replica->reconcile_fallbacks(), replica->full_reloads());
+  }
 }
 
 net::FaultConfig lossy(std::uint64_t seed) {
@@ -310,12 +319,17 @@ TEST(ServiceDegradation, DegradedFilterServesStaleContentAndHeals) {
   EXPECT_GE(health.filters.at(key).ticks_behind, 10u);
   EXPECT_GT(health.filters.at(key).failed_syncs, 0u);
 
-  // Reconnect: the next sync heals with a full-reload recovery.
+  // Reconnect: the next sync heals the filter — via a reconcile walk, since
+  // the local content survived the outage (DESIGN.md §12).
   channel->restart_master();
   service.sync();
   health = service.health();
   EXPECT_FALSE(health.filters.at(key).degraded);
   EXPECT_GT(health.filters.at(key).recoveries, 0u);
+  EXPECT_EQ(health.filters.at(key).recoveries,
+            health.filters.at(key).full_reloads +
+                health.filters.at(key).reconciles);
+  EXPECT_GT(health.filters.at(key).reconciles, 0u);
   outcome = service.serve(probe);
   EXPECT_TRUE(outcome.hit);
   EXPECT_FALSE(outcome.stale);
@@ -327,8 +341,8 @@ TEST(ServiceDegradation, DegradedFilterServesStaleContentAndHeals) {
 }
 
 // Session expiry racing the service's poll cadence: the master's admin
-// limit expires the session between syncs; the service recovers with a
-// full reload instead of degrading, because the link itself is healthy.
+// limit expires the session between syncs; the service recovers in place
+// (a reconcile walk — the link itself is healthy) instead of degrading.
 TEST(ServiceDegradation, ExpiredSessionHealsWithoutDegrading) {
   workload::DirectoryConfig config;
   config.employees = 120;
@@ -359,13 +373,18 @@ TEST(ServiceDegradation, ExpiredSessionHealsWithoutDegrading) {
   const net::HealthStats health = service.health();
   EXPECT_FALSE(health.any_degraded());
   EXPECT_EQ(health.filters.at(block.key()).recoveries, 1u);
+  // The recovery reconciled: only the one divergent entry shipped, not the
+  // whole block.
+  EXPECT_EQ(health.filters.at(block.key()).reconciles, 1u);
+  EXPECT_EQ(health.filters.at(block.key()).full_reloads, 0u);
+  EXPECT_EQ(health.filters.at(block.key()).reconcile_entries_shipped, 1u);
   bool found = false;
   for (const auto& entry : service.filter_replica().query_content(0)) {
     if (entry->dn() == target.dn) {
       found = entry->has_value("mail", "late@x.com");
     }
   }
-  EXPECT_TRUE(found) << "full-reload recovery should carry the missed update";
+  EXPECT_TRUE(found) << "recovery should carry the missed update";
 }
 
 }  // namespace

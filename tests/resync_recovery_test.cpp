@@ -176,6 +176,10 @@ TEST(ReSyncRecovery, RecoveryCostsAFullReload) {
   resync.set_session_time_limit(5);
   ReSyncReplica replica(resync, kQuery);
   replica.set_auto_recover(true);
+  // Documents the pre-reconciliation recovery path: with digest walks off,
+  // recovery re-ships the whole content (resync_reconcile_test covers the
+  // O(diff) path).
+  replica.set_reconcile(false);
   replica.start(Mode::Poll);
   const auto after_start = resync.traffic().entries;
 

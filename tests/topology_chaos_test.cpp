@@ -214,6 +214,12 @@ TEST_P(TopologyChaos, Depth3TreeConvergesToFaultFreeTwin) {
   for (const NodeHealth& health : faulty.health()) {
     EXPECT_FALSE(health.down) << health.name;
     EXPECT_FALSE(health.degraded) << health.name << " still degraded";
+    // Recovery-mode split (DESIGN.md §12): every upstream full-content load
+    // is the install or a recovery reload; reconciles never exceed what the
+    // node recovered plus its degradation heals.
+    EXPECT_GE(health.full_reloads, 1u) << health.name << " never installed";
+    EXPECT_LE(health.recoveries, health.full_reloads + health.reconciles)
+        << health.name << " recovered without a reload or a walk";
   }
   if (schedule.crash_step >= 0) {
     // The restarted relay advanced its epoch, and the stale-cookie cascade
