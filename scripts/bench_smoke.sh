@@ -3,7 +3,11 @@
 # a reproduced headline regresses.
 #
 #   bench_master_scaling   routed pump() must keep its edge over the legacy
-#                          exhaustive fan-out (--min-speedup, default 2.0)
+#                          exhaustive fan-out (--min-speedup, default 2.0),
+#                          and the sharded 4-thread pump must hold
+#                          --min-parallel-speedup (default 2.0) over the
+#                          serial baseline at 10k sessions — skipped
+#                          hardware-aware on hosts with <4 cores
 #   bench_topology_fanout  a fan-out-4 depth-2 relay tree must cut root
 #                          master sessions/poll round trips vs the flat 1xN
 #                          deployment (--min-factor, default 2.0, at 16+
@@ -22,6 +26,7 @@
 # Usage: scripts/bench_smoke.sh [--min-speedup=F] [--min-factor=F]
 #                               [--min-overload-factor=F]
 #                               [--min-reconcile-savings=F]
+#                               [--min-parallel-speedup=F]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -29,12 +34,14 @@ MIN_SPEEDUP=2.0
 MIN_FACTOR=2.0
 MIN_OVERLOAD_FACTOR=4.0
 MIN_RECONCILE_SAVINGS=4.0
+MIN_PARALLEL_SPEEDUP=2.0
 for arg in "$@"; do
   case "$arg" in
     --min-speedup=*) MIN_SPEEDUP="${arg#--min-speedup=}" ;;
     --min-factor=*) MIN_FACTOR="${arg#--min-factor=}" ;;
     --min-overload-factor=*) MIN_OVERLOAD_FACTOR="${arg#--min-overload-factor=}" ;;
     --min-reconcile-savings=*) MIN_RECONCILE_SAVINGS="${arg#--min-reconcile-savings=}" ;;
+    --min-parallel-speedup=*) MIN_PARALLEL_SPEEDUP="${arg#--min-parallel-speedup=}" ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -44,9 +51,11 @@ cmake --build build-bench -j"$(nproc)" --target bench_master_scaling \
       bench_topology_fanout bench_overload bench_reconcile >/dev/null
 
 ./build-bench/bench/bench_master_scaling \
-  --employees=4000 --updates=1000 --sessions=200,1000 \
+  --employees=2000 --updates=1000 --sessions=1000,10000 \
+  --shards=8 --threads=0,4 --exhaustive-cap=1000 \
   --json=build-bench/BENCH_master_scaling.json \
-  --min-speedup="$MIN_SPEEDUP"
+  --min-speedup="$MIN_SPEEDUP" \
+  --min-parallel-speedup="$MIN_PARALLEL_SPEEDUP"
 
 ./build-bench/bench/bench_topology_fanout \
   --employees=2000 --updates-per-round=50 --rounds=10 --leaves=8,16 \

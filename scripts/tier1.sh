@@ -2,7 +2,9 @@
 # Tier-1 gate: the plain build + full test suite, then an ASan/UBSan build
 # running the chaos/soak test (the faulty-transport paths are where memory
 # bugs would hide — duplicated in-flight requests, replay caches, session
-# teardown on master reset).
+# teardown on master reset), then a TSan build running the threaded
+# shard-equivalence and chaos suites (the sharded pump is where races would
+# hide — shard-local state crossing a shard boundary, the pump-pool barrier).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -15,17 +17,26 @@ echo "== tier 1: lint (non-fatal) =="
 scripts/lint.sh || echo "lint: reported issues (non-fatal)"
 
 echo "== tier 1: sanitizer chaos + overload-soak run (ASan + UBSan) =="
-cmake -B build-asan -S . -DFBDR_SANITIZE=ON -DFBDR_BUILD_BENCHMARKS=OFF \
+cmake -B build-asan -S . -DFBDR_SANITIZE=address -DFBDR_BUILD_BENCHMARKS=OFF \
       -DFBDR_BUILD_EXAMPLES=OFF >/dev/null
 cmake --build build-asan -j"$(nproc)" --target resync_chaos_test \
       resync_recovery_test resync_protocol_test routing_equivalence_test \
       filter_ir_equivalence_test topology_chaos_test \
       server_ldif_roundtrip_test resync_governor_test sync_compaction_test \
-      resync_overload_test resync_reconcile_test bench_common_test
+      resync_overload_test resync_reconcile_test \
+      resync_shard_equivalence_test bench_common_test
 ctest --test-dir build-asan --output-on-failure -j"$(nproc)" \
-      -R 'ReSyncChaos|ServiceDegradation|Recovery|ReSync|RoutingEquivalence|FilterIrEquivalence|TopologyChaos|ServerLdifRoundTrip|Governor|SyncCompaction|ResyncOverload|TopologyOverload|Reconcile|BenchCommon'
+      -R 'ReSyncChaos|ServiceDegradation|Recovery|ReSync|RoutingEquivalence|FilterIrEquivalence|TopologyChaos|ServerLdifRoundTrip|Governor|SyncCompaction|ResyncOverload|TopologyOverload|Reconcile|ShardEquivalence|ShardConfig|BenchCommon'
 
-echo "== tier 1: bench smoke (routed pump >2x legacy; relay tree >=2x root relief) =="
-scripts/bench_smoke.sh --min-speedup=2 --min-factor=2
+echo "== tier 1: threaded-pump race run (TSan) =="
+cmake -B build-tsan -S . -DFBDR_SANITIZE=thread -DFBDR_BUILD_BENCHMARKS=OFF \
+      -DFBDR_BUILD_EXAMPLES=OFF >/dev/null
+cmake --build build-tsan -j"$(nproc)" --target \
+      resync_shard_equivalence_test resync_chaos_test topology_chaos_test
+ctest --test-dir build-tsan --output-on-failure -j"$(nproc)" \
+      -R 'ShardEquivalence|ShardConfig|ReSyncChaos|ServiceDegradation|TopologyChaos'
+
+echo "== tier 1: bench smoke (routed pump >2x legacy; relay tree >=2x root relief; 4-thread pump >=2x serial where cores allow) =="
+scripts/bench_smoke.sh --min-speedup=2 --min-factor=2 --min-parallel-speedup=2
 
 echo "tier 1: OK"

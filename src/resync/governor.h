@@ -83,6 +83,23 @@ struct GovernorStats {
   std::uint64_t reconcile_fallbacks = 0;      // diverged/capped -> full reload
   std::uint64_t reconcile_entries_shipped = 0;  // diff PDUs shipped by walks
 
+  /// Folds a per-shard counter delta into this (the sharded pump accumulates
+  /// parallel-phase counters shard-locally and merges them at the barrier, so
+  /// totals are deterministic regardless of thread interleaving).
+  void merge(const GovernorStats& other) noexcept {
+    sessions_rejected_busy += other.sessions_rejected_busy;
+    sessions_degraded += other.sessions_degraded;
+    histories_collapsed += other.histories_collapsed;
+    sessions_evicted += other.sessions_evicted;
+    pages_served += other.pages_served;
+    replay_caches_stripped += other.replay_caches_stripped;
+    compaction_rebases += other.compaction_rebases;
+    reconcile_walks += other.reconcile_walks;
+    reconciles_completed += other.reconciles_completed;
+    reconcile_fallbacks += other.reconcile_fallbacks;
+    reconcile_entries_shipped += other.reconcile_entries_shipped;
+  }
+
   std::string to_string() const;
 };
 

@@ -1,6 +1,7 @@
 #include "resync/master.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "ldap/error.h"
 
@@ -10,11 +11,65 @@ using ldap::ProtocolError;
 
 ReSyncMaster::ReSyncMaster(server::DirectoryServer& master)
     : master_(&master),
-      router_(master.schema()),
-      last_pumped_seq_(master.journal().last_seq()) {}
+      last_pumped_seq_(master.journal().last_seq()) {
+  shards_.push_back(std::make_unique<Shard>(master.schema()));
+}
 
 std::string ReSyncMaster::new_session_id() {
   return "rs-" + std::to_string(++cookie_counter_);
+}
+
+ReSyncMaster::Shard& ReSyncMaster::shard_for(const std::string& id) {
+  if (shards_.size() == 1) return *shards_.front();
+  // FNV-1a: stable across builds and platforms, so a given session id lands
+  // on the same shard in every run (the equivalence twin depends on the
+  // partition being a pure function of the id and the shard count).
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const char c : id) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return *shards_[hash % shards_.size()];
+}
+
+std::map<std::string, ReSyncMaster::Session>::iterator
+ReSyncMaster::find_session(const std::string& id, Shard*& shard) {
+  shard = &shard_for(id);
+  return shard->sessions.find(id);
+}
+
+void ReSyncMaster::set_pump_shards(std::size_t shards) {
+  if (shards == 0) shards = 1;
+  if (shards == shards_.size()) return;
+  if (session_count() != 0) {
+    throw std::logic_error(
+        "set_pump_shards: cannot repartition with live sessions");
+  }
+  shards_.clear();
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(master_->schema()));
+  }
+}
+
+void ReSyncMaster::set_pump_threads(std::size_t threads) {
+  pump_threads_ = threads;
+  if (threads == 0) {
+    pool_.reset();
+  }
+  // A pool of the new size is (re)created lazily on the next pump().
+}
+
+void ReSyncMaster::run_on_shards(const std::function<void(Shard&)>& fn) {
+  if (pump_threads_ == 0 || shards_.size() <= 1) {
+    for (const std::unique_ptr<Shard>& shard : shards_) fn(*shard);
+    return;
+  }
+  if (!pool_ || pool_->thread_count() != pump_threads_) {
+    pool_ = std::make_unique<PumpPool>(pump_threads_);
+  }
+  pool_->run(shards_.size(),
+             [&](std::size_t index) { fn(*shards_[index]); });
 }
 
 ReSyncMaster::CookieParts ReSyncMaster::parse_cookie(const std::string& cookie) {
@@ -60,8 +115,9 @@ ReSyncResponse ReSyncMaster::handle(const ldap::Query& query,
         pending_reconciles_.erase(pit);
         return {};
       }
-      const auto it = sessions_.find(parts.id);
-      if (it != sessions_.end()) drop_session(it);
+      Shard* shard = nullptr;
+      const auto it = find_session(parts.id, shard);
+      if (it != shard->sessions.end()) drop_session(*shard, it);
     }
     return {};
   }
@@ -81,7 +137,7 @@ ReSyncResponse ReSyncMaster::handle(const ldap::Query& query,
     // (A master with reconciliation disabled lands here even for reconcile
     // offers: the response carries no reconcile field, which tells the
     // client the peer does not speak reconciliation.)
-    if (!governor_.admits(sessions_.size() + pending_reconciles())) {
+    if (!governor_.admits(session_count() + pending_reconciles())) {
       ++governor_.stats().sessions_rejected_busy;
       ReSyncResponse busy;
       busy.busy = true;
@@ -117,8 +173,9 @@ ReSyncResponse ReSyncMaster::handle(const ldap::Query& query,
     if (pit != pending_reconciles_.end()) {
       return handle_reconcile_round2(pit->second, parts, control);
     }
-    const auto it = sessions_.find(id);
-    if (it == sessions_.end()) {
+    Shard* shard = nullptr;
+    const auto it = find_session(id, shard);
+    if (it == shard->sessions.end()) {
       throw ldap::StaleCookieError("unknown or expired resync cookie '" +
                                    control.cookie + "'");
     }
@@ -200,19 +257,22 @@ void ReSyncMaster::finalize(Session& session, const ReSyncControl& control,
 ReSyncMaster::Session& ReSyncMaster::adopt_session(
     const std::string& id, std::unique_ptr<sync::QuerySession> query_session,
     Mode mode) {
+  Shard& shard = shard_for(id);
   Session fresh;
   fresh.session = std::move(query_session);
   fresh.mode = mode;
-  Session& session = sessions_.emplace(id, std::move(fresh)).first->second;
-  // Register with the change router and seed its holder mirror from the
-  // tracked content.
-  session.route = router_.add_session(
+  fresh.id = id;
+  fresh.shard = &shard;
+  Session& session = shard.sessions.emplace(id, std::move(fresh)).first->second;
+  // Register with the shard's change router and seed its holder mirror from
+  // the tracked content.
+  session.route = shard.router.add_session(
       session.session->query(), &session.session->tracker().compiled_filter());
-  by_handle_[session.route] = &session;
+  shard.by_handle[session.route] = &session;
   for (const auto& [key, entry] : session.session->tracker().content()) {
-    router_.note_enter(session.route, key);
+    shard.router.note_enter(session.route, key);
   }
-  expiry_.emplace(clock_.now(), id);
+  shard.expiry.emplace(clock_.now(), id);
   return session;
 }
 
@@ -245,7 +305,7 @@ ReSyncResponse ReSyncMaster::handle_reconcile_round1(
     const ldap::Query& query, const ReSyncControl& control) {
   // A live (incomplete) walk holds a provisional session's worth of state;
   // it counts against the session cap like a session would.
-  if (!governor_.admits(sessions_.size() + pending_reconciles())) {
+  if (!governor_.admits(session_count() + pending_reconciles())) {
     ++governor_.stats().sessions_rejected_busy;
     ReSyncResponse busy;
     busy.busy = true;
@@ -455,10 +515,12 @@ void ReSyncMaster::set_incomplete_history(bool incomplete) {
   // spot, exactly as the governor does to an over-budget session. Persist
   // sessions are exempt — their history drains through the push sink, which
   // has no complete-enumeration channel.
-  for (auto& [id, session] : sessions_) {
-    if (session.mode != Mode::Poll || session.session->degraded()) continue;
-    session.session->degrade();
-    ++governor_.stats().sessions_degraded;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    for (auto& [id, session] : shard->sessions) {
+      if (session.mode != Mode::Poll || session.session->degraded()) continue;
+      session.session->degrade();
+      ++governor_.stats().sessions_degraded;
+    }
   }
 }
 
@@ -467,27 +529,30 @@ void ReSyncMaster::set_resource_limits(const ResourceLimits& limits) {
   master_->journal().set_retention(limits.journal_retention_records);
 }
 
-void ReSyncMaster::apply_change(Session& session,
+void ReSyncMaster::apply_change(Shard& shard, Session& session,
                                 const server::ChangeRecord& record,
                                 ldap::NormalizedValueCache* cache) {
   const std::vector<sync::ContentEvent> events =
       session.session->on_change(record, cache);
   if (events.empty()) return;
-  session.dirty = true;
-  mirror_events(session, events);
-  enforce_session_history(session);
+  if (!session.dirty) {
+    session.dirty = true;
+    shard.dirty.push_back(&session);
+  }
+  mirror_events(shard, session, events);
+  enforce_session_history(session, shard.delta);
 }
 
-void ReSyncMaster::mirror_events(Session& session,
+void ReSyncMaster::mirror_events(Shard& shard, Session& session,
                                  const std::vector<sync::ContentEvent>& events) {
   if (session.route == sync::ChangeRouter::kInvalidHandle) return;
   for (const sync::ContentEvent& event : events) {
     switch (event.transition) {
       case sync::Transition::Enter:
-        router_.note_enter(session.route, event.dn.norm_key());
+        shard.router.note_enter(session.route, event.dn.norm_key());
         break;
       case sync::Transition::Leave:
-        router_.note_leave(session.route, event.dn.norm_key());
+        shard.router.note_leave(session.route, event.dn.norm_key());
         break;
       case sync::Transition::Update:
         break;  // membership unchanged
@@ -495,7 +560,8 @@ void ReSyncMaster::mirror_events(Session& session,
   }
 }
 
-void ReSyncMaster::enforce_session_history(Session& session) {
+void ReSyncMaster::enforce_session_history(Session& session,
+                                           GovernorStats& stats) {
   // Persist sessions drain their history on every pump; only poll-session
   // histories accumulate, so only they are degraded. (The push sink also has
   // no complete-enumeration channel, so a degraded persist session could not
@@ -504,14 +570,14 @@ void ReSyncMaster::enforce_session_history(Session& session) {
   if (!governor_.over_session_history(session.session->history_units())) return;
   if (!session.session->degraded()) {
     session.session->degrade();
-    ++governor_.stats().sessions_degraded;
+    ++stats.sessions_degraded;
   }
   // degrade() dedups events into touched keys; if even those blow the
   // budget, collapse to ship-everything mode (zero history cost).
   if (governor_.over_session_history(session.session->history_units()) &&
       !session.session->history_collapsed()) {
     session.session->collapse_history();
-    ++governor_.stats().histories_collapsed;
+    ++stats.histories_collapsed;
   }
 }
 
@@ -519,13 +585,20 @@ void ReSyncMaster::enforce_global_history() {
   std::size_t total = history_units();
   if (!governor_.over_total_history(total)) return;
   std::vector<Session*> victims;
-  for (auto& [id, session] : sessions_) {
-    if (session.mode == Mode::Poll && session.session->history_units() > 0) {
-      victims.push_back(&session);
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    for (auto& [id, session] : shard->sessions) {
+      if (session.mode == Mode::Poll && session.session->history_units() > 0) {
+        victims.push_back(&session);
+      }
     }
   }
+  // Largest first; ties broken by session id so the victim order (and thus
+  // which sessions end up degraded) does not depend on the shard count.
   std::sort(victims.begin(), victims.end(), [](Session* a, Session* b) {
-    return a->session->history_units() > b->session->history_units();
+    const std::size_t ua = a->session->history_units();
+    const std::size_t ub = b->session->history_units();
+    if (ua != ub) return ua > ub;
+    return a->id < b->id;
   });
   for (Session* victim : victims) {
     if (!governor_.over_total_history(total)) break;
@@ -545,59 +618,92 @@ void ReSyncMaster::enforce_global_history() {
   }
 }
 
-void ReSyncMaster::rebase_sessions() {
-  for (auto& [id, session] : sessions_) {
+void ReSyncMaster::rebase_shard(Shard& shard) {
+  for (auto& [id, session] : shard.sessions) {
     const std::vector<sync::ContentEvent> events =
         session.session->rebase(master_->dit());
-    ++governor_.stats().compaction_rebases;
+    ++shard.delta.compaction_rebases;
     if (events.empty()) continue;
-    session.dirty = true;
-    mirror_events(session, events);
-    enforce_session_history(session);
+    if (!session.dirty) {
+      session.dirty = true;
+      shard.dirty.push_back(&session);
+    }
+    mirror_events(shard, session, events);
+    enforce_session_history(session, shard.delta);
   }
-  last_pumped_seq_ = master_->journal().last_seq();
 }
 
 void ReSyncMaster::pump() {
-  if (master_->journal().trimmed_up_to() > last_pumped_seq_) {
-    // Journal compaction dropped records we never replayed: the gap cannot
-    // be reconstructed from the log, so re-anchor every session on the
-    // current DIT. The synthesized diff events flow through the normal
-    // history/budget/router paths.
-    rebase_sessions();
-  } else {
-    const auto records = master_->journal().since(last_pumped_seq_);
+  const bool gap = master_->journal().trimmed_up_to() > last_pumped_seq_;
+  std::vector<const server::ChangeRecord*> records;
+  if (!gap) records = master_->journal().since(last_pumped_seq_);
+
+  // Parallel phase: every shard consumes the (shared, read-only) journal
+  // batch through its own router, cache and sessions — or, after a
+  // compaction gap, rebases its sessions from the DIT. No state outside the
+  // shard is written; governor counters accumulate in the shard delta.
+  run_on_shards([&](Shard& shard) {
+    if (gap) {
+      // Journal compaction dropped records we never replayed: the gap cannot
+      // be reconstructed from the log, so re-anchor every session on the
+      // current DIT. The synthesized diff events flow through the normal
+      // history/budget/router paths.
+      rebase_shard(shard);
+      return;
+    }
     std::vector<sync::ChangeRouter::Handle> candidates;
     for (const server::ChangeRecord* record : records) {
       if (change_routing_) {
         candidates.clear();
-        router_.route(*record, candidates, &cache_);
+        shard.router.route(*record, candidates, &shard.cache);
         for (const sync::ChangeRouter::Handle handle : candidates) {
-          apply_change(*by_handle_.at(handle), *record, &cache_);
+          apply_change(shard, *shard.by_handle.at(handle), *record,
+                       &shard.cache);
         }
       } else {
         // Exhaustive fan-out (benchmark baseline / equivalence oracle). The
         // router's holder mirror is still maintained by apply_change, so
         // routing can be switched back on afterwards.
-        for (auto& [id, session] : sessions_) {
-          apply_change(session, *record, nullptr);
+        for (auto& [id, session] : shard.sessions) {
+          apply_change(shard, session, *record, nullptr);
         }
       }
-      last_pumped_seq_ = record->seq;
     }
+  });
+  if (gap) {
+    last_pumped_seq_ = master_->journal().last_seq();
+  } else if (!records.empty()) {
+    last_pumped_seq_ = records.back()->seq;
   }
-  // Push accumulated updates on persist connections immediately. Only
-  // sessions some record actually touched can have anything to push.
-  for (auto& [id, session] : sessions_) {
-    if (!session.dirty) continue;
-    session.dirty = false;
-    if (session.mode != Mode::Persist || !session.session->initialized()) continue;
-    const sync::UpdateBatch batch = session.session->poll();
+
+  // Barrier: fold the parallel-phase governor counters.
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    governor_.stats().merge(shard->delta);
+    shard->delta = GovernorStats{};
+  }
+
+  // Serial phase. Push accumulated updates on persist connections
+  // immediately — only sessions some record actually touched are visited
+  // (the per-shard dirty lists: O(dirty), not O(sessions)). The global push
+  // order is sorted by session id, independent of the shard count.
+  std::vector<Session*> dirty;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    dirty.insert(dirty.end(), shard->dirty.begin(), shard->dirty.end());
+    shard->dirty.clear();
+  }
+  std::sort(dirty.begin(), dirty.end(),
+            [](Session* a, Session* b) { return a->id < b->id; });
+  for (Session* session : dirty) {
+    session->dirty = false;
+    if (session->mode != Mode::Persist || !session->session->initialized()) {
+      continue;
+    }
+    const sync::UpdateBatch batch = session->session->poll();
     if (batch.empty()) continue;
     const std::vector<EntryPdu> pdus = to_pdus(batch);
     account(pdus);
-    session.last_active = clock_.now();
-    if (sink_) sink_(session.current_cookie, pdus);
+    session->last_active = clock_.now();
+    if (sink_) sink_(session->current_cookie, pdus);
   }
   // Poll sessions kept accumulating: re-check the global budget.
   enforce_global_history();
@@ -618,63 +724,70 @@ void ReSyncMaster::tick(std::uint64_t delta) {
     }
   }
   // (v) Expire idle poll sessions past the admin time limit (or the
-  // governor's tighter slow-poller deadline). The expiry queue is ordered by
-  // last_active-at-insertion with lazy deletion: only the stalest sessions
-  // are examined, instead of scanning all of them.
-  while (!expiry_.empty()) {
-    const auto front = expiry_.begin();
-    if (clock_.now() - front->first <= limit) break;  // rest is fresher
-    const auto it = sessions_.find(front->second);
-    if (it == sessions_.end()) {
-      expiry_.erase(front);  // dropped since insertion
-      continue;
+  // governor's tighter slow-poller deadline). Each shard's expiry queue is
+  // ordered by last_active-at-insertion with lazy deletion: only the stalest
+  // sessions are examined, instead of scanning all of them.
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    while (!shard->expiry.empty()) {
+      const auto front = shard->expiry.begin();
+      if (clock_.now() - front->first <= limit) break;  // rest is fresher
+      const auto it = shard->sessions.find(front->second);
+      if (it == shard->sessions.end()) {
+        shard->expiry.erase(front);  // dropped since insertion
+        continue;
+      }
+      Session& session = it->second;
+      if (session.mode != Mode::Poll) {
+        // Persist sessions hold an open connection and are not expired here;
+        // requeue at the current time so they are revisited, not rescanned.
+        const std::string id = front->second;
+        shard->expiry.erase(front);
+        shard->expiry.emplace(clock_.now(), id);
+        continue;
+      }
+      if (session.last_active != front->first) {
+        // Touched since insertion: requeue at the true last-active time.
+        const std::uint64_t last_active = session.last_active;
+        const std::string id = front->second;
+        shard->expiry.erase(front);
+        shard->expiry.emplace(last_active, id);
+        continue;
+      }
+      const std::uint64_t deadline = governor_.limits().poll_deadline_ticks;
+      if (deadline != 0 && clock_.now() - front->first > deadline) {
+        ++governor_.stats().sessions_evicted;  // governor-caused, not admin
+      }
+      drop_session(*shard, it);
+      shard->expiry.erase(front);
     }
-    Session& session = it->second;
-    if (session.mode != Mode::Poll) {
-      // Persist sessions hold an open connection and are not expired here;
-      // requeue at the current time so they are revisited, not rescanned.
-      const std::string id = front->second;
-      expiry_.erase(front);
-      expiry_.emplace(clock_.now(), id);
-      continue;
-    }
-    if (session.last_active != front->first) {
-      // Touched since insertion: requeue at the true last-active time.
-      const std::uint64_t last_active = session.last_active;
-      const std::string id = front->second;
-      expiry_.erase(front);
-      expiry_.emplace(last_active, id);
-      continue;
-    }
-    const std::uint64_t deadline = governor_.limits().poll_deadline_ticks;
-    if (deadline != 0 && clock_.now() - front->first > deadline) {
-      ++governor_.stats().sessions_evicted;  // governor-caused, not admin
-    }
-    drop_session(it);
-    expiry_.erase(front);
   }
 }
 
-void ReSyncMaster::drop_session(std::map<std::string, Session>::iterator it) {
+void ReSyncMaster::drop_session(Shard& shard,
+                                std::map<std::string, Session>::iterator it) {
   Session& session = it->second;
   if (session.route != sync::ChangeRouter::kInvalidHandle) {
     for (const auto& [key, entry] : session.session->tracker().content()) {
-      router_.note_leave(session.route, key);
+      shard.router.note_leave(session.route, key);
     }
-    router_.remove_session(session.route);
-    by_handle_.erase(session.route);
+    shard.router.remove_session(session.route);
+    shard.by_handle.erase(session.route);
   }
-  sessions_.erase(it);
-  // Any expiry_ node for the session is discarded lazily by tick().
+  shard.sessions.erase(it);
+  // Any expiry node for the session is discarded lazily by tick().
 }
 
 void ReSyncMaster::reset() {
-  sessions_.clear();
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    shard->sessions.clear();
+    shard->router.clear();
+    shard->by_handle.clear();
+    shard->expiry.clear();
+    shard->cache.clear();
+    shard->dirty.clear();
+    shard->delta = GovernorStats{};
+  }
   pending_reconciles_.clear();
-  router_.clear();
-  by_handle_.clear();
-  expiry_.clear();
-  cache_.clear();
   // The restarted master resumes journal consumption at the tail: sessions
   // created after the restart take their baseline from initial() anyway.
   last_pumped_seq_ = master_->journal().last_seq();
@@ -682,52 +795,81 @@ void ReSyncMaster::reset() {
 
 void ReSyncMaster::set_legacy_eval(bool legacy) {
   legacy_eval_ = legacy;
-  for (auto& [id, session] : sessions_) {
-    session.session->set_legacy_eval(legacy);
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    for (auto& [id, session] : shard->sessions) {
+      session.session->set_legacy_eval(legacy);
+    }
   }
 }
 
 void ReSyncMaster::abandon(const std::string& cookie) {
-  const auto it = sessions_.find(parse_cookie(cookie).id);
-  if (it != sessions_.end()) drop_session(it);
+  Shard* shard = nullptr;
+  const auto it = find_session(parse_cookie(cookie).id, shard);
+  if (it != shard->sessions.end()) drop_session(*shard, it);
+}
+
+sync::ChangeRouter::Stats ReSyncMaster::routing_stats() const {
+  sync::ChangeRouter::Stats total;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    total.merge(shard->router.stats());
+  }
+  return total;
+}
+
+std::size_t ReSyncMaster::session_count() const noexcept {
+  std::size_t count = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    count += shard->sessions.size();
+  }
+  return count;
 }
 
 std::size_t ReSyncMaster::open_connections() const {
   std::size_t count = 0;
-  for (const auto& [cookie, session] : sessions_) {
-    if (session.mode == Mode::Persist) ++count;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    for (const auto& [cookie, session] : shard->sessions) {
+      if (session.mode == Mode::Persist) ++count;
+    }
   }
   return count;
 }
 
 std::size_t ReSyncMaster::history_size() const {
   std::size_t total = 0;
-  for (const auto& [cookie, session] : sessions_) {
-    total += session.session->pending_events();
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    for (const auto& [cookie, session] : shard->sessions) {
+      total += session.session->pending_events();
+    }
   }
   return total;
 }
 
 std::size_t ReSyncMaster::history_units() const {
   std::size_t total = 0;
-  for (const auto& [cookie, session] : sessions_) {
-    total += session.session->history_units();
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    for (const auto& [cookie, session] : shard->sessions) {
+      total += session.session->history_units();
+    }
   }
   return total;
 }
 
 std::size_t ReSyncMaster::replay_cache_bytes() const {
   std::size_t total = 0;
-  for (const auto& [cookie, session] : sessions_) {
-    total += session.replay_bytes;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    for (const auto& [cookie, session] : shard->sessions) {
+      total += session.replay_bytes;
+    }
   }
   return total;
 }
 
 std::size_t ReSyncMaster::degraded_sessions() const {
   std::size_t count = 0;
-  for (const auto& [cookie, session] : sessions_) {
-    if (session.session->degraded()) ++count;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    for (const auto& [cookie, session] : shard->sessions) {
+      if (session.session->degraded()) ++count;
+    }
   }
   return count;
 }

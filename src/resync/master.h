@@ -12,6 +12,7 @@
 #include "resync/endpoint.h"
 #include "resync/governor.h"
 #include "resync/protocol.h"
+#include "resync/pump_pool.h"
 #include "server/directory_server.h"
 #include "sync/change_router.h"
 #include "sync/query_session.h"
@@ -40,6 +41,16 @@ namespace fbdr::resync {
 /// cache without touching session history, so lossy transports can retry
 /// idempotently; an out-of-sequence poll is rejected. reset() models a
 /// master restart that loses all session state (§5.2).
+///
+/// Scaling (DESIGN.md §13): sessions are partitioned into N shards by a hash
+/// of the session id. Each shard owns its sessions, its own ChangeRouter
+/// indexes, normalized-value cache, expiry queue and dirty-session list —
+/// pump() routes the journal batch through every shard independently, so the
+/// shards can run on a thread pool without any cross-shard locking.
+/// Governor accounting from the parallel phase lands in per-shard counter
+/// deltas folded at the pump barrier. The default (shards=1, threads=0) is
+/// the bit-identical serial master; any shard/thread combination produces
+/// the same per-session behavior (see tests/resync_shard_equivalence_test).
 class ReSyncMaster : public ReSyncEndpoint {
  public:
   /// Sink receiving pushed notifications for persist-mode sessions.
@@ -68,6 +79,24 @@ class ReSyncMaster : public ReSyncEndpoint {
   const GovernorStats& governor_stats() const noexcept {
     return governor_.stats();
   }
+
+  /// Partitions sessions into `shards` hash partitions, each with its own
+  /// router indexes, caches, expiry queue and dirty list (DESIGN.md §13).
+  /// Must be called while no sessions are live (typically right after
+  /// construction or a reset()); throws std::logic_error otherwise — live
+  /// router registrations cannot be rehashed in place. shards=1 (the
+  /// default) is the exact serial master.
+  void set_pump_shards(std::size_t shards);
+  std::size_t pump_shards() const noexcept { return shards_.size(); }
+
+  /// Worker threads driving the shards through pump(). 0 (the default) runs
+  /// every shard inline on the caller — fully deterministic serial mode.
+  /// With t > 0 a persistent PumpPool of t threads processes shards
+  /// concurrently; each shard is still handled by exactly one thread per
+  /// pump, so shard-local state needs no locks. Takes effect on the next
+  /// pump().
+  void set_pump_threads(std::size_t threads);
+  std::size_t pump_threads() const noexcept { return pump_threads_; }
 
   /// Enables/disables reconciliation-based recovery (DESIGN.md §12). When
   /// disabled the master ignores reconcile offers entirely and answers plain
@@ -102,9 +131,10 @@ class ReSyncMaster : public ReSyncEndpoint {
   const std::string& url() const override { return master_->url(); }
 
   /// Feeds journal records appended since the last pump into the sessions
-  /// they can affect (per-record change routing instead of the former
-  /// per-record x per-session fan-out); persist sessions get their updates
-  /// pushed through the sink immediately.
+  /// they can affect. The journal batch is read once; every shard routes it
+  /// through its own indexes (in parallel when pump threads are configured),
+  /// then a serial phase pushes persist notifications in global session-id
+  /// order and re-checks the global history budget.
   void pump();
 
   /// Disables change routing: every record fans out to every session, as the
@@ -118,10 +148,10 @@ class ReSyncMaster : public ReSyncEndpoint {
   /// Applies to existing sessions and to ones created later.
   void set_legacy_eval(bool legacy);
 
-  /// Candidate-set statistics from the change router.
-  const sync::ChangeRouter::Stats& routing_stats() const noexcept {
-    return router_.stats();
-  }
+  /// Candidate-set statistics, folded across the shard routers. candidates
+  /// and exhaustive are globally meaningful sums; routed_changes counts
+  /// per-shard route invocations (shards x records).
+  sync::ChangeRouter::Stats routing_stats() const;
 
   /// Advances the logical clock and expires idle poll sessions.
   void tick(std::uint64_t delta = 1) override;
@@ -131,7 +161,8 @@ class ReSyncMaster : public ReSyncEndpoint {
 
   /// Models a master restart: every session (and its replay cache) is lost;
   /// outstanding cookies become unknown and replicas must recover with a
-  /// full reload. The clock and cumulative counters survive.
+  /// full reload. The clock, cumulative counters and the shard/thread
+  /// configuration survive.
   void reset() override;
 
   /// Client-initiated abandon of a persistent search.
@@ -141,7 +172,7 @@ class ReSyncMaster : public ReSyncEndpoint {
   /// consuming session history a second time.
   std::uint64_t replays_suppressed() const noexcept { return replays_; }
 
-  std::size_t session_count() const noexcept { return sessions_.size(); }
+  std::size_t session_count() const noexcept;
 
   /// Open persist connections — the scaling concern that motivates polling
   /// ("persistent search requires a TCP connection per replicated filter").
@@ -165,6 +196,8 @@ class ReSyncMaster : public ReSyncEndpoint {
   void reset_traffic() { traffic_.reset(); }
 
  private:
+  struct Shard;
+
   struct Session {
     std::unique_ptr<sync::QuerySession> session;
     Mode mode = Mode::Poll;
@@ -176,13 +209,42 @@ class ReSyncMaster : public ReSyncEndpoint {
     bool replay_stripped = false;  // bodies dropped: replays re-enumerate
     std::string current_cookie;    // most recently issued cookie
     sync::ChangeRouter::Handle route = sync::ChangeRouter::kInvalidHandle;
-    bool dirty = false;            // touched by the current pump
+    bool dirty = false;            // on the owning shard's dirty list
+    std::string id;                // session id ("rs-<n>")
+    Shard* shard = nullptr;        // owning shard (stable address)
     /// Continuation pages of a paged logical batch, drained by later polls
     /// before any new batch is computed.
     std::vector<EntryPdu> overflow;
     std::size_t overflow_pos = 0;
     bool overflow_enum = false;    // completeness flags of the paged batch
     bool overflow_reload = false;
+  };
+
+  /// One session-hash partition. Everything a pump worker touches while
+  /// processing the shard lives here (or in the session objects the shard
+  /// owns); the only shared inputs are immutable during pump — the journal
+  /// batch, entry snapshots, schema and interner. Governor counters
+  /// incremented on the parallel path accumulate in `delta` and are folded
+  /// into the global stats at the pump barrier.
+  struct Shard {
+    std::map<std::string, Session> sessions;
+    sync::ChangeRouter router;
+    ldap::NormalizedValueCache cache;
+    /// Router handle -> session (map nodes are pointer-stable).
+    std::unordered_map<sync::ChangeRouter::Handle, Session*> by_handle;
+    /// last_active at insertion -> session id, with lazy deletion: a node
+    /// whose session was touched or dropped since insertion is discarded or
+    /// re-inserted when it reaches the front, so tick() no longer scans
+    /// every session.
+    std::multimap<std::uint64_t, std::string> expiry;
+    /// Sessions some record touched during the current pump: the serial
+    /// push/clear phase walks exactly these instead of every session
+    /// (O(dirty), not O(sessions)).
+    std::vector<Session*> dirty;
+    /// Parallel-phase governor counters, folded at the pump barrier.
+    GovernorStats delta;
+
+    explicit Shard(const ldap::Schema& schema) : router(schema) {}
   };
 
   /// One in-flight reconciliation walk: round 1 answered with the divergent
@@ -214,22 +276,34 @@ class ReSyncMaster : public ReSyncEndpoint {
   static std::string make_cookie(const std::string& id, std::uint64_t seq);
 
   std::string new_session_id();
+  /// The shard owning session id `id` (stable FNV-1a hash partition).
+  Shard& shard_for(const std::string& id);
+  /// Locates a live session by id; iterator is end() of its shard's map
+  /// when unknown.
+  std::map<std::string, Session>::iterator find_session(const std::string& id,
+                                                        Shard*& shard);
+  /// Runs `fn` once per shard — inline when threads=0 or there is a single
+  /// shard, otherwise across the pump pool.
+  void run_on_shards(const std::function<void(Shard&)>& fn);
   void account(const std::vector<EntryPdu>& pdus);
   /// Feeds one record into one session and mirrors the resulting content
-  /// events into the router's holder index.
-  void apply_change(Session& session, const server::ChangeRecord& record,
+  /// events into the owning shard's holder index. Parallel-phase safe: all
+  /// mutated state is shard-local; governor counters go to `delta`.
+  void apply_change(Shard& shard, Session& session,
+                    const server::ChangeRecord& record,
                     ldap::NormalizedValueCache* cache);
-  /// Mirrors content events into the router's holder index.
-  void mirror_events(Session& session,
-                     const std::vector<sync::ContentEvent>& events);
+  /// Mirrors content events into the owning shard's holder index.
+  static void mirror_events(Shard& shard, Session& session,
+                            const std::vector<sync::ContentEvent>& events);
   /// Degrades (and if necessary collapses) an over-budget poll session.
-  void enforce_session_history(Session& session);
+  void enforce_session_history(Session& session, GovernorStats& stats);
   /// Degrades/collapses the largest poll sessions until the total history
-  /// fits the global budget.
+  /// fits the global budget. Victim order is deterministic across shard
+  /// counts: largest first, ties by session id.
   void enforce_global_history();
-  /// Rebases every session from the DIT after journal compaction left a gap
-  /// that cannot be replayed; advances last_pumped_seq_ to the journal tail.
-  void rebase_sessions();
+  /// Rebases one shard's sessions from the DIT after journal compaction left
+  /// a gap that cannot be replayed.
+  void rebase_shard(Shard& shard);
   /// Fills the response from freshly computed PDUs, spilling anything past
   /// the page size into the session's overflow queue (`more` set).
   void paginate(Session& session, std::vector<EntryPdu> pdus, bool full_reload,
@@ -239,12 +313,12 @@ class ReSyncMaster : public ReSyncEndpoint {
   /// Caches the response for replays, accounting (and if over budget
   /// stripping) its entry bodies.
   void cache_response(Session& session, const ReSyncResponse& response);
-  /// Unregisters the session from the router (releasing holder entries) and
-  /// erases it. Used by sync_end, abandon and expiry.
-  void drop_session(std::map<std::string, Session>::iterator it);
-  /// Installs an initialized QuerySession as a live session under `id`:
-  /// registers the router route, seeds the holder mirror from the tracked
-  /// content and queues the expiry node.
+  /// Unregisters the session from its shard's router (releasing holder
+  /// entries) and erases it. Used by sync_end, abandon and expiry.
+  void drop_session(Shard& shard, std::map<std::string, Session>::iterator it);
+  /// Installs an initialized QuerySession as a live session under `id` in
+  /// its hash shard: registers the router route, seeds the holder mirror
+  /// from the tracked content and queues the expiry node.
   Session& adopt_session(const std::string& id,
                          std::unique_ptr<sync::QuerySession> query_session,
                          Mode mode);
@@ -265,17 +339,11 @@ class ReSyncMaster : public ReSyncEndpoint {
                                     const ReSyncControl& control);
 
   server::DirectoryServer* master_;
-  std::map<std::string, Session> sessions_;
+  /// Session-hash partitions; unique_ptr keeps shard addresses stable for
+  /// Session::shard back-pointers. Always at least one shard.
+  std::vector<std::unique_ptr<Shard>> shards_;
   std::map<std::string, PendingReconcile> pending_reconciles_;
-  sync::ChangeRouter router_;
-  ldap::NormalizedValueCache cache_;
-  /// Router handle -> session (map nodes are pointer-stable).
-  std::unordered_map<sync::ChangeRouter::Handle, Session*> by_handle_;
-  /// last_active at insertion -> session id, with lazy deletion: a node whose
-  /// session was touched or dropped since insertion is discarded or
-  /// re-inserted when it reaches the front, so tick() no longer scans every
-  /// session.
-  std::multimap<std::uint64_t, std::string> expiry_;
+  std::unique_ptr<PumpPool> pool_;
   NotificationSink sink_;
   net::LogicalClock clock_;
   net::TrafficStats traffic_;
@@ -285,6 +353,7 @@ class ReSyncMaster : public ReSyncEndpoint {
   std::uint64_t cookie_counter_ = 0;
   std::uint64_t reconcile_counter_ = 0;
   std::uint64_t replays_ = 0;
+  std::size_t pump_threads_ = 0;
   bool reconcile_enabled_ = true;
   double reconcile_fallback_fraction_ = 0.5;
   bool incomplete_history_ = false;

@@ -1,0 +1,71 @@
+#include "resync/pump_pool.h"
+
+namespace fbdr::resync {
+
+PumpPool::PumpPool(std::size_t threads) {
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+PumpPool::~PumpPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void PumpPool::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    const std::size_t jobs = jobs_;
+    const std::function<void(std::size_t)>* job = job_;
+    lock.unlock();
+    for (;;) {
+      const std::size_t index = cursor_.fetch_add(1, std::memory_order_relaxed);
+      if (index >= jobs) break;
+      try {
+        (*job)(index);
+      } catch (...) {
+        const std::lock_guard<std::mutex> guard(mutex_);
+        if (!error_) error_ = std::current_exception();
+      }
+    }
+    lock.lock();
+    if (++finished_ == workers_.size()) done_cv_.notify_one();
+  }
+}
+
+void PumpPool::run(std::size_t jobs,
+                   const std::function<void(std::size_t)>& job) {
+  if (jobs == 0) return;
+  if (workers_.empty() || jobs == 1) {
+    for (std::size_t i = 0; i < jobs; ++i) job(i);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mutex_);
+  job_ = &job;
+  jobs_ = jobs;
+  cursor_.store(0, std::memory_order_relaxed);
+  finished_ = 0;
+  error_ = nullptr;
+  ++generation_;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [&] { return finished_ == workers_.size(); });
+  job_ = nullptr;
+  if (error_) {
+    std::exception_ptr error = error_;
+    error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace fbdr::resync

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fbdr::resync {
+
+/// A tiny persistent work crew for ReSyncMaster::pump(): run(jobs, job)
+/// executes job(0..jobs-1) across the pool's worker threads and blocks until
+/// every index completed (a full barrier). Indices are claimed through an
+/// atomic cursor, so any worker may process any shard, but each shard is
+/// processed exactly once per run — and by a single thread, which is what
+/// makes shard-local state (sessions, router, cache) safe without locks.
+///
+/// The pool exists because pump() is called at tick frequency: spawning
+/// threads per pump would dominate the work at small batch sizes. Workers
+/// park on a condition variable between runs.
+///
+/// run() must not be called concurrently with itself (the master's pump is
+/// serial with respect to the request path, which this mirrors). A job that
+/// throws does not take the pool down: the first exception is captured and
+/// rethrown from run() after the barrier.
+class PumpPool {
+ public:
+  explicit PumpPool(std::size_t threads);
+  ~PumpPool();
+
+  PumpPool(const PumpPool&) = delete;
+  PumpPool& operator=(const PumpPool&) = delete;
+
+  /// Runs job(i) for every i in [0, jobs) and waits for completion. With no
+  /// workers (threads == 0) or a single job, runs inline on the caller.
+  void run(std::size_t jobs, const std::function<void(std::size_t)>& job);
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  // wakes workers on a new generation
+  std::condition_variable done_cv_;  // wakes run() when all workers finished
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t jobs_ = 0;
+  std::uint64_t generation_ = 0;
+  std::size_t finished_ = 0;  // workers done with the current generation
+  std::atomic<std::size_t> cursor_{0};
+  std::exception_ptr error_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace fbdr::resync

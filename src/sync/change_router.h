@@ -44,6 +44,15 @@ namespace fbdr::sync {
 /// pins before being returned, so the candidate set is a superset of the
 /// affected set and routed evaluation is equivalent to exhaustive
 /// evaluation (see tests/routing_equivalence_test.cpp).
+///
+/// Concurrency: a router is confined to one shard (one pump worker at a
+/// time) — route() mutates the dedup generation stamps and the stats
+/// counters, so it is not const and not shareable. Because a session's
+/// candidacy for a record depends only on that session's own index entries,
+/// running one router per session shard emits exactly the candidates the
+/// global router would (ReSyncMaster shards on this property; DESIGN.md
+/// §13). The schema and interner the router reads are shared but append-only
+/// /immutable during pump.
 class ChangeRouter {
  public:
   using Handle = std::size_t;
@@ -88,6 +97,18 @@ class ChangeRouter {
     std::uint64_t candidates = 0;   // candidate sessions emitted in total
     std::uint64_t exhaustive = 0;   // what a full fan-out would have cost
     std::uint64_t fallback_candidates = 0;  // emitted via the fallback class
+
+    /// Folds another router's counters into this one. The sharded master
+    /// runs one router per shard and reports the fold: candidates/exhaustive
+    /// sum to the same totals a single global router would report, while
+    /// routed_changes counts per-shard route() invocations (shards x
+    /// records).
+    void merge(const Stats& other) noexcept {
+      routed_changes += other.routed_changes;
+      candidates += other.candidates;
+      exhaustive += other.exhaustive;
+      fallback_candidates += other.fallback_candidates;
+    }
   };
   const Stats& stats() const noexcept { return stats_; }
 

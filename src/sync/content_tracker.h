@@ -38,6 +38,14 @@ struct ContentEvent {
 /// A modify DN of an in-content entry that stays in content is reported as a
 /// Leave of the old DN plus an Enter of the new DN, exactly as the Figure 3
 /// session shows for E3 -> E5.
+///
+/// Concurrency contract (sharded pump, DESIGN.md §13): a tracker belongs to
+/// exactly one session and is only driven by the session's owning shard
+/// worker — on_change() mutates the tracked content and is never called
+/// concurrently on one tracker. Its shared inputs are safe by immutability:
+/// ChangeRecord snapshots, EntryPtr bodies, the Schema and the compiled
+/// filter are all read-only during a pump, and the optional
+/// NormalizedValueCache passed in is the shard's own.
 class ContentTracker {
  public:
   explicit ContentTracker(ldap::Query query,

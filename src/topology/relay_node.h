@@ -61,6 +61,13 @@ class RelayNode final : public resync::ReSyncEndpoint,
     /// successful walk journals the diff as ordinary changes, so descendant
     /// sessions ride through without an epoch bump — the savings cascade.
     bool reconcile = true;
+    /// Sharded-pump configuration for the downstream-facing master
+    /// (DESIGN.md §13): relays re-pump through the same machinery as the
+    /// root, so a fan-out-heavy relay can spread its downstream sessions
+    /// across pump_shards hash partitions driven by pump_threads workers.
+    /// The defaults (1, 0) are the exact serial master.
+    std::size_t pump_shards = 1;
+    std::size_t pump_threads = 0;
   };
 
   explicit RelayNode(Config config,
