@@ -31,7 +31,14 @@ int main() {
     resync::ReSyncMaster master(*dir.master);
     resync::NotificationRouter router;
     router.attach(master);
-    if (which == 1) master.set_incomplete_history(true);
+    if (which == 1) {
+      // Force the eq.(3) retain mode through the governor: a one-unit
+      // history budget degrades every poll session on each pump round
+      // (100 updates/round guarantee well over one event per session).
+      resync::ResourceLimits limits;
+      limits.max_session_history = 1;
+      master.set_resource_limits(limits);
+    }
 
     // Eight replicated filters, as a replica holding several blocks would.
     std::vector<std::unique_ptr<resync::ReSyncReplica>> replicas;

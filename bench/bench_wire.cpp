@@ -1,0 +1,427 @@
+// Wire codec bench: what the framed binary codec costs and measures against
+// the in-process DirectChannel across the four protocol shapes — the
+// initial full reload, steady-state polls, persist-mode pushes and a
+// reconcile recovery. The framed side reports *exact* frame bytes (headers
+// included) from FramedChannel::traffic(); the direct side reports the
+// master's approx_bytes() estimates, which is precisely the measurement gap
+// the codec closes. A codec microbench reports raw encode/decode ns per
+// response and throughput.
+//
+// --max-wire-overhead gates CI on the framed/direct wall-clock factor for
+// the poll loop (the steady-state path): the codec must stay a small
+// multiplier on an exchange, not a dominating cost. Both worlds must also
+// end bit-identically converged at every scenario, or the bench fails.
+//
+// Usage:
+//   bench_wire [--employees=N] [--rounds=N] [--updates-per-round=N]
+//              [--json=PATH] [--max-wire-overhead=F]
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common.h"
+#include "json_report.h"
+#include "net/framed_channel.h"
+#include "resync/replica_client.h"
+#include "sync/content_tracker.h"
+#include "wire/codec.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ns_since(Clock::time_point start) {
+  return static_cast<double>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                 Clock::now() - start)
+                                 .count());
+}
+
+struct Options {
+  std::size_t employees = 4000;
+  std::size_t rounds = 40;
+  std::size_t updates_per_round = 50;
+  std::string json_path = "BENCH_wire.json";
+  double max_wire_overhead = 0.0;
+};
+
+Options parse_options(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&](const char* prefix) -> const char* {
+      return arg.compare(0, std::strlen(prefix), prefix) == 0
+                 ? arg.c_str() + std::strlen(prefix)
+                 : nullptr;
+    };
+    if (const char* employees = value("--employees=")) {
+      options.employees = std::strtoull(employees, nullptr, 10);
+    } else if (const char* rounds = value("--rounds=")) {
+      options.rounds = std::strtoull(rounds, nullptr, 10);
+    } else if (const char* updates = value("--updates-per-round=")) {
+      options.updates_per_round = std::strtoull(updates, nullptr, 10);
+    } else if (const char* json = value("--json=")) {
+      options.json_path = json;
+    } else if (const char* overhead = value("--max-wire-overhead=")) {
+      options.max_wire_overhead = std::strtod(overhead, nullptr);
+    } else {
+      std::fprintf(stderr, "unknown argument %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+fbdr::workload::EnterpriseDirectory make_directory(std::size_t employees) {
+  fbdr::workload::DirectoryConfig config;
+  config.employees = employees;
+  config.countries = 2;
+  config.geo_countries = 1;
+  config.divisions = 4;
+  config.depts_per_division = 4;
+  config.locations = 4;
+  return fbdr::workload::generate_directory(config);
+}
+
+/// The replicated filter: all of division 0, a quarter of the directory.
+fbdr::ldap::Query division_query() {
+  return fbdr::ldap::Query::parse("", fbdr::ldap::Scope::Subtree,
+                                  "(serialnumber=00*)");
+}
+
+/// One scenario measured in one world. Framed runs report exact frame
+/// traffic; direct runs report the master's estimate (frames stay 0).
+struct Run {
+  std::uint64_t bytes = 0;
+  std::uint64_t frames = 0;
+  std::uint64_t entries = 0;
+  double wall_ns = 0.0;
+  std::size_t operations = 0;
+  bool converged = false;
+
+  double ns_per_op() const {
+    return operations > 0 ? wall_ns / static_cast<double>(operations) : 0.0;
+  }
+  double bytes_per_op() const {
+    return operations > 0
+               ? static_cast<double>(bytes) / static_cast<double>(operations)
+               : 0.0;
+  }
+};
+
+bool content_matches(const fbdr::resync::ReSyncReplica& replica,
+                     const fbdr::server::DirectoryServer& master,
+                     const fbdr::ldap::Query& query) {
+  fbdr::sync::ContentTracker truth(query);
+  truth.initialize(master.dit());
+  return replica.content().keys() == truth.content_keys();
+}
+
+/// full_reload + poll: one session started (the full reload), then `rounds`
+/// of update/pump/poll. `reload` and `poll` come back separately.
+void run_poll(const Options& options, bool framed, Run& reload, Run& poll) {
+  using namespace fbdr;
+  workload::EnterpriseDirectory dir = make_directory(options.employees);
+  resync::ReSyncMaster master(*dir.master);
+  const ldap::Query query = division_query();
+
+  net::FramedChannel framed_channel(master);
+  net::DirectChannel direct_channel(master);
+  net::Channel& channel =
+      framed ? static_cast<net::Channel&>(framed_channel) : direct_channel;
+  resync::ReSyncReplica replica(channel, query);
+
+  auto start = Clock::now();
+  replica.start(resync::Mode::Poll);
+  reload.wall_ns = ns_since(start);
+  reload.operations = 1;
+  reload.bytes = framed ? framed_channel.traffic().bytes : master.traffic().bytes;
+  reload.frames = framed_channel.traffic().frames;
+  reload.entries =
+      framed ? framed_channel.traffic().entries : master.traffic().entries;
+  reload.converged = content_matches(replica, *dir.master, query);
+
+  master.reset_traffic();
+  framed_channel.reset_traffic();
+  workload::UpdateGenerator updates(dir, {});
+  double poll_ns = 0.0;
+  for (std::size_t round = 0; round < options.rounds; ++round) {
+    updates.apply(options.updates_per_round);
+    master.pump();
+    start = Clock::now();
+    replica.poll();
+    poll_ns += ns_since(start);
+  }
+  poll.wall_ns = poll_ns;
+  poll.operations = options.rounds;
+  poll.bytes = framed ? framed_channel.traffic().bytes : master.traffic().bytes;
+  poll.frames = framed_channel.traffic().frames;
+  poll.entries =
+      framed ? framed_channel.traffic().entries : master.traffic().entries;
+  poll.converged = content_matches(replica, *dir.master, query);
+}
+
+/// persist: a subscribed session receiving pushes. The framed world encodes
+/// every push as a Response frame and decodes it on delivery — the exact
+/// bytes a framed persist connection carries.
+Run run_persist(const Options& options, bool framed) {
+  using namespace fbdr;
+  workload::EnterpriseDirectory dir = make_directory(options.employees);
+  resync::ReSyncMaster master(*dir.master);
+  const ldap::Query query = division_query();
+
+  net::FramedChannel framed_channel(master);
+  net::DirectChannel direct_channel(master);
+  net::Channel& channel =
+      framed ? static_cast<net::Channel&>(framed_channel) : direct_channel;
+  resync::ReSyncReplica replica(channel, query);
+  replica.start(resync::Mode::Persist);
+
+  Run run;
+  double push_ns = 0.0;
+  master.set_notification_sink([&](const std::string& cookie,
+                                   const std::vector<resync::EntryPdu>& pdus) {
+    if (cookie != replica.cookie()) return;
+    ++run.operations;
+    if (framed) {
+      resync::ReSyncResponse push;
+      push.pdus = pdus;
+      push.persistent = true;
+      const auto start = Clock::now();
+      const wire::Bytes frame =
+          wire::Codec::frame(wire::Codec::encode_response(push));
+      const resync::ReSyncResponse decoded =
+          wire::Codec::decode_response(wire::Codec::deframe(frame));
+      push_ns += ns_since(start);
+      run.bytes += frame.size();
+      ++run.frames;
+      run.entries += decoded.entries_sent();
+      replica.deliver(decoded.pdus);
+    } else {
+      const auto start = Clock::now();
+      replica.deliver(pdus);
+      push_ns += ns_since(start);
+    }
+  });
+
+  master.reset_traffic();
+  workload::UpdateGenerator updates(dir, {});
+  for (std::size_t round = 0; round < options.rounds; ++round) {
+    updates.apply(options.updates_per_round);
+    master.pump();
+  }
+  run.wall_ns = push_ns;
+  if (!framed) {
+    run.bytes = master.traffic().bytes;
+    run.entries = master.traffic().entries;
+  }
+  run.converged = content_matches(replica, *dir.master, query);
+  return run;
+}
+
+/// reconcile: the session expires while 1% of the content goes stale; the
+/// recovery runs the digest walk over the measured link.
+Run run_reconcile(const Options& options, bool framed) {
+  using namespace fbdr;
+  workload::EnterpriseDirectory dir = make_directory(options.employees);
+  resync::ReSyncMaster master(*dir.master);
+  master.set_session_time_limit(5);
+  const ldap::Query query = division_query();
+
+  net::FramedChannel framed_channel(master);
+  net::DirectChannel direct_channel(master);
+  net::Channel& channel =
+      framed ? static_cast<net::Channel&>(framed_channel) : direct_channel;
+  resync::ReSyncReplica replica(channel, query);
+  replica.set_auto_recover(true);
+  replica.start(resync::Mode::Poll);
+
+  const std::size_t changed =
+      std::max<std::size_t>(1, replica.content().size() / 100);
+  std::size_t staled = 0;
+  for (const workload::EmployeeInfo& employee : dir.employees) {
+    if (staled >= changed) break;
+    if (employee.serial.compare(0, 2, "00") != 0) continue;
+    dir.master->modify(employee.dn, {{server::Modification::Op::Replace,
+                                      "mail",
+                                      {"stale" + std::to_string(staled) +
+                                       "@xyz.com"}}});
+    ++staled;
+  }
+  master.tick(6);  // the cookie goes stale
+  master.reset_traffic();
+  framed_channel.reset_traffic();
+  const std::uint64_t overhead_before = replica.reconcile_overhead_bytes();
+
+  Run run;
+  const auto start = Clock::now();
+  replica.poll();  // recovery: the digest walk
+  run.wall_ns = ns_since(start);
+  run.operations = 1;
+  // Framed: the digests ride in request frames, already counted exactly.
+  // Direct: add the client's estimated digest upload to the master estimate.
+  run.bytes = framed ? framed_channel.traffic().bytes
+                     : master.traffic().bytes +
+                           (replica.reconcile_overhead_bytes() - overhead_before);
+  run.frames = framed_channel.traffic().frames;
+  run.entries =
+      framed ? framed_channel.traffic().entries : master.traffic().entries;
+  run.converged = replica.reconciles() > 0 &&
+                  content_matches(replica, *dir.master, query);
+  return run;
+}
+
+/// Raw codec speed, isolated from the protocol: encode/decode a response
+/// of `batch` mid-size entries, reporting ns per op and MB/s.
+struct CodecMicro {
+  double encode_ns = 0.0;
+  double decode_ns = 0.0;
+  std::size_t payload_bytes = 0;
+};
+
+CodecMicro run_codec_micro(std::size_t batch = 64, std::size_t reps = 400) {
+  using namespace fbdr;
+  resync::ReSyncResponse response;
+  response.cookie = "rs-1#42";
+  for (std::size_t i = 0; i < batch; ++i) {
+    resync::EntryPdu pdu;
+    pdu.action = resync::Action::Add;
+    pdu.dn = ldap::Dn::parse("cn=e" + std::to_string(i) + ",ou=d0,o=xyz");
+    auto entry = std::make_shared<ldap::Entry>(pdu.dn);
+    entry->set_values("objectclass", {"person", "organizationalPerson"});
+    entry->set_values("serialnumber", {"00" + std::to_string(1000 + i)});
+    entry->set_values("mail", {"e" + std::to_string(i) + "@xyz.com"});
+    entry->set_values("dept", {"d" + std::to_string(i % 16)});
+    pdu.entry = std::move(entry);
+    response.pdus.push_back(std::move(pdu));
+  }
+
+  CodecMicro micro;
+  wire::Bytes payload;
+  auto start = Clock::now();
+  for (std::size_t r = 0; r < reps; ++r) {
+    payload = wire::Codec::encode_response(response);
+  }
+  micro.encode_ns = ns_since(start) / static_cast<double>(reps);
+  micro.payload_bytes = payload.size();
+  start = Clock::now();
+  for (std::size_t r = 0; r < reps; ++r) {
+    const resync::ReSyncResponse decoded = wire::Codec::decode_response(payload);
+    if (decoded.pdus.size() != batch) std::abort();
+  }
+  micro.decode_ns = ns_since(start) / static_cast<double>(reps);
+  return micro;
+}
+
+void scenario_json(fbdr::bench::JsonValue& report, const char* name,
+                   const Run& framed, const Run& direct) {
+  fbdr::bench::JsonValue out = fbdr::bench::JsonValue::object();
+  out.set("framed_bytes", framed.bytes);
+  out.set("framed_bytes_per_op", framed.bytes_per_op());
+  out.set("framed_frames", framed.frames);
+  out.set("framed_ns_per_op", framed.ns_per_op());
+  out.set("direct_estimated_bytes", direct.bytes);
+  out.set("direct_estimated_bytes_per_op", direct.bytes_per_op());
+  out.set("direct_ns_per_op", direct.ns_per_op());
+  out.set("entries_shipped", framed.entries);
+  out.set("converged", fbdr::bench::JsonValue::boolean(framed.converged &&
+                                                       direct.converged));
+  report.set(name, std::move(out));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace fbdr;
+  const Options options = parse_options(argc, argv);
+
+  bench::print_banner("wire",
+                      "framed codec vs direct channel: exact bytes and "
+                      "wall-clock per exchange, by protocol shape");
+
+  Run framed_reload, framed_poll, direct_reload, direct_poll;
+  run_poll(options, /*framed=*/true, framed_reload, framed_poll);
+  run_poll(options, /*framed=*/false, direct_reload, direct_poll);
+  const Run framed_persist = run_persist(options, /*framed=*/true);
+  const Run direct_persist = run_persist(options, /*framed=*/false);
+  const Run framed_reconcile = run_reconcile(options, /*framed=*/true);
+  const Run direct_reconcile = run_reconcile(options, /*framed=*/false);
+  const CodecMicro micro = run_codec_micro();
+
+  const struct {
+    const char* name;
+    const Run* framed;
+    const Run* direct;
+  } scenarios[] = {{"full_reload", &framed_reload, &direct_reload},
+                   {"poll", &framed_poll, &direct_poll},
+                   {"persist", &framed_persist, &direct_persist},
+                   {"reconcile", &framed_reconcile, &direct_reconcile}};
+
+  bool all_converged = true;
+  for (const auto& scenario : scenarios) {
+    all_converged = all_converged && scenario.framed->converged &&
+                    scenario.direct->converged;
+    bench::print_row(std::string(scenario.name) + "_framed_bytes_per_op", 0,
+                     scenario.framed->bytes_per_op());
+    bench::print_row(std::string(scenario.name) + "_direct_est_bytes_per_op", 0,
+                     scenario.direct->bytes_per_op());
+    bench::print_row(std::string(scenario.name) + "_framed_ns_per_op", 0,
+                     scenario.framed->ns_per_op());
+    bench::print_row(std::string(scenario.name) + "_direct_ns_per_op", 0,
+                     scenario.direct->ns_per_op());
+  }
+  bench::print_row("codec_encode_ns", 0, micro.encode_ns);
+  bench::print_row("codec_decode_ns", 0, micro.decode_ns);
+
+  const double overhead_factor =
+      direct_poll.ns_per_op() > 0.0
+          ? framed_poll.ns_per_op() / direct_poll.ns_per_op()
+          : 0.0;
+  const double micro_mb_per_s =
+      micro.encode_ns + micro.decode_ns > 0.0
+          ? static_cast<double>(micro.payload_bytes) * 1000.0 /
+                (micro.encode_ns + micro.decode_ns)
+          : 0.0;
+
+  bench::JsonValue report = bench::JsonValue::object();
+  report.set("bench", "wire");
+  report.set("employees", static_cast<std::uint64_t>(options.employees));
+  report.set("rounds", static_cast<std::uint64_t>(options.rounds));
+  report.set("updates_per_round",
+             static_cast<std::uint64_t>(options.updates_per_round));
+  for (const auto& scenario : scenarios) {
+    scenario_json(report, scenario.name, *scenario.framed, *scenario.direct);
+  }
+  bench::JsonValue codec = bench::JsonValue::object();
+  codec.set("payload_bytes", static_cast<std::uint64_t>(micro.payload_bytes));
+  codec.set("encode_ns_per_response", micro.encode_ns);
+  codec.set("decode_ns_per_response", micro.decode_ns);
+  codec.set("roundtrip_mb_per_s", micro_mb_per_s);
+  report.set("codec_micro", std::move(codec));
+  report.set("poll_overhead_factor", overhead_factor);
+  report.set("all_converged", bench::JsonValue::boolean(all_converged));
+  bench::write_json_report(options.json_path, report);
+
+  std::printf("# poll overhead: framed %.0f ns/poll vs direct %.0f ns/poll "
+              "(%.2fx); codec %.1f MB/s roundtrip\n",
+              framed_poll.ns_per_op(), direct_poll.ns_per_op(),
+              overhead_factor, micro_mb_per_s);
+
+  if (!all_converged) {
+    std::fprintf(stderr, "FAIL: a scenario left framed and direct replicas "
+                         "diverged\n");
+    return 1;
+  }
+  if (options.max_wire_overhead > 0.0 &&
+      overhead_factor > options.max_wire_overhead) {
+    std::fprintf(stderr,
+                 "FAIL: framed poll overhead %.2fx exceeds the allowed "
+                 "%.2fx\n",
+                 overhead_factor, options.max_wire_overhead);
+    return 1;
+  }
+  return 0;
+}

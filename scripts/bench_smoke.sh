@@ -19,6 +19,10 @@
 #   bench_reconcile        a recovery at 1% staleness must ship at least
 #                          --min-reconcile-savings (default 4.0) times fewer
 #                          bytes through the digest walk than a full reload
+#   bench_wire             the framed wire codec must keep its wall-clock
+#                          cost per poll within --max-wire-overhead (default
+#                          4.0) times the in-process DirectChannel, with
+#                          framed and direct replicas bit-identical
 #
 # Small sizes keep it CI-fast; the full-size runs (the benches' defaults)
 # are for EXPERIMENTS.md numbers.
@@ -27,6 +31,7 @@
 #                               [--min-overload-factor=F]
 #                               [--min-reconcile-savings=F]
 #                               [--min-parallel-speedup=F]
+#                               [--max-wire-overhead=F]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -35,6 +40,7 @@ MIN_FACTOR=2.0
 MIN_OVERLOAD_FACTOR=4.0
 MIN_RECONCILE_SAVINGS=4.0
 MIN_PARALLEL_SPEEDUP=2.0
+MAX_WIRE_OVERHEAD=4.0
 for arg in "$@"; do
   case "$arg" in
     --min-speedup=*) MIN_SPEEDUP="${arg#--min-speedup=}" ;;
@@ -42,13 +48,15 @@ for arg in "$@"; do
     --min-overload-factor=*) MIN_OVERLOAD_FACTOR="${arg#--min-overload-factor=}" ;;
     --min-reconcile-savings=*) MIN_RECONCILE_SAVINGS="${arg#--min-reconcile-savings=}" ;;
     --min-parallel-speedup=*) MIN_PARALLEL_SPEEDUP="${arg#--min-parallel-speedup=}" ;;
+    --max-wire-overhead=*) MAX_WIRE_OVERHEAD="${arg#--max-wire-overhead=}" ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
 
 cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-bench -j"$(nproc)" --target bench_master_scaling \
-      bench_topology_fanout bench_overload bench_reconcile >/dev/null
+      bench_topology_fanout bench_overload bench_reconcile \
+      bench_wire >/dev/null
 
 ./build-bench/bench/bench_master_scaling \
   --employees=2000 --updates=1000 --sessions=1000,10000 \
@@ -71,5 +79,10 @@ cmake --build build-bench -j"$(nproc)" --target bench_master_scaling \
   --employees=2000 \
   --json=build-bench/BENCH_reconcile.json \
   --min-savings="$MIN_RECONCILE_SAVINGS"
+
+./build-bench/bench/bench_wire \
+  --employees=2000 --rounds=30 \
+  --json=build-bench/BENCH_wire.json \
+  --max-wire-overhead="$MAX_WIRE_OVERHEAD"
 
 echo "bench smoke: OK (reports at build-bench/BENCH_*.json)"

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "net/channel.h"
+#include "net/framed_channel.h"
 
 namespace fbdr::net {
 
@@ -30,6 +31,14 @@ struct FaultConfig {
   /// budgets exist to survive.
   double outage = 0.0;
   std::uint64_t max_outage_ticks = 4;
+  /// Byte-level faults, meaningful only on framed links (FaultyPipe): a
+  /// random bit of the encoded frame is flipped / the frame is chopped at a
+  /// random offset. The codec's frame checksum and length prefix turn both
+  /// into CodecError → TransportError, so they heal through the same
+  /// retry/replay machinery as a dropped message. Each probability is drawn
+  /// independently for the request and the response frame.
+  double corrupt = 0.0;
+  double truncate = 0.0;
 };
 
 /// What the injector actually did — for asserting that a chaos schedule
@@ -44,10 +53,13 @@ struct FaultCounters {
   std::uint64_t resets = 0;
   std::uint64_t rejected_while_down = 0;
   std::uint64_t outages = 0;  // exchanges refused inside outage windows
+  std::uint64_t corrupted = 0;  // frames with a flipped bit (framed links)
+  std::uint64_t truncated = 0;  // frames chopped short (framed links)
 
   std::uint64_t faults() const {
     return dropped_requests + dropped_responses + duplicated + replayed +
-           delayed + resets + rejected_while_down + outages;
+           delayed + resets + rejected_while_down + outages + corrupted +
+           truncated;
   }
 };
 
@@ -98,6 +110,52 @@ class FaultyChannel final : public Channel {
   bool down_ = false;
   std::uint64_t local_now_ = 0;     // elapse() + one per exchange
   std::uint64_t outage_until_ = 0;  // local tick the current outage ends
+};
+
+/// FaultyChannel's framed twin: the same deterministic drop/dup/reorder/
+/// reset/delay/outage schedule, but operating on encoded frames flowing to
+/// an EndpointPipe — plus the two faults that only exist once there are
+/// bytes to damage: bit corruption and truncation. A damaged frame fails
+/// the codec's checksum/length validation at the receiving end, surfacing
+/// as CodecError → TransportError, and heals through the ordinary retry and
+/// replay-cookie machinery.
+///
+/// Duplication stores the encoded request frame and re-delivers it later
+/// (possibly reordered ahead of a newer request), byte-identically — the
+/// framed analogue of a packet living on in the network.
+class FaultyPipe final : public BytePipe {
+ public:
+  FaultyPipe(resync::ReSyncEndpoint& endpoint, FaultConfig config);
+
+  wire::Bytes transfer(const wire::Bytes& frame) override;
+  void send(const wire::Bytes& frame) override;
+  void elapse(std::uint64_t ticks) override;
+
+  /// Crash/restart hooks, mirroring FaultyChannel.
+  void crash_master();
+  void restart_master();
+  bool master_down() const noexcept { return down_; }
+
+  void set_config(const FaultConfig& config) { config_ = config; }
+  void flush_replays();
+
+  const FaultCounters& counters() const noexcept { return counters_; }
+
+ private:
+  bool chance(double probability);
+  void deliver_one_replay();
+  /// Applies corrupt/truncate draws to a copy of `frame`; counts what it did.
+  wire::Bytes damage(wire::Bytes frame);
+
+  EndpointPipe inner_;
+  resync::ReSyncEndpoint* endpoint_;
+  FaultConfig config_;
+  std::mt19937_64 rng_;
+  std::deque<wire::Bytes> in_flight_;  // duplicated request frames
+  FaultCounters counters_;
+  bool down_ = false;
+  std::uint64_t local_now_ = 0;
+  std::uint64_t outage_until_ = 0;
 };
 
 }  // namespace fbdr::net

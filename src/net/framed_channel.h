@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/channel.h"
+#include "net/stats.h"
+#include "wire/codec.h"
+
+namespace fbdr::resync {
+class ReSyncEndpoint;
+}
+
+namespace fbdr::net {
+
+/// The byte-level link under a FramedChannel: opaque frames in, opaque
+/// frames out. This is the seam the later epoll/socket runtime will
+/// implement; today's implementations terminate at an in-process endpoint
+/// (EndpointPipe) or wrap one in a deterministic frame-level fault injector
+/// (FaultyPipe). Pipes never interpret protocol semantics beyond decoding —
+/// retry, replay and recovery all stay above the seam.
+class BytePipe {
+ public:
+  virtual ~BytePipe() = default;
+
+  /// Carries one request frame and returns the response frame. Throws
+  /// TransportError when the frame (or its response) is lost, rejected or
+  /// undecodable server-side.
+  virtual wire::Bytes transfer(const wire::Bytes& frame) = 0;
+
+  /// One-way frame (abandon); best effort, no response.
+  virtual void send(const wire::Bytes& frame) = 0;
+
+  /// Logical time passing on the link (client backoff).
+  virtual void elapse(std::uint64_t ticks) = 0;
+};
+
+/// The server end of a framed link, terminating at an in-process
+/// ReSyncEndpoint: deframe + decode the request (a garbled frame is dropped
+/// by the server, surfacing client-side as TransportError), dispatch it,
+/// and encode the answer. Protocol rejections (stale cookie, busy,
+/// operation/protocol errors) cross back as typed error frames so the
+/// client rethrows exactly what a direct link would have thrown.
+class EndpointPipe final : public BytePipe {
+ public:
+  explicit EndpointPipe(resync::ReSyncEndpoint& endpoint)
+      : endpoint_(&endpoint) {}
+
+  wire::Bytes transfer(const wire::Bytes& frame) override;
+  void send(const wire::Bytes& frame) override;
+  void elapse(std::uint64_t ticks) override;
+
+  resync::ReSyncEndpoint& endpoint() noexcept { return *endpoint_; }
+
+ private:
+  resync::ReSyncEndpoint* endpoint_;
+};
+
+/// Channel implementation that routes every exchange through the wire codec
+/// and a BytePipe: the protocol structs exist only at the two ends, and
+/// everything between them is bytes. Traffic accounting is exact — frame
+/// sizes as encoded, not approx_bytes() estimates.
+class FramedChannel final : public Channel {
+ public:
+  explicit FramedChannel(std::shared_ptr<BytePipe> pipe)
+      : pipe_(std::move(pipe)) {}
+
+  /// Convenience: a fault-free framed link straight to an endpoint (the
+  /// framed counterpart of DirectChannel).
+  explicit FramedChannel(resync::ReSyncEndpoint& endpoint)
+      : pipe_(std::make_shared<EndpointPipe>(endpoint)) {}
+
+  resync::ReSyncResponse exchange(const ldap::Query& query,
+                                  const resync::ReSyncControl& control) override;
+  void abandon(const std::string& cookie) override;
+  void elapse(std::uint64_t ticks) override;
+
+  /// Exact frame-level traffic: bytes are encoded frame sizes (headers
+  /// included), pdus/entries/dns/referrals counted from decoded responses.
+  const TrafficStats& traffic() const noexcept { return traffic_; }
+  void reset_traffic() { traffic_.reset(); }
+
+  BytePipe& pipe() noexcept { return *pipe_; }
+
+ private:
+  std::shared_ptr<BytePipe> pipe_;
+  TrafficStats traffic_;
+};
+
+}  // namespace fbdr::net

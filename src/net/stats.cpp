@@ -7,7 +7,8 @@ std::string TrafficStats::to_string() const {
          " pdus=" + std::to_string(pdus) + " entries=" + std::to_string(entries) +
          " dns_only=" + std::to_string(dns_only) +
          " referrals=" + std::to_string(referrals) +
-         " bytes=" + std::to_string(bytes);
+         " bytes=" + std::to_string(bytes) +
+         " frames=" + std::to_string(frames);
 }
 
 std::size_t HealthStats::degraded_count() const {

@@ -16,9 +16,36 @@ struct TrafficStats {
   std::uint64_t entries = 0;        // full entries transferred
   std::uint64_t dns_only = 0;       // delete/retain PDUs carrying only a DN
   std::uint64_t referrals = 0;      // referral PDUs
-  std::uint64_t bytes = 0;          // approximate wire bytes
+  /// Wire bytes. Direct links add approx_bytes() estimates via count_*;
+  /// framed links add exact encoded frame sizes via count_frame.
+  std::uint64_t bytes = 0;
+  std::uint64_t frames = 0;         // encoded frames carried (framed links)
 
   void count_round_trip() { ++round_trips; }
+
+  /// One encoded frame of `frame_bytes` bytes crossed the link (header
+  /// included) — the exact accounting of framed transports.
+  void count_frame(std::size_t frame_bytes) {
+    ++frames;
+    bytes += frame_bytes;
+  }
+
+  // PDU tallies without byte estimates, for framed links whose bytes are
+  // already counted exactly at the frame level.
+  void note_entry() {
+    ++pdus;
+    ++entries;
+  }
+
+  void note_dn() {
+    ++pdus;
+    ++dns_only;
+  }
+
+  void note_referral() {
+    ++pdus;
+    ++referrals;
+  }
 
   void count_entry(std::size_t entry_bytes) {
     ++pdus;
@@ -45,6 +72,7 @@ struct TrafficStats {
     dns_only += other.dns_only;
     referrals += other.referrals;
     bytes += other.bytes;
+    frames += other.frames;
     return *this;
   }
 

@@ -223,10 +223,9 @@ ReSyncResponse ReSyncMaster::handle(const ldap::Query& query,
       // computing anything new.
       serve_overflow(*session, response);
     } else {
-      const sync::UpdateBatch batch =
-          (incomplete_history_ || session->session->degraded())
-              ? session->session->poll_with_retains()
-              : session->session->poll();
+      const sync::UpdateBatch batch = session->session->degraded()
+                                          ? session->session->poll_with_retains()
+                                          : session->session->poll();
       paginate(*session, to_pdus(batch), /*full_reload=*/false,
                batch.complete_enumeration, response);
     }
@@ -505,22 +504,6 @@ void ReSyncMaster::cache_response(Session& session,
     session.replay_bytes = 0;
     session.replay_stripped = true;
     ++governor_.stats().replay_caches_stripped;
-  }
-}
-
-void ReSyncMaster::set_incomplete_history(bool incomplete) {
-  incomplete_history_ = incomplete;
-  if (!incomplete) return;
-  // Shim semantics: drop every current poll session's event history on the
-  // spot, exactly as the governor does to an over-budget session. Persist
-  // sessions are exempt — their history drains through the push sink, which
-  // has no complete-enumeration channel.
-  for (const std::unique_ptr<Shard>& shard : shards_) {
-    for (auto& [id, session] : shard->sessions) {
-      if (session.mode != Mode::Poll || session.session->degraded()) continue;
-      session.session->degrade();
-      ++governor_.stats().sessions_degraded;
-    }
   }
 }
 

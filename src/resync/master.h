@@ -59,14 +59,6 @@ class ReSyncMaster : public ReSyncEndpoint {
 
   explicit ReSyncMaster(server::DirectoryServer& master);
 
-  /// DEPRECATED: prefer set_resource_limits() — the ResourceGovernor
-  /// degrades individual over-budget sessions to equation (3) instead of
-  /// flipping every poll globally. Kept as a thin shim: `true` force-
-  /// degrades all current poll sessions (dropping their event history) and
-  /// keeps answering later polls with retain-based enumerations until reset
-  /// to `false`.
-  void set_incomplete_history(bool incomplete);
-
   /// Installs the resource budgets (see ResourceLimits; all-zero = the
   /// ungoverned default). The journal retention horizon is applied to the
   /// served directory's change journal immediately.
@@ -356,7 +348,6 @@ class ReSyncMaster : public ReSyncEndpoint {
   std::size_t pump_threads_ = 0;
   bool reconcile_enabled_ = true;
   double reconcile_fallback_fraction_ = 0.5;
-  bool incomplete_history_ = false;
   bool change_routing_ = true;
   bool legacy_eval_ = false;
 };

@@ -68,6 +68,11 @@ class RelayNode final : public resync::ReSyncEndpoint,
     /// The defaults (1, 0) are the exact serial master.
     std::size_t pump_shards = 1;
     std::size_t pump_threads = 0;
+    /// Whether this node's upstream link runs over the framed wire codec
+    /// (net::FramedChannel) instead of in-process struct passing. Recorded
+    /// by the TopologyRuntime when it wires the link; the relay's own
+    /// protocol behaviour is identical either way.
+    bool framed = false;
   };
 
   explicit RelayNode(Config config,
@@ -145,6 +150,9 @@ class RelayNode final : public resync::ReSyncEndpoint,
   std::uint64_t failed_streak() const noexcept { return failed_streak_; }
 
   std::uint64_t epoch() const noexcept { return epoch_; }
+
+  /// True when the upstream link was wired over the framed wire codec.
+  bool framed_upstream() const noexcept { return config_.framed; }
 
   /// Root-master logical time this relay's content reflects (the minimum
   /// across its sessions; the staleness lag is root-now minus this).

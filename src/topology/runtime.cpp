@@ -76,10 +76,28 @@ resync::ReSyncEndpoint* TopologyRuntime::endpoint_at(const std::string& url) {
 }
 
 std::shared_ptr<net::Channel> TopologyRuntime::make_channel(
-    resync::ReSyncEndpoint& endpoint, const std::string& node_name) {
+    resync::ReSyncEndpoint& endpoint, const std::string& node_name,
+    bool framed) {
   ++link_counter_;
+  fault_channels_.erase(node_name);
+  fault_pipes_.erase(node_name);
+  framed_links_.erase(node_name);
+  if (framed) {
+    std::shared_ptr<net::FramedChannel> channel;
+    if (options_.faults.has_value()) {
+      net::FaultConfig config = *options_.faults;
+      // Distinct deterministic stream per link, as on faulty direct links.
+      config.seed = config.seed + 0x9e3779b9ull * link_counter_;
+      auto pipe = std::make_shared<net::FaultyPipe>(endpoint, config);
+      fault_pipes_[node_name] = pipe.get();
+      channel = std::make_shared<net::FramedChannel>(std::move(pipe));
+    } else {
+      channel = std::make_shared<net::FramedChannel>(endpoint);
+    }
+    framed_links_[node_name] = channel.get();
+    return channel;
+  }
   if (!options_.faults.has_value()) {
-    fault_channels_.erase(node_name);
     return std::make_shared<net::DirectChannel>(endpoint);
   }
   net::FaultConfig config = *options_.faults;
@@ -92,10 +110,12 @@ std::shared_ptr<net::Channel> TopologyRuntime::make_channel(
 
 RelayNode& TopologyRuntime::add_node(const std::string& name,
                                      const std::string& parent,
-                                     const std::vector<ldap::Query>& filters) {
+                                     const std::vector<ldap::Query>& filters,
+                                     std::optional<bool> framed) {
   if (has_node(name)) {
     throw std::invalid_argument("duplicate topology node '" + name + "'");
   }
+  const bool framed_link = framed.value_or(options_.framed);
   resync::ReSyncEndpoint* upstream = &root_endpoint_;
   std::string parent_url = root_->url();
   if (!parent.empty()) {
@@ -112,13 +132,15 @@ RelayNode& TopologyRuntime::add_node(const std::string& name,
   config.retry = options_.retry;
   config.session_time_limit = options_.session_time_limit;
   config.downstream_limits = options_.relay_limits;
+  config.framed = framed_link;
 
   auto node = std::make_unique<Node>();
   node->name = name;
   node->parent = parent;
+  node->framed = framed_link;
   node->relay = std::make_unique<RelayNode>(std::move(config), root_->schema());
   for (const ldap::Query& query : filters) node->relay->add_filter(query);
-  node->relay->connect(make_channel(*upstream, name), parent_url);
+  node->relay->connect(make_channel(*upstream, name, framed_link), parent_url);
   nodes_.push_back(std::move(node));
   return *nodes_.back()->relay;
 }
@@ -137,7 +159,7 @@ void TopologyRuntime::rewire_to(Node& node, const std::string& url) {
       }
     }
   }
-  node.relay->rewire(make_channel(*endpoint, node.name),
+  node.relay->rewire(make_channel(*endpoint, node.name, node.framed),
                      new_parent.empty() ? root_->url()
                                         : find_node(new_parent).relay->url());
   node.parent = new_parent;
@@ -225,6 +247,16 @@ void TopologyRuntime::restart_node(const std::string& name) {
 net::FaultyChannel* TopologyRuntime::fault_channel(const std::string& name) {
   const auto it = fault_channels_.find(name);
   return it == fault_channels_.end() ? nullptr : it->second;
+}
+
+net::FaultyPipe* TopologyRuntime::fault_pipe(const std::string& name) {
+  const auto it = fault_pipes_.find(name);
+  return it == fault_pipes_.end() ? nullptr : it->second;
+}
+
+net::FramedChannel* TopologyRuntime::framed_link(const std::string& name) {
+  const auto it = framed_links_.find(name);
+  return it == framed_links_.end() ? nullptr : it->second;
 }
 
 std::vector<NodeHealth> TopologyRuntime::health() const {

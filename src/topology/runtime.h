@@ -9,6 +9,7 @@
 
 #include "net/channel.h"
 #include "net/fault_injector.h"
+#include "net/framed_channel.h"
 #include "resync/master.h"
 #include "server/directory_server.h"
 #include "server/distributed.h"
@@ -83,6 +84,11 @@ class TopologyRuntime {
     /// When set, every link is a FaultyChannel seeded from this config
     /// (seed + link index), so one schedule replays deterministically.
     std::optional<net::FaultConfig> faults;
+    /// Default for per-link framing: when true, upstream links run over the
+    /// wire codec (FramedChannel over EndpointPipe, or over FaultyPipe when
+    /// `faults` is set — which additionally enables the byte-level
+    /// corrupt/truncate faults). Overridable per node in add_node().
+    bool framed = false;
   };
 
   TopologyRuntime(std::shared_ptr<server::DirectoryServer> root,
@@ -91,8 +97,11 @@ class TopologyRuntime {
   /// Adds a node named `name` under `parent` ("" = the root master) with
   /// the given replicated filter set. Parents must be added before their
   /// children. Content is not fetched until install() or the first tick().
+  /// `framed` overrides Options::framed for this node's upstream link, so
+  /// trees can mix framed and direct hops.
   RelayNode& add_node(const std::string& name, const std::string& parent,
-                      const std::vector<ldap::Query>& filters);
+                      const std::vector<ldap::Query>& filters,
+                      std::optional<bool> framed = std::nullopt);
 
   /// Opens every node's upstream sessions top-down, chasing referrals
   /// (nodes whose parent does not admit them are re-wired up the ancestor
@@ -111,8 +120,17 @@ class TopologyRuntime {
   void restart_node(const std::string& name);
 
   /// The FaultyChannel carrying `name`'s upstream link; null under
-  /// DirectChannel wiring. Reconfigure it to shape per-link fault phases.
+  /// DirectChannel or framed wiring. Reconfigure it to shape per-link
+  /// fault phases.
   net::FaultyChannel* fault_channel(const std::string& name);
+
+  /// The FaultyPipe under `name`'s framed upstream link; null unless the
+  /// link is framed AND Options::faults is set.
+  net::FaultyPipe* fault_pipe(const std::string& name);
+
+  /// The FramedChannel carrying `name`'s upstream link (exact per-link
+  /// traffic accounting); null on non-framed links.
+  net::FramedChannel* framed_link(const std::string& name);
 
   // --- introspection ---
 
@@ -139,6 +157,7 @@ class TopologyRuntime {
   struct Node {
     std::string name;
     std::string parent;  // "" = root
+    bool framed = false;  // upstream link runs over the wire codec
     std::unique_ptr<RelayNode> relay;
   };
 
@@ -149,9 +168,11 @@ class TopologyRuntime {
   /// The ReSync endpoint serving `url`: the root master or a node.
   resync::ReSyncEndpoint* endpoint_at(const std::string& url);
 
-  /// A fresh channel to `endpoint` (faulty when Options::faults is set).
+  /// A fresh channel to `endpoint` (faulty when Options::faults is set,
+  /// framed when the node's link is framed).
   std::shared_ptr<net::Channel> make_channel(resync::ReSyncEndpoint& endpoint,
-                                             const std::string& node_name);
+                                             const std::string& node_name,
+                                             bool framed);
 
   /// Re-wires `node` to the endpoint at `url` (referral chase target or
   /// grandparent). Falls back to the root when the URL is unknown.
@@ -168,6 +189,8 @@ class TopologyRuntime {
   resync::ReSyncMaster root_endpoint_;
   std::vector<std::unique_ptr<Node>> nodes_;  // insertion order
   std::map<std::string, net::FaultyChannel*> fault_channels_;
+  std::map<std::string, net::FaultyPipe*> fault_pipes_;
+  std::map<std::string, net::FramedChannel*> framed_links_;
   std::uint64_t link_counter_ = 0;
 };
 

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ldap/query.h"
+#include "resync/protocol.h"
+
+namespace fbdr::wire {
+
+/// A frame or payload could not be decoded: truncated input, a checksum
+/// mismatch, a length field pointing past the buffer, an out-of-range enum.
+/// Every decoder entry point throws exactly this (never crashes, never
+/// allocates unbounded memory): the transport layer maps it to
+/// net::TransportError, so a garbled frame heals through the same
+/// retry/replay-cookie machinery as a dropped one.
+class CodecError : public std::runtime_error {
+ public:
+  explicit CodecError(const std::string& what) : std::runtime_error(what) {}
+};
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// First byte of every payload: what the remaining TLV fields describe.
+enum class FrameKind : std::uint8_t {
+  Request = 1,   // query + ReSyncControl
+  Response = 2,  // ReSyncResponse
+  Abandon = 3,   // one-way cookie abandon
+  Error = 4,     // typed protocol rejection crossing the wire
+};
+
+/// A decoded request: the two arguments of ReSyncEndpoint::handle.
+struct RequestFrame {
+  ldap::Query query;
+  resync::ReSyncControl control;
+};
+
+/// A protocol-level rejection encoded onto the wire. The endpoint side of a
+/// framed link catches the ldap error taxonomy, ships it as one of these,
+/// and the client side rethrows the same type — so framed and direct links
+/// expose identical exception behaviour at the Channel seam.
+struct ErrorFrame {
+  enum class Kind : std::uint8_t {
+    Protocol = 1,
+    StaleCookie = 2,
+    Busy = 3,
+    Operation = 4,
+  };
+
+  Kind kind = Kind::Protocol;
+  std::int32_t result_code = 0;  // ldap::ResultCode, Operation only
+  std::string message;
+};
+
+/// The length-prefixed TLV codec for the ReSync protocol (DESIGN.md §14).
+///
+/// Payloads are a FrameKind byte followed by TLV fields: tag (u8), length
+/// (u32 big-endian), value. Decoders iterate the fields of each extent and
+/// skip unknown tags, so optional protocol features map to absent tags
+/// (today's "version gating by field absence" for reconciliation) and new
+/// fields can be added without breaking old decoders. Integers are
+/// big-endian fixed-width; strings are u32 length + bytes.
+///
+/// A frame is u32 payload length + u64 FNV-1a checksum + payload. The
+/// checksum is what turns byte-level corruption into a deterministic
+/// CodecError instead of silently decoding flipped bits into wrong content.
+class Codec {
+ public:
+  static constexpr std::size_t kFrameHeaderBytes = 12;
+  /// Upper bound on a sane payload; lengths beyond it are rejected before
+  /// any allocation happens.
+  static constexpr std::size_t kMaxPayloadBytes = std::size_t{1} << 30;
+  /// Filter AST nesting bound: deeper decodes are rejected (a crafted
+  /// payload must not be able to exhaust the stack).
+  static constexpr int kMaxFilterDepth = 64;
+
+  // --- payload encode ---
+  static Bytes encode_request(const ldap::Query& query,
+                              const resync::ReSyncControl& control);
+  static Bytes encode_response(const resync::ReSyncResponse& response);
+  static Bytes encode_abandon(const std::string& cookie);
+  static Bytes encode_error(const ErrorFrame& error);
+
+  // --- payload decode (throws CodecError) ---
+  static FrameKind kind_of(const Bytes& payload);
+  static RequestFrame decode_request(const Bytes& payload);
+  static resync::ReSyncResponse decode_response(const Bytes& payload);
+  static std::string decode_abandon(const Bytes& payload);
+  static ErrorFrame decode_error(const Bytes& payload);
+
+  // --- framing ---
+  static Bytes frame(const Bytes& payload);
+  static Bytes deframe(const Bytes& frame);
+
+  /// FNV-1a 64 over a byte span (the frame checksum).
+  static std::uint64_t checksum(const std::uint8_t* data, std::size_t size);
+
+  /// Rethrows a decoded ErrorFrame as its original typed ldap exception.
+  [[noreturn]] static void throw_error(const ErrorFrame& error);
+};
+
+}  // namespace fbdr::wire

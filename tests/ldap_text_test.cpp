@@ -62,12 +62,15 @@ TEST(TrafficStats, CountersAndAccumulate) {
 
   net::TrafficStats other;
   other.count_entry(50);
+  other.count_frame(12);
   stats += other;
   EXPECT_EQ(stats.entries, 2u);
-  EXPECT_EQ(stats.bytes, 180u);
+  EXPECT_EQ(stats.bytes, 192u);
+  EXPECT_EQ(stats.frames, 1u);
 
   EXPECT_EQ(stats.to_string(),
-            "round_trips=1 pdus=4 entries=2 dns_only=1 referrals=1 bytes=180");
+            "round_trips=1 pdus=4 entries=2 dns_only=1 referrals=1 bytes=192 "
+            "frames=1");
   stats.reset();
   EXPECT_EQ(stats.pdus, 0u);
 }

@@ -2,7 +2,7 @@
 // per-session and global history budgets degrading sessions to the
 // equation-(3) retain enumeration, replay-cache stripping with snapshot
 // replays, response paging under continuation cookies, slow-poller
-// eviction, and the deprecated set_incomplete_history shim.
+// eviction, and retuning budgets on live sessions.
 
 #include <gtest/gtest.h>
 
@@ -327,27 +327,38 @@ TEST(GovernorEviction, TighterOfPollDeadlineAndAdminLimitWins) {
   EXPECT_EQ(resync.governor_stats().sessions_evicted, 1u);
 }
 
-TEST(GovernorShim, SetIncompleteHistoryForceDegradesAllSessions) {
+TEST(GovernorRetune, BudgetsInstalledOnLiveSessionsDegradeOnNextPump) {
   auto master = make_master();
   ReSyncMaster resync(*master);
 
   ReSyncReplica replica(resync, kQuery);
   replica.start(Mode::Poll);
 
+  // Tighten the budget while the session is already established: the next
+  // pump that finds it over budget degrades it, no restart needed.
+  ResourceLimits limits;
+  limits.max_session_history = 1;
+  resync.set_resource_limits(limits);
+
+  // Two in-content events overflow the one-unit budget.
   master->modify(Dn::parse("cn=E0,o=xyz"),
                  {{Modification::Op::Replace, "title", {"boss"}}});
+  master->modify(Dn::parse("cn=E2,o=xyz"),
+                 {{Modification::Op::Replace, "title", {"chief"}}});
   resync.pump();
-  resync.set_incomplete_history(true);
   EXPECT_EQ(resync.degraded_sessions(), 1u);
 
   replica.poll();
   EXPECT_EQ(replica.degraded_polls(), 1u);
   EXPECT_EQ(replica.content().keys(), master_truth(*master));
 
-  // While the flag stays set every poll keeps answering with retains, even
-  // though the individual session healed.
+  // The enumeration healed the session, but sustained pressure re-degrades
+  // it round after round while the budget stays tight.
   master->remove(Dn::parse("cn=E2,o=xyz"));
+  master->modify(Dn::parse("cn=E4,o=xyz"),
+                 {{Modification::Op::Replace, "title", {"lead"}}});
   resync.pump();
+  EXPECT_EQ(resync.degraded_sessions(), 1u);
   replica.poll();
   EXPECT_EQ(replica.degraded_polls(), 2u);
   EXPECT_EQ(replica.content().keys(), master_truth(*master));

@@ -1,6 +1,6 @@
 // Tests for the ReSync protocol layer (§5.2): control semantics, cookies,
-// poll/persist modes, session end and timeout, the incomplete-history retain
-// mode of equation (3), and a reenactment of the Figure 3 message sequence.
+// poll/persist modes, session end and timeout, the governed retain mode of
+// equation (3), and a reenactment of the Figure 3 message sequence.
 
 #include <gtest/gtest.h>
 
@@ -205,28 +205,41 @@ TEST(ReSyncMaster, ModeSwitchFromPollToPersist) {
   EXPECT_EQ(resync.open_connections(), 1u);
 }
 
-TEST(ReSyncMaster, IncompleteHistoryUsesRetains) {
+TEST(ReSyncMaster, GovernedHistoryBudgetUsesRetains) {
   auto master = make_master();
   master->load(person("E1", "42"));
   master->load(person("E2", "42"));
   ReSyncMaster resync(*master);
-  resync.set_incomplete_history(true);
+  // A two-unit history budget: three pending events degrade the session to
+  // the equation-(3) retain enumeration on the next pump, while the two
+  // touched keys still fit the budget (no collapse to ship-everything).
+  ResourceLimits limits;
+  limits.max_session_history = 2;
+  resync.set_resource_limits(limits);
   const std::string cookie = resync.handle(kQuery, {Mode::Poll, ""}).cookie;
 
-  // Modify E1 out of the content; E2 unchanged.
+  // Modify E1 out of the content and add E3 into it (twice touched);
+  // E2 unchanged.
   master->modify(Dn::parse("cn=E1,o=xyz"),
                  {{Modification::Op::Replace, "dept", {"7"}}});
+  master->add(person("E3", "42"));
+  master->modify(Dn::parse("cn=E3,o=xyz"),
+                 {{Modification::Op::Replace, "title", {"new"}}});
   resync.pump();
+  ASSERT_EQ(resync.degraded_sessions(), 1u);
   const ReSyncResponse response = resync.handle(kQuery, {Mode::Poll, cookie});
   EXPECT_TRUE(response.complete_enumeration);
-  // No delete PDU is possible without history: E2 is retained, E1 simply
-  // unmentioned.
+  // No delete PDU is possible without leave history: E2 is retained, E1
+  // simply unmentioned, and the touched E3 ships with its body.
   std::size_t retains = 0;
+  bool saw_e3 = false;
   for (const EntryPdu& pdu : response.pdus) {
     EXPECT_NE(pdu.action, Action::Delete);
     if (pdu.action == Action::Retain) ++retains;
+    if (pdu.entry != nullptr && pdu.dn == Dn::parse("cn=E3,o=xyz")) saw_e3 = true;
   }
   EXPECT_EQ(retains, 1u);
+  EXPECT_TRUE(saw_e3);
 }
 
 TEST(ReSyncMaster, TrafficAccounting) {

@@ -231,11 +231,17 @@ TEST(ReSyncRandomized, PollModeConvergesUnderRandomStreams) {
   }
 }
 
-TEST(ReSyncRandomized, IncompleteHistoryRetainModeConverges) {
+TEST(ReSyncRandomized, GovernedRetainModeConverges) {
   std::mt19937 rng(777);
   auto master = make_master();
   ReSyncMaster resync(*master);
-  resync.set_incomplete_history(true);
+  // A one-unit history budget keeps the session degraded to equation-(3)
+  // retain enumerations on nearly every poll round (any round accumulating
+  // two or more events re-degrades the healed session), mixed with the
+  // occasional eq.(2) delta when a round produced at most one event.
+  ResourceLimits limits;
+  limits.max_session_history = 1;
+  resync.set_resource_limits(limits);
   ReSyncReplica replica(resync, kQuery);
   replica.start(Mode::Poll);
 

@@ -17,6 +17,7 @@
 #include "ldap/error.h"
 #include "sync/content_tracker.h"
 #include "topology/runtime.h"
+#include "wire/codec.h"
 #include "workload/directory_gen.h"
 
 namespace fbdr::topology {
@@ -261,6 +262,184 @@ INSTANTIATE_TEST_SUITE_P(
         ChaosSchedule{777, lossy(777), "d1-1", -1, -1},
         // crash with a long outage late in the run
         ChaosSchedule{424242, lossy(424242), "d2-01", 140, 180}),
+    [](const ::testing::TestParamInfo<ChaosSchedule>& param_info) {
+      return "seed" + std::to_string(param_info.param.seed);
+    });
+
+// Codec transparency at tree scale: a fault-free tree whose every link runs
+// the framed wire codec must mirror a DirectChannel twin exactly — same
+// entries at every node after the identical mutation stream. One mid-tree
+// link is explicitly overridden back to direct, proving framed and direct
+// hops mix within one tree.
+class FramedTopologyTwin : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FramedTopologyTwin, FramedTreeMirrorsDirectTwinExactly) {
+  const std::uint64_t seed = GetParam();
+
+  auto framed_master = make_master("ldap://root");
+  auto direct_master = make_master("ldap://root");
+
+  TopologyRuntime::Options framed_options;
+  framed_options.framed = true;
+  TopologyRuntime framed(framed_master, framed_options);
+  TopologyRuntime direct(direct_master, {});
+
+  // Same shape as build_tree, but one relay's upstream hop forced direct.
+  for (const std::string& bits : kBits1) {
+    framed.add_node("d1-" + bits, "", {serial_query(bits)},
+                    bits == "1" ? std::optional<bool>(false) : std::nullopt);
+  }
+  for (const std::string& bits : kBits2) {
+    framed.add_node("d2-" + bits, "d1-" + bits.substr(0, 1),
+                    {serial_query(bits)});
+  }
+  for (const std::string& bits : kBits3) {
+    framed.add_node("leaf-" + bits, "d2-" + bits.substr(0, 2),
+                    {serial_query(bits)});
+  }
+  build_tree(direct);
+  ASSERT_TRUE(framed.install());
+  ASSERT_TRUE(direct.install());
+
+  // The per-link toggle wired what it promised.
+  EXPECT_NE(framed.framed_link("d1-0"), nullptr);
+  EXPECT_EQ(framed.framed_link("d1-1"), nullptr);
+  EXPECT_NE(framed.framed_link("leaf-010"), nullptr);
+  EXPECT_EQ(framed.fault_pipe("d1-0"), nullptr);  // no faults configured
+  EXPECT_TRUE(framed.node("d1-0").framed_upstream());
+  EXPECT_FALSE(framed.node("d1-1").framed_upstream());
+
+  std::mt19937 rng(static_cast<unsigned>(seed));
+  int next_rank = 0;
+  for (int step = 0; step < 150; ++step) {
+    mutate_both(rng, next_rank, *framed_master, *direct_master);
+    framed.tick();
+    direct.tick();
+  }
+  // Settle: the last mutations propagate one hop per tick down the depth-3
+  // tree, identically on both sides.
+  for (int round = 0; round < 4; ++round) {
+    framed.tick();
+    direct.tick();
+  }
+
+  for (const std::string& name : framed.node_names()) {
+    const RelayNode& node = framed.node(name);
+    const Query& query = node.filter_replica().query_at(0);
+    const auto keys = mirror_keys(node, query);
+    EXPECT_EQ(keys, master_truth(*framed_master, query))
+        << name << " diverged from master truth (seed " << seed << ")";
+    EXPECT_EQ(keys, mirror_keys(direct.node(name), query))
+        << name << " diverged from the direct twin (seed " << seed << ")";
+  }
+
+  // Framed links measured exact frame traffic.
+  const net::FramedChannel* link = framed.framed_link("d1-0");
+  ASSERT_NE(link, nullptr);
+  EXPECT_GT(link->traffic().frames, 0u);
+  // Every frame carries at least its fixed header.
+  EXPECT_GT(link->traffic().bytes,
+            link->traffic().frames * wire::Codec::kFrameHeaderBytes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FramedTopologyTwin,
+                         ::testing::Values(20050501u, 31337u, 777u, 424242u),
+                         [](const ::testing::TestParamInfo<std::uint64_t>& p) {
+                           return "seed" + std::to_string(p.param);
+                         });
+
+net::FaultConfig corrupting(std::uint64_t seed) {
+  net::FaultConfig config = lossy(seed);
+  config.corrupt = 0.05;
+  config.truncate = 0.04;
+  return config;
+}
+
+// The full tree under byte-level chaos: every link framed over a FaultyPipe
+// whose schedule adds bit corruption and truncation to the usual loss. The
+// damaged frames must surface as transport errors (counted), heal through
+// retries and the stale-cookie cascade, and the tree still converges to the
+// fault-free twin.
+class FramedTopologyChaos : public ::testing::TestWithParam<ChaosSchedule> {};
+
+TEST_P(FramedTopologyChaos, FramedTreeConvergesUnderCorruptionSchedule) {
+  const ChaosSchedule schedule = GetParam();
+
+  auto faulty_master = make_master("ldap://root");
+  auto twin_master = make_master("ldap://root");
+
+  TopologyRuntime::Options faulty_options;
+  faulty_options.framed = true;
+  faulty_options.faults = schedule.faults;
+  faulty_options.retry.max_attempts = 4;
+  faulty_options.retry.base_backoff_ticks = 1;
+  faulty_options.retry.max_backoff_ticks = 6;
+  faulty_options.retry.jitter_seed = schedule.seed;
+  faulty_options.session_time_limit = 60;
+  TopologyRuntime faulty(faulty_master, faulty_options);
+  faulty.root_master().set_session_time_limit(60);
+
+  TopologyRuntime::Options twin_options;
+  twin_options.session_time_limit = 60;
+  TopologyRuntime twin(twin_master, twin_options);
+  twin.root_master().set_session_time_limit(60);
+
+  build_tree(faulty);
+  build_tree(twin);
+  faulty.install();
+  ASSERT_TRUE(twin.install());
+
+  std::mt19937 rng(static_cast<unsigned>(schedule.seed));
+  int next_rank = 0;
+  for (int step = 0; step < 200; ++step) {
+    mutate_both(rng, next_rank, *faulty_master, *twin_master);
+    if (step == schedule.crash_step) faulty.crash_node(schedule.crash_node);
+    if (step == schedule.restart_step) faulty.restart_node(schedule.crash_node);
+    faulty.tick();
+    twin.tick();
+  }
+
+  // Quiescence via the pipe-level accessor: links go clean and drain.
+  net::FaultConfig clean;
+  clean.seed = schedule.faults.seed;
+  std::uint64_t damaged = 0;
+  for (const std::string& name : faulty.node_names()) {
+    net::FaultyPipe* pipe = faulty.fault_pipe(name);
+    ASSERT_NE(pipe, nullptr) << name << " lost its framed fault pipe";
+    damaged += pipe->counters().corrupted + pipe->counters().truncated;
+    pipe->set_config(clean);
+    pipe->flush_replays();
+  }
+  for (int round = 0; round < 12; ++round) {
+    faulty.tick();
+    twin.tick();
+  }
+
+  for (const std::string& name : faulty.node_names()) {
+    const RelayNode& node = faulty.node(name);
+    const Query& query = node.filter_replica().query_at(0);
+    const auto faulty_keys = mirror_keys(node, query);
+    EXPECT_EQ(faulty_keys, master_truth(*faulty_master, query))
+        << name << " diverged from master truth (seed " << schedule.seed << ")";
+    EXPECT_EQ(faulty_keys, mirror_keys(twin.node(name), query))
+        << name << " diverged from its fault-free twin (seed " << schedule.seed
+        << ")";
+  }
+  EXPECT_GT(damaged, 0u)
+      << "corruption schedule damaged no frames (seed " << schedule.seed << ")";
+  for (const NodeHealth& health : faulty.health()) {
+    EXPECT_FALSE(health.down) << health.name;
+    EXPECT_FALSE(health.degraded) << health.name << " still degraded";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schedules, FramedTopologyChaos,
+    ::testing::Values(
+        ChaosSchedule{20050501, corrupting(20050501), "d1-0", 70, 90},
+        ChaosSchedule{31337, corrupting(31337), "d2-10", 110, 135},
+        ChaosSchedule{777, corrupting(777), "d1-1", -1, -1},
+        ChaosSchedule{424242, corrupting(424242), "d2-01", 140, 180}),
     [](const ::testing::TestParamInfo<ChaosSchedule>& param_info) {
       return "seed" + std::to_string(param_info.param.seed);
     });

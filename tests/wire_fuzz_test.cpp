@@ -1,0 +1,183 @@
+// Hostile-input fuzz for the wire decoders: seeded bit flips, truncations
+// and garbage over valid frames AND raw payloads (bypassing the frame
+// checksum so the TLV decoders themselves face the mutations). The codec's
+// contract is that every decoder entry point either succeeds or throws
+// CodecError — never crashes, never reads out of bounds, never allocates
+// unbounded memory from a hostile length field. Run under ASan in tier 1.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "ldap/entry.h"
+#include "wire/codec.h"
+
+namespace fbdr::wire {
+namespace {
+
+using resync::Mode;
+using resync::ReSyncControl;
+using resync::ReSyncResponse;
+
+// Any decoder outcome is fine except a crash or a non-CodecError escape.
+template <typename Fn>
+void must_not_crash(Fn&& decode) {
+  try {
+    decode();
+  } catch (const CodecError&) {
+    // The expected rejection path.
+  }
+}
+
+void decode_any_payload(const Bytes& payload) {
+  must_not_crash([&] { Codec::kind_of(payload); });
+  must_not_crash([&] { Codec::decode_request(payload); });
+  must_not_crash([&] { Codec::decode_response(payload); });
+  must_not_crash([&] { Codec::decode_abandon(payload); });
+  must_not_crash([&] { Codec::decode_error(payload); });
+}
+
+Bytes sample_request() {
+  ReSyncControl control(Mode::Poll, "rs-3#17");
+  auto reconcile = std::make_shared<resync::ReconcileRequest>();
+  reconcile->round = 1;
+  reconcile->root_digest = 0x1234;
+  reconcile->buckets = {{4, 99, 2}, {200, 1, 1}};
+  control.reconcile = reconcile;
+  return Codec::encode_request(
+      ldap::Query::parse("ou=research,o=xyz", ldap::Scope::Subtree,
+                         "(&(dept=42)(|(sn=smi*)(!(age>=65))))"),
+      control);
+}
+
+Bytes sample_response() {
+  ReSyncResponse response;
+  response.cookie = "rs-3#18";
+  response.complete_enumeration = true;
+  response.origin_time = 991;
+  for (int i = 0; i < 3; ++i) {
+    resync::EntryPdu pdu;
+    pdu.action = i == 2 ? resync::Action::Delete : resync::Action::Add;
+    pdu.dn = ldap::Dn::parse("cn=E" + std::to_string(i) + ",o=xyz");
+    if (pdu.action == resync::Action::Add) {
+      auto entry = std::make_shared<ldap::Entry>(pdu.dn);
+      entry->set_values("dept", {"42"});
+      entry->set_values("objectclass", {"person"});
+      pdu.entry = std::move(entry);
+    }
+    response.pdus.push_back(std::move(pdu));
+  }
+  return Codec::encode_response(response);
+}
+
+// --- frame-level mutations: the checksum must catch nearly all of these,
+// --- and whatever sneaks through must still decode or throw CodecError.
+
+TEST(WireFuzz, BitFlippedFramesNeverCrash) {
+  std::mt19937 rng(20050501);
+  const std::vector<Bytes> seeds = {Codec::frame(sample_request()),
+                                    Codec::frame(sample_response()),
+                                    Codec::frame(Codec::encode_abandon("rs-1#1"))};
+  for (int i = 0; i < 4000; ++i) {
+    Bytes frame = seeds[static_cast<std::size_t>(i) % seeds.size()];
+    const int flips = 1 + static_cast<int>(rng() % 4);
+    for (int f = 0; f < flips; ++f) {
+      frame[rng() % frame.size()] ^=
+          static_cast<std::uint8_t>(1u << (rng() % 8));
+    }
+    must_not_crash([&] { decode_any_payload(Codec::deframe(frame)); });
+  }
+}
+
+TEST(WireFuzz, TruncatedFramesNeverCrash) {
+  const std::vector<Bytes> seeds = {Codec::frame(sample_request()),
+                                    Codec::frame(sample_response())};
+  for (const Bytes& whole : seeds) {
+    for (std::size_t len = 0; len < whole.size(); ++len) {
+      Bytes cut(whole.begin(), whole.begin() + static_cast<long>(len));
+      // A strict prefix can never carry a valid checksum over the declared
+      // length, so deframe must throw — decode never even runs.
+      EXPECT_THROW(Codec::deframe(cut), CodecError) << "at length " << len;
+    }
+  }
+}
+
+// --- payload-level mutations: bypass the frame checksum entirely and aim
+// --- the mutations at the TLV decoders' bounds checks.
+
+TEST(WireFuzz, BitFlippedPayloadsNeverCrash) {
+  std::mt19937 rng(31337);
+  const std::vector<Bytes> seeds = {sample_request(), sample_response(),
+                                    Codec::encode_abandon("rs-9#4"),
+                                    Codec::encode_error(
+                                        {ErrorFrame::Kind::Busy, 0, "busy"})};
+  for (int i = 0; i < 6000; ++i) {
+    Bytes payload = seeds[static_cast<std::size_t>(i) % seeds.size()];
+    const int flips = 1 + static_cast<int>(rng() % 6);
+    for (int f = 0; f < flips; ++f) {
+      payload[rng() % payload.size()] ^=
+          static_cast<std::uint8_t>(1u << (rng() % 8));
+    }
+    decode_any_payload(payload);
+  }
+}
+
+TEST(WireFuzz, TruncatedPayloadsNeverCrash) {
+  const std::vector<Bytes> seeds = {sample_request(), sample_response()};
+  for (const Bytes& whole : seeds) {
+    for (std::size_t len = 0; len <= whole.size(); ++len) {
+      decode_any_payload(Bytes(whole.begin(), whole.begin() + static_cast<long>(len)));
+    }
+  }
+}
+
+TEST(WireFuzz, RandomGarbagePayloadsNeverCrash) {
+  std::mt19937 rng(777);
+  for (int i = 0; i < 4000; ++i) {
+    Bytes payload(rng() % 64);
+    for (auto& b : payload) b = static_cast<std::uint8_t>(rng());
+    // Half the time, make the first byte a valid frame kind so the fuzz
+    // reaches past the kind check into the TLV loop.
+    if (!payload.empty() && i % 2 == 0) {
+      payload[0] = static_cast<std::uint8_t>(1 + rng() % 4);
+    }
+    decode_any_payload(payload);
+    must_not_crash([&] { Codec::deframe(payload); });
+  }
+}
+
+// A hostile length field must be rejected before any allocation: a tiny
+// payload declaring a huge string/count cannot cause an OOM.
+TEST(WireFuzz, HostileLengthFieldsAreRejectedBeforeAllocation) {
+  // Response payload claiming one PDU whose TLV length is 0xffffffff.
+  Bytes payload = {static_cast<std::uint8_t>(FrameKind::Response),
+                   0x01, 0xff, 0xff, 0xff, 0xff};
+  EXPECT_THROW(Codec::decode_response(payload), CodecError);
+
+  // Frame header declaring a payload length beyond kMaxPayloadBytes.
+  Bytes frame = {0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 0, 0, 0, 0};
+  EXPECT_THROW(Codec::deframe(frame), CodecError);
+
+  // Abandon whose cookie string declares 2^32-1 bytes in a 6-byte payload.
+  Bytes abandon = {static_cast<std::uint8_t>(FrameKind::Abandon),
+                   0x01, 0x00, 0x00, 0x00, 0x02, 0xff, 0xff};
+  EXPECT_THROW(Codec::decode_abandon(abandon), CodecError);
+}
+
+// Deeply nested NOT chains must hit the depth bound, not the stack guard.
+TEST(WireFuzz, FilterNestingBeyondLimitIsRejected) {
+  ldap::FilterPtr filter = ldap::Filter::present("a");
+  for (int i = 0; i < Codec::kMaxFilterDepth + 8; ++i) {
+    filter = ldap::Filter::make_not(filter);
+  }
+  ldap::Query query;
+  query.base = ldap::Dn::parse("o=xyz");
+  query.filter = filter;
+  const Bytes payload = Codec::encode_request(query, ReSyncControl{});
+  EXPECT_THROW(Codec::decode_request(payload), CodecError);
+}
+
+}  // namespace
+}  // namespace fbdr::wire
