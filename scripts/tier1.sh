@@ -4,7 +4,9 @@
 # bugs would hide — duplicated in-flight requests, replay caches, session
 # teardown on master reset), then a TSan build running the threaded
 # shard-equivalence and chaos suites (the sharded pump is where races would
-# hide — shard-local state crossing a shard boundary, the pump-pool barrier).
+# hide — shard-local state crossing a shard boundary, the pump-pool barrier),
+# then the socket loopback suites under ASan with a hard timeout (stream
+# reassembly and the epoll server are where over-reads would hide).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,9 +27,20 @@ cmake --build build-asan -j"$(nproc)" --target resync_chaos_test \
       server_ldif_roundtrip_test resync_governor_test sync_compaction_test \
       resync_overload_test resync_reconcile_test \
       resync_shard_equivalence_test bench_common_test \
-      wire_roundtrip_test wire_fuzz_test
+      wire_roundtrip_test wire_fuzz_test \
+      netio_pipe_test netio_socket_test netio_process_test
 ctest --test-dir build-asan --output-on-failure -j"$(nproc)" \
-      -R 'ReSyncChaos|ServiceDegradation|Recovery|ReSync|RoutingEquivalence|FilterIrEquivalence|TopologyChaos|ServerLdifRoundTrip|Governor|SyncCompaction|ResyncOverload|TopologyOverload|Reconcile|ShardEquivalence|ShardConfig|BenchCommon|WireRoundtrip|WireFuzz'
+      -R 'ReSyncChaos|ServiceDegradation|Recovery|ReSync|RoutingEquivalence|FilterIrEquivalence|TopologyChaos|ServerLdifRoundTrip|Governor|SyncCompaction|ResyncOverload|TopologyOverload|Reconcile|ShardEquivalence|ShardConfig|BenchCommon|WireRoundtrip|WireFuzz|FrameReassembler|ChunkedPipe|FramedChannelAccounting'
+
+echo "== tier 1: socket loopback suites (ASan, hard timeout) =="
+# Real sockets, an epoll loop thread, and fork/exec'd fbdr_node processes
+# (ASan-instrumented — netio_process_test spawns the build-asan binary).
+# Each test GTEST_SKIPs loudly when the sandbox forbids sockets, so a host
+# without them passes this stage with visible SKIPPING lines, not silence.
+# The hard timeout guards against a hung epoll loop or a wedged child
+# process eating the whole CI run.
+timeout 600 ctest --test-dir build-asan --output-on-failure -j"$(nproc)" \
+      -R 'SocketTwin|SocketErrors|SocketConcurrency|SocketRecovery|SocketTcp|ProcessTopology'
 
 echo "== tier 1: threaded-pump race run (TSan) =="
 cmake -B build-tsan -S . -DFBDR_SANITIZE=thread -DFBDR_BUILD_BENCHMARKS=OFF \

@@ -1,0 +1,90 @@
+#include "netio/control.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace fbdr::netio {
+
+ControlClient::ControlClient(const SocketAddr& addr, int timeout_ms)
+    : timeout_ms_(timeout_ms), addr_(addr) {
+  std::string error;
+  fd_ = open_client(addr, timeout_ms, &error);
+  if (fd_ < 0) {
+    throw std::runtime_error("control connect " + addr.to_string() + ": " +
+                             error);
+  }
+}
+
+ControlClient::~ControlClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string ControlClient::read_line() {
+  for (;;) {
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      return line;
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, timeout_ms_);
+    if (ready <= 0) {
+      throw std::runtime_error("control reply timed out (" +
+                               addr_.to_string() + ")");
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n <= 0) {
+      throw std::runtime_error("control connection closed (" +
+                               addr_.to_string() + ")");
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+std::vector<std::string> ControlClient::request(const std::string& line) {
+  const std::string out = line + "\n";
+  std::size_t sent = 0;
+  while (sent < out.size()) {
+    const ssize_t n =
+        ::send(fd_, out.data() + sent, out.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error(std::string("control send: ") +
+                               std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+
+  const std::string status = read_line();
+  if (status.rfind("err ", 0) == 0) {
+    throw std::runtime_error("control command '" + line +
+                             "' failed: " + status.substr(4));
+  }
+  if (status.rfind("ok ", 0) != 0) {
+    throw std::runtime_error("malformed control reply: " + status);
+  }
+  const unsigned long count = std::stoul(status.substr(3));
+  std::vector<std::string> payload;
+  payload.reserve(count);
+  for (unsigned long i = 0; i < count; ++i) payload.push_back(read_line());
+  return payload;
+}
+
+std::map<std::string, std::string> ControlClient::health() {
+  std::map<std::string, std::string> map;
+  for (const std::string& line : request("health")) {
+    const std::size_t space = line.find(' ');
+    if (space == std::string::npos) continue;
+    map[line.substr(0, space)] = line.substr(space + 1);
+  }
+  return map;
+}
+
+}  // namespace fbdr::netio

@@ -1,0 +1,71 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "netio/socket_addr.h"
+
+namespace fbdr::netio {
+
+/// Client side of the fbdr_node control plane.
+///
+/// The control plane is a deliberately boring line protocol, separate from
+/// the wire frame codec: one text command per line, one reply of
+///
+///   ok <n>\n        followed by n payload lines, or
+///   err <message>\n
+///
+/// It exists so the topology driver can do to a node process exactly what
+/// TopologyRuntime does to an in-process node — add filters, drive sync
+/// rounds, apply master writes, advance logical time, inspect content —
+/// without those operations racing the frame traffic: the node handles
+/// control lines on the same epoll loop thread that dispatches frames.
+///
+/// Commands (role in parens when restricted):
+///
+///   ping                                     liveness probe
+///   install <base>|<scope>|<filter>   (relay) declare a replicated query
+///   installall                        (relay) install_all(); payload "1"/"0"
+///   sync                              (relay) one upstream sync round
+///   pump                              (root)  route journal into sessions
+///   tick <n>                                 advance the logical clock
+///   apply add <dn>|<a>=<v1>,<v2>;...  (root)  journaled add
+///   apply del <dn>                    (root)  journaled delete
+///   apply mod <dn>|<a>=<v1>,<v2>      (root)  journaled replace
+///   keys <base>|<scope>|<filter>             sorted norm keys of the local
+///                                            content matching the query
+///   health                                   "key value" lines (epoch,
+///                                            recoveries, degraded, ...)
+///   quit                                     stop the node's loop
+///
+/// <scope> is base|one|sub. Attribute values in apply must not contain the
+/// '|' ';' ',' '=' delimiters or newlines — the topology tests' fixtures
+/// never do, and the control plane is a test/driver surface, not the
+/// replication protocol (which ships length-prefixed TLV frames precisely
+/// so it never has this restriction).
+class ControlClient {
+ public:
+  ControlClient(const SocketAddr& addr, int timeout_ms = 10000);
+  ~ControlClient();
+
+  ControlClient(const ControlClient&) = delete;
+  ControlClient& operator=(const ControlClient&) = delete;
+
+  /// Sends one command line, returns the payload lines of an "ok" reply.
+  /// Throws std::runtime_error on "err", transport failure or timeout.
+  std::vector<std::string> request(const std::string& line);
+
+  /// health command parsed into a key -> value map.
+  std::map<std::string, std::string> health();
+
+ private:
+  std::string read_line();
+
+  int fd_ = -1;
+  int timeout_ms_;
+  std::string buffer_;
+  SocketAddr addr_;
+};
+
+}  // namespace fbdr::netio

@@ -1,0 +1,407 @@
+#include "netio/epoll_server.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "ldap/error.h"
+#include "net/channel.h"
+#include "resync/endpoint.h"
+
+namespace fbdr::netio {
+
+namespace {
+
+wire::Bytes encode_error_frame(wire::ErrorFrame::Kind kind,
+                               const std::string& message,
+                               std::int32_t result_code = 0) {
+  wire::ErrorFrame error;
+  error.kind = kind;
+  error.result_code = result_code;
+  error.message = message;
+  return wire::Codec::frame(wire::Codec::encode_error(error));
+}
+
+}  // namespace
+
+EpollServer::EpollServer(resync::ReSyncEndpoint& endpoint, Options options)
+    : endpoint_(&endpoint), options_(options) {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    throw std::runtime_error(std::string("epoll_create1: ") +
+                             std::strerror(errno));
+  }
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    ::close(epoll_fd_);
+    throw std::runtime_error(std::string("eventfd: ") + std::strerror(errno));
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev);
+}
+
+EpollServer::~EpollServer() {
+  stop();
+  for (auto& [fd, conn] : connections_) {
+    (void)conn;
+    ::close(fd);
+  }
+  if (frame_listen_fd_ >= 0) ::close(frame_listen_fd_);
+  if (control_listen_fd_ >= 0) ::close(control_listen_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+SocketAddr EpollServer::listen(const SocketAddr& addr) {
+  SocketAddr bound;
+  std::string error;
+  frame_listen_fd_ = open_listener(addr, options_.backlog, &bound, &error);
+  if (frame_listen_fd_ < 0) {
+    throw std::runtime_error("listen " + addr.to_string() + ": " + error);
+  }
+  set_nonblocking(frame_listen_fd_);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = frame_listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, frame_listen_fd_, &ev);
+  return bound;
+}
+
+SocketAddr EpollServer::listen_control(const SocketAddr& addr,
+                                       ControlHandler handler) {
+  SocketAddr bound;
+  std::string error;
+  control_listen_fd_ = open_listener(addr, options_.backlog, &bound, &error);
+  if (control_listen_fd_ < 0) {
+    throw std::runtime_error("listen " + addr.to_string() + ": " + error);
+  }
+  control_handler_ = std::move(handler);
+  set_nonblocking(control_listen_fd_);
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = control_listen_fd_;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, control_listen_fd_, &ev);
+  return bound;
+}
+
+void EpollServer::start() {
+  stop_requested_.store(false);
+  running_.store(true);
+  thread_ = std::thread([this] { run(); });
+}
+
+void EpollServer::stop() {
+  request_stop();
+  if (thread_.joinable()) thread_.join();
+  running_.store(false);
+}
+
+void EpollServer::run() {
+  while (poll_once(200)) {
+  }
+}
+
+void EpollServer::request_stop() {
+  stop_requested_.store(true);
+  if (wake_fd_ >= 0) {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  }
+}
+
+bool EpollServer::poll_once(int timeout_ms) {
+  if (stop_requested_.load()) return false;
+
+  epoll_event events[64];
+  const int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+  if (n < 0 && errno != EINTR) {
+    throw std::runtime_error(std::string("epoll_wait: ") +
+                             std::strerror(errno));
+  }
+
+  for (int i = 0; i < n; ++i) {
+    const int fd = events[i].data.fd;
+    const std::uint32_t mask = events[i].events;
+
+    if (fd == wake_fd_) {
+      std::uint64_t drain;
+      while (::read(wake_fd_, &drain, sizeof(drain)) > 0) {
+      }
+      continue;
+    }
+    if (fd == frame_listen_fd_) {
+      accept_ready(fd, Role::FrameData);
+      continue;
+    }
+    if (fd == control_listen_fd_) {
+      accept_ready(fd, Role::Control);
+      continue;
+    }
+
+    const auto it = connections_.find(fd);
+    if (it == connections_.end()) continue;  // closed earlier in this batch
+    Connection& conn = *it->second;
+    if (mask & (EPOLLERR | EPOLLHUP)) {
+      close_connection(conn);
+      continue;
+    }
+    if (mask & EPOLLOUT) write_ready(conn);
+    if (conn.fd >= 0 && (mask & EPOLLIN)) read_ready(conn);
+  }
+
+  for (const int fd : doomed_) connections_.erase(fd);
+  doomed_.clear();
+
+  return !stop_requested_.load();
+}
+
+void EpollServer::accept_ready(int listen_fd, Role role) {
+  for (;;) {
+    const int fd = ::accept4(listen_fd, nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN: drained
+
+    // The kernel may hand back an fd number closed earlier in this same
+    // event batch; un-doom it so the end-of-batch sweep spares the new
+    // connection that now owns the number.
+    std::erase(doomed_, fd);
+
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conn->role = role;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    connections_[fd] = std::move(conn);
+    accepted_.fetch_add(1);
+    if (role == Role::FrameData) open_connections_.fetch_add(1);
+  }
+}
+
+void EpollServer::read_ready(Connection& conn) {
+  std::uint8_t chunk[16384];
+  for (;;) {
+    const ssize_t n = ::recv(conn.fd, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      close_connection(conn);
+      return;
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      close_connection(conn);
+      return;
+    }
+
+    if (conn.role == Role::Control) {
+      conn.line_buffer.append(reinterpret_cast<const char*>(chunk),
+                              static_cast<std::size_t>(n));
+      std::size_t newline;
+      while ((newline = conn.line_buffer.find('\n')) != std::string::npos) {
+        std::string line = conn.line_buffer.substr(0, newline);
+        conn.line_buffer.erase(0, newline + 1);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        dispatch_control(conn, line);
+        if (conn.fd < 0) return;
+      }
+      continue;
+    }
+
+    try {
+      conn.reassembler.feed(chunk, static_cast<std::size_t>(n));
+    } catch (const wire::CodecError&) {
+      // The stream's framing is gone; the connection is unrecoverable.
+      // Closing it is the socket spelling of "the server drops the frame":
+      // the client sees a transport failure and retries over a fresh
+      // connection with its replay-safe cookie.
+      garbled_closes_.fetch_add(1);
+      close_connection(conn);
+      return;
+    }
+    while (conn.reassembler.has_frame()) {
+      dispatch_frame(conn, conn.reassembler.next_frame());
+      if (conn.fd < 0) return;
+    }
+    if (conn.read_paused) return;  // backpressure kicked in mid-batch
+  }
+}
+
+void EpollServer::dispatch_frame(Connection& conn, const wire::Bytes& frame) {
+  frames_in_.fetch_add(1);
+
+  wire::Bytes payload;
+  wire::FrameKind kind;
+  try {
+    payload = wire::Codec::deframe(frame);
+    kind = wire::Codec::kind_of(payload);
+  } catch (const wire::CodecError&) {
+    garbled_closes_.fetch_add(1);
+    close_connection(conn);
+    return;
+  }
+
+  if (kind == wire::FrameKind::Abandon) {
+    // One-way, best effort — mirror EndpointPipe::send: a garbled abandon
+    // payload is silently dropped, a decodable one is dispatched.
+    try {
+      const std::string cookie = wire::Codec::decode_abandon(payload);
+      std::lock_guard<std::mutex> lock(endpoint_mutex_);
+      endpoint_->abandon(cookie);
+      abandons_.fetch_add(1);
+    } catch (...) {
+    }
+    return;
+  }
+
+  if (kind != wire::FrameKind::Request) {
+    garbled_closes_.fetch_add(1);
+    close_connection(conn);
+    return;
+  }
+
+  wire::RequestFrame request;
+  try {
+    request = wire::Codec::decode_request(payload);
+  } catch (const wire::CodecError&) {
+    garbled_closes_.fetch_add(1);
+    close_connection(conn);
+    return;
+  }
+
+  // Same catch order as EndpointPipe::transfer: the specific protocol
+  // errors ship as their own kinds so the client-side rethrow stays
+  // type-exact across the process boundary.
+  wire::Bytes reply;
+  try {
+    std::lock_guard<std::mutex> lock(endpoint_mutex_);
+    reply = wire::Codec::frame(wire::Codec::encode_response(
+        endpoint_->handle(request.query, request.control)));
+  } catch (const ldap::StaleCookieError& e) {
+    reply = encode_error_frame(wire::ErrorFrame::Kind::StaleCookie, e.what());
+  } catch (const ldap::BusyError& e) {
+    reply = encode_error_frame(wire::ErrorFrame::Kind::Busy, e.what());
+  } catch (const ldap::ProtocolError& e) {
+    reply = encode_error_frame(wire::ErrorFrame::Kind::Protocol, e.what());
+  } catch (const ldap::OperationError& e) {
+    reply = encode_error_frame(wire::ErrorFrame::Kind::Operation, e.what(),
+                               static_cast<std::int32_t>(e.code()));
+  }
+  frames_out_.fetch_add(1);
+  enqueue(conn, reply.data(), reply.size());
+}
+
+void EpollServer::dispatch_control(Connection& conn, const std::string& line) {
+  control_lines_.fetch_add(1);
+  if (!control_handler_) return;
+  const std::string reply = control_handler_(line);
+  if (!reply.empty()) {
+    enqueue(conn, reinterpret_cast<const std::uint8_t*>(reply.data()),
+            reply.size());
+  }
+}
+
+void EpollServer::enqueue(Connection& conn, const std::uint8_t* data,
+                          std::size_t size) {
+  // Fast path: nothing queued — write as much as the kernel takes now.
+  std::size_t written = 0;
+  if (conn.out.size() == conn.out_offset) {
+    conn.out.clear();
+    conn.out_offset = 0;
+    while (written < size) {
+      const ssize_t n =
+          ::send(conn.fd, data + written, size - written, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+        close_connection(conn);
+        return;
+      }
+      written += static_cast<std::size_t>(n);
+    }
+  }
+  if (written == size && conn.out.size() == conn.out_offset) {
+    update_interest(conn);
+    return;
+  }
+  conn.out.insert(conn.out.end(), data + written, data + size);
+  update_interest(conn);
+}
+
+void EpollServer::write_ready(Connection& conn) {
+  while (conn.out_offset < conn.out.size()) {
+    const ssize_t n = ::send(conn.fd, conn.out.data() + conn.out_offset,
+                             conn.out.size() - conn.out_offset, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      close_connection(conn);
+      return;
+    }
+    conn.out_offset += static_cast<std::size_t>(n);
+  }
+  if (conn.out_offset == conn.out.size()) {
+    conn.out.clear();
+    conn.out_offset = 0;
+  }
+  update_interest(conn);
+}
+
+void EpollServer::update_interest(Connection& conn) {
+  const std::size_t queued = conn.out.size() - conn.out_offset;
+  const bool want_write = queued > 0;
+  // Backpressure: stop reading from a connection whose replies we cannot
+  // deliver, resume once the queue drains (hysteresis at half the limit).
+  bool read_paused = conn.read_paused;
+  if (!read_paused && queued > options_.max_write_buffer) {
+    read_paused = true;
+    backpressure_pauses_.fetch_add(1);
+  } else if (read_paused && queued <= options_.max_write_buffer / 2) {
+    read_paused = false;
+  }
+  if (want_write == conn.want_write && read_paused == conn.read_paused) return;
+  conn.want_write = want_write;
+  conn.read_paused = read_paused;
+
+  epoll_event ev{};
+  ev.events = (read_paused ? 0u : static_cast<std::uint32_t>(EPOLLIN)) |
+              (want_write ? static_cast<std::uint32_t>(EPOLLOUT) : 0u);
+  ev.data.fd = conn.fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn.fd, &ev);
+}
+
+void EpollServer::close_connection(Connection& conn) {
+  if (conn.fd < 0) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn.fd, nullptr);
+  ::close(conn.fd);
+  closed_.fetch_add(1);
+  if (conn.role == Role::FrameData) open_connections_.fetch_sub(1);
+  doomed_.push_back(conn.fd);
+  conn.fd = -1;
+}
+
+EpollServer::Stats EpollServer::stats() const {
+  Stats s;
+  s.accepted = accepted_.load();
+  s.closed = closed_.load();
+  s.frames_in = frames_in_.load();
+  s.frames_out = frames_out_.load();
+  s.garbled_closes = garbled_closes_.load();
+  s.abandons = abandons_.load();
+  s.backpressure_pauses = backpressure_pauses_.load();
+  s.control_lines = control_lines_.load();
+  return s;
+}
+
+std::size_t EpollServer::open_connections() const {
+  return open_connections_.load();
+}
+
+}  // namespace fbdr::netio

@@ -1,0 +1,173 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "netio/frame_reassembler.h"
+#include "netio/socket_addr.h"
+
+namespace fbdr::resync {
+class ReSyncEndpoint;
+}
+
+namespace fbdr::netio {
+
+/// Nonblocking epoll event loop serving a resync::ReSyncEndpoint to any
+/// number of SocketPipe clients over one listening socket.
+///
+/// Per connection it reassembles the byte stream into wire frames
+/// (FrameReassembler), dispatches request frames to the endpoint, and
+/// queues encoded responses back out. The semantics of the in-process
+/// EndpointPipe are preserved exactly:
+///
+///  - A garbled frame (bad header, checksum mismatch, undecodable request)
+///    makes the connection unrecoverable, so the server closes it; the
+///    client surfaces net::TransportError and retries over a fresh
+///    connection — the socket spelling of "the server drops the frame".
+///  - Protocol rejections (stale cookie, busy, protocol, operation) cross
+///    back as typed ErrorFrames in the same catch order, so the client-side
+///    rethrow is type-exact.
+///  - Abandon frames are one-way best effort: dispatched if they decode,
+///    silently dropped if only their payload is garbled.
+///
+/// Writes are queued per connection and drained on EPOLLOUT; when a
+/// connection's queue exceeds Options::max_write_buffer the server stops
+/// reading from it (EPOLLIN paused) until the queue drains — backpressure
+/// instead of unbounded buffering against a slow reader.
+///
+/// A second, line-based listener (listen_control) carries the process
+/// topology's control plane: one text command per line in, the handler's
+/// reply bytes out. Both listeners share the one loop, so a single-threaded
+/// fbdr_node process never races control commands against frame dispatch.
+///
+/// Endpoint dispatch happens on the loop thread under endpoint_mutex();
+/// tests and hosts that mutate the endpoint from another thread (pumping
+/// the master, applying writes) take the same mutex via with_endpoint().
+class EpollServer {
+ public:
+  struct Options {
+    int backlog = 64;
+    /// Queued-unsent bytes above which a connection's reads are paused.
+    std::size_t max_write_buffer = 4u << 20;
+  };
+
+  struct Stats {
+    std::uint64_t accepted = 0;
+    std::uint64_t closed = 0;
+    std::uint64_t frames_in = 0;
+    std::uint64_t frames_out = 0;
+    std::uint64_t garbled_closes = 0;
+    std::uint64_t abandons = 0;
+    std::uint64_t backpressure_pauses = 0;
+    std::uint64_t control_lines = 0;
+  };
+
+  /// Handles one control line (without its trailing '\n'); returns the
+  /// exact bytes to write back. May call request_stop().
+  using ControlHandler = std::function<std::string(const std::string& line)>;
+
+  explicit EpollServer(resync::ReSyncEndpoint& endpoint)
+      : EpollServer(endpoint, Options{}) {}
+  EpollServer(resync::ReSyncEndpoint& endpoint, Options options);
+  ~EpollServer();
+
+  EpollServer(const EpollServer&) = delete;
+  EpollServer& operator=(const EpollServer&) = delete;
+
+  /// Binds the frame listener; returns the bound address (TCP port 0
+  /// resolved). Throws std::runtime_error on failure.
+  SocketAddr listen(const SocketAddr& addr);
+
+  /// Binds the line-based control listener.
+  SocketAddr listen_control(const SocketAddr& addr, ControlHandler handler);
+
+  /// Runs the loop on a background thread until stop().
+  void start();
+
+  /// Stops the background thread (idempotent; also called by ~EpollServer).
+  void stop();
+
+  /// Runs the loop inline on the calling thread until request_stop() — the
+  /// single-threaded mode fbdr_node uses.
+  void run();
+
+  /// One bounded iteration of the loop; returns false once a stop was
+  /// requested. Usable without start()/run() for deterministic stepping.
+  bool poll_once(int timeout_ms);
+
+  /// Signals the loop to exit (thread-safe, callable from handlers).
+  void request_stop();
+
+  Stats stats() const;
+
+  /// Connections currently open on the frame listener.
+  std::size_t open_connections() const;
+
+  /// Serializes endpoint access against loop-thread dispatch.
+  std::mutex& endpoint_mutex() { return endpoint_mutex_; }
+
+  template <typename Fn>
+  auto with_endpoint(Fn&& fn) {
+    std::lock_guard<std::mutex> lock(endpoint_mutex_);
+    return fn(*endpoint_);
+  }
+
+ private:
+  enum class Role { FrameData, Control };
+
+  struct Connection {
+    int fd = -1;
+    Role role = Role::FrameData;
+    FrameReassembler reassembler;   // FrameData
+    std::string line_buffer;        // Control
+    std::vector<std::uint8_t> out;  // queued unsent bytes
+    std::size_t out_offset = 0;
+    bool want_write = false;
+    bool read_paused = false;
+  };
+
+  void accept_ready(int listen_fd, Role role);
+  void read_ready(Connection& conn);
+  void write_ready(Connection& conn);
+  void dispatch_frame(Connection& conn, const wire::Bytes& frame);
+  void dispatch_control(Connection& conn, const std::string& line);
+  void enqueue(Connection& conn, const std::uint8_t* data, std::size_t size);
+  void update_interest(Connection& conn);
+  void close_connection(Connection& conn);
+
+  resync::ReSyncEndpoint* endpoint_;
+  Options options_;
+  std::mutex endpoint_mutex_;
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  // eventfd: request_stop() wakes a blocked epoll_wait
+  int frame_listen_fd_ = -1;
+  int control_listen_fd_ = -1;
+  ControlHandler control_handler_;
+
+  std::map<int, std::unique_ptr<Connection>> connections_;
+  std::vector<int> doomed_;  // fds to close after the event batch
+
+  std::thread thread_;
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> running_{false};
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> closed_{0};
+  std::atomic<std::uint64_t> frames_in_{0};
+  std::atomic<std::uint64_t> frames_out_{0};
+  std::atomic<std::uint64_t> garbled_closes_{0};
+  std::atomic<std::uint64_t> abandons_{0};
+  std::atomic<std::uint64_t> backpressure_pauses_{0};
+  std::atomic<std::uint64_t> control_lines_{0};
+  std::atomic<std::size_t> open_connections_{0};
+};
+
+}  // namespace fbdr::netio

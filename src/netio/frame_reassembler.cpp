@@ -1,0 +1,38 @@
+#include "netio/frame_reassembler.h"
+
+namespace fbdr::netio {
+
+void FrameReassembler::feed(const std::uint8_t* data, std::size_t size) {
+  buffer_.insert(buffer_.end(), data, data + size);
+
+  for (;;) {
+    if (expected_payload_ == SIZE_MAX) {
+      if (buffer_.size() < wire::Codec::kFrameHeaderBytes) return;
+      // Throws on bad magic/version/length; buffer_ stays intact so the
+      // caller can inspect, but the stream itself is beyond recovery.
+      expected_payload_ = wire::Codec::validate_header(buffer_.data());
+    }
+    const std::size_t frame_size =
+        wire::Codec::kFrameHeaderBytes + expected_payload_;
+    if (buffer_.size() < frame_size) return;
+
+    frames_.emplace_back(buffer_.begin(),
+                         buffer_.begin() + static_cast<long>(frame_size));
+    buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<long>(frame_size));
+    expected_payload_ = SIZE_MAX;
+  }
+}
+
+wire::Bytes FrameReassembler::next_frame() {
+  wire::Bytes frame = std::move(frames_.front());
+  frames_.pop_front();
+  return frame;
+}
+
+void FrameReassembler::reset() {
+  buffer_.clear();
+  frames_.clear();
+  expected_payload_ = SIZE_MAX;
+}
+
+}  // namespace fbdr::netio

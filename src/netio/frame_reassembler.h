@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "wire/codec.h"
+
+namespace fbdr::netio {
+
+/// Turns an arbitrary-chunked byte stream back into whole wire frames.
+///
+/// TCP and Unix stream sockets deliver bytes, not messages: a single read
+/// can hold half a header, three frames and the start of a fourth. The
+/// reassembler buffers fed bytes, validates each frame header the moment 16
+/// bytes of it exist (wire::Codec::validate_header — magic, version, length
+/// bound), and emits complete header+payload frames in arrival order.
+///
+/// A hostile or corrupt header makes feed() throw wire::CodecError with the
+/// buffered bytes intact; past that point the stream has no recoverable
+/// framing, so callers must drop the connection (SocketPipe and EpollServer
+/// both do). Frames already extracted before the bad header remain
+/// retrievable via next_frame().
+class FrameReassembler {
+ public:
+  /// Appends stream bytes and extracts every frame they complete. Throws
+  /// wire::CodecError when the stream's next header is invalid.
+  void feed(const std::uint8_t* data, std::size_t size);
+
+  bool has_frame() const { return !frames_.empty(); }
+
+  /// Pops the oldest complete frame (header + payload, ready for
+  /// wire::Codec::deframe). Precondition: has_frame().
+  wire::Bytes next_frame();
+
+  /// Bytes buffered toward a not-yet-complete frame.
+  std::size_t pending_bytes() const { return buffer_.size(); }
+
+  void reset();
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::deque<wire::Bytes> frames_;
+  // Payload length declared by the validated header of the frame currently
+  // being buffered; unset (SIZE_MAX) until 16 header bytes have arrived.
+  std::size_t expected_payload_ = SIZE_MAX;
+};
+
+}  // namespace fbdr::netio

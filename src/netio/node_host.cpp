@@ -1,0 +1,267 @@
+#include "netio/node_host.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "net/framed_channel.h"
+#include "netio/socket_pipe.h"
+#include "server/change.h"
+
+namespace fbdr::netio {
+
+namespace {
+
+std::vector<std::string> split(const std::string& text, char delim) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t pos = text.find(delim, start);
+    if (pos == std::string::npos) {
+      parts.push_back(text.substr(start));
+      return parts;
+    }
+    parts.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string ok(const std::vector<std::string>& payload = {}) {
+  std::string reply = "ok " + std::to_string(payload.size()) + "\n";
+  for (const std::string& line : payload) reply += line + "\n";
+  return reply;
+}
+
+std::string err(const std::string& message) { return "err " + message + "\n"; }
+
+/// "<a>=<v1>,<v2>;<a2>=..." into attribute/value pairs.
+std::vector<std::pair<std::string, std::vector<std::string>>> parse_attrs(
+    const std::string& text) {
+  std::vector<std::pair<std::string, std::vector<std::string>>> attrs;
+  if (text.empty()) return attrs;
+  for (const std::string& part : split(text, ';')) {
+    if (part.empty()) continue;
+    const std::size_t eq = part.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("attribute without '=': " + part);
+    }
+    attrs.emplace_back(part.substr(0, eq), split(part.substr(eq + 1), ','));
+  }
+  return attrs;
+}
+
+}  // namespace
+
+ldap::Query parse_query_spec(const std::string& spec) {
+  const std::vector<std::string> parts = split(spec, '|');
+  if (parts.size() != 3) {
+    throw std::invalid_argument("query spec must be base|scope|filter: " + spec);
+  }
+  ldap::Scope scope;
+  if (parts[1] == "base") {
+    scope = ldap::Scope::Base;
+  } else if (parts[1] == "one") {
+    scope = ldap::Scope::OneLevel;
+  } else if (parts[1] == "sub") {
+    scope = ldap::Scope::Subtree;
+  } else {
+    throw std::invalid_argument("scope must be base|one|sub: " + parts[1]);
+  }
+  return ldap::Query::parse(parts[0], scope, parts[2]);
+}
+
+NodeHost::NodeHost(Options options) : options_(std::move(options)) {
+  if (options_.role == Role::Root) {
+    store_ = std::make_unique<server::DirectoryServer>("ldap://" +
+                                                       options_.name);
+    store_->add_context({ldap::Dn::parse(options_.suffix), {}});
+    // Seed the suffix base entry so applies under it resolve, matching how
+    // every in-process fixture bootstraps its master.
+    auto base = std::make_shared<ldap::Entry>(ldap::Dn::parse(options_.suffix));
+    base->set_values("objectclass", {"organization"});
+    store_->load(std::move(base));
+    master_ = std::make_unique<resync::ReSyncMaster>(*store_);
+    master_->set_session_time_limit(options_.session_time_limit);
+    server_ = std::make_unique<EpollServer>(*master_);
+  } else {
+    topology::RelayNode::Config config;
+    config.name = options_.name;
+    config.suffix = ldap::Dn::parse(options_.suffix);
+    config.retry = options_.retry;
+    config.session_time_limit = options_.session_time_limit;
+    config.framed = true;  // the upstream hop really is framed bytes now
+    relay_ = std::make_unique<topology::RelayNode>(std::move(config));
+
+    SocketPipe::Options pipe;
+    pipe.addr = options_.parent;
+    auto channel = std::make_shared<net::FramedChannel>(
+        std::make_shared<SocketPipe>(std::move(pipe)));
+    relay_->connect(std::move(channel), options_.parent_url);
+    server_ = std::make_unique<EpollServer>(*relay_);
+  }
+}
+
+resync::ReSyncEndpoint& NodeHost::endpoint() {
+  if (master_) return *master_;
+  return *relay_;
+}
+
+void NodeHost::run() {
+  server_->listen(options_.listen);
+  server_->listen_control(options_.control,
+                          [this](const std::string& line) {
+                            return handle_control(line);
+                          });
+  server_->run();
+}
+
+std::string NodeHost::handle_control(const std::string& line) {
+  try {
+    std::istringstream in(line);
+    std::string command;
+    in >> command;
+
+    if (command == "ping") return ok();
+
+    if (command == "quit") {
+      server_->request_stop();
+      return ok();
+    }
+
+    if (command == "tick") {
+      std::uint64_t ticks = 1;
+      in >> ticks;
+      std::lock_guard<std::mutex> lock(server_->endpoint_mutex());
+      endpoint().tick(ticks);
+      return ok();
+    }
+
+    if (command == "install") {
+      if (!relay_) return err("install: not a relay");
+      std::string spec;
+      std::getline(in >> std::ws, spec);
+      std::lock_guard<std::mutex> lock(server_->endpoint_mutex());
+      relay_->add_filter(parse_query_spec(spec));
+      return ok();
+    }
+
+    if (command == "installall") {
+      if (!relay_) return err("installall: not a relay");
+      std::lock_guard<std::mutex> lock(server_->endpoint_mutex());
+      return ok({relay_->install_all() ? "1" : "0"});
+    }
+
+    if (command == "sync") {
+      if (!relay_) return err("sync: not a relay");
+      std::lock_guard<std::mutex> lock(server_->endpoint_mutex());
+      relay_->sync();
+      return ok();
+    }
+
+    if (command == "pump") {
+      if (!master_) return err("pump: not the root");
+      std::lock_guard<std::mutex> lock(server_->endpoint_mutex());
+      master_->pump();
+      return ok();
+    }
+
+    if (command == "apply") {
+      std::string rest;
+      std::getline(in >> std::ws, rest);
+      return do_apply(rest);
+    }
+
+    if (command == "keys") {
+      std::string spec;
+      std::getline(in >> std::ws, spec);
+      return do_keys(spec);
+    }
+
+    if (command == "health") return do_health();
+
+    return err("unknown command: " + command);
+  } catch (const std::exception& e) {
+    return err(e.what());
+  }
+}
+
+std::string NodeHost::do_apply(const std::string& rest) {
+  if (!store_) return err("apply: not the root");
+  std::istringstream in(rest);
+  std::string op;
+  in >> op;
+  std::string spec;
+  std::getline(in >> std::ws, spec);
+
+  std::lock_guard<std::mutex> lock(server_->endpoint_mutex());
+  if (op == "del") {
+    store_->remove(ldap::Dn::parse(spec));
+    return ok();
+  }
+  const std::size_t bar = spec.find('|');
+  if (bar == std::string::npos) return err("apply " + op + ": missing '|'");
+  const ldap::Dn dn = ldap::Dn::parse(spec.substr(0, bar));
+  const auto attrs = parse_attrs(spec.substr(bar + 1));
+
+  if (op == "add") {
+    auto entry = std::make_shared<ldap::Entry>(dn);
+    for (const auto& [attr, values] : attrs) entry->set_values(attr, values);
+    store_->add(std::move(entry));
+    return ok();
+  }
+  if (op == "mod") {
+    std::vector<server::Modification> mods;
+    for (const auto& [attr, values] : attrs) {
+      mods.push_back({server::Modification::Op::Replace, attr, values});
+    }
+    store_->modify(dn, std::move(mods));
+    return ok();
+  }
+  return err("apply: op must be add|del|mod");
+}
+
+std::string NodeHost::do_keys(const std::string& spec) {
+  const ldap::Query query = parse_query_spec(spec);
+  std::vector<std::string> keys;
+  {
+    std::lock_guard<std::mutex> lock(server_->endpoint_mutex());
+    const server::DirectoryServer& content =
+        store_ ? *store_ : relay_->mirror();
+    for (const ldap::EntryPtr& entry : content.evaluate(query)) {
+      keys.push_back(entry->dn().norm_key());
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  return ok(keys);
+}
+
+std::string NodeHost::do_health() {
+  std::lock_guard<std::mutex> lock(server_->endpoint_mutex());
+  std::vector<std::string> lines;
+  if (master_) {
+    lines.push_back("role root");
+    lines.push_back("sessions " + std::to_string(master_->session_count()));
+    lines.push_back("now " + std::to_string(master_->now()));
+  } else {
+    lines.push_back("role relay");
+    lines.push_back("epoch " + std::to_string(relay_->epoch()));
+    lines.push_back("recoveries " + std::to_string(relay_->recoveries()));
+    lines.push_back("degraded " + std::string(relay_->any_degraded() ? "1" : "0"));
+    lines.push_back("failed_streak " + std::to_string(relay_->failed_streak()));
+    lines.push_back("root_time " + std::to_string(relay_->root_time()));
+    const net::HealthStats upstream = relay_->upstream_health();
+    lines.push_back("full_reloads " +
+                    std::to_string(upstream.total_full_reloads()));
+    lines.push_back("reconciles " + std::to_string(upstream.total_reconciles()));
+    lines.push_back("sessions " +
+                    std::to_string(relay_->downstream_master().session_count()));
+  }
+  const EpollServer::Stats stats = server_->stats();
+  lines.push_back("frames_in " + std::to_string(stats.frames_in));
+  lines.push_back("frames_out " + std::to_string(stats.frames_out));
+  lines.push_back("connections " + std::to_string(server_->open_connections()));
+  return ok(lines);
+}
+
+}  // namespace fbdr::netio

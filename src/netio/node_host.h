@@ -1,0 +1,77 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/channel.h"
+#include "netio/epoll_server.h"
+#include "netio/socket_addr.h"
+#include "resync/master.h"
+#include "server/directory_server.h"
+#include "topology/relay_node.h"
+
+namespace fbdr::netio {
+
+/// Everything one replication node process contains, assembled: the node
+/// itself (a root ReSyncMaster over a DirectoryServer, or a RelayNode with
+/// an upstream SocketPipe to its parent), an EpollServer publishing it to
+/// downstream frame connections, and the control-plane command handlers
+/// (see control.h for the protocol).
+///
+/// fbdr_node's main() is a thin argv wrapper around this class; tests can
+/// also run a NodeHost in-process (server().start()) to get the exact
+/// serving stack without a fork.
+///
+/// Threading: the node is single-threaded by design — run() puts frame
+/// dispatch AND control handling on the one epoll loop thread, so a sync
+/// round can never race a downstream poll. A relay's upstream exchanges
+/// block that loop briefly; its parent lives in another process with its
+/// own loop, so the tree's deepest-first tick order (leaf sync before
+/// parent pump, exactly TopologyRuntime::tick()) proceeds without
+/// deadlock.
+class NodeHost {
+ public:
+  enum class Role { Root, Relay };
+
+  struct Options {
+    Role role = Role::Root;
+    std::string name;
+    std::string suffix = "o=xyz";
+    SocketAddr listen;   // frame listener (downstream sessions)
+    SocketAddr control;  // control-plane listener
+    // Relay only:
+    SocketAddr parent;        // parent's frame listener
+    std::string parent_url;   // referral target ("ldap://<parent>")
+    net::RetryPolicy retry{4, 1, 2.0, 16, 0};
+    std::uint64_t session_time_limit = 0;
+  };
+
+  explicit NodeHost(Options options);
+
+  /// Binds both listeners and runs the loop inline until a quit command.
+  void run();
+
+  EpollServer& server() { return *server_; }
+  resync::ReSyncEndpoint& endpoint();
+
+ private:
+  std::string handle_control(const std::string& line);
+  std::string do_apply(const std::string& rest);
+  std::string do_keys(const std::string& spec);
+  std::string do_health();
+
+  Options options_;
+  // Root role:
+  std::unique_ptr<server::DirectoryServer> store_;
+  std::unique_ptr<resync::ReSyncMaster> master_;
+  // Relay role:
+  std::unique_ptr<topology::RelayNode> relay_;
+
+  std::unique_ptr<EpollServer> server_;
+};
+
+/// Parses "<base>|<scope>|<filter>" with scope base|one|sub (the query
+/// spelling of the control plane and ProcessTopology filter specs).
+ldap::Query parse_query_spec(const std::string& spec);
+
+}  // namespace fbdr::netio

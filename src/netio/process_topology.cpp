@@ -1,0 +1,246 @@
+#include "netio/process_topology.h"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+namespace fbdr::netio {
+
+namespace {
+
+std::chrono::steady_clock::time_point deadline_after(int ms) {
+  return std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+}
+
+}  // namespace
+
+ProcessTopology::ProcessTopology(Options options)
+    : options_(std::move(options)) {
+  if (options_.node_binary.empty() || options_.workdir.empty()) {
+    throw std::invalid_argument(
+        "ProcessTopology needs node_binary and workdir");
+  }
+}
+
+ProcessTopology::~ProcessTopology() {
+  try {
+    stop();
+  } catch (...) {
+  }
+}
+
+void ProcessTopology::add_root(const std::string& name) {
+  if (!root_.empty()) throw std::logic_error("root already declared: " + root_);
+  Node node;
+  node.name = name;
+  node.depth = 0;
+  node.listen = SocketAddr::unix_path(options_.workdir + "/" + name + ".sock");
+  node.control_addr =
+      SocketAddr::unix_path(options_.workdir + "/" + name + ".ctl");
+  root_ = name;
+  order_.push_back(name);
+  nodes_.emplace(name, std::move(node));
+}
+
+void ProcessTopology::add_relay(const std::string& name,
+                                const std::string& parent,
+                                std::vector<std::string> filter_specs) {
+  const Node& up = node(parent);  // throws on unknown parent
+  Node relay;
+  relay.name = name;
+  relay.parent = parent;
+  relay.filters = std::move(filter_specs);
+  relay.depth = up.depth + 1;
+  relay.listen = SocketAddr::unix_path(options_.workdir + "/" + name + ".sock");
+  relay.control_addr =
+      SocketAddr::unix_path(options_.workdir + "/" + name + ".ctl");
+  order_.push_back(name);
+  nodes_.emplace(name, std::move(relay));
+}
+
+ProcessTopology::Node& ProcessTopology::node(const std::string& name) {
+  const auto it = nodes_.find(name);
+  if (it == nodes_.end()) throw std::invalid_argument("unknown node: " + name);
+  return it->second;
+}
+
+const ProcessTopology::Node& ProcessTopology::node(
+    const std::string& name) const {
+  const auto it = nodes_.find(name);
+  if (it == nodes_.end()) throw std::invalid_argument("unknown node: " + name);
+  return it->second;
+}
+
+void ProcessTopology::spawn(Node& n) {
+  std::vector<std::string> args = {
+      options_.node_binary,
+      "--role",    n.parent.empty() ? "root" : "relay",
+      "--name",    n.name,
+      "--suffix",  options_.suffix,
+      "--listen",  n.listen.to_string(),
+      "--control", n.control_addr.to_string(),
+      "--session-limit", std::to_string(options_.session_time_limit),
+  };
+  if (!n.parent.empty()) {
+    args.push_back("--parent");
+    args.push_back(node(n.parent).listen.to_string());
+    args.push_back("--parent-url");
+    args.push_back("ldap://" + n.parent);
+  }
+
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& arg : args) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    throw std::runtime_error(std::string("fork: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    ::execv(argv[0], argv.data());
+    // Reached only when exec fails; the parent sees it as ping timeout.
+    std::_Exit(127);
+  }
+  n.pid = pid;
+  n.client.reset();
+}
+
+void ProcessTopology::wait_ready(Node& n) {
+  const auto deadline = deadline_after(options_.spawn_timeout_ms);
+  std::string last_error = "never attempted";
+  while (std::chrono::steady_clock::now() < deadline) {
+    int status = 0;
+    if (n.pid > 0 && ::waitpid(n.pid, &status, WNOHANG) == n.pid) {
+      n.pid = -1;
+      throw std::runtime_error("node " + n.name + " exited during startup");
+    }
+    try {
+      auto client = std::make_unique<ControlClient>(n.control_addr,
+                                                    options_.control_timeout_ms);
+      client->request("ping");
+      n.client = std::move(client);
+      return;
+    } catch (const std::exception& e) {
+      last_error = e.what();
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  throw std::runtime_error("node " + n.name +
+                           " not ready before deadline: " + last_error);
+}
+
+void ProcessTopology::install_filters(Node& n) {
+  for (const std::string& spec : n.filters) {
+    n.client->request("install " + spec);
+  }
+}
+
+void ProcessTopology::start() {
+  if (root_.empty()) throw std::logic_error("no root declared");
+  for (const std::string& name : order_) {
+    Node& n = node(name);
+    spawn(n);
+    wait_ready(n);
+    install_filters(n);
+  }
+}
+
+std::vector<std::string> ProcessTopology::relay_names_deepest_first() const {
+  std::vector<std::string> names;
+  for (const std::string& name : order_) {
+    if (!node(name).parent.empty()) names.push_back(name);
+  }
+  std::stable_sort(names.begin(), names.end(),
+                   [this](const std::string& a, const std::string& b) {
+                     return node(a).depth > node(b).depth;
+                   });
+  return names;
+}
+
+void ProcessTopology::tick() {
+  // Deepest-first, like TopologyRuntime::tick(): each relay pulls from its
+  // parent (and pumps its own downstream sessions inside sync()) before the
+  // parent's content moves again, then the root routes its journal and the
+  // clock advances.
+  for (const std::string& name : relay_names_deepest_first()) {
+    Node& n = node(name);
+    if (n.pid <= 0) continue;  // crashed: the tree degrades, later heals
+    n.client->request("sync");
+  }
+  Node& r = node(root_);
+  r.client->request("pump");
+  r.client->request("tick 1");
+}
+
+ControlClient& ProcessTopology::control(const std::string& name) {
+  Node& n = node(name);
+  if (!n.client) throw std::runtime_error("node not running: " + name);
+  return *n.client;
+}
+
+std::vector<std::string> ProcessTopology::keys(const std::string& name,
+                                               const std::string& query_spec) {
+  return control(name).request("keys " + query_spec);
+}
+
+std::map<std::string, std::string> ProcessTopology::health(
+    const std::string& name) {
+  return control(name).health();
+}
+
+void ProcessTopology::crash(const std::string& name) {
+  Node& n = node(name);
+  if (n.pid <= 0) return;
+  reap(n, /*force=*/true);
+}
+
+void ProcessTopology::respawn(const std::string& name) {
+  Node& n = node(name);
+  if (n.pid > 0) throw std::logic_error("node still running: " + name);
+  spawn(n);
+  wait_ready(n);
+  install_filters(n);
+}
+
+void ProcessTopology::reap(Node& n, bool force) {
+  if (n.pid <= 0) return;
+  if (force) {
+    ::kill(n.pid, SIGKILL);
+  } else if (n.client) {
+    try {
+      n.client->request("quit");
+    } catch (const std::exception&) {
+      ::kill(n.pid, SIGKILL);
+    }
+  } else {
+    ::kill(n.pid, SIGKILL);
+  }
+  ::waitpid(n.pid, nullptr, 0);
+  n.pid = -1;
+  n.client.reset();
+}
+
+void ProcessTopology::stop() {
+  // Children before parents: a relay quitting mid-sync against a dead
+  // parent would just eat its retry budget.
+  for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+    reap(node(*it), /*force=*/false);
+  }
+}
+
+bool ProcessTopology::running(const std::string& name) const {
+  return node(name).pid > 0;
+}
+
+int ProcessTopology::depth(const std::string& name) const {
+  return node(name).depth;
+}
+
+}  // namespace fbdr::netio

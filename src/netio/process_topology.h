@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <sys/types.h>
+
+#include "netio/control.h"
+#include "netio/socket_addr.h"
+
+namespace fbdr::netio {
+
+/// A replication tree where every node is a real OS process: the root
+/// master and each relay run as fork/exec'd fbdr_node binaries, wired over
+/// Unix-domain sockets in a private workdir, driven through the control
+/// plane. This is TopologyRuntime with the simulation layer peeled away —
+/// same deepest-first tick protocol, same heal-through-StaleCookie recovery
+/// story, but the "network" is the kernel's and a crash is a SIGKILL.
+///
+/// Lifecycle: add_root()/add_relay() declare the tree, start() spawns every
+/// process (parents first) and waits for each control plane to answer ping,
+/// tick() drives one replication round, crash()/respawn() model a node
+/// failure, stop() (or the destructor) quits or kills everything and reaps.
+class ProcessTopology {
+ public:
+  struct Options {
+    std::string node_binary;  // path to the fbdr_node executable
+    std::string workdir;      // sockets live here (private, e.g. mkdtemp)
+    std::string suffix = "o=xyz";
+    std::uint64_t session_time_limit = 0;
+    int spawn_timeout_ms = 10000;
+    int control_timeout_ms = 15000;
+  };
+
+  explicit ProcessTopology(Options options);
+  ~ProcessTopology();
+
+  ProcessTopology(const ProcessTopology&) = delete;
+  ProcessTopology& operator=(const ProcessTopology&) = delete;
+
+  void add_root(const std::string& name);
+
+  /// `filter_specs` are "base|scope|filter" query specs (parse_query_spec)
+  /// installed on the relay right after it spawns — its admission set.
+  void add_relay(const std::string& name, const std::string& parent,
+                 std::vector<std::string> filter_specs);
+
+  /// Spawns every declared node (parents before children), waits for each
+  /// control plane, installs relay filters. Throws on spawn/ping failure.
+  void start();
+
+  /// One replication round, exactly TopologyRuntime::tick(): every relay
+  /// syncs deepest-first (leaves pull before their parents change again),
+  /// then the root pumps its journal into sessions and advances one tick.
+  void tick();
+
+  ControlClient& control(const std::string& name);
+
+  /// Sorted norm keys of the node's local content matching the query spec.
+  std::vector<std::string> keys(const std::string& name,
+                                const std::string& query_spec);
+
+  std::map<std::string, std::string> health(const std::string& name);
+
+  /// SIGKILLs the node's process — no goodbye, sessions and mirror gone.
+  void crash(const std::string& name);
+
+  /// Spawns a crashed (or stopped) node again on the same socket paths and
+  /// re-installs its filters. Descendants heal on subsequent tick()s via
+  /// the stale-cookie / reconciliation recovery path.
+  void respawn(const std::string& name);
+
+  void stop();
+
+  bool running(const std::string& name) const;
+  int depth(const std::string& name) const;
+  std::vector<std::string> relay_names_deepest_first() const;
+
+ private:
+  struct Node {
+    std::string name;
+    std::string parent;  // empty = root
+    std::vector<std::string> filters;
+    int depth = 0;
+    SocketAddr listen;
+    SocketAddr control_addr;
+    pid_t pid = -1;
+    std::unique_ptr<ControlClient> client;
+  };
+
+  Node& node(const std::string& name);
+  const Node& node(const std::string& name) const;
+  void spawn(Node& node);
+  void wait_ready(Node& node);
+  void install_filters(Node& node);
+  void reap(Node& node, bool force);
+
+  Options options_;
+  std::vector<std::string> order_;  // declaration order (parents first)
+  std::map<std::string, Node> nodes_;
+  std::string root_;
+};
+
+}  // namespace fbdr::netio

@@ -1,0 +1,111 @@
+#include "netio/socket_pipe.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace fbdr::netio {
+
+SocketPipe::SocketPipe(Options options) : options_(std::move(options)) {}
+
+SocketPipe::~SocketPipe() { close(); }
+
+void SocketPipe::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  reassembler_.reset();
+}
+
+void SocketPipe::fail(const std::string& what) {
+  close();
+  throw net::TransportError(what + " (" + options_.addr.to_string() + ")");
+}
+
+void SocketPipe::ensure_connected() {
+  if (fd_ >= 0) return;
+  std::string error;
+  const int fd = open_client(options_.addr, options_.connect_timeout_ms, &error);
+  if (fd < 0) fail("connect failed: " + error);
+  fd_ = fd;
+  reassembler_.reset();
+  ++connects_;
+}
+
+void SocketPipe::write_all(const wire::Bytes& frame) {
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    // MSG_NOSIGNAL: a peer that closed mid-write yields EPIPE, not SIGPIPE.
+    const ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail(std::string("send failed: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+wire::Bytes SocketPipe::read_frame() {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options_.io_timeout_ms);
+  std::uint8_t chunk[4096];
+  while (!reassembler_.has_frame()) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (left.count() <= 0) fail("response timed out");
+
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, static_cast<int>(left.count()));
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      fail(std::string("poll failed: ") + std::strerror(errno));
+    }
+    if (ready == 0) fail("response timed out");
+
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) fail("connection closed by peer");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail(std::string("recv failed: ") + std::strerror(errno));
+    }
+    try {
+      reassembler_.feed(chunk, static_cast<std::size_t>(n));
+    } catch (const wire::CodecError& e) {
+      // The response stream lost its framing — unrecoverable connection.
+      fail(std::string("garbled response stream: ") + e.what());
+    }
+  }
+  return reassembler_.next_frame();
+}
+
+wire::Bytes SocketPipe::transfer(const wire::Bytes& frame) {
+  ensure_connected();
+  write_all(frame);
+  return read_frame();
+}
+
+void SocketPipe::send(const wire::Bytes& frame) {
+  // One-way, best effort: failures (including failure to connect) are
+  // swallowed exactly like EndpointPipe swallows a garbled abandon.
+  try {
+    ensure_connected();
+    write_all(frame);
+  } catch (const net::TransportError&) {
+  }
+}
+
+void SocketPipe::elapse(std::uint64_t ticks) {
+  if (options_.backoff_ms_per_tick > 0 && ticks > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        static_cast<std::uint64_t>(options_.backoff_ms_per_tick) * ticks));
+  }
+}
+
+}  // namespace fbdr::netio

@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/framed_channel.h"
+#include "netio/frame_reassembler.h"
+#include "netio/socket_addr.h"
+
+namespace fbdr::netio {
+
+/// net::BytePipe over a real stream socket: the client end of a framed link
+/// whose server is an EpollServer (or any peer speaking wire frames over
+/// TCP/Unix sockets).
+///
+/// Failure model — everything maps onto the retry machinery that already
+/// exists above the Channel seam:
+///
+///  - Any transport fault (connect refused, send/recv error, peer close,
+///    read deadline, garbled response header) closes the connection and
+///    throws net::TransportError. Nothing is retried here.
+///  - net::exchange_with_retry / the replica's RetryPolicy supply the
+///    backoff and re-sends; the next transfer() transparently reconnects.
+///    Replay-safe cookie sequence numbers make the re-send idempotent, so
+///    a reconnect mid-session heals exactly like a dropped frame on the
+///    in-process FaultyPipe.
+///  - elapse() sleeps backoff_ms_per_tick per logical tick (default 0:
+///    logical backoff costs no wall clock, which is what tests want).
+///
+/// The pipe is intentionally single-connection and synchronous: one
+/// request frame out, one response frame back. Concurrency comes from many
+/// pipes (one per replica session), multiplexed server-side by epoll.
+class SocketPipe final : public net::BytePipe {
+ public:
+  struct Options {
+    SocketAddr addr;
+    int connect_timeout_ms = 2000;
+    /// Deadline for one whole response (applies per transfer()).
+    int io_timeout_ms = 10000;
+    /// Wall-clock milliseconds per logical tick in elapse().
+    int backoff_ms_per_tick = 0;
+  };
+
+  explicit SocketPipe(Options options);
+  ~SocketPipe() override;
+
+  SocketPipe(const SocketPipe&) = delete;
+  SocketPipe& operator=(const SocketPipe&) = delete;
+
+  wire::Bytes transfer(const wire::Bytes& frame) override;
+  void send(const wire::Bytes& frame) override;
+  void elapse(std::uint64_t ticks) override;
+
+  bool connected() const noexcept { return fd_ >= 0; }
+  /// Successful (re)connects so far — 1 after the first exchange, +1 per
+  /// reconnect after a transport fault.
+  std::uint64_t connects() const noexcept { return connects_; }
+
+  void close();
+
+ private:
+  void ensure_connected();
+  void write_all(const wire::Bytes& frame);
+  wire::Bytes read_frame();
+  [[noreturn]] void fail(const std::string& what);
+
+  Options options_;
+  int fd_ = -1;
+  FrameReassembler reassembler_;
+  std::uint64_t connects_ = 0;
+};
+
+}  // namespace fbdr::netio

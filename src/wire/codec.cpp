@@ -763,6 +763,10 @@ Bytes Codec::frame(const Bytes& payload) {
     throw CodecError("payload exceeds frame size limit");
   }
   Writer w;
+  w.u8(static_cast<std::uint8_t>(kMagic >> 8));
+  w.u8(static_cast<std::uint8_t>(kMagic));
+  w.u8(kCodecVersion);
+  w.u8(0);  // reserved, must be zero on send, ignored on receive
   w.u32(static_cast<std::uint32_t>(payload.size()));
   w.u64(checksum(payload.data(), payload.size()));
   Bytes out = w.take();
@@ -770,17 +774,36 @@ Bytes Codec::frame(const Bytes& payload) {
   return out;
 }
 
+std::size_t Codec::validate_header(const std::uint8_t* header) {
+  const std::uint16_t magic = static_cast<std::uint16_t>(
+      (static_cast<std::uint16_t>(header[0]) << 8) | header[1]);
+  if (magic != kMagic) {
+    throw CodecError("bad frame magic: not an fbdr frame");
+  }
+  if (header[2] != kCodecVersion) {
+    throw CodecError("unsupported codec version " + std::to_string(header[2]) +
+                     " (speaking " + std::to_string(kCodecVersion) + ")");
+  }
+  const std::size_t length = (static_cast<std::size_t>(header[4]) << 24) |
+                             (static_cast<std::size_t>(header[5]) << 16) |
+                             (static_cast<std::size_t>(header[6]) << 8) |
+                             static_cast<std::size_t>(header[7]);
+  if (length > kMaxPayloadBytes) {
+    throw CodecError("frame length exceeds payload limit");
+  }
+  return length;
+}
+
 Bytes Codec::deframe(const Bytes& frame) {
   if (frame.size() < kFrameHeaderBytes) {
     throw CodecError("short frame: " + std::to_string(frame.size()) + " bytes");
   }
-  Reader r(frame.data(), frame.size());
-  const std::uint32_t length = r.u32();
-  const std::uint64_t expected = r.u64();
-  if (length > kMaxPayloadBytes ||
-      length != frame.size() - kFrameHeaderBytes) {
+  const std::size_t length = validate_header(frame.data());
+  if (length != frame.size() - kFrameHeaderBytes) {
     throw CodecError("frame length mismatch");
   }
+  Reader r(frame.data() + 8, 8);  // the checksum field
+  const std::uint64_t expected = r.u64();
   const std::uint8_t* payload = frame.data() + kFrameHeaderBytes;
   if (checksum(payload, length) != expected) {
     throw CodecError("frame checksum mismatch");

@@ -63,12 +63,23 @@ struct ErrorFrame {
 /// fields can be added without breaking old decoders. Integers are
 /// big-endian fixed-width; strings are u32 length + bytes.
 ///
-/// A frame is u32 payload length + u64 FNV-1a checksum + payload. The
-/// checksum is what turns byte-level corruption into a deterministic
-/// CodecError instead of silently decoding flipped bits into wrong content.
+/// A frame is u16 magic + u8 codec version + u8 reserved (zero) + u32
+/// payload length + u64 FNV-1a checksum + payload. The magic and version
+/// are what keep a frame honest once it crosses a real process boundary: a
+/// stray connection speaking another protocol (or a peer running an
+/// incompatible codec) is rejected by header validation before a single
+/// payload byte is read, and the checksum turns byte-level corruption into
+/// a deterministic CodecError instead of silently decoding flipped bits
+/// into wrong content.
 class Codec {
  public:
-  static constexpr std::size_t kFrameHeaderBytes = 12;
+  /// First two bytes of every frame on the wire.
+  static constexpr std::uint16_t kMagic = 0xFBD1;
+  /// Bumped on incompatible changes to the frame layout or TLV encoding.
+  /// (TLV additions are compatible — unknown tags are skipped — so this
+  /// only moves when the header or an existing field changes shape.)
+  static constexpr std::uint8_t kCodecVersion = 1;
+  static constexpr std::size_t kFrameHeaderBytes = 16;
   /// Upper bound on a sane payload; lengths beyond it are rejected before
   /// any allocation happens.
   static constexpr std::size_t kMaxPayloadBytes = std::size_t{1} << 30;
@@ -93,6 +104,14 @@ class Codec {
   // --- framing ---
   static Bytes frame(const Bytes& payload);
   static Bytes deframe(const Bytes& frame);
+
+  /// Validates the fixed-size header of a (possibly still incomplete) frame
+  /// — magic, codec version, payload length bound — and returns the payload
+  /// length it declares. `header` must point at kFrameHeaderBytes bytes.
+  /// This is the shared first line of defence of deframe() and the socket
+  /// transports' stream reassembly: everything that can be rejected before
+  /// buffering a payload is rejected here, with a typed CodecError.
+  static std::size_t validate_header(const std::uint8_t* header);
 
   /// FNV-1a 64 over a byte span (the frame checksum).
   static std::uint64_t checksum(const std::uint8_t* data, std::size_t size);

@@ -1,0 +1,483 @@
+// The socket transport against the in-process seam it must be
+// indistinguishable from: every test runs a real EpollServer on a loopback
+// Unix socket (or TCP) with SocketPipe clients, and the reference runs are
+// EndpointPipe links to an identically-driven twin master. Skips loudly
+// when the sandbox forbids sockets.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "ldap/entry.h"
+#include "ldap/error.h"
+#include "net/framed_channel.h"
+#include "netio/epoll_server.h"
+#include "netio/socket_addr.h"
+#include "netio/socket_pipe.h"
+#include "resync/master.h"
+#include "resync/replica_client.h"
+#include "server/change.h"
+#include "server/directory_server.h"
+
+namespace fbdr::netio {
+namespace {
+
+using ldap::Dn;
+using ldap::Query;
+using ldap::Scope;
+using resync::Mode;
+using resync::ReSyncControl;
+using resync::ReSyncMaster;
+using resync::ReSyncReplica;
+using resync::ReSyncResponse;
+using server::Modification;
+
+#define SKIP_WITHOUT_SOCKETS()                                       \
+  do {                                                               \
+    std::string reason;                                              \
+    if (!sockets_available(&reason)) {                               \
+      GTEST_SKIP() << "SKIPPING: sandbox forbids sockets (" << reason \
+                   << ") — socket transport is untested here";       \
+    }                                                                \
+  } while (0)
+
+/// A private directory for this test's Unix socket paths.
+class SocketDir {
+ public:
+  SocketDir() {
+    char templ[] = "/tmp/fbdr_sock_XXXXXX";
+    dir_ = ::mkdtemp(templ) ? templ : "";
+  }
+  ~SocketDir() {
+    if (!dir_.empty()) {
+      std::system(("rm -rf " + dir_).c_str());
+    }
+  }
+  SocketAddr addr(const std::string& name) const {
+    return SocketAddr::unix_path(dir_ + "/" + name);
+  }
+
+ private:
+  std::string dir_;
+};
+
+ldap::EntryPtr make_entry(
+    const std::string& dn,
+    const std::vector<std::pair<std::string, std::string>>& attrs) {
+  auto entry = std::make_shared<ldap::Entry>(Dn::parse(dn));
+  for (const auto& [attr, value] : attrs) entry->set_values(attr, {value});
+  return entry;
+}
+
+std::unique_ptr<server::DirectoryServer> make_master() {
+  auto master = std::make_unique<server::DirectoryServer>("ldap://master");
+  server::NamingContext context;
+  context.suffix = Dn::parse("o=xyz");
+  master->add_context(std::move(context));
+  master->load(make_entry("o=xyz", {{"objectclass", "organization"}}));
+  for (int i = 0; i < 20; ++i) {
+    master->load(make_entry(
+        "cn=E" + std::to_string(i) + ",o=xyz",
+        {{"objectclass", "person"}, {"dept", std::to_string(i % 3 * 35 + 7)}}));
+  }
+  return master;
+}
+
+const std::vector<Query> kQueries = {
+    Query::parse("o=xyz", Scope::Subtree, "(dept=7)"),
+    Query::parse("o=xyz", Scope::Subtree, "(dept=42)"),
+    Query::parse("o=xyz", Scope::Subtree, "(objectclass=person)"),
+};
+
+/// Logs the canonical encoding of every response that crossed the channel.
+class RecordingChannel final : public net::Channel {
+ public:
+  explicit RecordingChannel(net::Channel& inner) : inner_(&inner) {}
+
+  ReSyncResponse exchange(const Query& query,
+                          const ReSyncControl& control) override {
+    ReSyncResponse response = inner_->exchange(query, control);
+    log_.push_back(wire::Codec::encode_response(response));
+    return response;
+  }
+  void abandon(const std::string& cookie) override { inner_->abandon(cookie); }
+  void elapse(std::uint64_t ticks) override { inner_->elapse(ticks); }
+
+  const std::vector<wire::Bytes>& log() const noexcept { return log_; }
+
+ private:
+  net::Channel* inner_;
+  std::vector<wire::Bytes> log_;
+};
+
+/// One operation applied identically to both masters (the socket-served one
+/// and its in-process twin), mirroring the chaos-suite mutation stream.
+void mutate_both(std::mt19937& rng, int& next_cn,
+                 server::DirectoryServer& socket_master,
+                 server::DirectoryServer& twin_master, EpollServer& server) {
+  const int op = std::uniform_int_distribution<int>(0, 99)(rng);
+  const int pick = std::uniform_int_distribution<int>(0, 60)(rng);
+  const std::string dept = std::to_string(pick % 3 * 35 + 7);
+  const Dn target = Dn::parse("cn=E" + std::to_string(pick) + ",o=xyz");
+  const auto apply = [&](server::DirectoryServer& master) {
+    try {
+      if (op < 35) {
+        master.add(make_entry("cn=E" + std::to_string(next_cn) + ",o=xyz",
+                              {{"objectclass", "person"}, {"dept", dept}}));
+      } else if (op < 60) {
+        master.remove(target);
+      } else if (op < 90) {
+        master.modify(target, {{Modification::Op::Replace, "dept", {dept}}});
+      } else {
+        master.modify_dn(target, Dn::parse("cn=R" + std::to_string(next_cn) +
+                                           ",o=xyz"));
+      }
+    } catch (const ldap::OperationError&) {
+      // Missing random target: identical noise on both masters.
+    }
+  };
+  {
+    // The epoll loop dispatches requests against this store.
+    std::lock_guard<std::mutex> lock(server.endpoint_mutex());
+    apply(socket_master);
+  }
+  apply(twin_master);
+  ++next_cn;
+}
+
+// The transport transparency property, now across a real process-style
+// boundary: a replica polling through SocketPipe -> loopback -> EpollServer
+// must see byte-identical responses (canonical encoding, cookies included)
+// to one polling the same master history through the in-process
+// EndpointPipe, across the chaos suite's seeds.
+class SocketTwin : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SocketTwin, SocketAndInProcessRunsAreBitIdentical) {
+  SKIP_WITHOUT_SOCKETS();
+  const std::uint64_t seed = GetParam();
+
+  auto socket_master = make_master();
+  auto twin_master = make_master();
+  ReSyncMaster socket_resync(*socket_master);
+  ReSyncMaster twin_resync(*twin_master);
+
+  SocketDir dir;
+  EpollServer server(socket_resync);
+  const SocketAddr addr = server.listen(dir.addr("master.sock"));
+  server.start();
+
+  SocketPipe::Options pipe_options;
+  pipe_options.addr = addr;
+  net::FramedChannel socket_channel(
+      std::make_shared<SocketPipe>(pipe_options));
+  net::FramedChannel twin_channel(twin_resync);
+  RecordingChannel socket_log(socket_channel);
+  RecordingChannel twin_log(twin_channel);
+
+  std::vector<std::unique_ptr<ReSyncReplica>> socket_replicas;
+  std::vector<std::unique_ptr<ReSyncReplica>> twin_replicas;
+  for (const Query& query : kQueries) {
+    socket_replicas.push_back(std::make_unique<ReSyncReplica>(socket_log, query));
+    socket_replicas.back()->start(Mode::Poll);
+    twin_replicas.push_back(std::make_unique<ReSyncReplica>(twin_log, query));
+    twin_replicas.back()->start(Mode::Poll);
+  }
+
+  std::mt19937 rng(static_cast<unsigned>(seed));
+  int next_cn = 100;
+  for (int step = 0; step < 120; ++step) {
+    mutate_both(rng, next_cn, *socket_master, *twin_master, server);
+    {
+      std::lock_guard<std::mutex> lock(server.endpoint_mutex());
+      socket_resync.pump();
+    }
+    twin_resync.pump();
+    if (step % 7 == 0) {
+      for (std::size_t i = 0; i < kQueries.size(); ++i) {
+        socket_replicas[i]->poll();
+        twin_replicas[i]->poll();
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(server.endpoint_mutex());
+    socket_resync.pump();
+  }
+  twin_resync.pump();
+  for (std::size_t i = 0; i < kQueries.size(); ++i) {
+    socket_replicas[i]->poll();
+    twin_replicas[i]->poll();
+  }
+
+  ASSERT_EQ(socket_log.log().size(), twin_log.log().size());
+  for (std::size_t i = 0; i < socket_log.log().size(); ++i) {
+    EXPECT_EQ(socket_log.log()[i], twin_log.log()[i])
+        << "response " << i << " differs across the socket (seed " << seed
+        << ")";
+  }
+
+  for (std::size_t i = 0; i < kQueries.size(); ++i) {
+    EXPECT_EQ(socket_replicas[i]->content().keys(),
+              twin_replicas[i]->content().keys());
+    EXPECT_EQ(socket_replicas[i]->cookie(), twin_replicas[i]->cookie());
+  }
+
+  // Both seams did exact frame accounting: two frames per exchange.
+  EXPECT_EQ(socket_channel.traffic().frames, 2 * socket_log.log().size());
+  EXPECT_EQ(socket_channel.traffic().bytes, twin_channel.traffic().bytes);
+
+  const EpollServer::Stats stats = server.stats();
+  EXPECT_EQ(stats.frames_in, socket_log.log().size());
+  EXPECT_EQ(stats.frames_out, socket_log.log().size());
+  EXPECT_EQ(stats.garbled_closes, 0u);
+  server.stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SocketTwin,
+                         ::testing::Values(20050501u, 31337u, 777u, 424242u),
+                         [](const ::testing::TestParamInfo<std::uint64_t>& p) {
+                           return "seed" + std::to_string(p.param);
+                         });
+
+// Typed protocol errors must cross the socket type-exact, just as they
+// cross the EndpointPipe seam. Busy is NOT an exception at the endpoint —
+// it is an in-band response flag (ReSyncReplica turns it into BusyError
+// client-side) — so the wire must deliver the flagged response unchanged;
+// a stale cookie IS a thrown ldap::StaleCookieError and must arrive as
+// exactly that type.
+TEST(SocketErrors, StaleCookieAndBusyArriveTypeExact) {
+  SKIP_WITHOUT_SOCKETS();
+  auto master = make_master();
+  ReSyncMaster resync(*master);
+  resync::ResourceLimits limits;
+  limits.max_sessions = 1;
+  resync.set_resource_limits(limits);
+
+  SocketDir dir;
+  EpollServer server(resync);
+  const SocketAddr addr = server.listen(dir.addr("master.sock"));
+  server.start();
+
+  SocketPipe::Options pipe_options;
+  pipe_options.addr = addr;
+  net::FramedChannel channel(std::make_shared<SocketPipe>(pipe_options));
+
+  // Session 1 occupies the only slot.
+  const ReSyncResponse first = channel.exchange(kQueries[0], {Mode::Poll, ""});
+  EXPECT_FALSE(first.cookie.empty());
+
+  // Session 2 bounces at admission: the busy-flagged response crosses the
+  // socket in-band — no session created, no transport failure.
+  const ReSyncResponse bounced =
+      channel.exchange(kQueries[1], {Mode::Poll, ""});
+  EXPECT_TRUE(bounced.busy);
+  EXPECT_TRUE(bounced.cookie.empty());
+  server.with_endpoint([](resync::ReSyncEndpoint& endpoint) {
+    EXPECT_EQ(static_cast<resync::ReSyncMaster&>(endpoint).session_count(), 1u);
+  });
+
+  // The master restarts; the held cookie goes stale — StaleCookieError.
+  server.with_endpoint([](resync::ReSyncEndpoint& endpoint) {
+    endpoint.reset();
+  });
+  EXPECT_THROW(channel.exchange(kQueries[0], {Mode::Poll, first.cookie}),
+               ldap::StaleCookieError);
+  server.stop();
+}
+
+// A garbled frame makes the connection unrecoverable: the server closes it
+// (the socket spelling of EndpointPipe's "drop the frame") and the client
+// surfaces TransportError, then transparently reconnects for the retry.
+TEST(SocketErrors, GarbledFrameClosesConnectionAndReconnectHeals) {
+  SKIP_WITHOUT_SOCKETS();
+  auto master = make_master();
+  ReSyncMaster resync(*master);
+
+  SocketDir dir;
+  EpollServer server(resync);
+  const SocketAddr addr = server.listen(dir.addr("master.sock"));
+  server.start();
+
+  SocketPipe::Options pipe_options;
+  pipe_options.addr = addr;
+  auto pipe = std::make_shared<SocketPipe>(pipe_options);
+
+  // A frame whose header is intact but whose checksum lies: the server
+  // must deframe-fail and close.
+  wire::Bytes corrupt = wire::Codec::frame(
+      wire::Codec::encode_request(kQueries[0], {Mode::Poll, ""}));
+  corrupt.back() ^= 0x01;
+  EXPECT_THROW(pipe->transfer(corrupt), net::TransportError);
+
+  // Bytes that are not a frame at all: rejected at the header, closed.
+  wire::Bytes junk = {'G', 'E', 'T', ' ', '/', ' ', 'H', 'T', 'T', 'P',
+                      '/', '1', '.', '1', '\r', '\n'};
+  EXPECT_THROW(pipe->transfer(junk), net::TransportError);
+
+  // The same pipe heals by reconnecting: a valid exchange now succeeds.
+  net::FramedChannel channel(pipe);
+  const ReSyncResponse response = channel.exchange(kQueries[0], {Mode::Poll, ""});
+  EXPECT_FALSE(response.cookie.empty());
+  EXPECT_GE(pipe->connects(), 3u);  // two garbled closes + the good run
+
+  const EpollServer::Stats stats = server.stats();
+  EXPECT_GE(stats.garbled_closes, 2u);
+  server.stop();
+}
+
+// Abandon over the socket is one-way best effort, exactly like the
+// in-process pipe: the session dies server-side, no response crosses back.
+TEST(SocketErrors, AbandonIsOneWayAndReachesTheEndpoint) {
+  SKIP_WITHOUT_SOCKETS();
+  auto master = make_master();
+  ReSyncMaster resync(*master);
+
+  SocketDir dir;
+  EpollServer server(resync);
+  const SocketAddr addr = server.listen(dir.addr("master.sock"));
+  server.start();
+
+  SocketPipe::Options pipe_options;
+  pipe_options.addr = addr;
+  net::FramedChannel channel(std::make_shared<SocketPipe>(pipe_options));
+
+  const ReSyncResponse response = channel.exchange(kQueries[0], {Mode::Poll, ""});
+  channel.abandon(response.cookie);
+
+  // The abandon is async on the loop thread; wait for it to land.
+  bool gone = false;
+  for (int i = 0; i < 200 && !gone; ++i) {
+    {
+      std::lock_guard<std::mutex> lock(server.endpoint_mutex());
+      gone = resync.session_count() == 0;
+    }
+    if (!gone) usleep(5000);
+  }
+  EXPECT_TRUE(gone) << "abandon never reached the endpoint";
+  EXPECT_GE(server.stats().abandons, 1u);
+  server.stop();
+}
+
+// N concurrent replica connections multiplexed by one epoll loop: every
+// session converges, and the server really held them all open at once.
+TEST(SocketConcurrency, FourConcurrentReplicaSessionsConverge) {
+  SKIP_WITHOUT_SOCKETS();
+  auto master = make_master();
+  ReSyncMaster resync(*master);
+
+  SocketDir dir;
+  EpollServer server(resync);
+  const SocketAddr addr = server.listen(dir.addr("master.sock"));
+  server.start();
+
+  constexpr std::size_t kSessions = 4;
+  std::vector<std::unique_ptr<net::FramedChannel>> channels;
+  std::vector<std::unique_ptr<ReSyncReplica>> replicas;
+  const Query query = Query::parse("o=xyz", Scope::Subtree, "(objectclass=person)");
+  for (std::size_t i = 0; i < kSessions; ++i) {
+    SocketPipe::Options pipe_options;
+    pipe_options.addr = addr;
+    channels.push_back(std::make_unique<net::FramedChannel>(
+        std::make_shared<SocketPipe>(pipe_options)));
+    replicas.push_back(std::make_unique<ReSyncReplica>(*channels[i], query));
+    replicas[i]->start(Mode::Poll);
+  }
+  EXPECT_EQ(server.open_connections(), kSessions);
+
+  for (int round = 0; round < 10; ++round) {
+    {
+      std::lock_guard<std::mutex> lock(server.endpoint_mutex());
+      master->add(make_entry("cn=N" + std::to_string(round) + ",o=xyz",
+                             {{"objectclass", "person"}, {"dept", "7"}}));
+      resync.pump();
+    }
+    for (auto& replica : replicas) replica->poll();
+  }
+
+  std::vector<std::string> expected;
+  {
+    std::lock_guard<std::mutex> lock(server.endpoint_mutex());
+    for (const ldap::EntryPtr& entry : master->evaluate(query)) {
+      expected.push_back(entry->dn().norm_key());
+    }
+    std::sort(expected.begin(), expected.end());
+  }
+  for (auto& replica : replicas) {
+    EXPECT_EQ(replica->content().keys(), expected);
+  }
+  EXPECT_EQ(server.open_connections(), kSessions);
+  server.stop();
+}
+
+// A server restart severs the TCP-level connection but not the protocol:
+// the pipe reconnects on the next transfer and the session resumes from
+// its replay-safe cookie (the master object survived, as after a fast
+// failover to a warm standby).
+TEST(SocketRecovery, PipeReconnectsAfterServerRestart) {
+  SKIP_WITHOUT_SOCKETS();
+  auto master = make_master();
+  ReSyncMaster resync(*master);
+
+  SocketDir dir;
+  const SocketAddr addr = dir.addr("master.sock");
+
+  auto server = std::make_unique<EpollServer>(resync);
+  server->listen(addr);
+  server->start();
+
+  SocketPipe::Options pipe_options;
+  pipe_options.addr = addr;
+  pipe_options.connect_timeout_ms = 300;
+  auto pipe = std::make_shared<SocketPipe>(pipe_options);
+  net::FramedChannel channel(pipe);
+
+  const ReSyncResponse first = channel.exchange(kQueries[0], {Mode::Poll, ""});
+  EXPECT_EQ(pipe->connects(), 1u);
+
+  // Down: the next exchange fails at the transport level.
+  server.reset();
+  EXPECT_THROW(channel.exchange(kQueries[0], {Mode::Poll, first.cookie}),
+               net::TransportError);
+
+  // Back up on the same address: the pipe reconnects, the cookie still
+  // names a live session, and the poll succeeds.
+  server = std::make_unique<EpollServer>(resync);
+  server->listen(addr);
+  server->start();
+  const ReSyncResponse resumed =
+      channel.exchange(kQueries[0], {Mode::Poll, first.cookie});
+  EXPECT_FALSE(resumed.cookie.empty());
+  EXPECT_GE(pipe->connects(), 2u);
+  server->stop();
+}
+
+// TCP loopback speaks the same frames as Unix sockets.
+TEST(SocketTcp, TcpLoopbackServesTheProtocol) {
+  SKIP_WITHOUT_SOCKETS();
+  auto master = make_master();
+  ReSyncMaster resync(*master);
+
+  EpollServer server(resync);
+  const SocketAddr bound = server.listen(SocketAddr::tcp("127.0.0.1", 0));
+  EXPECT_GT(bound.port, 0);
+  server.start();
+
+  SocketPipe::Options pipe_options;
+  pipe_options.addr = bound;
+  net::FramedChannel channel(std::make_shared<SocketPipe>(pipe_options));
+  const ReSyncResponse response =
+      channel.exchange(kQueries[2], {Mode::Poll, ""});
+  EXPECT_EQ(response.pdus.size(), 20u);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace fbdr::netio

@@ -156,14 +156,41 @@ TEST(WireFuzz, HostileLengthFieldsAreRejectedBeforeAllocation) {
                    0x01, 0xff, 0xff, 0xff, 0xff};
   EXPECT_THROW(Codec::decode_response(payload), CodecError);
 
-  // Frame header declaring a payload length beyond kMaxPayloadBytes.
-  Bytes frame = {0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0, 0, 0, 0, 0};
+  // Frame header with valid magic + version declaring a payload length
+  // beyond kMaxPayloadBytes: rejected by header validation, not allocated.
+  Bytes frame = {static_cast<std::uint8_t>(Codec::kMagic >> 8),
+                 static_cast<std::uint8_t>(Codec::kMagic & 0xff),
+                 Codec::kCodecVersion, 0,
+                 0xff, 0xff, 0xff, 0xff,
+                 0, 0, 0, 0, 0, 0, 0, 0};
+  EXPECT_THROW(Codec::validate_header(frame.data()), CodecError);
   EXPECT_THROW(Codec::deframe(frame), CodecError);
 
   // Abandon whose cookie string declares 2^32-1 bytes in a 6-byte payload.
   Bytes abandon = {static_cast<std::uint8_t>(FrameKind::Abandon),
                    0x01, 0x00, 0x00, 0x00, 0x02, 0xff, 0xff};
   EXPECT_THROW(Codec::decode_abandon(abandon), CodecError);
+}
+
+// Every single-byte mutation of the 16-byte frame header is caught by one
+// of the typed validations (magic, version, length, checksum): no mutated
+// header may ever reach the payload decoders with damaged framing intact.
+TEST(WireFuzz, EveryHeaderByteMutationIsRejected) {
+  const Bytes whole = Codec::frame(sample_request());
+  for (std::size_t byte = 0; byte < Codec::kFrameHeaderBytes; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      Bytes frame = whole;
+      frame[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      if (byte == 3) {
+        // The reserved byte is ignored on receive (forward compatibility):
+        // the frame still deframes to the original payload.
+        EXPECT_EQ(Codec::deframe(frame), sample_request());
+      } else {
+        EXPECT_THROW(Codec::deframe(frame), CodecError)
+            << "header byte " << byte << " bit " << bit;
+      }
+    }
+  }
 }
 
 // Deeply nested NOT chains must hit the depth bound, not the stack guard.

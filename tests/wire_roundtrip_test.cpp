@@ -373,6 +373,46 @@ TEST(WireRoundtrip, ErrorFramesSurviveAndRethrowTyped) {
   }
 }
 
+// The frame header leads with the protocol magic and the codec version —
+// the handshake-free compatibility check a frame needs once it crosses a
+// real process boundary (DESIGN.md §15). Both are validated before any
+// payload byte is interpreted, with a typed CodecError on mismatch.
+TEST(WireRoundtrip, FrameHeaderCarriesMagicAndVersion) {
+  const Bytes payload = Codec::encode_abandon("rs-1#1");
+  const Bytes framed = Codec::frame(payload);
+  ASSERT_GE(framed.size(), Codec::kFrameHeaderBytes);
+  EXPECT_EQ(framed[0], static_cast<std::uint8_t>(Codec::kMagic >> 8));
+  EXPECT_EQ(framed[1], static_cast<std::uint8_t>(Codec::kMagic & 0xff));
+  EXPECT_EQ(framed[2], Codec::kCodecVersion);
+  EXPECT_EQ(framed[3], 0);  // reserved byte ships as zero
+  EXPECT_EQ(Codec::validate_header(framed.data()), payload.size());
+  EXPECT_EQ(Codec::deframe(framed), payload);
+}
+
+TEST(WireRoundtrip, WrongMagicIsRejected) {
+  Bytes framed = Codec::frame(Codec::encode_abandon("rs-1#1"));
+  for (const std::size_t byte : {std::size_t{0}, std::size_t{1}}) {
+    Bytes bad = framed;
+    bad[byte] ^= 0xff;
+    EXPECT_THROW(Codec::validate_header(bad.data()), CodecError);
+    EXPECT_THROW(Codec::deframe(bad), CodecError);
+  }
+  // An HTTP-ish stray connection: printable garbage in magic position.
+  Bytes http = framed;
+  http[0] = 'G';
+  http[1] = 'E';
+  EXPECT_THROW(Codec::deframe(http), CodecError);
+}
+
+TEST(WireRoundtrip, UnsupportedCodecVersionIsRejected) {
+  Bytes framed = Codec::frame(Codec::encode_abandon("rs-1#1"));
+  framed[2] = Codec::kCodecVersion + 1;
+  EXPECT_THROW(Codec::validate_header(framed.data()), CodecError);
+  EXPECT_THROW(Codec::deframe(framed), CodecError);
+  framed[2] = 0;
+  EXPECT_THROW(Codec::deframe(framed), CodecError);
+}
+
 // A decoder must skip tags it does not know — the forward-compatibility
 // contract that lets a newer peer add fields without breaking old decoders.
 TEST(WireRoundtrip, UnknownTagsAreSkippedNotRejected) {
