@@ -34,6 +34,14 @@
 #                          a regression ceiling, not a typical value.
 #                          Prints SKIP and passes when the host forbids
 #                          sockets.
+#   bench_socket_chaos     a SocketPipe replica behind the seeded ChaosProxy
+#                          must reconverge to master truth within
+#                          --max-recovery-polls quiet polls after each
+#                          canonical byte-fault window (partition, reset
+#                          storm, corruption), with every window actually
+#                          injecting faults and recovery accounting intact.
+#                          Prints SKIP and passes when the host forbids
+#                          sockets.
 #
 # Small sizes keep it CI-fast; the full-size runs (the benches' defaults)
 # are for EXPERIMENTS.md numbers.
@@ -44,6 +52,7 @@
 #                               [--min-parallel-speedup=F]
 #                               [--max-wire-overhead=F]
 #                               [--max-socket-overhead=F]
+#                               [--max-recovery-polls=N]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -54,6 +63,7 @@ MIN_RECONCILE_SAVINGS=4.0
 MIN_PARALLEL_SPEEDUP=2.0
 MAX_WIRE_OVERHEAD=4.0
 MAX_SOCKET_OVERHEAD=5.0
+MAX_RECOVERY_POLLS=25
 for arg in "$@"; do
   case "$arg" in
     --min-speedup=*) MIN_SPEEDUP="${arg#--min-speedup=}" ;;
@@ -63,6 +73,7 @@ for arg in "$@"; do
     --min-parallel-speedup=*) MIN_PARALLEL_SPEEDUP="${arg#--min-parallel-speedup=}" ;;
     --max-wire-overhead=*) MAX_WIRE_OVERHEAD="${arg#--max-wire-overhead=}" ;;
     --max-socket-overhead=*) MAX_SOCKET_OVERHEAD="${arg#--max-socket-overhead=}" ;;
+    --max-recovery-polls=*) MAX_RECOVERY_POLLS="${arg#--max-recovery-polls=}" ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -70,7 +81,7 @@ done
 cmake -B build-bench -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build build-bench -j"$(nproc)" --target bench_master_scaling \
       bench_topology_fanout bench_overload bench_reconcile \
-      bench_wire bench_netio >/dev/null
+      bench_wire bench_netio bench_socket_chaos >/dev/null
 
 ./build-bench/bench/bench_master_scaling \
   --employees=2000 --updates=1000 --sessions=1000,10000 \
@@ -103,5 +114,10 @@ cmake --build build-bench -j"$(nproc)" --target bench_master_scaling \
   --employees=2000 --rounds=30 --sessions=4 --min-sessions=4 \
   --json=build-bench/BENCH_netio.json \
   --max-socket-overhead="$MAX_SOCKET_OVERHEAD"
+
+./build-bench/bench/bench_socket_chaos \
+  --employees=1000 --updates-per-round=30 \
+  --json=build-bench/BENCH_socket_chaos.json \
+  --max-recovery-polls="$MAX_RECOVERY_POLLS"
 
 echo "bench smoke: OK (reports at build-bench/BENCH_*.json)"

@@ -6,7 +6,10 @@
 # shard-equivalence and chaos suites (the sharded pump is where races would
 # hide — shard-local state crossing a shard boundary, the pump-pool barrier),
 # then the socket loopback suites under ASan with a hard timeout (stream
-# reassembly and the epoll server are where over-reads would hide).
+# reassembly and the epoll server are where over-reads would hide), then the
+# socket chaos suites under ASan with their own hard timeout (the ChaosProxy
+# relay legs and the supervised-respawn paths are where use-after-close and
+# leaked-fd bugs would hide).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,7 +31,7 @@ cmake --build build-asan -j"$(nproc)" --target resync_chaos_test \
       resync_overload_test resync_reconcile_test \
       resync_shard_equivalence_test bench_common_test \
       wire_roundtrip_test wire_fuzz_test \
-      netio_pipe_test netio_socket_test netio_process_test
+      netio_pipe_test netio_socket_test netio_process_test netio_chaos_test
 ctest --test-dir build-asan --output-on-failure -j"$(nproc)" \
       -R 'ReSyncChaos|ServiceDegradation|Recovery|ReSync|RoutingEquivalence|FilterIrEquivalence|TopologyChaos|ServerLdifRoundTrip|Governor|SyncCompaction|ResyncOverload|TopologyOverload|Reconcile|ShardEquivalence|ShardConfig|BenchCommon|WireRoundtrip|WireFuzz|FrameReassembler|ChunkedPipe|FramedChannelAccounting'
 
@@ -40,7 +43,17 @@ echo "== tier 1: socket loopback suites (ASan, hard timeout) =="
 # The hard timeout guards against a hung epoll loop or a wedged child
 # process eating the whole CI run.
 timeout 600 ctest --test-dir build-asan --output-on-failure -j"$(nproc)" \
-      -R 'SocketTwin|SocketErrors|SocketConcurrency|SocketRecovery|SocketTcp|ProcessTopology'
+      -R 'SocketTwin|SocketErrors|SocketConcurrency|SocketRecovery|SocketTcp|SocketBackpressure|SocketHardening|ProcessTopology'
+
+echo "== tier 1: socket chaos + supervision soak (ASan, hard timeout) =="
+# The seeded ChaosProxy drives real byte faults (partitions, resets,
+# corruption, truncation) into a depth-3 fbdr_node tree while the
+# supervisor SIGKILLs and respawns relays; every schedule must converge
+# bit-identically to the fault-free in-process twin. Skips loudly without
+# sockets; the hard timeout guards against a wedged proxy loop or a
+# respawn storm that never settles.
+timeout 600 ctest --test-dir build-asan --output-on-failure -j"$(nproc)" \
+      -R 'FaultScheduleTest|ChaosProxyTest|ChaosSoak|ChaosSupervision'
 
 echo "== tier 1: threaded-pump race run (TSan) =="
 cmake -B build-tsan -S . -DFBDR_SANITIZE=thread -DFBDR_BUILD_BENCHMARKS=OFF \

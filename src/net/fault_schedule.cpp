@@ -1,0 +1,73 @@
+#include "net/fault_schedule.h"
+
+#include <stdexcept>
+
+namespace fbdr::net {
+
+namespace {
+
+FaultConfig quiet(std::uint64_t seed) {
+  FaultConfig config;
+  config.seed = seed;
+  return config;
+}
+
+}  // namespace
+
+const FaultPhase& FaultSchedule::phase_at(std::uint64_t round) const {
+  if (phases.empty()) throw std::logic_error("empty fault schedule: " + name);
+  std::uint64_t start = 0;
+  for (const FaultPhase& phase : phases) {
+    if (round < start + phase.rounds) return phase;
+    start += phase.rounds;
+  }
+  return phases.back();
+}
+
+const FaultConfig& FaultSchedule::config_at(std::uint64_t round) const {
+  return phase_at(round).config;
+}
+
+std::uint64_t FaultSchedule::total_rounds() const {
+  std::uint64_t total = 0;
+  for (const FaultPhase& phase : phases) total += phase.rounds;
+  return total;
+}
+
+FaultSchedule partition_schedule(std::uint64_t seed) {
+  FaultConfig partition = quiet(seed);
+  partition.outage = 1.0;  // link-level: full partition window
+  return {"partition",
+          {{"warmup", quiet(seed), 4},
+           {"partition", partition, 3},
+           {"heal", quiet(seed), 6}}};
+}
+
+FaultSchedule reset_storm_schedule(std::uint64_t seed) {
+  FaultConfig storm = quiet(seed);
+  storm.reset = 0.45;
+  storm.drop_request = 0.15;
+  return {"reset_storm",
+          {{"warmup", quiet(seed), 4},
+           {"storm", storm, 6},
+           {"heal", quiet(seed), 6}}};
+}
+
+FaultSchedule corruption_schedule(std::uint64_t seed) {
+  FaultConfig garble = quiet(seed);
+  garble.corrupt = 0.30;
+  garble.truncate = 0.20;
+  return {"corruption",
+          {{"warmup", quiet(seed), 4},
+           {"garble", garble, 6},
+           {"heal", quiet(seed), 6}}};
+}
+
+FaultSchedule crash_storm_schedule(std::uint64_t seed) {
+  return {"crash_storm",
+          {{"warmup", quiet(seed), 4},
+           {"storm", quiet(seed), 8},
+           {"heal", quiet(seed), 8}}};
+}
+
+}  // namespace fbdr::net

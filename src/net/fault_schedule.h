@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/fault_injector.h"
+
+namespace fbdr::net {
+
+/// One phase of a chaos schedule: a FaultConfig held for `rounds`
+/// replication rounds. A round is whatever the driver calls one — a
+/// tick() of a topology, one poll of a replica — so the same schedule
+/// drives an in-process FaultyPipe run and a socket run through a
+/// netio::ChaosProxy, which is what makes the two worlds comparable.
+struct FaultPhase {
+  std::string name;
+  FaultConfig config;
+  std::uint64_t rounds = 1;
+};
+
+/// A named sequence of fault phases. Rounds past the end clamp to the last
+/// phase (usually a quiet heal phase), so drivers can run extra quiescence
+/// rounds without falling off the schedule.
+struct FaultSchedule {
+  std::string name;
+  std::vector<FaultPhase> phases;
+
+  const FaultConfig& config_at(std::uint64_t round) const;
+  const FaultPhase& phase_at(std::uint64_t round) const;
+  std::uint64_t total_rounds() const;
+};
+
+/// The four canonical socket-chaos schedules, mirroring the fault families
+/// the in-process chaos suites exercise. Every schedule opens with a quiet
+/// warmup, applies its fault family for a window, then ends with a quiet
+/// heal phase the convergence check runs after. `seed` feeds the
+/// FaultConfig of each phase, so a (preset, seed) pair names one exact
+/// fault world on either transport.
+///
+/// Convention for the link-level spelling (netio::ChaosProxy::apply):
+/// outage >= 1.0 in a phase means "full partition window" — new connects
+/// refused, established traffic blackholed — rather than a probabilistic
+/// per-exchange outage.
+FaultSchedule partition_schedule(std::uint64_t seed);
+FaultSchedule reset_storm_schedule(std::uint64_t seed);
+FaultSchedule corruption_schedule(std::uint64_t seed);
+/// Byte-quiet: the faults of a crash storm are SIGKILLs, injected by the
+/// driver (ProcessTopology::crash + supervised respawn); the schedule only
+/// shapes the warmup/storm/heal windows.
+FaultSchedule crash_storm_schedule(std::uint64_t seed);
+
+}  // namespace fbdr::net

@@ -1,0 +1,201 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/fault_injector.h"
+#include "netio/socket_addr.h"
+
+namespace fbdr::netio {
+
+/// Byte-level fault model for one direction of a proxied link. Every
+/// probability is drawn once per forwarded chunk from a per-connection,
+/// per-direction seeded RNG stream, so the fault sequence a given
+/// connection experiences is a pure function of (proxy seed, connection
+/// index, direction, chunk index) — the byte-level mirror of
+/// net::FaultConfig's per-exchange draws.
+struct LinkFaults {
+  /// Close the connection (FIN) instead of forwarding — "connection drop".
+  double drop = 0.0;
+  /// Reset the connection (RST via SO_LINGER 0) instead of forwarding.
+  double reset = 0.0;
+  /// Swallow this chunk forever but keep the connection up — the half-open
+  /// blackhole a silently failed route produces.
+  double blackhole = 0.0;
+  /// Flip one random bit of the chunk before forwarding.
+  double corrupt = 0.0;
+  /// Forward only a prefix of the chunk, then reset — a mid-frame cut.
+  double truncate = 0.0;
+  /// Hold every chunk this long before forwarding (link latency).
+  std::uint64_t delay_ms = 0;
+  /// Forward at most this many bytes per pump iteration (~2ms when there is
+  /// a backlog) — a slow link. 0 = unthrottled.
+  std::size_t throttle_bytes = 0;
+};
+
+/// A seeded man-in-the-middle for one replication link: listens on a
+/// TCP/Unix address, opens one upstream connection per accepted client, and
+/// relays bytes both ways through a deterministic fault model. Where
+/// net::FaultyPipe injects faults at the frame seam inside one process,
+/// ChaosProxy injects them into the real byte stream between real
+/// processes — resets the kernel delivers, partitions that outlast
+/// connections, corruption the codec checksum must catch, truncation the
+/// reassembler must reject — so the socket stack's recovery machinery
+/// (SocketPipe reconnect, RetryPolicy, replay-safe cookies, StaleCookie
+/// full reloads, digest reconciliation) is exercised by the same fault
+/// families the in-process chaos suites replay.
+///
+/// The loop runs on a background thread (start()); all control-plane
+/// setters are thread-safe and take effect on the next pump iteration.
+/// Faults are only ever injected, never invented: with zeroed LinkFaults
+/// and no partition the proxy is a transparent byte relay.
+class ChaosProxy {
+ public:
+  struct Options {
+    SocketAddr listen;    // where clients (the downstream node) connect
+    SocketAddr upstream;  // the real server (the parent node)
+    std::uint64_t seed = 1;
+    int connect_timeout_ms = 2000;  // proxy -> upstream connect deadline
+  };
+
+  struct Counters {
+    std::uint64_t connections = 0;       // client connections accepted
+    std::uint64_t refused_connects = 0;  // closed at accept (partition)
+    std::uint64_t failed_upstream = 0;   // upstream connect failures
+    std::uint64_t drops = 0;             // connections closed by `drop`
+    std::uint64_t resets = 0;            // connections reset by `reset`/`truncate`
+    std::uint64_t corrupted = 0;         // chunks with a flipped bit
+    std::uint64_t truncated = 0;         // chunks cut mid-frame
+    std::uint64_t blackholed = 0;        // chunks swallowed (incl. partition)
+    std::uint64_t delayed = 0;           // chunks held by delay/throttle
+    std::uint64_t chunks = 0;            // chunks read off either side
+    std::uint64_t bytes_up = 0;          // client -> upstream bytes forwarded
+    std::uint64_t bytes_down = 0;        // upstream -> client bytes forwarded
+
+    std::uint64_t faults() const {
+      return refused_connects + drops + resets + corrupted + truncated +
+             blackholed;
+    }
+  };
+
+  explicit ChaosProxy(Options options);
+  ~ChaosProxy();
+
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  /// Binds the listener; returns the bound address (TCP port 0 resolved).
+  /// Throws std::runtime_error on failure.
+  SocketAddr listen();
+
+  /// Runs the relay loop on a background thread until stop().
+  void start();
+
+  /// Stops the loop and closes every proxied connection (idempotent).
+  void stop();
+
+  /// Replaces the per-direction fault models. `up` shapes client->upstream
+  /// traffic (requests), `down` upstream->client (responses).
+  void set_faults(const LinkFaults& up, const LinkFaults& down);
+
+  /// Maps a net::FaultConfig onto link faults for both directions, the
+  /// translation that keeps socket chaos schedules comparable with
+  /// in-process ones: drop_request/drop_response -> per-direction drop,
+  /// reset -> reset, corrupt/truncate -> both directions, delay ->
+  /// max_delay_ticks * ms_per_tick of link latency, outage >= 1.0 -> a
+  /// full partition window (set_partition).
+  void apply(const net::FaultConfig& config, std::uint64_t ms_per_tick = 0);
+
+  /// Full partition: while on, new connections are closed at accept and
+  /// every chunk on an established connection is blackholed (half-open).
+  void set_partition(bool on);
+  bool partitioned() const;
+
+  /// Severs every currently proxied connection with a reset — the abrupt
+  /// end of a partition, or a stateful middlebox flushing its table.
+  void drop_connections();
+
+  Counters counters() const;
+  std::size_t open_links() const;
+
+ private:
+  struct HeldChunk {
+    std::chrono::steady_clock::time_point release;
+    std::vector<std::uint8_t> bytes;
+  };
+
+  /// One direction of one proxied connection: bytes read from `from` are
+  /// damaged per `faults` draws on `rng`, then queued toward `to`.
+  struct Leg {
+    int from = -1;
+    int to = -1;
+    std::mt19937_64 rng;
+    std::deque<HeldChunk> held;          // delayed / throttled backlog
+    std::vector<std::uint8_t> out;       // written-when-writable queue
+    std::size_t out_offset = 0;
+    bool want_write = false;
+    bool peer_gone = false;              // EOF on `from`: flush then close
+  };
+
+  struct Link {
+    std::uint64_t id = 0;
+    Leg up;    // client -> upstream
+    Leg down;  // upstream -> client
+  };
+
+  bool poll_once(int timeout_ms);
+  void accept_ready();
+  void read_ready(Link& link, Leg& leg, bool upward);
+  void write_ready(Link& link, Leg& leg);
+  /// Moves released/throttle-budgeted held bytes into the out queue and
+  /// flushes what the kernel takes. Returns false when the link died.
+  bool pump_leg(Link& link, Leg& leg);
+  void update_interest(Leg& leg);
+  void close_link(Link& link, bool rst);
+  bool chance(std::mt19937_64& rng, double probability);
+  LinkFaults faults_for(bool upward) const;
+  bool has_pending_work() const;
+
+  Options options_;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  int listen_fd_ = -1;
+
+  mutable std::mutex config_mutex_;
+  LinkFaults up_faults_;
+  LinkFaults down_faults_;
+  bool partition_ = false;
+
+  std::map<int, Link*> by_fd_;  // both fds of a link point at it
+  std::vector<std::unique_ptr<Link>> links_;
+  std::uint64_t next_link_id_ = 0;
+
+  std::thread thread_;
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> drop_requested_{false};
+
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> refused_connects_{0};
+  std::atomic<std::uint64_t> failed_upstream_{0};
+  std::atomic<std::uint64_t> drops_{0};
+  std::atomic<std::uint64_t> resets_{0};
+  std::atomic<std::uint64_t> corrupted_{0};
+  std::atomic<std::uint64_t> truncated_{0};
+  std::atomic<std::uint64_t> blackholed_{0};
+  std::atomic<std::uint64_t> delayed_{0};
+  std::atomic<std::uint64_t> chunks_{0};
+  std::atomic<std::uint64_t> bytes_up_{0};
+  std::atomic<std::uint64_t> bytes_down_{0};
+  std::atomic<std::size_t> open_links_{0};
+};
+
+}  // namespace fbdr::netio

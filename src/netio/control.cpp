@@ -4,7 +4,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 
@@ -32,14 +34,32 @@ std::string ControlClient::read_line() {
       buffer_.erase(0, newline + 1);
       return line;
     }
+    // EINTR-safe wait with the deadline recomputed per retry: SIGCHLD from
+    // supervised children lands on this thread routinely.
+    const auto give_up = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(timeout_ms_);
     pollfd pfd{fd_, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, timeout_ms_);
+    int ready;
+    for (;;) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            give_up - std::chrono::steady_clock::now())
+                            .count();
+      ready = ::poll(&pfd, 1, static_cast<int>(std::max<long long>(left, 0)));
+      if (ready >= 0 || errno != EINTR) break;
+      if (std::chrono::steady_clock::now() >= give_up) {
+        ready = 0;
+        break;
+      }
+    }
     if (ready <= 0) {
       throw std::runtime_error("control reply timed out (" +
                                addr_.to_string() + ")");
     }
     char chunk[4096];
-    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    ssize_t n;
+    do {
+      n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    } while (n < 0 && errno == EINTR);
     if (n <= 0) {
       throw std::runtime_error("control connection closed (" +
                                addr_.to_string() + ")");

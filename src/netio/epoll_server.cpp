@@ -156,10 +156,28 @@ bool EpollServer::poll_once(int timeout_ms) {
     if (conn.fd >= 0 && (mask & EPOLLIN)) read_ready(conn);
   }
 
+  if (options_.idle_timeout_ms > 0) reap_idle();
+
   for (const int fd : doomed_) connections_.erase(fd);
   doomed_.clear();
 
   return !stop_requested_.load();
+}
+
+void EpollServer::reap_idle() {
+  const auto deadline =
+      std::chrono::steady_clock::now() -
+      std::chrono::milliseconds(options_.idle_timeout_ms);
+  for (auto& [fd, conn] : connections_) {
+    (void)fd;
+    // Control connections are exempt: the topology driver parks one per
+    // node for the process's lifetime.
+    if (conn->role != Role::FrameData || conn->fd < 0) continue;
+    if (conn->last_activity <= deadline) {
+      idle_reaped_.fetch_add(1);
+      close_connection(*conn);
+    }
+  }
 }
 
 void EpollServer::accept_ready(int listen_fd, Role role) {
@@ -167,6 +185,17 @@ void EpollServer::accept_ready(int listen_fd, Role role) {
     const int fd = ::accept4(listen_fd, nullptr, nullptr,
                              SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) return;  // EAGAIN: drained
+
+    // Accept shedding: over the cap the connection is closed on the spot.
+    // Accept-then-close (rather than leaving it in the backlog) tells the
+    // peer immediately and keeps the listen queue from filling against
+    // well-behaved clients.
+    if (role == Role::FrameData && options_.max_connections > 0 &&
+        open_connections_.load() >= options_.max_connections) {
+      shed_accepts_.fetch_add(1);
+      ::close(fd);
+      continue;
+    }
 
     // The kernel may hand back an fd number closed earlier in this same
     // event batch; un-doom it so the end-of-batch sweep spares the new
@@ -176,6 +205,7 @@ void EpollServer::accept_ready(int listen_fd, Role role) {
     auto conn = std::make_unique<Connection>();
     conn->fd = fd;
     conn->role = role;
+    conn->last_activity = std::chrono::steady_clock::now();
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.fd = fd;
@@ -187,6 +217,7 @@ void EpollServer::accept_ready(int listen_fd, Role role) {
 }
 
 void EpollServer::read_ready(Connection& conn) {
+  conn.last_activity = std::chrono::steady_clock::now();
   std::uint8_t chunk[16384];
   for (;;) {
     const ssize_t n = ::recv(conn.fd, chunk, sizeof(chunk), 0);
@@ -336,6 +367,7 @@ void EpollServer::enqueue(Connection& conn, const std::uint8_t* data,
 }
 
 void EpollServer::write_ready(Connection& conn) {
+  conn.last_activity = std::chrono::steady_clock::now();
   while (conn.out_offset < conn.out.size()) {
     const ssize_t n = ::send(conn.fd, conn.out.data() + conn.out_offset,
                              conn.out.size() - conn.out_offset, MSG_NOSIGNAL);
@@ -397,6 +429,8 @@ EpollServer::Stats EpollServer::stats() const {
   s.abandons = abandons_.load();
   s.backpressure_pauses = backpressure_pauses_.load();
   s.control_lines = control_lines_.load();
+  s.idle_reaped = idle_reaped_.load();
+  s.shed_accepts = shed_accepts_.load();
   return s;
 }
 

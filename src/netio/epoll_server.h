@@ -1,6 +1,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -39,8 +40,12 @@ namespace fbdr::netio {
 ///
 /// Writes are queued per connection and drained on EPOLLOUT; when a
 /// connection's queue exceeds Options::max_write_buffer the server stops
-/// reading from it (EPOLLIN paused) until the queue drains — backpressure
-/// instead of unbounded buffering against a slow reader.
+/// reading from it (EPOLLIN paused) until the queue drains to half the
+/// limit — backpressure instead of unbounded buffering against a slow
+/// reader. Two more self-defence knobs harden the frame plane against
+/// hostile or broken peers: Options::idle_timeout_ms reaps connections
+/// that stall mid-frame (slow loris), Options::max_connections sheds
+/// accepts beyond a cap; both are counted in Stats.
 ///
 /// A second, line-based listener (listen_control) carries the process
 /// topology's control plane: one text command per line in, the handler's
@@ -56,6 +61,17 @@ class EpollServer {
     int backlog = 64;
     /// Queued-unsent bytes above which a connection's reads are paused.
     std::size_t max_write_buffer = 4u << 20;
+    /// Frame connections with no read/write activity for this long are
+    /// closed (slow-loris reaping; a trickling or stalled peer holds no fd
+    /// forever). 0 = never. SocketPipe reconnects transparently, so a
+    /// legitimately idle replica just pays one reconnect on its next poll.
+    /// Control connections are exempt: the topology driver holds one open
+    /// per node for the process's lifetime by design.
+    int idle_timeout_ms = 0;
+    /// Frame connections held open at most; beyond it new accepts are shed
+    /// (accepted, counted, closed immediately) so a connection storm
+    /// degrades loudly instead of exhausting fds. 0 = unlimited.
+    std::size_t max_connections = 0;
   };
 
   struct Stats {
@@ -67,6 +83,8 @@ class EpollServer {
     std::uint64_t abandons = 0;
     std::uint64_t backpressure_pauses = 0;
     std::uint64_t control_lines = 0;
+    std::uint64_t idle_reaped = 0;   // connections closed by idle_timeout_ms
+    std::uint64_t shed_accepts = 0;  // accepts shed at max_connections
   };
 
   /// Handles one control line (without its trailing '\n'); returns the
@@ -131,6 +149,7 @@ class EpollServer {
     std::size_t out_offset = 0;
     bool want_write = false;
     bool read_paused = false;
+    std::chrono::steady_clock::time_point last_activity;
   };
 
   void accept_ready(int listen_fd, Role role);
@@ -141,6 +160,7 @@ class EpollServer {
   void enqueue(Connection& conn, const std::uint8_t* data, std::size_t size);
   void update_interest(Connection& conn);
   void close_connection(Connection& conn);
+  void reap_idle();
 
   resync::ReSyncEndpoint* endpoint_;
   Options options_;
@@ -167,6 +187,8 @@ class EpollServer {
   std::atomic<std::uint64_t> abandons_{0};
   std::atomic<std::uint64_t> backpressure_pauses_{0};
   std::atomic<std::uint64_t> control_lines_{0};
+  std::atomic<std::uint64_t> idle_reaped_{0};
+  std::atomic<std::uint64_t> shed_accepts_{0};
   std::atomic<std::size_t> open_connections_{0};
 };
 

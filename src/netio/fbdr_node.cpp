@@ -29,6 +29,9 @@ namespace {
                "--listen <addr> --control <addr>\n"
                "       [--suffix <dn>] [--parent <addr> --parent-url <url>]\n"
                "       [--session-limit <ticks>] [--retry-attempts <n>]\n"
+               "       [--io-timeout-ms <ms>] [--connect-timeout-ms <ms>]\n"
+               "       [--idle-timeout-ms <ms>] [--max-conns <n>]\n"
+               "       [--crash-on-start]\n"
                "addresses: tcp:host:port or unix:/path\n",
                reason);
   std::exit(2);
@@ -42,7 +45,7 @@ int main(int argc, char** argv) {
 
   NodeHost::Options options;
   bool have_role = false, have_listen = false, have_control = false;
-  bool have_parent = false;
+  bool have_parent = false, crash_on_start = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -80,6 +83,18 @@ int main(int argc, char** argv) {
         options.session_time_limit = std::stoull(value());
       } else if (arg == "--retry-attempts") {
         options.retry.max_attempts = std::stoull(value());
+      } else if (arg == "--io-timeout-ms") {
+        options.io_timeout_ms = std::stoi(value());
+      } else if (arg == "--connect-timeout-ms") {
+        options.connect_timeout_ms = std::stoi(value());
+      } else if (arg == "--idle-timeout-ms") {
+        options.idle_timeout_ms = std::stoi(value());
+      } else if (arg == "--max-conns") {
+        options.max_connections = std::stoull(value());
+      } else if (arg == "--crash-on-start") {
+        // Supervision regression hook: die before serving anything, as a
+        // node whose binary/config is broken would.
+        crash_on_start = true;
       } else {
         usage(("unknown argument: " + arg).c_str());
       }
@@ -96,6 +111,10 @@ int main(int argc, char** argv) {
   }
   if (options.parent_url.empty() && have_parent) {
     options.parent_url = "ldap://parent";
+  }
+  if (crash_on_start) {
+    std::fprintf(stderr, "fbdr_node: --crash-on-start\n");
+    return 3;
   }
 
   try {

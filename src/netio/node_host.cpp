@@ -72,6 +72,9 @@ ldap::Query parse_query_spec(const std::string& spec) {
 }
 
 NodeHost::NodeHost(Options options) : options_(std::move(options)) {
+  EpollServer::Options server_options;
+  server_options.idle_timeout_ms = options_.idle_timeout_ms;
+  server_options.max_connections = options_.max_connections;
   if (options_.role == Role::Root) {
     store_ = std::make_unique<server::DirectoryServer>("ldap://" +
                                                        options_.name);
@@ -83,7 +86,7 @@ NodeHost::NodeHost(Options options) : options_(std::move(options)) {
     store_->load(std::move(base));
     master_ = std::make_unique<resync::ReSyncMaster>(*store_);
     master_->set_session_time_limit(options_.session_time_limit);
-    server_ = std::make_unique<EpollServer>(*master_);
+    server_ = std::make_unique<EpollServer>(*master_, server_options);
   } else {
     topology::RelayNode::Config config;
     config.name = options_.name;
@@ -95,10 +98,12 @@ NodeHost::NodeHost(Options options) : options_(std::move(options)) {
 
     SocketPipe::Options pipe;
     pipe.addr = options_.parent;
+    pipe.io_timeout_ms = options_.io_timeout_ms;
+    pipe.connect_timeout_ms = options_.connect_timeout_ms;
     auto channel = std::make_shared<net::FramedChannel>(
         std::make_shared<SocketPipe>(std::move(pipe)));
     relay_->connect(std::move(channel), options_.parent_url);
-    server_ = std::make_unique<EpollServer>(*relay_);
+    server_ = std::make_unique<EpollServer>(*relay_, server_options);
   }
 }
 
@@ -261,6 +266,10 @@ std::string NodeHost::do_health() {
   lines.push_back("frames_in " + std::to_string(stats.frames_in));
   lines.push_back("frames_out " + std::to_string(stats.frames_out));
   lines.push_back("connections " + std::to_string(server_->open_connections()));
+  lines.push_back("garbled_closes " + std::to_string(stats.garbled_closes));
+  lines.push_back("backpressure " + std::to_string(stats.backpressure_pauses));
+  lines.push_back("idle_reaped " + std::to_string(stats.idle_reaped));
+  lines.push_back("shed_accepts " + std::to_string(stats.shed_accepts));
   return ok(lines);
 }
 

@@ -44,6 +44,13 @@ class NodeHost {
     std::string parent_url;   // referral target ("ldap://<parent>")
     net::RetryPolicy retry{4, 1, 2.0, 16, 0};
     std::uint64_t session_time_limit = 0;
+    /// Upstream SocketPipe deadlines (relay only). Chaos tests shrink these
+    /// so a blackholed link fails in milliseconds, not the 10s default.
+    int io_timeout_ms = 10000;
+    int connect_timeout_ms = 2000;
+    /// Frame-plane self-defence, passed through to EpollServer.
+    int idle_timeout_ms = 0;
+    std::size_t max_connections = 0;
   };
 
   explicit NodeHost(Options options);

@@ -87,12 +87,22 @@ void ProcessTopology::spawn(Node& n) {
       "--control", n.control_addr.to_string(),
       "--session-limit", std::to_string(options_.session_time_limit),
   };
+  if (options_.node_io_timeout_ms > 0) {
+    args.push_back("--io-timeout-ms");
+    args.push_back(std::to_string(options_.node_io_timeout_ms));
+  }
+  if (options_.node_connect_timeout_ms > 0) {
+    args.push_back("--connect-timeout-ms");
+    args.push_back(std::to_string(options_.node_connect_timeout_ms));
+  }
   if (!n.parent.empty()) {
     args.push_back("--parent");
-    args.push_back(node(n.parent).listen.to_string());
+    args.push_back(n.has_parent_override ? n.parent_override.to_string()
+                                         : node(n.parent).listen.to_string());
     args.push_back("--parent-url");
     args.push_back("ldap://" + n.parent);
   }
+  for (const std::string& extra : n.extra_args) args.push_back(extra);
 
   std::vector<char*> argv;
   argv.reserve(args.size() + 1);
@@ -149,7 +159,28 @@ void ProcessTopology::start() {
     spawn(n);
     wait_ready(n);
     install_filters(n);
+    n.state = NodeState::Running;
+    n.running_since = tick_count_;
   }
+}
+
+void ProcessTopology::set_supervisor(SupervisorOptions options) {
+  supervisor_ = options;
+}
+
+void ProcessTopology::set_extra_args(const std::string& name,
+                                     std::vector<std::string> args) {
+  node(name).extra_args = std::move(args);
+}
+
+void ProcessTopology::set_parent_proxy(const std::string& name,
+                                       const SocketAddr& addr) {
+  Node& n = node(name);
+  if (n.parent.empty()) {
+    throw std::logic_error("root has no parent link to proxy: " + name);
+  }
+  n.parent_override = addr;
+  n.has_parent_override = true;
 }
 
 std::vector<std::string> ProcessTopology::relay_names_deepest_first() const {
@@ -165,18 +196,150 @@ std::vector<std::string> ProcessTopology::relay_names_deepest_first() const {
 }
 
 void ProcessTopology::tick() {
+  ++tick_count_;
+  supervise();
   // Deepest-first, like TopologyRuntime::tick(): each relay pulls from its
   // parent (and pumps its own downstream sessions inside sync()) before the
   // parent's content moves again, then the root routes its journal and the
   // clock advances.
   for (const std::string& name : relay_names_deepest_first()) {
     Node& n = node(name);
-    if (n.pid <= 0) continue;  // crashed: the tree degrades, later heals
-    n.client->request("sync");
+    if (n.pid <= 0 || !n.client) continue;  // down: degrades, later heals
+    if (supervisor_.enabled) {
+      // Under supervision a node may die mid-command (kill storms); the
+      // round is lost for this relay, the next sweep notices the corpse.
+      try {
+        n.client->request("sync");
+      } catch (const std::exception&) {
+      }
+    } else {
+      n.client->request("sync");
+    }
   }
   Node& r = node(root_);
-  r.client->request("pump");
-  r.client->request("tick 1");
+  if (r.pid <= 0 || !r.client) return;  // root down: no pump, clock holds
+  if (supervisor_.enabled) {
+    try {
+      r.client->request("pump");
+      r.client->request("tick 1");
+    } catch (const std::exception&) {
+    }
+  } else {
+    r.client->request("pump");
+    r.client->request("tick 1");
+  }
+}
+
+void ProcessTopology::supervise() {
+  // Sweep first — always, supervised or not — so no child ever lingers as
+  // a zombie and unexpected deaths show up in the report.
+  for (const std::string& name : order_) {
+    Node& n = node(name);
+    if (n.pid <= 0) continue;
+    int status = 0;
+    if (::waitpid(n.pid, &status, WNOHANG) == n.pid) {
+      n.last_exit_status = status;
+      n.pid = -1;
+      n.client.reset();
+      note_death(n);
+    }
+  }
+
+  if (!supervisor_.enabled) return;
+
+  // Liveness probes: a control plane that stopped answering is a crash the
+  // kernel has not told us about yet (hung loop, half-dead process).
+  if (supervisor_.probe_every_ticks > 0 &&
+      tick_count_ % supervisor_.probe_every_ticks == 0) {
+    for (const std::string& name : order_) {
+      Node& n = node(name);
+      if (n.pid <= 0 || !n.client) continue;
+      try {
+        n.client->request("ping");
+      } catch (const std::exception&) {
+        ::kill(n.pid, SIGKILL);
+        ::waitpid(n.pid, &n.last_exit_status, 0);
+        n.pid = -1;
+        n.client.reset();
+        note_death(n);
+      }
+    }
+  }
+
+  for (const std::string& name : order_) {
+    Node& n = node(name);
+    // A node that stayed up long enough earns its restart budget back: the
+    // cap is for restart storms, not for a long life with rare crashes.
+    if (n.state == NodeState::Running && n.restarts > 0 &&
+        tick_count_ - n.running_since >= supervisor_.stable_ticks_reset) {
+      n.restarts = 0;
+    }
+    if (n.state != NodeState::Backoff || tick_count_ < n.backoff_until) {
+      continue;
+    }
+    try_respawn(n);
+  }
+}
+
+void ProcessTopology::note_death(Node& n) {
+  n.unexpected_exits += 1;
+  if (n.state == NodeState::Stopped || n.state == NodeState::GaveUp) return;
+  if (!supervisor_.enabled) {
+    n.state = NodeState::Declared;  // down; manual respawn() may revive it
+    return;
+  }
+  if (n.restarts >= supervisor_.max_restarts) {
+    n.state = NodeState::GaveUp;
+    return;
+  }
+  n.state = NodeState::Backoff;
+  n.backoff_until = tick_count_ + backoff_ticks(n);
+}
+
+std::uint64_t ProcessTopology::backoff_ticks(const Node& n) const {
+  const std::uint64_t shift = std::min<std::uint64_t>(n.restarts, 16);
+  std::uint64_t wait =
+      std::min(supervisor_.backoff_base_ticks << shift,
+               supervisor_.backoff_cap_ticks);
+  if (supervisor_.jitter_ticks > 0) {
+    // Deterministic jitter: a pure function of (seed, name, attempt), so a
+    // seeded soak replays exactly yet siblings never restart in lockstep.
+    std::uint64_t h = supervisor_.seed ^ (n.restarts * 0x9E3779B97F4A7C15ULL);
+    for (const char c : n.name) {
+      h = (h ^ static_cast<std::uint64_t>(static_cast<unsigned char>(c))) *
+          0x100000001B3ULL;
+    }
+    wait += h % (supervisor_.jitter_ticks + 1);
+  }
+  return std::max<std::uint64_t>(wait, 1);
+}
+
+bool ProcessTopology::try_respawn(Node& n) {
+  n.restarts += 1;
+  try {
+    spawn(n);
+    wait_ready(n);
+    install_filters(n);
+    n.state = NodeState::Running;
+    n.running_since = tick_count_;
+    return true;
+  } catch (const std::exception&) {
+    // Died or stalled during startup — the classic crash loop.
+    if (n.pid > 0) {
+      ::kill(n.pid, SIGKILL);
+      ::waitpid(n.pid, nullptr, 0);
+      n.pid = -1;
+    }
+    n.client.reset();
+    n.unexpected_exits += 1;
+    if (n.restarts >= supervisor_.max_restarts) {
+      n.state = NodeState::GaveUp;
+    } else {
+      n.state = NodeState::Backoff;
+      n.backoff_until = tick_count_ + backoff_ticks(n);
+    }
+    return false;
+  }
 }
 
 ControlClient& ProcessTopology::control(const std::string& name) {
@@ -195,10 +358,20 @@ std::map<std::string, std::string> ProcessTopology::health(
   return control(name).health();
 }
 
-void ProcessTopology::crash(const std::string& name) {
+void ProcessTopology::crash(const std::string& name, bool reap_now) {
   Node& n = node(name);
   if (n.pid <= 0) return;
-  reap(n, /*force=*/true);
+  if (!reap_now) {
+    // Leave the corpse for the next supervise() sweep — the honest shape of
+    // a crash nobody was watching for (and the zombie-reaping test's hook).
+    ::kill(n.pid, SIGKILL);
+    return;
+  }
+  ::kill(n.pid, SIGKILL);
+  ::waitpid(n.pid, &n.last_exit_status, 0);
+  n.pid = -1;
+  n.client.reset();
+  note_death(n);
 }
 
 void ProcessTopology::respawn(const std::string& name) {
@@ -207,6 +380,10 @@ void ProcessTopology::respawn(const std::string& name) {
   spawn(n);
   wait_ready(n);
   install_filters(n);
+  // Manual revival is an operator override: fresh restart budget.
+  n.state = NodeState::Running;
+  n.running_since = tick_count_;
+  n.restarts = 0;
 }
 
 void ProcessTopology::reap(Node& n, bool force) {
@@ -231,7 +408,9 @@ void ProcessTopology::stop() {
   // Children before parents: a relay quitting mid-sync against a dead
   // parent would just eat its retry budget.
   for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
-    reap(node(*it), /*force=*/false);
+    Node& n = node(*it);
+    reap(n, /*force=*/false);
+    n.state = NodeState::Stopped;
   }
 }
 
@@ -241,6 +420,40 @@ bool ProcessTopology::running(const std::string& name) const {
 
 int ProcessTopology::depth(const std::string& name) const {
   return node(name).depth;
+}
+
+ProcessTopology::NodeState ProcessTopology::state(
+    const std::string& name) const {
+  return node(name).state;
+}
+
+std::uint64_t ProcessTopology::restarts(const std::string& name) const {
+  return node(name).restarts;
+}
+
+std::uint64_t ProcessTopology::unexpected_exits(
+    const std::string& name) const {
+  return node(name).unexpected_exits;
+}
+
+std::map<std::string, std::string> ProcessTopology::supervisor_report() const {
+  const auto label = [](NodeState s) -> const char* {
+    switch (s) {
+      case NodeState::Declared: return "declared";
+      case NodeState::Running: return "running";
+      case NodeState::Backoff: return "backoff";
+      case NodeState::GaveUp: return "gave_up";
+      case NodeState::Stopped: return "stopped";
+    }
+    return "unknown";
+  };
+  std::map<std::string, std::string> report;
+  for (const auto& [name, n] : nodes_) {
+    report[name] = std::string(label(n.state)) +
+                   " restarts=" + std::to_string(n.restarts) +
+                   " exits=" + std::to_string(n.unexpected_exits);
+  }
+  return report;
 }
 
 }  // namespace fbdr::netio

@@ -24,6 +24,17 @@ namespace fbdr::netio {
 /// process (parents first) and waits for each control plane to answer ping,
 /// tick() drives one replication round, crash()/respawn() model a node
 /// failure, stop() (or the destructor) quits or kills everything and reaps.
+///
+/// Supervision (set_supervisor): every tick() opens with a waitpid sweep, so
+/// a child that died — crashed, OOM-killed, crash()ed by a test — is reaped
+/// immediately (no zombies) and its exit recorded. With supervision enabled
+/// the dead node is respawned automatically after an exponential backoff
+/// (base << restarts, capped, plus a deterministic seed/name/attempt jitter
+/// so a whole tree never restarts in lockstep); a node that dies more than
+/// max_restarts times without a stable run in between lands in the terminal
+/// GaveUp state and is left down — the rest of the tree keeps serving.
+/// Optional liveness probes ping every Running node's control plane each
+/// probe_every_ticks ticks and treat a dead plane like a crash.
 class ProcessTopology {
  public:
   struct Options {
@@ -33,6 +44,34 @@ class ProcessTopology {
     std::uint64_t session_time_limit = 0;
     int spawn_timeout_ms = 10000;
     int control_timeout_ms = 15000;
+    /// Upstream SocketPipe deadlines inside each relay process (0 = the
+    /// fbdr_node defaults). Chaos tests shrink these so a partitioned link
+    /// fails fast instead of eating the 10s default per attempt.
+    int node_io_timeout_ms = 0;
+    int node_connect_timeout_ms = 0;
+  };
+
+  /// Node lifecycle under supervision. Declared -> Running on start();
+  /// Running -> Backoff on an observed death; Backoff -> Running on a
+  /// successful respawn, or -> GaveUp once the restart budget is spent.
+  /// Stopped is the deliberate end state (stop()/manual reap).
+  enum class NodeState { Declared, Running, Backoff, GaveUp, Stopped };
+
+  struct SupervisorOptions {
+    bool enabled = false;
+    /// Respawn attempts allowed without an intervening stable run before
+    /// the node is abandoned as GaveUp.
+    std::uint64_t max_restarts = 5;
+    std::uint64_t backoff_base_ticks = 1;  // first wait; doubles per attempt
+    std::uint64_t backoff_cap_ticks = 8;
+    std::uint64_t jitter_ticks = 1;  // deterministic extra wait in [0, this]
+    std::uint64_t seed = 1;          // jitter stream
+    /// A node Running this many consecutive ticks gets its restart budget
+    /// back — the cap punishes restart storms, not lifetime restarts.
+    std::uint64_t stable_ticks_reset = 8;
+    /// Ping every Running node each N ticks; 0 disables probing. A probe
+    /// failure is treated exactly like an observed crash.
+    std::uint64_t probe_every_ticks = 0;
   };
 
   explicit ProcessTopology(Options options);
@@ -47,6 +86,19 @@ class ProcessTopology {
   /// installed on the relay right after it spawns — its admission set.
   void add_relay(const std::string& name, const std::string& parent,
                  std::vector<std::string> filter_specs);
+
+  /// Enables/configures supervision. Call before start().
+  void set_supervisor(SupervisorOptions options);
+
+  /// Extra argv appended to this node's every spawn (e.g. --crash-on-start,
+  /// --idle-timeout-ms). Takes effect at the node's next (re)spawn and
+  /// persists across respawns.
+  void set_extra_args(const std::string& name, std::vector<std::string> args);
+
+  /// Points the relay's upstream at `addr` instead of its parent's real
+  /// listener — the seam where a ChaosProxy goes. Persists across respawns,
+  /// so a supervised node heals through the same faulty link it died on.
+  void set_parent_proxy(const std::string& name, const SocketAddr& addr);
 
   /// Spawns every declared node (parents before children), waits for each
   /// control plane, installs relay filters. Throws on spawn/ping failure.
@@ -66,12 +118,22 @@ class ProcessTopology {
   std::map<std::string, std::string> health(const std::string& name);
 
   /// SIGKILLs the node's process — no goodbye, sessions and mirror gone.
-  void crash(const std::string& name);
+  /// Under supervision the node comes back on the normal backoff schedule.
+  /// With reap_now=false the corpse is left as a zombie for the next
+  /// supervise() sweep to find — the shape of an unobserved crash.
+  void crash(const std::string& name, bool reap_now = true);
 
   /// Spawns a crashed (or stopped) node again on the same socket paths and
   /// re-installs its filters. Descendants heal on subsequent tick()s via
-  /// the stale-cookie / reconciliation recovery path.
+  /// the stale-cookie / reconciliation recovery path. Manual respawn clears
+  /// supervision state (fresh restart budget).
   void respawn(const std::string& name);
+
+  /// One supervision pass: reap every dead child (always, supervised or
+  /// not), schedule/execute backoff respawns, run due liveness probes.
+  /// tick() calls this first; tests may call it directly to step the
+  /// supervisor without moving replication.
+  void supervise();
 
   void stop();
 
@@ -79,16 +141,37 @@ class ProcessTopology {
   int depth(const std::string& name) const;
   std::vector<std::string> relay_names_deepest_first() const;
 
+  NodeState state(const std::string& name) const;
+  std::uint64_t restarts(const std::string& name) const;
+  /// Deaths noticed by the waitpid sweep (crashes + kills), as opposed to
+  /// deliberate stop()/reap.
+  std::uint64_t unexpected_exits(const std::string& name) const;
+  std::uint64_t ticks() const { return tick_count_; }
+
+  /// One line per node: "<state> restarts=<n> exits=<n>" — the control
+  /// panel a soak asserts against.
+  std::map<std::string, std::string> supervisor_report() const;
+
  private:
   struct Node {
     std::string name;
     std::string parent;  // empty = root
     std::vector<std::string> filters;
+    std::vector<std::string> extra_args;
     int depth = 0;
     SocketAddr listen;
     SocketAddr control_addr;
+    SocketAddr parent_override;  // e.g. a ChaosProxy in front of the parent
+    bool has_parent_override = false;
     pid_t pid = -1;
     std::unique_ptr<ControlClient> client;
+    // Supervision state:
+    NodeState state = NodeState::Declared;
+    std::uint64_t restarts = 0;          // respawn attempts this storm
+    std::uint64_t unexpected_exits = 0;  // deaths seen by the waitpid sweep
+    std::uint64_t backoff_until = 0;     // tick_count_ gate for next attempt
+    std::uint64_t running_since = 0;     // tick_count_ at last (re)spawn
+    int last_exit_status = 0;            // raw waitpid status
   };
 
   Node& node(const std::string& name);
@@ -97,11 +180,18 @@ class ProcessTopology {
   void wait_ready(Node& node);
   void install_filters(Node& node);
   void reap(Node& node, bool force);
+  /// Records a death seen by waitpid/probe and schedules the respawn (or
+  /// GaveUp) under supervision.
+  void note_death(Node& node);
+  std::uint64_t backoff_ticks(const Node& node) const;
+  bool try_respawn(Node& node);
 
   Options options_;
+  SupervisorOptions supervisor_;
   std::vector<std::string> order_;  // declaration order (parents first)
   std::map<std::string, Node> nodes_;
   std::string root_;
+  std::uint64_t tick_count_ = 0;
 };
 
 }  // namespace fbdr::netio

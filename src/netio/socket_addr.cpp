@@ -8,7 +8,9 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 
@@ -169,8 +171,24 @@ int open_client(const SocketAddr& addr, int timeout_ms, std::string* error) {
       ::close(fd);
       return -1;
     }
+    // EINTR-safe wait: a signal (SIGCHLD from a supervised child dying is
+    // routine here) must not burn the connect attempt — retry the poll with
+    // the remaining slice of the deadline.
+    const auto give_up = std::chrono::steady_clock::now() +
+                         std::chrono::milliseconds(timeout_ms);
     pollfd pfd{fd, POLLOUT, 0};
-    const int ready = ::poll(&pfd, 1, timeout_ms);
+    int ready;
+    for (;;) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            give_up - std::chrono::steady_clock::now())
+                            .count();
+      ready = ::poll(&pfd, 1, static_cast<int>(std::max<long long>(left, 0)));
+      if (ready >= 0 || errno != EINTR) break;
+      if (std::chrono::steady_clock::now() >= give_up) {
+        ready = 0;  // interrupted past the deadline: report a timeout
+        break;
+      }
+    }
     int so_error = 0;
     socklen_t so_len = sizeof(so_error);
     ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &so_len);

@@ -8,25 +8,17 @@
 // descendants heal through the unknown-session StaleCookieError /
 // full-reload path, which is the entire point of the cookie lineage design.
 //
+// (Shared fixtures live in netio_test_util.h; netio_chaos_test.cpp drives
+// the same chain through ChaosProxy fault schedules and supervision.)
+//
 // Skips loudly when the sandbox forbids sockets or fork/exec.
 
 #include <gtest/gtest.h>
 
-#include <algorithm>
-#include <cstdlib>
-#include <memory>
 #include <string>
-#include <vector>
 
-#include "ldap/entry.h"
-#include "ldap/error.h"
-#include "net/channel.h"
 #include "netio/process_topology.h"
-#include "netio/socket_addr.h"
-#include "resync/master.h"
-#include "server/directory_server.h"
-#include "sync/content_tracker.h"
-#include "topology/relay_node.h"
+#include "netio_test_util.h"
 
 #ifndef FBDR_NODE_BIN
 #error "netio_process_test needs FBDR_NODE_BIN (path to the fbdr_node binary)"
@@ -35,207 +27,20 @@
 namespace fbdr::netio {
 namespace {
 
-using ldap::Dn;
-using ldap::make_entry;
-using ldap::Query;
-using ldap::Scope;
-using server::Modification;
-using topology::RelayNode;
-
-#define SKIP_WITHOUT_SOCKETS()                                        \
-  do {                                                                \
-    std::string reason;                                               \
-    if (!sockets_available(&reason)) {                                \
-      GTEST_SKIP() << "SKIPPING: sandbox forbids sockets (" << reason \
-                   << ") — process topology is untested here";        \
-    }                                                                 \
-  } while (0)
-
-std::string serial_of(int group, int rank) {
-  static const std::vector<std::string> kBits3 = {"000", "001", "010", "011",
-                                                  "100", "101", "110", "111"};
-  return kBits3[static_cast<std::size_t>(group)] + (rank < 10 ? "0" : "") +
-         std::to_string(rank);
-}
-
-std::string serial_filter(const std::string& prefix) {
-  return "(serialnumber=" + prefix + "*)";
-}
-
-std::string serial_spec(const std::string& prefix) {
-  return "o=xyz|sub|" + serial_filter(prefix);
-}
-
-Query serial_query(const std::string& prefix) {
-  return Query::parse("o=xyz", Scope::Subtree, serial_filter(prefix));
-}
-
-/// The in-process fault-free twin of the process chain: root master plus
-/// RelayNode d1 -> d2 -> leaf over DirectChannels.
-struct TwinChain {
-  std::shared_ptr<server::DirectoryServer> master;
-  std::unique_ptr<resync::ReSyncMaster> resync;
-  std::unique_ptr<RelayNode> d1, d2, leaf;
-
-  TwinChain() {
-    master = std::make_shared<server::DirectoryServer>("ldap://root");
-    master->add_context({Dn::parse("o=xyz"), {}});
-    master->load(make_entry("o=xyz", {{"objectclass", "organization"}}));
-    resync = std::make_unique<resync::ReSyncMaster>(*master);
-
-    const auto relay = [](const std::string& name) {
-      RelayNode::Config config;
-      config.name = name;
-      config.suffix = Dn::parse("o=xyz");
-      config.retry = {4, 1, 2.0, 16, 0};
-      return std::make_unique<RelayNode>(std::move(config));
-    };
-    d1 = relay("d1");
-    d2 = relay("d2");
-    leaf = relay("leaf");
-    d1->connect(std::make_shared<net::DirectChannel>(*resync), "ldap://root");
-    d2->connect(std::make_shared<net::DirectChannel>(*d1), "ldap://d1");
-    leaf->connect(std::make_shared<net::DirectChannel>(*d2), "ldap://d2");
-    d1->add_filter(serial_query("0"));
-    d2->add_filter(serial_query("00"));
-    leaf->add_filter(serial_query("000"));
-  }
-
-  void install() {
-    ASSERT_TRUE(d1->install_all());
-    ASSERT_TRUE(d2->install_all());
-    ASSERT_TRUE(leaf->install_all());
-  }
-
-  /// Same round as ProcessTopology::tick(): deepest-first sync, root pump,
-  /// one clock tick.
-  void tick() {
-    leaf->sync();
-    d2->sync();
-    d1->sync();
-    resync->pump();
-    resync->tick(1);
-  }
-};
-
-std::vector<std::string> mirror_keys(const RelayNode& node, const Query& query) {
-  std::vector<std::string> keys;
-  for (const ldap::EntryPtr& entry : node.mirror().evaluate(query)) {
-    keys.push_back(entry->dn().norm_key());
-  }
-  std::sort(keys.begin(), keys.end());
-  return keys;
-}
-
-std::vector<std::string> master_truth(const server::DirectoryServer& master,
-                                      const Query& query) {
-  sync::ContentTracker tracker(query);
-  tracker.initialize(master.dit());
-  return tracker.content_keys();
-}
-
-/// One journaled operation applied to both roots (control plane on the
-/// process side, direct calls on the twin).
-class MutationStream {
- public:
-  MutationStream(ProcessTopology& procs, TwinChain& twin)
-      : procs_(&procs), twin_(&twin) {}
-
-  void seed() {
-    for (int group = 0; group < 8; ++group) {
-      for (int rank = 0; rank < 4; ++rank) add(group, rank);
-    }
-  }
-
-  void add(int group, int rank) {
-    const std::string serial = serial_of(group, rank);
-    procs_->control("root").request(
-        "apply add cn=e" + serial + ",o=xyz|objectclass=person;serialnumber=" +
-        serial);
-    twin_->master->add(make_entry("cn=e" + serial + ",o=xyz",
-                                  {{"objectclass", "person"},
-                                   {"serialnumber", serial}}));
-  }
-
-  void remove(int group, int rank) {
-    const std::string serial = serial_of(group, rank);
-    const std::string dn = "cn=e" + serial + ",o=xyz";
-    try {
-      twin_->master->remove(Dn::parse(dn));
-    } catch (const ldap::OperationError&) {
-      return;  // already gone; skip the process side too
-    }
-    procs_->control("root").request("apply del " + dn);
-  }
-
-  void relabel(int group, int rank, const std::string& new_serial) {
-    const std::string serial = serial_of(group, rank);
-    const std::string dn = "cn=e" + serial + ",o=xyz";
-    try {
-      twin_->master->modify(
-          Dn::parse(dn),
-          {{Modification::Op::Replace, "serialnumber", {new_serial}}});
-    } catch (const ldap::OperationError&) {
-      return;
-    }
-    procs_->control("root").request("apply mod " + dn +
-                                    "|serialnumber=" + new_serial);
-  }
-
- private:
-  ProcessTopology* procs_;
-  TwinChain* twin_;
-};
-
-ProcessTopology::Options topology_options(const std::string& workdir) {
-  ProcessTopology::Options options;
-  options.node_binary = FBDR_NODE_BIN;
-  options.workdir = workdir;
-  return options;
-}
-
-std::string make_workdir() {
-  char templ[] = "/tmp/fbdr_proc_XXXXXX";
-  char* dir = ::mkdtemp(templ);
-  return dir ? dir : "";
-}
-
-void build_chain(ProcessTopology& procs) {
-  procs.add_root("root");
-  procs.add_relay("d1", "root", {serial_spec("0")});
-  procs.add_relay("d2", "d1", {serial_spec("00")});
-  procs.add_relay("leaf", "d2", {serial_spec("000")});
-}
-
-void assert_converged(ProcessTopology& procs, TwinChain& twin,
-                      const std::string& note) {
-  const struct {
-    const char* name;
-    const char* prefix;
-    const RelayNode* twin_node;
-  } nodes[] = {{"d1", "0", twin.d1.get()},
-               {"d2", "00", twin.d2.get()},
-               {"leaf", "000", twin.leaf.get()}};
-  for (const auto& n : nodes) {
-    const Query query = serial_query(n.prefix);
-    const std::vector<std::string> process_keys =
-        procs.keys(n.name, serial_spec(n.prefix));
-    EXPECT_EQ(process_keys, master_truth(*twin.master, query))
-        << n.name << " diverged from master truth (" << note << ")";
-    EXPECT_EQ(process_keys, mirror_keys(*n.twin_node, query))
-        << n.name << " diverged from its in-process twin (" << note << ")";
-    EXPECT_FALSE(process_keys.empty())
-        << n.name << " holds nothing — the comparison proved nothing ("
-        << note << ")";
-  }
-}
+using testutil::assert_converged;
+using testutil::build_chain;
+using testutil::make_workdir;
+using testutil::MutationStream;
+using testutil::serial_of;
+using testutil::topology_options;
+using testutil::TwinChain;
 
 TEST(ProcessTopologyTest, DepthThreeChainConvergesToInProcessTwin) {
   SKIP_WITHOUT_SOCKETS();
   const std::string workdir = make_workdir();
   ASSERT_FALSE(workdir.empty());
 
-  ProcessTopology procs(topology_options(workdir));
+  ProcessTopology procs(topology_options(workdir, FBDR_NODE_BIN));
   build_chain(procs);
   ASSERT_NO_THROW(procs.start());
 
@@ -282,7 +87,7 @@ TEST(ProcessTopologyTest, MidChainRelayCrashHealsThroughStaleCookies) {
   const std::string workdir = make_workdir();
   ASSERT_FALSE(workdir.empty());
 
-  ProcessTopology procs(topology_options(workdir));
+  ProcessTopology procs(topology_options(workdir, FBDR_NODE_BIN));
   build_chain(procs);
   ASSERT_NO_THROW(procs.start());
 

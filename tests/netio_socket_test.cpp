@@ -6,13 +6,18 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdint>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <mutex>
 #include <random>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -20,12 +25,14 @@
 #include "ldap/error.h"
 #include "net/framed_channel.h"
 #include "netio/epoll_server.h"
+#include "netio/frame_reassembler.h"
 #include "netio/socket_addr.h"
 #include "netio/socket_pipe.h"
 #include "resync/master.h"
 #include "resync/replica_client.h"
 #include "server/change.h"
 #include "server/directory_server.h"
+#include "wire/codec.h"
 
 namespace fbdr::netio {
 namespace {
@@ -476,6 +483,218 @@ TEST(SocketTcp, TcpLoopbackServesTheProtocol) {
   const ReSyncResponse response =
       channel.exchange(kQueries[2], {Mode::Poll, ""});
   EXPECT_EQ(response.pdus.size(), 20u);
+  server.stop();
+}
+
+// ---------------------------------------------------------------------------
+// Self-defence knobs: write-buffer backpressure, idle reaping, accept caps.
+
+/// A master fat enough that a handful of enumerations dwarfs both the
+/// kernel socket buffer and a small max_write_buffer.
+std::unique_ptr<server::DirectoryServer> make_fat_master(int entries) {
+  auto master = std::make_unique<server::DirectoryServer>("ldap://master");
+  server::NamingContext context;
+  context.suffix = Dn::parse("o=xyz");
+  master->add_context(std::move(context));
+  master->load(make_entry("o=xyz", {{"objectclass", "organization"}}));
+  const std::string padding(120, 'x');
+  for (int i = 0; i < entries; ++i) {
+    master->load(make_entry("cn=B" + std::to_string(i) + ",o=xyz",
+                            {{"objectclass", "person"},
+                             {"dept", "7"},
+                             {"description", padding}}));
+  }
+  return master;
+}
+
+/// Raw frame client: sends encoded request frames and reassembles response
+/// payloads, with no retry machinery in the way.
+struct RawFrameClient {
+  int fd = -1;
+  FrameReassembler reassembler;
+
+  explicit RawFrameClient(const SocketAddr& addr) {
+    std::string error;
+    fd = open_client(addr, 2000, &error);
+    if (fd < 0) throw std::runtime_error("raw connect: " + error);
+  }
+  ~RawFrameClient() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  void send_request(const Query& query) {
+    const wire::Bytes frame =
+        wire::Codec::frame(wire::Codec::encode_request(query, {Mode::Poll, ""}));
+    std::size_t sent = 0;
+    while (sent < frame.size()) {
+      const ssize_t n =
+          ::send(fd, frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+      if (n < 0 && errno == EINTR) continue;
+      ASSERT_GT(n, 0) << "raw send failed: " << std::strerror(errno);
+      sent += static_cast<std::size_t>(n);
+    }
+  }
+
+  /// Reads until one whole response payload is reassembled.
+  wire::Bytes read_response() {
+    std::uint8_t chunk[16384];
+    while (!reassembler.has_frame()) {
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) {
+        throw std::runtime_error("raw connection closed mid-read");
+      }
+      reassembler.feed(chunk, static_cast<std::size_t>(n));
+    }
+    return wire::Codec::deframe(reassembler.next_frame());
+  }
+};
+
+// A slow-reading client pushed past max_write_buffer: the server must pause
+// reads at the limit (counted), lose and reorder nothing, and resume once
+// the queue drains — bounded memory instead of unbounded buffering.
+TEST(SocketBackpressure, SlowReaderIsPausedWithoutLosingOrReorderingFrames) {
+  SKIP_WITHOUT_SOCKETS();
+  auto master = make_fat_master(1200);
+  ReSyncMaster resync(*master);
+
+  SocketDir dir;
+  EpollServer::Options options;
+  options.max_write_buffer = 32u << 10;  // tiny: a single response overflows
+  EpollServer server(resync, options);
+  const SocketAddr addr = server.listen(dir.addr("master.sock"));
+  server.start();
+
+  // Alternate a huge enumeration (every entry) with an empty one (nothing
+  // has dept=42), all on one connection, reading NOTHING back yet. The
+  // size alternation later proves per-connection response order.
+  RawFrameClient client(addr);
+  constexpr int kRequests = 8;
+  for (int i = 0; i < kRequests; ++i) {
+    client.send_request(kQueries[i % 2 == 0 ? 0 : 1]);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+
+  // The responses dwarf kernel + user buffers: the loop must hit the pause.
+  bool paused = false;
+  for (int i = 0; i < 400 && !paused; ++i) {
+    paused = server.stats().backpressure_pauses > 0;
+    if (!paused) usleep(5000);
+  }
+  EXPECT_TRUE(paused) << "max_write_buffer never engaged";
+
+  // Now drain: every response arrives, intact and in request order.
+  for (int i = 0; i < kRequests; ++i) {
+    const wire::Bytes payload = client.read_response();
+    ASSERT_EQ(wire::Codec::kind_of(payload), wire::FrameKind::Response);
+    const ReSyncResponse response = wire::Codec::decode_response(payload);
+    const std::size_t expected = i % 2 == 0 ? 1200u : 0u;
+    EXPECT_EQ(response.pdus.size(), expected)
+        << "response " << i << " out of order or torn";
+  }
+
+  // And the pause was a pause, not a close: the same connection serves a
+  // fresh request after the queue drained back under the watermark.
+  client.send_request(kQueries[1]);
+  if (::testing::Test::HasFatalFailure()) return;
+  const ReSyncResponse tail =
+      wire::Codec::decode_response(client.read_response());
+  EXPECT_EQ(tail.pdus.size(), 0u);
+
+  const EpollServer::Stats stats = server.stats();
+  EXPECT_EQ(stats.frames_in, static_cast<std::uint64_t>(kRequests) + 1);
+  EXPECT_EQ(stats.frames_out, static_cast<std::uint64_t>(kRequests) + 1);
+  EXPECT_EQ(stats.garbled_closes, 0u);
+  EXPECT_EQ(server.open_connections(), 1u);
+  server.stop();
+}
+
+// A connection that stalls mid-conversation is reaped once idle_timeout_ms
+// passes — a slow loris holds no fd forever. Control connections are
+// exempt by design (ProcessTopology parks one per node).
+TEST(SocketHardening, IdleFrameConnectionIsReaped) {
+  SKIP_WITHOUT_SOCKETS();
+  auto master = make_master();
+  ReSyncMaster resync(*master);
+
+  SocketDir dir;
+  EpollServer::Options options;
+  options.idle_timeout_ms = 100;
+  EpollServer server(resync, options);
+  const SocketAddr addr = server.listen(dir.addr("master.sock"));
+  server.start();
+
+  RawFrameClient client(addr);
+  client.send_request(kQueries[0]);
+  if (::testing::Test::HasFatalFailure()) return;
+  EXPECT_EQ(wire::Codec::kind_of(client.read_response()),
+            wire::FrameKind::Response);
+
+  // ... and then the client goes silent. The loop wakes at most 200ms
+  // apart, so well within a second the connection must be gone.
+  bool reaped = false;
+  for (int i = 0; i < 300 && !reaped; ++i) {
+    reaped = server.stats().idle_reaped > 0;
+    if (!reaped) usleep(5000);
+  }
+  EXPECT_TRUE(reaped) << "idle connection survived its deadline";
+  EXPECT_EQ(server.open_connections(), 0u);
+  server.stop();
+}
+
+// Accepts beyond max_connections are shed immediately and loudly counted;
+// the connections already inside keep working.
+TEST(SocketHardening, AcceptsBeyondTheConnectionCapAreShed) {
+  SKIP_WITHOUT_SOCKETS();
+  auto master = make_master();
+  ReSyncMaster resync(*master);
+
+  SocketDir dir;
+  EpollServer::Options options;
+  options.max_connections = 2;
+  EpollServer server(resync, options);
+  const SocketAddr addr = server.listen(dir.addr("master.sock"));
+  server.start();
+
+  // Two residents first, each proven live with a full exchange.
+  RawFrameClient first(addr);
+  RawFrameClient second(addr);
+  for (RawFrameClient* client : {&first, &second}) {
+    client->send_request(kQueries[2]);
+    if (::testing::Test::HasFatalFailure()) return;
+    EXPECT_EQ(wire::Codec::decode_response(client->read_response()).pdus.size(),
+              20u);
+  }
+
+  // The third and fourth are shed at accept: a best-effort write either
+  // fails outright (EPIPE) or lands in a buffer nobody will read, and the
+  // next recv sees EOF/reset — never a response.
+  for (int extra = 0; extra < 2; ++extra) {
+    RawFrameClient shed(addr);
+    const wire::Bytes frame = wire::Codec::frame(
+        wire::Codec::encode_request(kQueries[0], {Mode::Poll, ""}));
+    (void)::send(shed.fd, frame.data(), frame.size(), MSG_NOSIGNAL);
+    std::uint8_t byte = 0;
+    ssize_t n;
+    do {
+      n = ::recv(shed.fd, &byte, 1, 0);
+    } while (n < 0 && errno == EINTR);
+    EXPECT_LE(n, 0) << "shed connection produced bytes";
+  }
+
+  bool counted = false;
+  for (int i = 0; i < 200 && !counted; ++i) {
+    counted = server.stats().shed_accepts >= 2;
+    if (!counted) usleep(5000);
+  }
+  EXPECT_TRUE(counted) << "shed accepts never counted";
+  EXPECT_EQ(server.open_connections(), 2u);
+
+  // The residents are unharmed.
+  first.send_request(kQueries[0]);
+  if (::testing::Test::HasFatalFailure()) return;
+  EXPECT_EQ(wire::Codec::kind_of(first.read_response()),
+            wire::FrameKind::Response);
   server.stop();
 }
 

@@ -1,0 +1,226 @@
+// Shared fixtures for the multi-process socket tests: the depth-3
+// fork/exec'd fbdr_node chain (root -> d1 -> d2 -> leaf over Unix sockets,
+// serialnumber bit-prefix containment filters), its fault-free in-process
+// twin, and the journaled mutation stream applied to both. Convergence is
+// always asserted three ways per node: process content == master truth ==
+// twin mirror, and non-empty so the comparison proved something.
+//
+// Used by netio_process_test.cpp (fault-free + crash/respawn) and
+// netio_chaos_test.cpp (ChaosProxy fault schedules + supervision).
+
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ldap/entry.h"
+#include "ldap/error.h"
+#include "net/channel.h"
+#include "netio/process_topology.h"
+#include "netio/socket_addr.h"
+#include "resync/master.h"
+#include "server/directory_server.h"
+#include "sync/content_tracker.h"
+#include "topology/relay_node.h"
+
+#define SKIP_WITHOUT_SOCKETS()                                        \
+  do {                                                                \
+    std::string reason;                                               \
+    if (!fbdr::netio::sockets_available(&reason)) {                   \
+      GTEST_SKIP() << "SKIPPING: sandbox forbids sockets (" << reason \
+                   << ") — process topology is untested here";        \
+    }                                                                 \
+  } while (0)
+
+namespace fbdr::netio::testutil {
+
+inline std::string serial_of(int group, int rank) {
+  static const std::vector<std::string> kBits3 = {"000", "001", "010", "011",
+                                                  "100", "101", "110", "111"};
+  return kBits3[static_cast<std::size_t>(group)] + (rank < 10 ? "0" : "") +
+         std::to_string(rank);
+}
+
+inline std::string serial_filter(const std::string& prefix) {
+  return "(serialnumber=" + prefix + "*)";
+}
+
+inline std::string serial_spec(const std::string& prefix) {
+  return "o=xyz|sub|" + serial_filter(prefix);
+}
+
+inline ldap::Query serial_query(const std::string& prefix) {
+  return ldap::Query::parse("o=xyz", ldap::Scope::Subtree,
+                            serial_filter(prefix));
+}
+
+/// The in-process fault-free twin of the process chain: root master plus
+/// RelayNode d1 -> d2 -> leaf over DirectChannels.
+struct TwinChain {
+  std::shared_ptr<server::DirectoryServer> master;
+  std::unique_ptr<resync::ReSyncMaster> resync;
+  std::unique_ptr<topology::RelayNode> d1, d2, leaf;
+
+  TwinChain() {
+    master = std::make_shared<server::DirectoryServer>("ldap://root");
+    master->add_context({ldap::Dn::parse("o=xyz"), {}});
+    master->load(
+        ldap::make_entry("o=xyz", {{"objectclass", "organization"}}));
+    resync = std::make_unique<resync::ReSyncMaster>(*master);
+
+    const auto relay = [](const std::string& name) {
+      topology::RelayNode::Config config;
+      config.name = name;
+      config.suffix = ldap::Dn::parse("o=xyz");
+      config.retry = {4, 1, 2.0, 16, 0};
+      return std::make_unique<topology::RelayNode>(std::move(config));
+    };
+    d1 = relay("d1");
+    d2 = relay("d2");
+    leaf = relay("leaf");
+    d1->connect(std::make_shared<net::DirectChannel>(*resync), "ldap://root");
+    d2->connect(std::make_shared<net::DirectChannel>(*d1), "ldap://d1");
+    leaf->connect(std::make_shared<net::DirectChannel>(*d2), "ldap://d2");
+    d1->add_filter(serial_query("0"));
+    d2->add_filter(serial_query("00"));
+    leaf->add_filter(serial_query("000"));
+  }
+
+  void install() {
+    ASSERT_TRUE(d1->install_all());
+    ASSERT_TRUE(d2->install_all());
+    ASSERT_TRUE(leaf->install_all());
+  }
+
+  /// Same round as ProcessTopology::tick(): deepest-first sync, root pump,
+  /// one clock tick.
+  void tick() {
+    leaf->sync();
+    d2->sync();
+    d1->sync();
+    resync->pump();
+    resync->tick(1);
+  }
+};
+
+inline std::vector<std::string> mirror_keys(const topology::RelayNode& node,
+                                            const ldap::Query& query) {
+  std::vector<std::string> keys;
+  for (const ldap::EntryPtr& entry : node.mirror().evaluate(query)) {
+    keys.push_back(entry->dn().norm_key());
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+inline std::vector<std::string> master_truth(
+    const server::DirectoryServer& master, const ldap::Query& query) {
+  sync::ContentTracker tracker(query);
+  tracker.initialize(master.dit());
+  return tracker.content_keys();
+}
+
+/// One journaled operation applied to both roots (control plane on the
+/// process side, direct calls on the twin).
+class MutationStream {
+ public:
+  MutationStream(ProcessTopology& procs, TwinChain& twin)
+      : procs_(&procs), twin_(&twin) {}
+
+  void seed() {
+    for (int group = 0; group < 8; ++group) {
+      for (int rank = 0; rank < 4; ++rank) add(group, rank);
+    }
+  }
+
+  void add(int group, int rank) {
+    const std::string serial = serial_of(group, rank);
+    procs_->control("root").request(
+        "apply add cn=e" + serial + ",o=xyz|objectclass=person;serialnumber=" +
+        serial);
+    twin_->master->add(ldap::make_entry("cn=e" + serial + ",o=xyz",
+                                        {{"objectclass", "person"},
+                                         {"serialnumber", serial}}));
+  }
+
+  void remove(int group, int rank) {
+    const std::string serial = serial_of(group, rank);
+    const std::string dn = "cn=e" + serial + ",o=xyz";
+    try {
+      twin_->master->remove(ldap::Dn::parse(dn));
+    } catch (const ldap::OperationError&) {
+      return;  // already gone; skip the process side too
+    }
+    procs_->control("root").request("apply del " + dn);
+  }
+
+  void relabel(int group, int rank, const std::string& new_serial) {
+    const std::string serial = serial_of(group, rank);
+    const std::string dn = "cn=e" + serial + ",o=xyz";
+    try {
+      twin_->master->modify(ldap::Dn::parse(dn),
+                            {{server::Modification::Op::Replace,
+                              "serialnumber",
+                              {new_serial}}});
+    } catch (const ldap::OperationError&) {
+      return;
+    }
+    procs_->control("root").request("apply mod " + dn +
+                                    "|serialnumber=" + new_serial);
+  }
+
+ private:
+  ProcessTopology* procs_;
+  TwinChain* twin_;
+};
+
+inline ProcessTopology::Options topology_options(const std::string& workdir,
+                                                 const char* node_binary) {
+  ProcessTopology::Options options;
+  options.node_binary = node_binary;
+  options.workdir = workdir;
+  return options;
+}
+
+inline std::string make_workdir() {
+  char templ[] = "/tmp/fbdr_proc_XXXXXX";
+  char* dir = ::mkdtemp(templ);
+  return dir ? dir : "";
+}
+
+inline void build_chain(ProcessTopology& procs) {
+  procs.add_root("root");
+  procs.add_relay("d1", "root", {serial_spec("0")});
+  procs.add_relay("d2", "d1", {serial_spec("00")});
+  procs.add_relay("leaf", "d2", {serial_spec("000")});
+}
+
+inline void assert_converged(ProcessTopology& procs, TwinChain& twin,
+                             const std::string& note) {
+  const struct {
+    const char* name;
+    const char* prefix;
+    const topology::RelayNode* twin_node;
+  } nodes[] = {{"d1", "0", twin.d1.get()},
+               {"d2", "00", twin.d2.get()},
+               {"leaf", "000", twin.leaf.get()}};
+  for (const auto& n : nodes) {
+    const ldap::Query query = serial_query(n.prefix);
+    const std::vector<std::string> process_keys =
+        procs.keys(n.name, serial_spec(n.prefix));
+    EXPECT_EQ(process_keys, master_truth(*twin.master, query))
+        << n.name << " diverged from master truth (" << note << ")";
+    EXPECT_EQ(process_keys, mirror_keys(*n.twin_node, query))
+        << n.name << " diverged from its in-process twin (" << note << ")";
+    EXPECT_FALSE(process_keys.empty())
+        << n.name << " holds nothing — the comparison proved nothing ("
+        << note << ")";
+  }
+}
+
+}  // namespace fbdr::netio::testutil
